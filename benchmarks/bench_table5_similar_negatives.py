@@ -1,0 +1,114 @@
+"""Table V: discrimination of semantically similar negative items (Games).
+
+For each test user the model must choose between the ground-truth next
+item and a hard negative that is (a) language-similar — nearest neighbour
+in item *text embedding* space, (b) collaboratively similar — nearest
+neighbour in a trained *SASRec* item-embedding space, or (c) random.
+
+Rows: SASRec, LLaMA (pretrained-only LM, title prompting), ChatGPT
+(a larger/longer-pretrained language-only LM), LC-Rec (Title), LC-Rec.
+
+Paper-shape expectations: LC-Rec best on all three columns; collaborative
+negatives hardest for everyone; the non-fine-tuned LMs are weakest.
+"""
+
+import numpy as np
+
+from repro.baselines import BaselineTrainer, BaselineTrainerConfig, SASRec
+from repro.bench import bench_scale, report
+from repro.bench.table5 import (
+    lcrec_index_chooser,
+    lcrec_title_chooser,
+    pretrained_lm_chooser,
+    score_model_chooser,
+)
+from repro.eval import (
+    mine_random_negatives,
+    mine_similar_negatives,
+    pairwise_choice_accuracy,
+)
+from repro.llm import LMConfig, PretrainConfig, TinyLlama, pretrain_lm
+
+COLUMNS = ("Language Neg.", "Collaborative Neg.", "Random Neg.")
+
+
+def build_chatgpt_analogue(games_lcrec, games_dataset):
+    """A stronger language-only LM (bigger, longer pretraining, no tuning)."""
+    scale = bench_scale()
+    tokenizer = games_lcrec.tokenizer
+    config = LMConfig(vocab_size=len(tokenizer.vocab), dim=96, num_layers=3,
+                      num_heads=4, ffn_hidden=256, max_seq_len=256, seed=11)
+    model = TinyLlama(config)
+    pretrain_lm(model, tokenizer, games_dataset.catalog.texts(),
+                PretrainConfig(steps=scale.epochs(600, minimum=150),
+                               batch_size=16, seq_len=64, seed=11))
+    model.eval()
+    return model
+
+
+def run_table(games_dataset, games_lcrec):
+    scale = bench_scale()
+    limit = min(scale.max_eval_users, games_dataset.num_users)
+    histories = games_dataset.split.test_histories[:limit]
+    targets = games_dataset.split.test_targets[:limit]
+
+    # Negative sets.
+    sasrec = SASRec(games_dataset.num_items, dim=48,
+                    max_len=games_dataset.config.max_seq_len)
+    BaselineTrainer(BaselineTrainerConfig(
+        epochs=scale.epochs(30))).fit(sasrec, games_dataset)
+    rng = np.random.default_rng(5)
+    negative_sets = {
+        "Language Neg.": mine_similar_negatives(
+            games_lcrec.item_embeddings, targets),
+        "Collaborative Neg.": mine_similar_negatives(
+            sasrec.item_embedding_matrix(), targets),
+        "Random Neg.": mine_random_negatives(
+            games_dataset.num_items, targets, rng),
+    }
+
+    # Choosers.
+    pretrained = games_lcrec.pretrained_lm()
+    chatgpt = build_chatgpt_analogue(games_lcrec, games_dataset)
+    choosers = {
+        "SASRec": score_model_chooser(sasrec),
+        "LLaMA": pretrained_lm_chooser(pretrained, games_lcrec.tokenizer,
+                                       games_dataset.catalog),
+        "ChatGPT": pretrained_lm_chooser(chatgpt, games_lcrec.tokenizer,
+                                         games_dataset.catalog),
+        "LC-Rec (Title)": lcrec_title_chooser(games_lcrec),
+        "LC-Rec": lcrec_index_chooser(games_lcrec),
+    }
+
+    rows = [f"{'model':<16} " + " ".join(f"{c:>18}" for c in COLUMNS)]
+    accuracies: dict[str, dict[str, float]] = {}
+    for label, chooser in choosers.items():
+        accuracies[label] = {}
+        cells = []
+        for column in COLUMNS:
+            accuracy = pairwise_choice_accuracy(
+                negative_sets[column], histories, chooser)
+            accuracies[label][column] = accuracy
+            cells.append(f"{100 * accuracy:18.2f}")
+        rows.append(f"{label:<16} " + " ".join(cells))
+    report("table5_similar_negatives", "\n".join(rows))
+    return accuracies
+
+
+def test_table5(benchmark, games_dataset, games_lcrec):
+    accuracies = benchmark.pedantic(run_table,
+                                    args=(games_dataset, games_lcrec),
+                                    rounds=1, iterations=1)
+    # Shape assertions from the paper's Table V discussion.  Individual
+    # cells move by ~±5% between runs at 100 evaluation pairs, so the
+    # comparisons use the better LC-Rec variant (the paper reports both
+    # index- and title-scoring as "our approach") and a noise tolerance.
+    tolerance = 0.05
+    assert accuracies["LC-Rec"]["Random Neg."] > 0.6
+    for column in ("Collaborative Neg.", "Language Neg."):
+        ours = max(accuracies["LC-Rec"][column],
+                   accuracies["LC-Rec (Title)"][column])
+        theirs = accuracies["LLaMA"][column]
+        assert ours >= theirs - tolerance, (
+            f"{column}: ours {ours:.2f} vs LLaMA {theirs:.2f}"
+        )

@@ -1,0 +1,62 @@
+"""Shared benchmark fixtures: datasets and expensive model builds.
+
+Every table/figure bench runs at the scale selected by ``REPRO_SCALE``
+(tiny / small / full, see ``repro.bench.config``).  Expensive LC-Rec
+builds are cached per session so figures that share a model (Figs. 3-6,
+Table V) do not retrain it.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.bench import bench_scale, build_lcrec_model, scaled_dataset
+from repro.bench.runners import lcrec_config_for
+from repro.core import LCRec
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@functools.lru_cache(maxsize=None)
+def _dataset(name: str):
+    return scaled_dataset(name)
+
+
+@functools.lru_cache(maxsize=None)
+def _lcrec_full(dataset_name: str) -> LCRec:
+    return build_lcrec_model(_dataset(dataset_name))
+
+
+@functools.lru_cache(maxsize=None)
+def _lcrec_seq_only(dataset_name: str) -> LCRec:
+    return build_lcrec_model(_dataset(dataset_name), tasks=("seq",))
+
+
+@pytest.fixture(scope="session")
+def dataset_factory():
+    return _dataset
+
+
+@pytest.fixture(scope="session")
+def lcrec_full_factory():
+    return _lcrec_full
+
+
+@pytest.fixture(scope="session")
+def lcrec_seq_only_factory():
+    return _lcrec_seq_only
+
+
+@pytest.fixture(scope="session")
+def games_dataset():
+    return _dataset("games")
+
+
+@pytest.fixture(scope="session")
+def games_lcrec(games_dataset):
+    return _lcrec_full("games")

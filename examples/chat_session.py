@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Multi-turn recommendation session (the paper's future-work extension).
+
+Simulates a short dialogue: the user starts from their history, rejects a
+recommendation, asks an intention query, and accepts an item — the session
+keeps state so rejected/consumed items never reappear.
+
+Run:  python examples/chat_session.py
+"""
+
+import numpy as np
+
+from repro.core import ChatSession, LCRec, LCRecConfig
+from repro.core.indexer import SemanticIndexerConfig
+from repro.core.tasks import AlignmentTaskConfig
+from repro.data import IntentionGenerator, build_dataset, preset_config
+from repro.llm import PretrainConfig, TuningConfig
+from repro.quantization import RQVAEConfig, RQVAETrainerConfig
+
+
+def main() -> None:
+    dataset = build_dataset(preset_config("instruments", scale=0.25))
+    config = LCRecConfig(
+        pretrain=PretrainConfig(steps=200, batch_size=16),
+        indexer=SemanticIndexerConfig(
+            rqvae=RQVAEConfig(latent_dim=32, hidden_dims=(96, 48),
+                              num_levels=4, codebook_size=16),
+            trainer=RQVAETrainerConfig(epochs=100, batch_size=512),
+        ),
+        tasks=AlignmentTaskConfig(max_history=8, seq_per_user=2,
+                                  tasks=("seq", "mut", "asy", "ite", "per")),
+        tuning=TuningConfig(epochs=3, batch_size=16, lr=3e-3),
+    )
+    model = LCRec(dataset, config).build()
+
+    history = list(dataset.split.test_histories[0])
+    session = ChatSession(model, history=history)
+    print("session history:")
+    for item_id in history[-4:]:
+        print("  *", dataset.catalog[item_id].title)
+
+    print("\n> user: what should I get next?")
+    items = session.recommend(top_k=3)
+    for item_id in items:
+        print("  bot:", session.describe(item_id)[:80])
+
+    print(f"\n> user: not {dataset.catalog[items[0]].title!r} (reject)")
+    session.reject(items[0])
+    items = session.recommend(top_k=3)
+    print("  bot suggests instead:")
+    for item_id in items:
+        print("   -", dataset.catalog[item_id].title)
+    assert all(i not in session.rejected for i in items)
+
+    generator = IntentionGenerator(dataset.catalog, np.random.default_rng(3))
+    intention = generator.intention_for_item(dataset.catalog[items[0]]).text
+    print(f"\n> user asks: {intention!r}")
+    answers = session.ask(intention, top_k=3)
+    for item_id in answers:
+        print("  bot:", dataset.catalog[item_id].title)
+
+    session.accept(answers[0])
+    print(f"\n> user accepts {dataset.catalog[answers[0]].title!r}")
+    print(f"session: {session.num_turns} turns, "
+          f"history now {len(session.history)} items, "
+          f"{len(session.rejected)} rejected")
+
+
+if __name__ == "__main__":
+    main()

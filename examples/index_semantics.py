@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Case study: what do the learned item indices mean?  (Figs. 5 and 6.)
+
+* Generates item titles from progressively longer index prefixes and shows
+  how the text converges coarse-to-fine toward the true title.
+* Counts how often adding each index level changes the generated content.
+* Compares index-based related-item generation with raw text-embedding
+  cosine recall (Fig. 5b): the former reflects collaborative semantics,
+  the latter only language similarity.
+
+Run:  python examples/index_semantics.py
+"""
+
+import numpy as np
+
+from repro.analysis import count_level_changes, generate_from_prefixes
+from repro.core import LCRec, LCRecConfig
+from repro.core.indexer import SemanticIndexerConfig
+from repro.core.tasks import AlignmentTaskConfig
+from repro.data import build_dataset, preset_config
+from repro.llm import PretrainConfig, TuningConfig
+from repro.quantization import RQVAEConfig, RQVAETrainerConfig
+
+
+def main() -> None:
+    dataset = build_dataset(preset_config("games", scale=0.25))
+    config = LCRecConfig(
+        pretrain=PretrainConfig(steps=250, batch_size=16),
+        indexer=SemanticIndexerConfig(
+            rqvae=RQVAEConfig(latent_dim=32, hidden_dims=(96, 48),
+                              num_levels=4, codebook_size=16),
+            trainer=RQVAETrainerConfig(epochs=120, batch_size=512),
+        ),
+        tasks=AlignmentTaskConfig(max_history=8, seq_per_user=2),
+        tuning=TuningConfig(epochs=3, batch_size=16, lr=3e-3),
+    )
+    model = LCRec(dataset, config).build()
+
+    # Fig. 5(a): title generation from index prefixes, two showcase items.
+    rng = np.random.default_rng(0)
+    for item_id in rng.choice(dataset.num_items, size=2, replace=False):
+        study = generate_from_prefixes(model, int(item_id))
+        print(f"\nitem {item_id}: true title = {study.true_title!r}")
+        for depth, text in enumerate(study.generations, 1):
+            prefix = "".join(model.index_set.token_strings(int(item_id))[:depth])
+            print(f"  {prefix:<28} -> {text[:70]}")
+
+    # Fig. 6: proportion of generation changes per added level.
+    sample = rng.choice(dataset.num_items, size=min(60, dataset.num_items),
+                        replace=False)
+    studies = [generate_from_prefixes(model, int(i)) for i in sample]
+    changes = count_level_changes(studies)
+    print("\ncontent changes caused by each index level (Fig. 6):")
+    for transition, proportion in zip(changes.transitions,
+                                      changes.change_proportions):
+        bar = "#" * int(proportion * 40)
+        print(f"  level {transition}: {proportion:6.1%} {bar}")
+
+    # Fig. 5(b): related items — index neighbourhood vs text-cosine recall.
+    anchor = int(sample[0])
+    prefix = model.index_set.codes[anchor][:2]
+    index_related = [
+        i for i in range(dataset.num_items)
+        if i != anchor and (model.index_set.codes[i][:2] == prefix).all()
+    ][:3]
+    emb = model.item_embeddings
+    normed = emb / np.linalg.norm(emb, axis=1, keepdims=True)
+    cosine = normed @ normed[anchor]
+    cosine[anchor] = -np.inf
+    text_related = np.argsort(-cosine)[:3]
+    print(f"\nanchor item: {dataset.catalog[anchor].title}")
+    print("  related by shared index prefix (language + collaborative):")
+    for item_id in index_related:
+        print("   -", dataset.catalog[item_id].title)
+    print("  related by text-embedding cosine (language only):")
+    for item_id in text_related:
+        print("   -", dataset.catalog[int(item_id)].title)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package,
+so PEP 517 builds (which require ``bdist_wheel``) are unavailable.  This
+shim lets ``pip install -e .`` fall back to the legacy editable path; all
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""LC-Rec reproduction: integrating collaborative semantics into LLMs.
+
+This package reproduces "Adapting Large Language Models by Integrating
+Collaborative Semantics for Recommendation" (Zheng et al., ICDE 2024) from
+scratch on a numpy substrate:
+
+* :mod:`repro.tensor` — reverse-mode autodiff engine and nn layers.
+* :mod:`repro.text` — tokenizer / vocabulary with OOV index-token extension.
+* :mod:`repro.data` — synthetic Amazon-review-like datasets and preprocessing.
+* :mod:`repro.llm` — tiny LLaMA-style LM, generation and instruction tuning.
+* :mod:`repro.quantization` — RQ-VAE with uniform semantic mapping (Sinkhorn).
+* :mod:`repro.core` — the LC-Rec model: indexing + alignment tuning + ranking.
+* :mod:`repro.baselines` — Caser, HGN, GRU4Rec, BERT4Rec, SASRec, FMLP-Rec,
+  FDSA, S3-Rec, P5-CID, TIGER, DSSM.
+* :mod:`repro.eval` — full-ranking HR/NDCG evaluation protocols.
+* :mod:`repro.analysis` — PCA visualisation and index-semantics case studies.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,22 @@
+"""Analysis tools: PCA, embedding integration, index-semantics studies."""
+
+from .index_semantics import (
+    LevelChangeReport,
+    PrefixGeneration,
+    count_level_changes,
+    generate_from_prefixes,
+)
+from .pca import PCA, fit_pca
+from .visualization import SeparationReport, ascii_scatter, embedding_separation
+
+__all__ = [
+    "PCA",
+    "fit_pca",
+    "SeparationReport",
+    "embedding_separation",
+    "ascii_scatter",
+    "PrefixGeneration",
+    "generate_from_prefixes",
+    "LevelChangeReport",
+    "count_level_changes",
+]

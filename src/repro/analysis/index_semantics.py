@@ -1,0 +1,81 @@
+"""Index-semantics case studies (Figs. 5 and 6).
+
+Fig. 5(a): generate an item's title from progressively longer index
+prefixes — content should converge to the ground truth coarse-to-fine.
+Fig. 6: count, for each level transition, how often adding the next index
+token *changes* the generated content; the proportion should fall with
+depth (coarse-to-fine quantisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.lcrec import LCRec
+
+__all__ = ["PrefixGeneration", "generate_from_prefixes", "LevelChangeReport",
+           "count_level_changes"]
+
+_PREFIX_PROMPT = ("please tell me what item {index} is called , along with a "
+                  "brief description of it .")
+
+
+@dataclass
+class PrefixGeneration:
+    """Generated text per prefix length for one item."""
+
+    item_id: int
+    true_title: str
+    generations: list[str]  # index 0 = one-level prefix, etc.
+
+
+def generate_from_prefixes(model: LCRec, item_id: int,
+                           max_new_tokens: int = 16) -> PrefixGeneration:
+    """Generate item text from each index prefix of the item (Fig. 5a)."""
+    tokens = model.index_set.token_strings(item_id)
+    generations = []
+    for depth in range(1, len(tokens) + 1):
+        prefix = "".join(tokens[:depth])
+        instruction = _PREFIX_PROMPT.format(index=prefix)
+        generations.append(model.generate_text(instruction,
+                                               max_new_tokens=max_new_tokens))
+    return PrefixGeneration(
+        item_id=item_id,
+        true_title=model.dataset.catalog[item_id].title,
+        generations=generations,
+    )
+
+
+@dataclass
+class LevelChangeReport:
+    """Fig. 6 statistics: content changes caused by each added level."""
+
+    transitions: list[str]      # e.g. ["1->2", "2->3", "3->4"]
+    change_counts: list[int]
+    total_items: int
+
+    @property
+    def change_proportions(self) -> list[float]:
+        return [count / max(self.total_items, 1)
+                for count in self.change_counts]
+
+
+def count_level_changes(generations: list[PrefixGeneration]) -> LevelChangeReport:
+    """Aggregate how often each added index level changed the output."""
+    if not generations:
+        raise ValueError("no generations")
+    num_levels = len(generations[0].generations)
+    if num_levels < 2:
+        raise ValueError("need at least two levels to measure changes")
+    counts = [0] * (num_levels - 1)
+    for generation in generations:
+        outputs = generation.generations
+        for level in range(num_levels - 1):
+            if outputs[level + 1] != outputs[level]:
+                counts[level] += 1
+    transitions = [f"{i + 1}->{i + 2}" for i in range(num_levels - 1)]
+    return LevelChangeReport(
+        transitions=transitions,
+        change_counts=counts,
+        total_items=len(generations),
+    )

@@ -1,0 +1,28 @@
+"""GRU4Rec (Hidasi et al. 2016): RNN-based sequential recommendation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Dropout, GRU, Tensor
+from .base import SequentialRecommender
+
+__all__ = ["GRU4Rec"]
+
+
+class GRU4Rec(SequentialRecommender):
+    """Item embeddings encoded by a (stacked) GRU; tied output weights."""
+
+    name = "GRU4Rec"
+    training_mode = "causal"
+
+    def __init__(self, num_items: int, dim: int = 64, max_len: int = 20,
+                 num_layers: int = 1, dropout: float = 0.1, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        super().__init__(num_items, dim, max_len, rng)
+        self.gru = GRU(dim, dim, num_layers=num_layers, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def sequence_output(self, padded: np.ndarray) -> Tensor:
+        embedded = self.dropout(self.item_embeddings(padded))
+        return self.gru(embedded)

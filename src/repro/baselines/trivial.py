@@ -1,0 +1,59 @@
+"""Trivial reference recommenders: popularity and random.
+
+Not in the paper's baseline table, but indispensable sanity floors: any
+model scoring below :class:`PopularityRecommender` has learned nothing
+beyond the marginal item distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data import SequentialDataset
+
+__all__ = ["PopularityRecommender", "RandomRecommender"]
+
+
+class PopularityRecommender:
+    """Scores every item by its training interaction count."""
+
+    name = "Popularity"
+
+    def __init__(self, num_items: int):
+        self.num_items = num_items
+        self._scores = np.zeros(num_items, dtype=np.float32)
+
+    def fit(self, dataset: SequentialDataset) -> "PopularityRecommender":
+        for seq in dataset.split.train_sequences:
+            for item in seq:
+                self._scores[item] += 1.0
+        return self
+
+    def score_all(self, histories: Sequence[Sequence[int]]) -> np.ndarray:
+        return np.tile(self._scores, (len(histories), 1))
+
+    def recommend(self, history: Sequence[int], top_k: int = 10) -> list[int]:
+        order = np.argsort(-self._scores, kind="stable")
+        return order[:top_k].tolist()
+
+
+class RandomRecommender:
+    """Uniform random scores (a fixed permutation per call batch)."""
+
+    name = "Random"
+
+    def __init__(self, num_items: int, seed: int = 0):
+        self.num_items = num_items
+        self._rng = np.random.default_rng(seed)
+
+    def fit(self, dataset: SequentialDataset) -> "RandomRecommender":
+        return self
+
+    def score_all(self, histories: Sequence[Sequence[int]]) -> np.ndarray:
+        return self._rng.random((len(histories), self.num_items)).astype(
+            np.float32)
+
+    def recommend(self, history: Sequence[int], top_k: int = 10) -> list[int]:
+        return self._rng.permutation(self.num_items)[:top_k].tolist()

@@ -1,0 +1,27 @@
+"""Benchmark harness: scaled experiment runners for every table/figure."""
+
+from .config import BenchScale, bench_scale, scaled_dataset
+from .runners import (
+    baseline_model,
+    build_lcrec_model,
+    evaluate_recommender,
+    evaluate_recommender_multi_template,
+    lcrec_config_for,
+    run_generative_baseline,
+    run_traditional_baseline,
+)
+from .reporting import report
+
+__all__ = [
+    "BenchScale",
+    "bench_scale",
+    "scaled_dataset",
+    "baseline_model",
+    "run_traditional_baseline",
+    "run_generative_baseline",
+    "build_lcrec_model",
+    "lcrec_config_for",
+    "evaluate_recommender",
+    "evaluate_recommender_multi_template",
+    "report",
+]

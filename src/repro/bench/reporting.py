@@ -1,0 +1,32 @@
+"""Benchmark result reporting: print and persist tables.
+
+``pytest`` captures stdout, so every experiment table is also written to
+``benchmarks/results/<name>.txt``; run pytest with ``-s`` to watch tables
+stream live.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+__all__ = ["report", "results_dir"]
+
+
+def results_dir() -> pathlib.Path:
+    path = pathlib.Path(__file__).resolve()
+    for parent in path.parents:
+        if (parent / "pyproject.toml").exists():
+            target = parent / "benchmarks" / "results"
+            target.mkdir(parents=True, exist_ok=True)
+            return target
+    target = pathlib.Path.cwd() / "benchmark_results"
+    target.mkdir(parents=True, exist_ok=True)
+    return target
+
+
+def report(name: str, text: str) -> pathlib.Path:
+    """Print ``text`` and persist it under ``benchmarks/results/``."""
+    print(f"\n===== {name} =====\n{text}\n")
+    destination = results_dir() / f"{name}.txt"
+    destination.write_text(text + "\n")
+    return destination

@@ -1,0 +1,31 @@
+"""LC-Rec core: indexing pipelines, alignment tasks and the full model."""
+
+from .chat import ChatSession, ChatTurn
+from .indexer import (
+    SemanticIndexerConfig,
+    build_random_index_set,
+    build_semantic_index_set,
+    build_vanilla_index_set,
+)
+from .lcrec import LCRec, LCRecConfig
+from .tasks import (
+    ALL_TASKS,
+    EXTENSION_TASKS,
+    AlignmentTaskBuilder,
+    AlignmentTaskConfig,
+)
+
+__all__ = [
+    "LCRec",
+    "LCRecConfig",
+    "ChatSession",
+    "ChatTurn",
+    "AlignmentTaskBuilder",
+    "AlignmentTaskConfig",
+    "ALL_TASKS",
+    "EXTENSION_TASKS",
+    "SemanticIndexerConfig",
+    "build_semantic_index_set",
+    "build_vanilla_index_set",
+    "build_random_index_set",
+]

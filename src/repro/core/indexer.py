@@ -1,0 +1,97 @@
+"""Item indexing pipelines, including the Fig. 2 ablation variants.
+
+* ``semantic`` (+USM) — the LC-Rec indexing: RQ-VAE over LLM text
+  embeddings with uniform-semantic-mapping conflict resolution.
+* ``semantic`` with ``strategy='extra_level'`` — *LC-Rec w/o USM*.
+* ``vanilla`` — one unique token per item (traditional item IDs).
+* ``random`` — multi-level indices with randomly sampled codewords
+  (structure without semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..quantization import (
+    RQVAE,
+    RQVAEConfig,
+    RQVAETrainer,
+    RQVAETrainerConfig,
+    ItemIndexSet,
+    build_semantic_indices,
+)
+
+__all__ = ["SemanticIndexerConfig", "build_semantic_index_set",
+           "build_vanilla_index_set", "build_random_index_set"]
+
+
+@dataclass
+class SemanticIndexerConfig:
+    """RQ-VAE settings for the semantic indexing pipeline."""
+
+    rqvae: RQVAEConfig = field(default_factory=RQVAEConfig)
+    trainer: RQVAETrainerConfig = field(default_factory=RQVAETrainerConfig)
+    strategy: str = "usm"
+
+
+def build_semantic_index_set(
+    embeddings: np.ndarray,
+    config: SemanticIndexerConfig,
+) -> tuple[ItemIndexSet, RQVAE, list[dict[str, float]]]:
+    """Train an RQ-VAE on ``embeddings`` and construct item indices.
+
+    Returns the index set, the trained RQ-VAE (kept for analysis) and the
+    training history.
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float32)
+    rq_config = config.rqvae
+    if rq_config.input_dim != embeddings.shape[1]:
+        raise ValueError(
+            f"RQVAEConfig.input_dim={rq_config.input_dim} but embeddings "
+            f"have dim {embeddings.shape[1]}"
+        )
+    model = RQVAE(rq_config)
+    trainer = RQVAETrainer(model, config.trainer)
+    history = trainer.fit(embeddings)
+    index_set = build_semantic_indices(model, embeddings,
+                                       strategy=config.strategy)
+    return index_set, model, history
+
+
+def build_vanilla_index_set(num_items: int) -> ItemIndexSet:
+    """Traditional single-token item IDs (Fig. 2 "Vanilla ID")."""
+    if num_items < 1:
+        raise ValueError("num_items must be positive")
+    codes = np.arange(num_items, dtype=np.int64)[:, None]
+    return ItemIndexSet(codes, [num_items])
+
+
+def build_random_index_set(num_items: int, num_levels: int,
+                           codebook_size: int,
+                           rng: np.random.Generator) -> ItemIndexSet:
+    """Random multi-level indices (Fig. 2 "Random Indices").
+
+    Codewords are sampled uniformly; collisions are fixed by re-rolling the
+    last level, so indices are unique but semantically unrelated.
+    """
+    if codebook_size**num_levels < num_items:
+        raise ValueError("index space too small for the item count")
+    codes = rng.integers(0, codebook_size,
+                         size=(num_items, num_levels)).astype(np.int64)
+    seen: set[tuple[int, ...]] = set()
+    for item in range(num_items):
+        row = tuple(codes[item])
+        attempts = 0
+        while row in seen:
+            codes[item, -1] = rng.integers(0, codebook_size)
+            row = tuple(codes[item])
+            attempts += 1
+            if attempts > 10 * codebook_size:
+                # Extremely crowded prefix: re-roll the whole row.
+                codes[item] = rng.integers(0, codebook_size, size=num_levels)
+                row = tuple(codes[item])
+                attempts = 0
+        seen.add(row)
+    return ItemIndexSet(codes, [codebook_size] * num_levels)

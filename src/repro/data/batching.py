@@ -1,0 +1,54 @@
+"""Padding and mini-batch helpers shared by every trainer."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["pad_sequences", "iterate_minibatches", "left_truncate"]
+
+
+def pad_sequences(sequences: Sequence[Sequence[int]], pad_value: int = 0,
+                  max_len: int | None = None, align: str = "left") -> np.ndarray:
+    """Pad integer sequences into a dense ``(batch, max_len)`` array.
+
+    ``align='left'`` places each sequence at the *end* of the row (padding
+    on the left), which keeps the most recent interaction adjacent to the
+    prediction position — the convention for sequential recommenders.
+    ``align='right'`` pads on the right (language-model convention).
+    """
+    if align not in ("left", "right"):
+        raise ValueError("align must be 'left' or 'right'")
+    if max_len is None:
+        max_len = max((len(s) for s in sequences), default=0)
+    batch = np.full((len(sequences), max_len), pad_value, dtype=np.int64)
+    for row, seq in enumerate(sequences):
+        trimmed = list(seq)[-max_len:] if align == "left" else list(seq)[:max_len]
+        if not trimmed:
+            continue
+        if align == "left":
+            batch[row, -len(trimmed):] = trimmed
+        else:
+            batch[row, :len(trimmed)] = trimmed
+    return batch
+
+
+def left_truncate(sequence: Sequence[int], max_len: int) -> list[int]:
+    """Keep the most recent ``max_len`` entries."""
+    return list(sequence)[-max_len:]
+
+
+def iterate_minibatches(num_examples: int, batch_size: int,
+                        rng: np.random.Generator | None = None,
+                        shuffle: bool = True) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(num_examples)`` in batches."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(num_examples)
+    if shuffle:
+        if rng is None:
+            raise ValueError("shuffle=True requires an rng")
+        rng.shuffle(order)
+    for start in range(0, num_examples, batch_size):
+        yield order[start:start + batch_size]

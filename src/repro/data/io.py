@@ -1,0 +1,102 @@
+"""Dataset persistence: export/import as JSON.
+
+Lets users snapshot a generated benchmark dataset (catalog + interaction
+sequences + split) and reload it later — or hand-edit / substitute their
+own data while keeping the library's preprocessing contract.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .catalog import CatalogConfig, Item, ItemCatalog, Lexicon
+from .datasets import DatasetConfig, SequentialDataset
+from .interactions import BehaviorConfig
+from .preprocess import leave_one_out_split
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: SequentialDataset, path: str | pathlib.Path) -> pathlib.Path:
+    """Write the dataset (catalog, sequences, lexicon) as JSON."""
+    path = pathlib.Path(path)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "max_seq_len": dataset.split.max_len,
+        "num_categories": dataset.catalog.num_categories,
+        "num_subcategories": dataset.catalog.num_subcategories,
+        "lexicon": {
+            "common_words": dataset.catalog.lexicon.common_words,
+            "brand_words": dataset.catalog.lexicon.brand_words,
+            "category_names": dataset.catalog.lexicon.category_names,
+            "category_words": dataset.catalog.lexicon.category_words,
+            "subcategory_words": dataset.catalog.lexicon.subcategory_words,
+        },
+        "items": [
+            {
+                "item_id": item.item_id,
+                "category": item.category,
+                "subcategory": item.subcategory,
+                "brand": item.brand,
+                "title": item.title,
+                "description": item.description,
+                "keywords": list(item.keywords),
+            }
+            for item in dataset.catalog
+        ],
+        "sequences": dataset.sequences,
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_dataset(path: str | pathlib.Path) -> SequentialDataset:
+    """Reload a dataset written by :func:`save_dataset`.
+
+    The behaviour model is not serialised (it exists only for simulation);
+    the returned dataset supports everything except re-simulation —
+    training, evaluation, indexing and intention generation all work.
+    """
+    payload = json.loads(pathlib.Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported dataset format version: {version}")
+    lexicon = Lexicon(**payload["lexicon"])
+    items = [
+        Item(
+            item_id=entry["item_id"],
+            category=entry["category"],
+            subcategory=entry["subcategory"],
+            brand=entry["brand"],
+            title=entry["title"],
+            description=entry["description"],
+            keywords=tuple(entry["keywords"]),
+        )
+        for entry in payload["items"]
+    ]
+    catalog = ItemCatalog(
+        items=items,
+        num_categories=payload["num_categories"],
+        num_subcategories=payload["num_subcategories"],
+        lexicon=lexicon,
+        config=None,
+    )
+    sequences = [list(seq) for seq in payload["sequences"]]
+    split = leave_one_out_split(sequences, max_len=payload["max_seq_len"])
+    config = DatasetConfig(name=payload["name"], catalog=CatalogConfig(),
+                           behavior=BehaviorConfig(),
+                           max_seq_len=payload["max_seq_len"])
+    return SequentialDataset(
+        name=payload["name"],
+        catalog=catalog,
+        sequences=sequences,
+        split=split,
+        behavior=None,
+        config=config,
+        user_id_map=list(range(len(sequences))),
+        item_id_map=[item.item_id for item in items],
+    )

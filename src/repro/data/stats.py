@@ -1,0 +1,47 @@
+"""Dataset statistics in the format of the paper's Table II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .datasets import SequentialDataset
+
+__all__ = ["DatasetStatistics", "dataset_statistics", "format_table2_row"]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The five columns of Table II."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_interactions: int
+    sparsity: float
+    avg_length: float
+
+
+def dataset_statistics(dataset: SequentialDataset) -> DatasetStatistics:
+    """Compute #Users / #Items / #Interactions / Sparsity / Avg. len."""
+    users = dataset.num_users
+    items = dataset.num_items
+    interactions = dataset.num_interactions
+    sparsity = 1.0 - interactions / (users * items)
+    avg_length = interactions / users
+    return DatasetStatistics(
+        name=dataset.name,
+        num_users=users,
+        num_items=items,
+        num_interactions=interactions,
+        sparsity=sparsity,
+        avg_length=avg_length,
+    )
+
+
+def format_table2_row(stats: DatasetStatistics) -> str:
+    """Render one Table II row as text."""
+    return (
+        f"{stats.name:<12} {stats.num_users:>8,} {stats.num_items:>8,} "
+        f"{stats.num_interactions:>13,} {stats.sparsity:>8.2%} "
+        f"{stats.avg_length:>8.2f}"
+    )

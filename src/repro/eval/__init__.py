@@ -1,0 +1,45 @@
+"""Evaluation protocols: full ranking, hard negatives, intention retrieval."""
+
+from .extra_metrics import catalog_coverage, intra_list_diversity, mrr_at_k
+from .popularity import (
+    PopularityBucketReport,
+    evaluate_by_popularity,
+    item_popularity,
+)
+from .significance import BootstrapResult, paired_bootstrap
+from .intention import evaluate_intention_retrieval
+from .metrics import MetricReport, hit_ratio_at_k, ndcg_at_k, rank_of_target
+from .negatives import (
+    NegativeSample,
+    mine_random_negatives,
+    mine_similar_negatives,
+    pairwise_choice_accuracy,
+)
+from .ranking import (
+    evaluate_generative_model,
+    evaluate_score_model,
+    rankings_from_scores,
+)
+
+__all__ = [
+    "MetricReport",
+    "hit_ratio_at_k",
+    "ndcg_at_k",
+    "rank_of_target",
+    "evaluate_score_model",
+    "evaluate_generative_model",
+    "rankings_from_scores",
+    "NegativeSample",
+    "mine_similar_negatives",
+    "mine_random_negatives",
+    "pairwise_choice_accuracy",
+    "evaluate_intention_retrieval",
+    "mrr_at_k",
+    "catalog_coverage",
+    "intra_list_diversity",
+    "paired_bootstrap",
+    "BootstrapResult",
+    "item_popularity",
+    "evaluate_by_popularity",
+    "PopularityBucketReport",
+]

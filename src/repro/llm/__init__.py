@@ -1,0 +1,47 @@
+"""Tiny LLaMA-style language model, generation and instruction tuning."""
+
+from .config import LMConfig
+from .embedding import encode_items, encode_texts
+from .generation import (
+    BeamHypothesis,
+    beam_search_items,
+    greedy_generate,
+    sequence_logprob,
+)
+from .instruction import (
+    IGNORE_INDEX,
+    EncodedExample,
+    InstructionExample,
+    collate_batch,
+    encode_example,
+    prompt_ids,
+)
+from .model import SwiGLU, TinyLlama, TransformerBlock
+from .pretrain import PretrainConfig, build_corpus_stream, pretrain_lm
+from .sampling import sample_generate
+from .trainer import InstructionTuner, TuningConfig
+
+__all__ = [
+    "LMConfig",
+    "TinyLlama",
+    "TransformerBlock",
+    "SwiGLU",
+    "PretrainConfig",
+    "pretrain_lm",
+    "build_corpus_stream",
+    "encode_texts",
+    "encode_items",
+    "InstructionExample",
+    "EncodedExample",
+    "encode_example",
+    "collate_batch",
+    "prompt_ids",
+    "IGNORE_INDEX",
+    "InstructionTuner",
+    "TuningConfig",
+    "BeamHypothesis",
+    "beam_search_items",
+    "greedy_generate",
+    "sequence_logprob",
+    "sample_generate",
+]

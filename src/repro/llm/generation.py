@@ -1,0 +1,140 @@
+"""Decoding: greedy generation, constrained beam search, sequence scoring.
+
+Implements the paper's inference procedure (Sec. III-D2): "the decoder
+module performs a beam search across the index tokens ... the probabilities
+of tokens that may result in illegal item indices will be assigned as 0",
+using the index trie built from the learned item indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..quantization.trie import IndexTrie
+from ..tensor import no_grad
+from .model import TinyLlama
+
+__all__ = ["BeamHypothesis", "beam_search_items", "greedy_generate",
+           "sequence_logprob"]
+
+
+def _log_softmax_np(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+@dataclass
+class BeamHypothesis:
+    """One completed beam: an index-token id sequence and its log prob."""
+
+    token_ids: tuple[int, ...]
+    score: float
+    item_id: int
+
+
+def beam_search_items(model: TinyLlama, prompt_ids: list[int], trie: IndexTrie,
+                      beam_size: int = 20) -> list[BeamHypothesis]:
+    """Constrained beam search over the item-index trie.
+
+    Returns hypotheses sorted by descending log probability.  Every
+    hypothesis is a *legal* complete item index (illegal continuations are
+    masked to ``-inf`` at every level), so each maps to exactly one item.
+    """
+    if beam_size < 1:
+        raise ValueError("beam_size must be positive")
+    num_levels = trie.num_levels
+    with no_grad():
+        caches = model.new_caches()
+        prompt = np.asarray(prompt_ids, dtype=np.int64)[None, :]
+        logits = model.forward(prompt, caches=caches).data[:, -1, :]
+
+        # Level 0 expansion from the single prompt beam.
+        log_probs = _log_softmax_np(logits)[0]
+        allowed = trie.allowed_tokens(())
+        scores = log_probs[allowed]
+        k = min(beam_size, len(allowed))
+        top = np.argsort(-scores)[:k]
+        beam_tokens = [(int(allowed[i]),) for i in top]
+        beam_scores = scores[top].astype(np.float64)
+        model.reorder_caches(caches, np.zeros(k, dtype=np.int64))
+
+        for _ in range(1, num_levels):
+            last = np.array([t[-1] for t in beam_tokens], dtype=np.int64)[:, None]
+            step_logits = model.forward(last, caches=caches).data[:, -1, :]
+            step_logp = _log_softmax_np(step_logits)
+
+            candidate_scores: list[float] = []
+            candidate_origin: list[int] = []
+            candidate_token: list[int] = []
+            for beam_index, prefix in enumerate(beam_tokens):
+                allowed = trie.allowed_tokens(prefix)
+                for token in allowed:
+                    candidate_scores.append(
+                        beam_scores[beam_index] + step_logp[beam_index, token]
+                    )
+                    candidate_origin.append(beam_index)
+                    candidate_token.append(int(token))
+            order = np.argsort(-np.asarray(candidate_scores))[:beam_size]
+            beam_tokens = [
+                beam_tokens[candidate_origin[i]] + (candidate_token[i],)
+                for i in order
+            ]
+            beam_scores = np.asarray([candidate_scores[i] for i in order])
+            origins = np.asarray([candidate_origin[i] for i in order])
+            model.reorder_caches(caches, origins)
+
+    hypotheses = []
+    for tokens, score in zip(beam_tokens, beam_scores):
+        item_id = trie.item_at(tokens)
+        hypotheses.append(BeamHypothesis(tokens, float(score), item_id))
+    hypotheses.sort(key=lambda h: -h.score)
+    return hypotheses
+
+
+def greedy_generate(model: TinyLlama, prompt_ids: list[int],
+                    max_new_tokens: int, eos_id: int,
+                    banned_ids: set[int] | None = None) -> list[int]:
+    """Greedy free-text generation (used by the Fig. 5 case study)."""
+    banned = banned_ids or set()
+    with no_grad():
+        caches = model.new_caches()
+        tokens = np.asarray(prompt_ids, dtype=np.int64)[None, :]
+        logits = model.forward(tokens, caches=caches).data[:, -1, :]
+        generated: list[int] = []
+        for _ in range(max_new_tokens):
+            row = logits[0].copy()
+            for token_id in banned:
+                row[token_id] = -np.inf
+            next_id = int(row.argmax())
+            if next_id == eos_id:
+                break
+            generated.append(next_id)
+            step = np.asarray([[next_id]], dtype=np.int64)
+            logits = model.forward(step, caches=caches).data[:, -1, :]
+    return generated
+
+
+def sequence_logprob(model: TinyLlama, prompt_ids: list[int],
+                     continuation_ids: list[int],
+                     length_normalize: bool = True) -> float:
+    """Log probability of ``continuation_ids`` given ``prompt_ids``.
+
+    Used for the Table V pairwise discrimination task: the model "chooses"
+    whichever candidate response it assigns the higher (length-normalised)
+    log likelihood.
+    """
+    if not continuation_ids:
+        raise ValueError("continuation must be non-empty")
+    full = np.asarray(prompt_ids + continuation_ids, dtype=np.int64)[None, :]
+    with no_grad():
+        logits = model.forward(full).data[0]
+    log_probs = _log_softmax_np(logits)
+    start = len(prompt_ids) - 1
+    total = 0.0
+    for offset, token in enumerate(continuation_ids):
+        total += float(log_probs[start + offset, token])
+    if length_normalize:
+        total /= len(continuation_ids)
+    return total

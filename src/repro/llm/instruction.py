@@ -1,0 +1,87 @@
+"""Instruction formatting for alignment tuning.
+
+Tuning tasks are conditional generation pairs (Eq. 7): the loss is the
+negative log-likelihood of the response tokens only.  ``encode_example``
+renders ``<bos> instruction 'answer :' response <eos>`` and labels prompt
+positions with ``IGNORE_INDEX`` so they contribute no loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..text import WordTokenizer
+
+__all__ = ["InstructionExample", "EncodedExample", "encode_example",
+           "collate_batch", "prompt_ids", "IGNORE_INDEX"]
+
+IGNORE_INDEX = -100
+_ANSWER_MARKER = "answer :"
+
+
+@dataclass(frozen=True)
+class InstructionExample:
+    """One instruction-tuning pair with its originating task tag."""
+
+    instruction: str
+    response: str
+    task: str
+
+
+@dataclass
+class EncodedExample:
+    """Token ids plus per-position labels (``IGNORE_INDEX`` on the prompt)."""
+
+    input_ids: np.ndarray
+    labels: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.input_ids)
+
+
+def encode_example(tokenizer: WordTokenizer, example: InstructionExample,
+                   max_len: int = 256) -> EncodedExample:
+    """Tokenise one example, truncating the *prompt side* if too long."""
+    vocab = tokenizer.vocab
+    marker_ids = tokenizer.encode(_ANSWER_MARKER)
+    response_ids = tokenizer.encode(example.response) + [vocab.eos_id]
+    prompt_budget = max_len - len(marker_ids) - len(response_ids) - 1
+    if prompt_budget < 1:
+        raise ValueError(
+            f"max_len {max_len} too small for response of "
+            f"{len(response_ids)} tokens"
+        )
+    instruction_ids = tokenizer.encode(example.instruction)[:prompt_budget]
+    prompt_ids = [vocab.bos_id] + instruction_ids + marker_ids
+    input_ids = np.array(prompt_ids + response_ids, dtype=np.int64)
+    labels = np.concatenate([
+        np.full(len(prompt_ids), IGNORE_INDEX, dtype=np.int64),
+        np.array(response_ids, dtype=np.int64),
+    ])
+    return EncodedExample(input_ids=input_ids, labels=labels)
+
+
+def prompt_ids(tokenizer: WordTokenizer, instruction: str,
+               max_len: int = 256) -> list[int]:
+    """Inference-side prompt encoding matching ``encode_example``."""
+    vocab = tokenizer.vocab
+    marker_ids = tokenizer.encode(_ANSWER_MARKER)
+    budget = max_len - len(marker_ids) - 1
+    instruction_ids = tokenizer.encode(instruction)[:budget]
+    return [vocab.bos_id] + instruction_ids + marker_ids
+
+
+def collate_batch(examples: list[EncodedExample],
+                  pad_id: int) -> tuple[np.ndarray, np.ndarray]:
+    """Right-pad a batch; padded label positions are ``IGNORE_INDEX``."""
+    if not examples:
+        raise ValueError("empty batch")
+    max_len = max(len(e) for e in examples)
+    input_ids = np.full((len(examples), max_len), pad_id, dtype=np.int64)
+    labels = np.full((len(examples), max_len), IGNORE_INDEX, dtype=np.int64)
+    for row, example in enumerate(examples):
+        input_ids[row, :len(example)] = example.input_ids
+        labels[row, :len(example)] = example.labels
+    return input_ids, labels

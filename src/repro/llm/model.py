@@ -1,0 +1,138 @@
+"""TinyLLaMA: a scaled-down LLaMA-architecture decoder-only transformer.
+
+Faithful to the LLaMA design the paper builds on (Touvron et al. 2023):
+pre-normalisation with RMSNorm, SwiGLU feed-forward, rotary position
+embeddings, causal self-attention with a KV cache for incremental decoding.
+Only the scale differs (the mechanism, not the capacity, is what the
+reproduction exercises — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import (
+    Dropout,
+    Embedding,
+    KVCache,
+    Linear,
+    Module,
+    ModuleList,
+    MultiHeadAttention,
+    RMSNorm,
+    RotaryEmbedding,
+    Tensor,
+    causal_mask,
+)
+from .config import LMConfig
+
+__all__ = ["TinyLlama", "TransformerBlock", "SwiGLU"]
+
+
+class SwiGLU(Module):
+    """LLaMA feed-forward: ``down( silu(gate(x)) * up(x) )``."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.gate_proj = Linear(dim, hidden, bias=False, rng=rng)
+        self.up_proj = Linear(dim, hidden, bias=False, rng=rng)
+        self.down_proj = Linear(hidden, dim, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.down_proj(self.gate_proj(x).silu() * self.up_proj(x))
+
+
+class TransformerBlock(Module):
+    """Pre-norm attention + SwiGLU block with residual connections."""
+
+    def __init__(self, config: LMConfig, rope: RotaryEmbedding,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.attn_norm = RMSNorm(config.dim, eps=config.norm_eps)
+        self.attention = MultiHeadAttention(
+            config.dim, config.num_heads, rope=rope,
+            dropout=config.dropout, rng=rng,
+        )
+        self.ffn_norm = RMSNorm(config.dim, eps=config.norm_eps)
+        self.feed_forward = SwiGLU(config.dim, config.ffn_hidden, rng)
+        self.dropout = Dropout(config.dropout, rng=rng)
+
+    def forward(self, x: Tensor, attn_mask: np.ndarray | None,
+                cache: KVCache | None = None) -> Tensor:
+        x = x + self.dropout(
+            self.attention(self.attn_norm(x), attn_mask=attn_mask, cache=cache)
+        )
+        x = x + self.dropout(self.feed_forward(self.ffn_norm(x)))
+        return x
+
+
+class TinyLlama(Module):
+    """Decoder-only language model with an extendable vocabulary.
+
+    ``extend_vocab`` mirrors ``model.resize_token_embeddings`` after adding
+    the item-index tokens to the tokenizer (paper Sec. IV-A4).
+    """
+
+    def __init__(self, config: LMConfig):
+        super().__init__()
+        config.validate()
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.rope = RotaryEmbedding(config.dim // config.num_heads,
+                                    max_positions=config.max_seq_len,
+                                    base=config.rope_base)
+        self.tok_embeddings = Embedding(config.vocab_size, config.dim, rng=rng)
+        self.blocks = ModuleList([
+            TransformerBlock(config, self.rope, rng)
+            for _ in range(config.num_layers)
+        ])
+        self.final_norm = RMSNorm(config.dim, eps=config.norm_eps)
+        self.lm_head = Linear(config.dim, config.vocab_size, bias=False, rng=rng)
+
+    # ------------------------------------------------------------------
+    @property
+    def vocab_size(self) -> int:
+        return self.tok_embeddings.num_embeddings
+
+    def extend_vocab(self, extra_tokens: int,
+                     rng: np.random.Generator | None = None) -> None:
+        """Grow the embedding table and output head by ``extra_tokens`` rows."""
+        if extra_tokens <= 0:
+            return
+        rng = rng or np.random.default_rng(self.config.seed + 1)
+        self.tok_embeddings.extend(extra_tokens, rng=rng)
+        new_cols = (rng.standard_normal((self.config.dim, extra_tokens)) * 0.02
+                    ).astype(np.float32)
+        self.lm_head.weight.data = np.concatenate(
+            [self.lm_head.weight.data, new_cols], axis=1
+        )
+        self.lm_head.weight.grad = None
+        self.lm_head.out_features += extra_tokens
+
+    # ------------------------------------------------------------------
+    def hidden_states(self, tokens: np.ndarray,
+                      caches: list[KVCache] | None = None) -> Tensor:
+        """Final-norm hidden states ``(B, T, dim)`` for ``tokens``."""
+        tokens = np.asarray(tokens)
+        seq_len = tokens.shape[1]
+        offset = caches[0].length if caches else 0
+        mask = causal_mask(seq_len, offset + seq_len, offset=offset)
+        x = self.tok_embeddings(tokens)
+        for layer_index, block in enumerate(self.blocks):
+            cache = caches[layer_index] if caches else None
+            x = block(x, attn_mask=mask, cache=cache)
+        return self.final_norm(x)
+
+    def forward(self, tokens: np.ndarray,
+                caches: list[KVCache] | None = None) -> Tensor:
+        """Next-token logits ``(B, T, vocab)``."""
+        return self.lm_head(self.hidden_states(tokens, caches=caches))
+
+    def new_caches(self) -> list[KVCache]:
+        """Fresh per-layer KV caches for incremental decoding."""
+        return [KVCache() for _ in range(self.config.num_layers)]
+
+    def reorder_caches(self, caches: list[KVCache],
+                       beam_indices: np.ndarray) -> None:
+        for cache in caches:
+            cache.reorder(beam_indices)

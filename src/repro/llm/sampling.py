@@ -1,0 +1,72 @@
+"""Stochastic decoding: temperature, top-k and nucleus (top-p) sampling.
+
+The paper decodes with beam search; sampling decoders are provided for
+the conversational extensions (preference narration, explanations), where
+diverse generations are preferable to the single mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import no_grad
+from .model import TinyLlama
+
+__all__ = ["sample_generate"]
+
+
+def _filter_top_k(logits: np.ndarray, top_k: int) -> np.ndarray:
+    if top_k <= 0 or top_k >= logits.size:
+        return logits
+    cutoff = np.partition(logits, -top_k)[-top_k]
+    filtered = np.where(logits < cutoff, -np.inf, logits)
+    return filtered
+
+
+def _filter_top_p(logits: np.ndarray, top_p: float) -> np.ndarray:
+    if top_p >= 1.0:
+        return logits
+    order = np.argsort(-logits)
+    sorted_logits = logits[order]
+    probs = np.exp(sorted_logits - sorted_logits.max())
+    probs /= probs.sum()
+    cumulative = np.cumsum(probs)
+    # Keep the smallest prefix with mass >= top_p (always >= 1 token).
+    keep = cumulative <= top_p
+    keep[0] = True
+    filtered = np.full_like(logits, -np.inf)
+    filtered[order[keep]] = logits[order[keep]]
+    return filtered
+
+
+def sample_generate(model: TinyLlama, prompt_ids: list[int],
+                    max_new_tokens: int, eos_id: int,
+                    rng: np.random.Generator,
+                    temperature: float = 1.0, top_k: int = 0,
+                    top_p: float = 1.0,
+                    banned_ids: set[int] | None = None) -> list[int]:
+    """Sample a continuation with temperature / top-k / nucleus filtering."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    banned = banned_ids or set()
+    with no_grad():
+        caches = model.new_caches()
+        tokens = np.asarray(prompt_ids, dtype=np.int64)[None, :]
+        logits = model.forward(tokens, caches=caches).data[0, -1, :]
+        generated: list[int] = []
+        for _ in range(max_new_tokens):
+            row = logits.astype(np.float64) / temperature
+            for token_id in banned:
+                row[token_id] = -np.inf
+            row = _filter_top_k(row, top_k)
+            row = _filter_top_p(row, top_p)
+            row -= row.max()
+            probs = np.exp(row)
+            probs /= probs.sum()
+            next_id = int(rng.choice(len(probs), p=probs))
+            if next_id == eos_id:
+                break
+            generated.append(next_id)
+            step = np.asarray([[next_id]], dtype=np.int64)
+            logits = model.forward(step, caches=caches).data[0, -1, :]
+    return generated

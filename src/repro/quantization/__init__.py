@@ -1,0 +1,39 @@
+"""Vector quantisation: RQ-VAE, Sinkhorn USM, index construction, trie."""
+
+from .codebook import kmeans, nearest_code, pairwise_sq_distances
+from .diagnostics import LevelUsage, codebook_usage
+from .indexing import (
+    IndexConflictError,
+    ItemIndexSet,
+    build_semantic_indices,
+    count_conflicts,
+    resolve_conflicts_extra_level,
+    resolve_conflicts_usm,
+)
+from .rqvae import Codebook, QuantizationResult, RQVAE, RQVAEConfig
+from .sinkhorn import sinkhorn_knopp, uniform_assign
+from .training import RQVAETrainer, RQVAETrainerConfig
+from .trie import IndexTrie
+
+__all__ = [
+    "RQVAE",
+    "RQVAEConfig",
+    "Codebook",
+    "QuantizationResult",
+    "RQVAETrainer",
+    "RQVAETrainerConfig",
+    "sinkhorn_knopp",
+    "uniform_assign",
+    "kmeans",
+    "nearest_code",
+    "pairwise_sq_distances",
+    "ItemIndexSet",
+    "IndexConflictError",
+    "build_semantic_indices",
+    "count_conflicts",
+    "resolve_conflicts_usm",
+    "resolve_conflicts_extra_level",
+    "IndexTrie",
+    "LevelUsage",
+    "codebook_usage",
+]

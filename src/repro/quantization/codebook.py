@@ -1,0 +1,58 @@
+"""Codebook utilities: k-means initialisation and nearest-code search."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kmeans", "nearest_code", "pairwise_sq_distances"]
+
+
+def pairwise_sq_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances ``(n, k)`` between rows of x and centers."""
+    x_sq = (x**2).sum(axis=1, keepdims=True)
+    c_sq = (centers**2).sum(axis=1)[None, :]
+    cross = x @ centers.T
+    dist = x_sq + c_sq - 2.0 * cross
+    np.maximum(dist, 0.0, out=dist)
+    return dist
+
+
+def nearest_code(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Index of the nearest center per row (Eq. 1 of the paper)."""
+    return pairwise_sq_distances(x, centers).argmin(axis=1)
+
+
+def kmeans(x: np.ndarray, k: int, rng: np.random.Generator,
+           num_iters: int = 20) -> np.ndarray:
+    """Lloyd's k-means returning ``(k, dim)`` centers.
+
+    Used to initialise each RQ-VAE codebook level from the first batch of
+    residuals (the standard trick to avoid dead codes, also used by TIGER).
+    Empty clusters are re-seeded from random data points.
+    """
+    n = x.shape[0]
+    if n == 0:
+        raise ValueError("cannot run kmeans on empty data")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    # Sample initial centers (with replacement when data is scarce).
+    replace = n < k
+    centers = x[rng.choice(n, size=k, replace=replace)].astype(np.float64).copy()
+    if replace:
+        centers += rng.standard_normal(centers.shape) * 1e-4
+    for _ in range(num_iters):
+        labels = nearest_code(x, centers)
+        new_centers = centers.copy()
+        for cluster in range(k):
+            members = x[labels == cluster]
+            if len(members) > 0:
+                new_centers[cluster] = members.mean(axis=0)
+            else:
+                new_centers[cluster] = x[rng.integers(n)] + (
+                    rng.standard_normal(x.shape[1]) * 1e-4
+                )
+        shift = np.abs(new_centers - centers).max()
+        centers = new_centers
+        if shift < 1e-7:
+            break
+    return centers.astype(np.float32)

@@ -1,0 +1,74 @@
+"""RQ-VAE training loop (paper Sec. IV-A4: AdamW, lr 1e-3, batch 1024)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.batching import iterate_minibatches
+from ..tensor import AdamW, Tensor
+from ..utils.logging import get_logger
+from .rqvae import RQVAE
+
+__all__ = ["RQVAETrainerConfig", "RQVAETrainer"]
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class RQVAETrainerConfig:
+    epochs: int = 200
+    batch_size: int = 1024
+    lr: float = 1e-3
+    weight_decay: float = 0.01
+    kmeans_init: bool = True
+    seed: int = 0
+    log_every: int = 50
+
+
+@dataclass
+class RQVAETrainer:
+    """Fits an RQ-VAE on a fixed matrix of item text embeddings."""
+
+    model: RQVAE
+    config: RQVAETrainerConfig = field(default_factory=RQVAETrainerConfig)
+
+    def fit(self, embeddings: np.ndarray) -> list[dict[str, float]]:
+        """Train and return per-epoch loss history."""
+        embeddings = np.asarray(embeddings, dtype=np.float32)
+        if embeddings.ndim != 2:
+            raise ValueError("embeddings must be (num_items, dim)")
+        if embeddings.shape[1] != self.model.config.input_dim:
+            raise ValueError(
+                f"embedding dim {embeddings.shape[1]} != RQ-VAE input_dim "
+                f"{self.model.config.input_dim}"
+            )
+        rng = np.random.default_rng(self.config.seed)
+        if self.config.kmeans_init:
+            self.model.init_codebooks_kmeans(embeddings, rng=rng)
+        optimizer = AdamW(self.model.parameters(), lr=self.config.lr,
+                          weight_decay=self.config.weight_decay)
+        history: list[dict[str, float]] = []
+        for epoch in range(self.config.epochs):
+            epoch_losses = {"recon": 0.0, "rq": 0.0, "total": 0.0}
+            batches = 0
+            for batch_idx in iterate_minibatches(len(embeddings),
+                                                 self.config.batch_size,
+                                                 rng=rng):
+                batch = Tensor(embeddings[batch_idx])
+                optimizer.zero_grad()
+                total, parts, _ = self.model(batch)
+                total.backward()
+                optimizer.step()
+                for key in epoch_losses:
+                    epoch_losses[key] += parts[key].item()
+                batches += 1
+            record = {key: value / max(batches, 1)
+                      for key, value in epoch_losses.items()}
+            history.append(record)
+            if (epoch + 1) % self.config.log_every == 0:
+                logger.info("rqvae epoch %d: total=%.4f recon=%.4f rq=%.4f",
+                            epoch + 1, record["total"], record["recon"],
+                            record["rq"])
+        return history

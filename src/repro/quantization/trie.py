@@ -1,0 +1,87 @@
+"""Prefix trie over item-index token sequences.
+
+Built from the learned item indices, the trie drives constrained beam
+search: at each decoding level only tokens that extend some *real* item's
+index are allowed (paper Sec. III-D2), so generation can never produce an
+out-of-catalog item.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["IndexTrie"]
+
+
+class IndexTrie:
+    """Maps token-id prefixes to allowed continuations and leaf item ids."""
+
+    def __init__(self, sequences: dict[int, tuple[int, ...]]):
+        """Build from ``{item_id: (token_id, token_id, ...)}``.
+
+        Every sequence must have the same length and sequences must be
+        unique (one leaf = one item) — the uniqueness the USM step provides.
+        """
+        if not sequences:
+            raise ValueError("cannot build a trie from no sequences")
+        lengths = {len(seq) for seq in sequences.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"all index sequences must share a length: {lengths}")
+        self.num_levels = lengths.pop()
+        if self.num_levels == 0:
+            raise ValueError("index sequences must be non-empty")
+
+        self._children: dict[tuple[int, ...], set[int]] = {}
+        self._leaf_to_item: dict[tuple[int, ...], int] = {}
+        for item_id, seq in sequences.items():
+            seq = tuple(int(t) for t in seq)
+            if seq in self._leaf_to_item:
+                other = self._leaf_to_item[seq]
+                raise ValueError(
+                    f"duplicate index sequence {seq} for items {other} and {item_id}"
+                )
+            self._leaf_to_item[seq] = item_id
+            for depth in range(self.num_levels):
+                prefix = seq[:depth]
+                self._children.setdefault(prefix, set()).add(seq[depth])
+
+        self._allowed_cache: dict[tuple[int, ...], np.ndarray] = {
+            prefix: np.array(sorted(children), dtype=np.int64)
+            for prefix, children in self._children.items()
+        }
+
+    # ------------------------------------------------------------------
+    def allowed_tokens(self, prefix: tuple[int, ...]) -> np.ndarray:
+        """Token ids that legally extend ``prefix`` (empty array if none)."""
+        prefix = tuple(int(t) for t in prefix)
+        return self._allowed_cache.get(prefix, np.empty(0, dtype=np.int64))
+
+    def item_at(self, sequence: tuple[int, ...]) -> int:
+        """The item id stored at a complete index sequence."""
+        sequence = tuple(int(t) for t in sequence)
+        try:
+            return self._leaf_to_item[sequence]
+        except KeyError:
+            raise KeyError(f"no item with index sequence {sequence}") from None
+
+    def contains_prefix(self, prefix: tuple[int, ...]) -> bool:
+        prefix = tuple(int(t) for t in prefix)
+        if len(prefix) == self.num_levels:
+            return prefix in self._leaf_to_item
+        return prefix in self._children or prefix == ()
+
+    def items_under_prefix(self, prefix: tuple[int, ...]) -> list[int]:
+        """All item ids whose index starts with ``prefix``."""
+        prefix = tuple(int(t) for t in prefix)
+        return [
+            item for seq, item in self._leaf_to_item.items()
+            if seq[:len(prefix)] == prefix
+        ]
+
+    @property
+    def num_items(self) -> int:
+        return len(self._leaf_to_item)
+
+    def all_sequences(self) -> dict[int, tuple[int, ...]]:
+        """item_id -> token sequence (a copy)."""
+        return {item: seq for seq, item in self._leaf_to_item.items()}

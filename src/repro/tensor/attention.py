@@ -1,0 +1,166 @@
+"""Multi-head attention with rotary embeddings, KV cache and cross-attention.
+
+This single block powers the tiny LLaMA language model (causal self-attention
+with RoPE, paper backbone), the TIGER encoder-decoder (self + cross
+attention) and the Transformer baselines (SASRec, BERT4Rec, FDSA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import functional as F
+from .nn import Dropout, Linear, Module
+from .tensor import Tensor, concat
+
+__all__ = ["RotaryEmbedding", "KVCache", "MultiHeadAttention", "causal_mask"]
+
+
+def causal_mask(query_len: int, key_len: int, offset: int = 0) -> np.ndarray:
+    """Boolean mask, True where attention is *disallowed* (future tokens).
+
+    ``offset`` shifts the query positions, which is how cached incremental
+    decoding keeps causality: query ``i`` lives at absolute position
+    ``offset + i`` and may attend to keys ``<= offset + i``.
+    """
+    q_pos = np.arange(query_len)[:, None] + offset
+    k_pos = np.arange(key_len)[None, :]
+    return k_pos > q_pos
+
+
+class RotaryEmbedding:
+    """Rotary positional embedding (RoPE), as used by LLaMA.
+
+    Precomputes cos/sin tables up to ``max_positions`` and applies the
+    rotation with differentiable primitive ops.
+    """
+
+    def __init__(self, head_dim: int, max_positions: int = 4096,
+                 base: float = 10000.0):
+        if head_dim % 2 != 0:
+            raise ValueError("RoPE head dimension must be even")
+        self.head_dim = head_dim
+        half = head_dim // 2
+        inv_freq = 1.0 / (base ** (np.arange(half) / half))
+        positions = np.arange(max_positions)
+        angles = np.outer(positions, inv_freq)  # (P, half)
+        self.cos = np.cos(angles).astype(np.float32)
+        self.sin = np.sin(angles).astype(np.float32)
+
+    def apply(self, x: Tensor, offset: int = 0) -> Tensor:
+        """Rotate ``x`` of shape ``(B, H, T, Dh)`` at positions ``offset..``."""
+        seq_len = x.shape[2]
+        half = self.head_dim // 2
+        cos = self.cos[offset:offset + seq_len][None, None, :, :]
+        sin = self.sin[offset:offset + seq_len][None, None, :, :]
+        x1 = x[..., :half]
+        x2 = x[..., half:]
+        rotated_first = x1 * cos - x2 * sin
+        rotated_second = x2 * cos + x1 * sin
+        return concat([rotated_first, rotated_second], axis=-1)
+
+
+@dataclass
+class KVCache:
+    """Per-layer key/value cache for incremental decoding (inference only)."""
+
+    keys: np.ndarray | None = None
+    values: np.ndarray | None = None
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self.keys is None:
+            self.keys, self.values = k, v
+        else:
+            self.keys = np.concatenate([self.keys, k], axis=2)
+            self.values = np.concatenate([self.values, v], axis=2)
+        return self.keys, self.values
+
+    @property
+    def length(self) -> int:
+        return 0 if self.keys is None else self.keys.shape[2]
+
+    def reorder(self, beam_indices: np.ndarray) -> None:
+        """Reindex the batch dimension after a beam-search hypothesis shuffle."""
+        if self.keys is not None:
+            self.keys = self.keys[beam_indices]
+            self.values = self.values[beam_indices]
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product multi-head attention.
+
+    Parameters
+    ----------
+    dim:
+        Model dimension (must be divisible by ``num_heads``).
+    num_heads:
+        Number of attention heads.
+    rope:
+        Optional :class:`RotaryEmbedding` applied to queries and keys (only
+        sensible for self-attention).
+    dropout:
+        Attention-probability dropout rate.
+    """
+
+    def __init__(self, dim: int, num_heads: int, rope: RotaryEmbedding | None = None,
+                 dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.rope = rope
+        self.q_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.k_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.v_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.out_proj = Linear(dim, dim, bias=False, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, _, seq, _ = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+
+    def forward(
+        self,
+        x: Tensor,
+        context: Tensor | None = None,
+        attn_mask: np.ndarray | None = None,
+        cache: KVCache | None = None,
+    ) -> Tensor:
+        """Attend from ``x`` to ``context`` (defaults to self-attention).
+
+        ``attn_mask`` is a boolean array broadcastable to
+        ``(batch, heads, q_len, k_len)``; True entries are masked out.
+        When ``cache`` is given, newly computed keys/values are appended and
+        attention spans the full cached sequence.
+        """
+        source = context if context is not None else x
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(source))
+        v = self._split_heads(self.v_proj(source))
+
+        offset = cache.length if cache is not None else 0
+        if self.rope is not None and context is None:
+            q = self.rope.apply(q, offset=offset)
+            k = self.rope.apply(k, offset=offset)
+
+        if cache is not None:
+            k_data, v_data = cache.append(k.data, v.data)
+            k, v = Tensor(k_data), Tensor(v_data)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        if attn_mask is not None:
+            scores = F.masked_fill(scores, attn_mask, -1e9)
+        probs = F.softmax(scores, axis=-1)
+        probs = self.attn_dropout(probs)
+        out = probs @ v
+        return self.out_proj(self._merge_heads(out))

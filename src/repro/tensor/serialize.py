@@ -1,0 +1,30 @@
+"""Saving and loading module weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from .nn import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | pathlib.Path) -> pathlib.Path:
+    """Write ``module.state_dict()`` to a compressed ``.npz`` file."""
+    path = pathlib.Path(path)
+    state = module.state_dict()
+    np.savez_compressed(path, **state)
+    # np.savez appends .npz when missing; normalise the returned path.
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def load_module(module: Module, path: str | pathlib.Path) -> Module:
+    """Load weights saved by :func:`save_module` into ``module``."""
+    with np.load(pathlib.Path(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,557 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the computational substrate for every neural model in the
+repository (the tiny LLaMA-style language model, the RQ-VAE and all the
+sequential-recommendation baselines).  It implements a small but complete
+autograd engine in the style of PyTorch: a :class:`Tensor` wraps a numpy
+array, records the operations applied to it on a tape, and
+:meth:`Tensor.backward` walks the tape in reverse topological order
+accumulating gradients.
+
+Design notes
+------------
+* Everything is vectorised; backward closures capture numpy arrays only.
+* Gradients flow through broadcasting: ``_unbroadcast`` sums a gradient
+  down to the shape of the original operand.
+* A process-wide ``no_grad`` switch disables taping for inference paths
+  (beam search, evaluation), which keeps generation fast.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "as_tensor"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient taping (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations are currently recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were broadcast from size one.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts.  Floating point data is stored as
+        ``float32`` unless it already has a floating dtype.
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data)
+        if array.dtype == np.float64:
+            array = array.astype(np.float32)
+        self.data: np.ndarray = array
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an op output, recording it on the tape when appropriate."""
+        needs_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=needs_grad)
+        if needs_grad:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(np.float32, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded tape."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor without grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float32)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate into .grad
+                node._accumulate(node_grad)
+                continue
+            if node._backward is None:
+                continue
+            # Intermediate: route gradient to parents through the closure.
+            node._backward_dispatch(node_grad, grads)
+        # Release the graph so intermediate buffers can be collected.
+        self._release_graph(topo)
+
+    def _backward_dispatch(self, grad: np.ndarray, grads: dict[int, np.ndarray]):
+        contributions = self._backward(grad)
+        for parent, contribution in zip(self._parents, contributions):
+            if contribution is None or not (
+                parent.requires_grad or parent._backward is not None
+            ):
+                continue
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + contribution
+            else:
+                grads[key] = contribution
+
+    @staticmethod
+    def _release_graph(topo: list["Tensor"]) -> None:
+        for node in topo:
+            node._backward = None
+            node._parents = ()
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+        a, b = self, other
+
+        def backward(g):
+            return (_unbroadcast(g, a.shape), _unbroadcast(g, b.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data - other.data
+        a, b = self, other
+
+        def backward(g):
+            return (_unbroadcast(g, a.shape), _unbroadcast(-g, b.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+        a, b = self, other
+
+        def backward(g):
+            return (
+                _unbroadcast(g * b.data, a.shape),
+                _unbroadcast(g * a.data, b.shape),
+            )
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+        a, b = self, other
+
+        def backward(g):
+            return (
+                _unbroadcast(g / b.data, a.shape),
+                _unbroadcast(-g * a.data / (b.data * b.data), b.shape),
+            )
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        a = self
+
+        def backward(g):
+            return (-g,)
+
+        return Tensor._make(-self.data, (a,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        a = self
+        out_data = self.data**exponent
+
+        def backward(g):
+            return (g * exponent * a.data ** (exponent - 1),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    # ------------------------------------------------------------------
+    # Matrix operations
+    # ------------------------------------------------------------------
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+        out_data = a.data @ b.data
+
+        def backward(g):
+            if b.data.ndim == 1:
+                # (…, n) @ (n,) -> (…)
+                ga = g[..., None] * b.data
+                gb = np.tensordot(g, a.data, axes=(range(g.ndim), range(g.ndim)))
+                return (_unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape))
+            if a.data.ndim == 1:
+                # (n,) @ (n, m) -> (m,)
+                ga = g @ np.swapaxes(b.data, -1, -2)
+                gb = np.outer(a.data, g)
+                return (_unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape))
+            ga = g @ np.swapaxes(b.data, -1, -2)
+            gb = np.swapaxes(a.data, -1, -2) @ g
+            return (_unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape))
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        a = self
+        inverse = np.argsort(axes)
+
+        def backward(g):
+            return (g.transpose(inverse),)
+
+        return Tensor._make(self.data.transpose(axes), (a,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        a = self
+
+        def backward(g):
+            return (np.swapaxes(g, axis1, axis2),)
+
+        return Tensor._make(np.swapaxes(self.data, axis1, axis2), (a,), backward)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        original = self.shape
+
+        def backward(g):
+            return (g.reshape(original),)
+
+        return Tensor._make(self.data.reshape(shape), (a,), backward)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def __getitem__(self, index) -> "Tensor":
+        a = self
+        out_data = self.data[index]
+        shape = self.shape
+
+        def backward(g):
+            grad = np.zeros(shape, dtype=np.float32)
+            np.add.at(grad, index, g)
+            return (grad,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def backward(g):
+            if axis is None:
+                return (np.broadcast_to(g, shape).astype(np.float32),)
+            g_expanded = g
+            if not keepdims:
+                g_expanded = np.expand_dims(g, axis)
+            return (np.broadcast_to(g_expanded, shape).astype(np.float32),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.shape[ax] for ax in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        # Route gradient to the first maximal element only (ties broken).
+        argmax = self.data.argmax(axis=axis)
+        shape = self.shape
+
+        def backward(g):
+            grad = np.zeros(shape, dtype=np.float32)
+            g_arr = g if keepdims else np.expand_dims(g, axis)
+            indices = list(np.indices(argmax.shape))
+            indices.insert(axis if axis >= 0 else self_ndim + axis, argmax)
+            grad[tuple(indices)] = np.squeeze(g_arr, axis=axis)
+            return (grad,)
+
+        self_ndim = self.ndim
+        return Tensor._make(out_data, (a,), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        a = self
+        out_data = np.exp(self.data)
+
+        def backward(g):
+            return (g * out_data,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def log(self) -> "Tensor":
+        a = self
+
+        def backward(g):
+            return (g / a.data,)
+
+        return Tensor._make(np.log(self.data), (a,), backward)
+
+    def sqrt(self) -> "Tensor":
+        a = self
+        out_data = np.sqrt(self.data)
+
+        def backward(g):
+            return (g * 0.5 / out_data,)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def tanh(self) -> "Tensor":
+        a = self
+        out_data = np.tanh(self.data)
+
+        def backward(g):
+            return (g * (1.0 - out_data * out_data),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        a = self
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g):
+            return (g * out_data * (1.0 - out_data),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def relu(self) -> "Tensor":
+        a = self
+        mask = self.data > 0
+
+        def backward(g):
+            return (g * mask,)
+
+        return Tensor._make(self.data * mask, (a,), backward)
+
+    def silu(self) -> "Tensor":
+        """SiLU / swish activation: ``x * sigmoid(x)`` (used by SwiGLU)."""
+        a = self
+        sig = 1.0 / (1.0 + np.exp(-self.data))
+        out_data = self.data * sig
+
+        def backward(g):
+            return (g * (sig + self.data * sig * (1.0 - sig)),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation)."""
+        a = self
+        x = self.data
+        c = np.float32(np.sqrt(2.0 / np.pi))
+        inner = c * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + t)
+
+        def backward(g):
+            dt = (1.0 - t * t) * c * (1.0 + 3 * 0.044715 * x * x)
+            return (g * (0.5 * (1.0 + t) + 0.5 * x * dt),)
+
+        return Tensor._make(out_data, (a,), backward)
+
+    def abs(self) -> "Tensor":
+        a = self
+        sign = np.sign(self.data)
+
+        def backward(g):
+            return (g * sign,)
+
+        return Tensor._make(np.abs(self.data), (a,), backward)
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always ``requires_grad=True``)."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        grads = []
+        for i in range(len(sizes)):
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(g[tuple(slicer)])
+        return tuple(grads)
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select: ``a`` where ``condition`` else ``b``.
+
+    ``condition`` is a plain boolean numpy array (not differentiable).
+    """
+    a = as_tensor(a)
+    b = as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(g):
+        return (
+            _unbroadcast(np.where(cond, g, 0.0), a.shape),
+            _unbroadcast(np.where(cond, 0.0, g), b.shape),
+        )
+
+    return Tensor._make(out_data, (a, b), backward)

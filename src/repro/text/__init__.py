@@ -1,0 +1,15 @@
+"""Tokenisation and vocabulary management."""
+
+from .tokenizer import INDEX_TOKEN_PATTERN, WordTokenizer
+from .vocab import BOS, EOS, PAD, SPECIAL_TOKENS, UNK, Vocabulary
+
+__all__ = [
+    "Vocabulary",
+    "WordTokenizer",
+    "INDEX_TOKEN_PATTERN",
+    "PAD",
+    "BOS",
+    "EOS",
+    "UNK",
+    "SPECIAL_TOKENS",
+]

@@ -1,0 +1,44 @@
+"""Shared test utilities (numerical gradient checking)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numeric_grad(fn: Callable[[np.ndarray], float], x: np.ndarray,
+                 eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of a scalar function of ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build: Callable[[Tensor], Tensor], x_data: np.ndarray,
+                   atol: float = 2e-2, rtol: float = 2e-2,
+                   eps: float = 1e-3) -> None:
+    """Assert analytic and numeric gradients of ``sum(build(x))`` agree."""
+    x_data = np.asarray(x_data, dtype=np.float32)
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        out = build(Tensor(arr.astype(np.float32)))
+        return float(out.data.sum())
+
+    x = Tensor(x_data.copy(), requires_grad=True)
+    out = build(x)
+    out.sum().backward()
+    assert x.grad is not None, "no gradient propagated to input"
+    numeric = numeric_grad(scalar_fn, x_data.copy().astype(np.float64), eps=eps)
+    np.testing.assert_allclose(x.grad, numeric, atol=atol, rtol=rtol)

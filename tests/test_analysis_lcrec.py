@@ -1,0 +1,19 @@
+"""Analysis functions that require a built LC-Rec model."""
+
+from repro.analysis import count_level_changes, generate_from_prefixes
+
+
+class TestPrefixGeneration:
+    def test_one_generation_per_level(self, tiny_lcrec, tiny_dataset):
+        study = generate_from_prefixes(tiny_lcrec, 0, max_new_tokens=8)
+        assert len(study.generations) == tiny_lcrec.index_set.num_levels
+        assert study.true_title == tiny_dataset.catalog[0].title
+        assert all(isinstance(text, str) for text in study.generations)
+
+    def test_level_change_report_over_items(self, tiny_lcrec):
+        studies = [generate_from_prefixes(tiny_lcrec, item, max_new_tokens=6)
+                   for item in range(4)]
+        report = count_level_changes(studies)
+        assert report.total_items == 4
+        assert len(report.transitions) == tiny_lcrec.index_set.num_levels - 1
+        assert all(0 <= c <= 4 for c in report.change_counts)

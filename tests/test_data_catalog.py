@@ -1,0 +1,86 @@
+"""Tests for the synthetic catalog generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import CatalogConfig, generate_catalog
+
+
+def make(num_items=50, seed=3, **kwargs):
+    config = CatalogConfig(num_items=num_items, **kwargs)
+    return generate_catalog(config, np.random.default_rng(seed))
+
+
+class TestCatalogGeneration:
+    def test_item_count(self):
+        assert len(make(37)) == 37
+
+    def test_deterministic_for_seed(self):
+        a = make(seed=9)
+        b = make(seed=9)
+        assert [i.title for i in a] == [i.title for i in b]
+
+    def test_different_seeds_differ(self):
+        a = make(seed=1)
+        b = make(seed=2)
+        assert [i.title for i in a] != [i.title for i in b]
+
+    def test_subcategory_consistent_with_category(self):
+        catalog = make(num_items=80)
+        per = catalog.config.subcategories_per_category
+        for item in catalog:
+            assert item.subcategory // per == item.category
+
+    def test_titles_contain_category_name_token(self):
+        catalog = make()
+        for item in catalog:
+            name = catalog.lexicon.category_names[item.category]
+            assert name in item.title.split()
+
+    def test_description_contains_keywords(self):
+        catalog = make()
+        for item in catalog:
+            words = set(item.description.split())
+            assert set(item.keywords) <= words
+
+    def test_same_subcategory_items_share_vocabulary(self):
+        catalog = make(num_items=120)
+        subs = catalog.subcategories()
+        target = np.bincount(subs).argmax()
+        group = [i for i in catalog if i.subcategory == target]
+        pool = set(catalog.lexicon.subcategory_words[target])
+        for item in group:
+            assert pool & set(item.description.split()), (
+                "subcategory items should use subcategory words"
+            )
+
+    def test_text_method_joins_title_and_description(self):
+        catalog = make()
+        item = catalog[0]
+        assert item.title in item.text()
+        assert item.description in item.text()
+
+    def test_subset_reindexes(self):
+        catalog = make(num_items=30)
+        subset = catalog.subset([5, 10, 20])
+        assert len(subset) == 3
+        assert subset[0].title == catalog[5].title
+        assert subset[2].item_id == 2
+
+    def test_validation_rejects_too_few_items(self):
+        config = CatalogConfig(num_items=2, num_categories=4,
+                               subcategories_per_category=3)
+        with pytest.raises(ValueError):
+            generate_catalog(config, np.random.default_rng(0))
+
+    def test_categories_array_shapes(self):
+        catalog = make(num_items=25)
+        assert catalog.categories().shape == (25,)
+        assert catalog.subcategories().shape == (25,)
+
+    def test_lexicon_words_unique(self):
+        catalog = make()
+        words = catalog.lexicon.all_words()
+        # Common words may repeat across pools only via the shared list.
+        specialised = words[len(catalog.lexicon.common_words):]
+        assert len(specialised) == len(set(specialised))

@@ -1,0 +1,62 @@
+"""Tests for hard-negative mining and pairwise accuracy (Table V)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    mine_random_negatives,
+    mine_similar_negatives,
+    pairwise_choice_accuracy,
+)
+
+
+class TestSimilarNegatives:
+    def test_picks_nearest_neighbour(self):
+        embeddings = np.array([
+            [1.0, 0.0],
+            [0.9, 0.1],   # closest to item 0
+            [0.0, 1.0],
+        ])
+        samples = mine_similar_negatives(embeddings, targets=[0])
+        assert samples[0].negative == 1
+
+    def test_negative_never_equals_target(self):
+        rng = np.random.default_rng(0)
+        embeddings = rng.standard_normal((20, 8))
+        samples = mine_similar_negatives(embeddings, targets=list(range(20)))
+        assert all(s.negative != s.target for s in samples)
+
+    def test_one_sample_per_user(self):
+        rng = np.random.default_rng(1)
+        embeddings = rng.standard_normal((10, 4))
+        samples = mine_similar_negatives(embeddings, targets=[3, 7, 7])
+        assert [s.user_id for s in samples] == [0, 1, 2]
+
+
+class TestRandomNegatives:
+    def test_never_target(self, rng):
+        samples = mine_random_negatives(5, [0, 1, 2, 3, 4], rng)
+        assert all(s.negative != s.target for s in samples)
+
+    def test_requires_two_items(self, rng):
+        with pytest.raises(ValueError):
+            mine_random_negatives(1, [0], rng)
+
+
+class TestPairwiseAccuracy:
+    def test_oracle_scores_full_accuracy(self, rng):
+        samples = mine_random_negatives(10, [1, 2, 3], rng)
+        histories = [[0]] * 3
+        accuracy = pairwise_choice_accuracy(
+            samples, histories, choose=lambda h, a, b: a)
+        assert accuracy == 1.0
+
+    def test_adversary_scores_zero(self, rng):
+        samples = mine_random_negatives(10, [1, 2, 3], rng)
+        accuracy = pairwise_choice_accuracy(
+            samples, [[0]] * 3, choose=lambda h, a, b: b)
+        assert accuracy == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_choice_accuracy([], [], choose=lambda h, a, b: a)

@@ -1,0 +1,128 @@
+"""Cross-module property tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.batching import pad_sequences
+from repro.llm import LMConfig, TinyLlama, beam_search_items, sequence_logprob
+from repro.quantization import IndexTrie
+
+
+def make_model(vocab=24):
+    return TinyLlama(LMConfig(vocab_size=vocab, dim=16, num_layers=1,
+                              num_heads=2, ffn_hidden=24, max_seq_len=64,
+                              seed=13))
+
+
+class TestBeamSearchExactness:
+    """A wide-enough beam must match exhaustive enumeration exactly."""
+
+    def exhaustive_ranking(self, model, prompt, trie):
+        scored = []
+        for item, sequence in trie.all_sequences().items():
+            logprob = sequence_logprob(model, prompt, list(sequence),
+                                       length_normalize=False)
+            scored.append((logprob, item))
+        scored.sort(key=lambda pair: -pair[0])
+        return [item for _, item in scored], [s for s, _ in scored]
+
+    def test_wide_beam_equals_exhaustive(self):
+        model = make_model()
+        trie = IndexTrie({
+            0: (10, 14), 1: (10, 15), 2: (11, 14), 3: (11, 16),
+            4: (12, 14), 5: (12, 15),
+        })
+        prompt = [1, 2, 3]
+        hypotheses = beam_search_items(model, prompt, trie, beam_size=100)
+        beam_items = [h.item_id for h in hypotheses]
+        beam_scores = [h.score for h in hypotheses]
+        exact_items, exact_scores = self.exhaustive_ranking(model, prompt,
+                                                            trie)
+        assert beam_items == exact_items
+        np.testing.assert_allclose(beam_scores, exact_scores, atol=1e-3)
+
+    def test_narrow_beam_is_prefix_monotone(self):
+        """A narrower beam returns a subset of a wider beam's top items."""
+        model = make_model()
+        trie = IndexTrie({
+            i: (10 + i // 4, 15 + i % 4) for i in range(12)
+        })
+        wide = [h.item_id for h in
+                beam_search_items(model, [1], trie, beam_size=50)]
+        narrow = [h.item_id for h in
+                  beam_search_items(model, [1], trie, beam_size=3)]
+        assert narrow[0] == wide[0]  # greedy top-1 always agrees
+
+
+class TestPaddingProperties:
+    @given(st.lists(st.lists(st.integers(0, 9), max_size=12), min_size=1,
+                    max_size=8), st.integers(1, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_left_padding_preserves_suffixes(self, sequences, max_len):
+        batch = pad_sequences(sequences, pad_value=-1, max_len=max_len)
+        for row, seq in zip(batch, sequences):
+            kept = [x for x in row if x != -1 or x in seq]
+            trimmed = seq[-max_len:]
+            # The non-pad tail of the row equals the recent suffix.
+            non_pad = row[row != -1] if -1 not in trimmed else row
+            assert list(non_pad[-len(trimmed):])[-len(trimmed):] == trimmed \
+                or len(trimmed) == 0
+
+    @given(st.lists(st.lists(st.integers(0, 9), min_size=1, max_size=6),
+                    min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_right_padding_preserves_prefixes(self, sequences):
+        batch = pad_sequences(sequences, pad_value=-1, align="right")
+        for row, seq in zip(batch, sequences):
+            assert list(row[:len(seq)]) == seq
+
+
+class TestVocabularyInvariants:
+    def test_index_token_ids_stable_across_reregistration(self):
+        from repro.text import WordTokenizer
+
+        tokenizer = WordTokenizer(WordTokenizer.build_vocab(["hello"]))
+        first = tokenizer.register_index_tokens(["<a_0>", "<a_1>"])
+        second = tokenizer.register_index_tokens(["<a_0>", "<a_1>"])
+        assert first == second
+
+    def test_encoding_deterministic(self):
+        from repro.text import WordTokenizer
+
+        tokenizer = WordTokenizer(WordTokenizer.build_vocab(
+            ["alpha beta gamma delta"]))
+        text = "alpha <a_1> beta , gamma !"
+        tokenizer.register_index_tokens(["<a_1>"])
+        assert tokenizer.encode(text) == tokenizer.encode(text)
+
+
+class TestDatasetDeterminism:
+    def test_same_seed_same_dataset(self):
+        from repro.data import build_dataset, preset_config
+
+        a = build_dataset(preset_config("tiny"))
+        b = build_dataset(preset_config("tiny"))
+        assert a.sequences == b.sequences
+        assert [i.title for i in a.catalog] == [i.title for i in b.catalog]
+
+    def test_different_seed_different_interactions(self):
+        from repro.data import build_dataset, preset_config
+
+        a = build_dataset(preset_config("tiny", seed=1))
+        b = build_dataset(preset_config("tiny", seed=2))
+        assert a.sequences != b.sequences
+
+
+class TestLogprobConsistency:
+    def test_chain_rule_decomposition(self):
+        """logp(ab) = logp(a) + logp(b | prompt+a)."""
+        model = make_model()
+        prompt = [1, 2]
+        joint = sequence_logprob(model, prompt, [5, 6],
+                                 length_normalize=False)
+        first = sequence_logprob(model, prompt, [5], length_normalize=False)
+        second = sequence_logprob(model, prompt + [5], [6],
+                                  length_normalize=False)
+        assert joint == pytest.approx(first + second, abs=1e-4)

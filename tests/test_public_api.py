@@ -1,0 +1,54 @@
+"""Public-API consistency: every ``__all__`` name exists and is importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.tensor",
+    "repro.text",
+    "repro.data",
+    "repro.llm",
+    "repro.quantization",
+    "repro.core",
+    "repro.baselines",
+    "repro.eval",
+    "repro.analysis",
+    "repro.bench",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    module = importlib.import_module(package_name)
+    exported = getattr(module, "__all__", [])
+    for name in exported:
+        assert hasattr(module, name), f"{package_name}.__all__ lists {name}"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_has_docstring(package_name):
+    module = importlib.import_module(package_name)
+    assert module.__doc__, f"{package_name} lacks a module docstring"
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
+
+
+def test_public_classes_documented():
+    """Spot-check: core public classes carry docstrings."""
+    from repro.core import LCRec, ChatSession
+    from repro.quantization import RQVAE, ItemIndexSet
+    from repro.llm import TinyLlama
+    from repro.baselines import SASRec, TIGER
+
+    for cls in (LCRec, ChatSession, RQVAE, ItemIndexSet, TinyLlama, SASRec,
+                TIGER):
+        assert cls.__doc__ and len(cls.__doc__) > 10

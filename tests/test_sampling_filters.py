@@ -1,0 +1,73 @@
+"""Unit tests for the sampling logit filters (pure functions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.llm.sampling import _filter_top_k, _filter_top_p
+
+
+class TestTopKFilter:
+    def test_keeps_exactly_k(self):
+        logits = np.array([1.0, 5.0, 3.0, 2.0])
+        filtered = _filter_top_k(logits, 2)
+        assert np.isfinite(filtered).sum() == 2
+        assert np.isfinite(filtered[[1, 2]]).all()
+
+    def test_k_zero_is_identity(self):
+        logits = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(_filter_top_k(logits, 0), logits)
+
+    def test_k_larger_than_vocab_is_identity(self):
+        logits = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(_filter_top_k(logits, 10), logits)
+
+    @given(arrays(np.float64, 12, elements=st.floats(-5, 5,
+                                                     allow_nan=False)),
+           st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_surviving_entries_are_the_largest(self, logits, k):
+        filtered = _filter_top_k(logits, k)
+        kept = np.flatnonzero(np.isfinite(filtered))
+        assert len(kept) >= min(k, len(logits))
+        if len(kept) < len(logits):
+            dropped_max = logits[~np.isfinite(filtered)].max()
+            assert logits[kept].min() >= dropped_max
+
+
+class TestTopPFilter:
+    def test_always_keeps_argmax(self):
+        logits = np.array([0.0, 10.0, 0.0])
+        filtered = _filter_top_p(logits, 0.01)
+        assert np.isfinite(filtered[1])
+        assert np.isfinite(filtered).sum() == 1
+
+    def test_p_one_is_identity(self):
+        logits = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(_filter_top_p(logits, 1.0), logits)
+
+    def test_mass_threshold(self):
+        # Uniform logits: top-p 0.5 keeps about half the tokens.
+        logits = np.zeros(10)
+        filtered = _filter_top_p(logits, 0.5)
+        kept = np.isfinite(filtered).sum()
+        assert 4 <= kept <= 6
+
+    @given(arrays(np.float64, 10, elements=st.floats(-3, 3,
+                                                     allow_nan=False)),
+           st.floats(0.05, 0.99))
+    @settings(max_examples=40, deadline=None)
+    def test_kept_mass_at_least_p_or_single_token(self, logits, p):
+        filtered = _filter_top_p(logits, p)
+        kept = np.isfinite(filtered)
+        probs = np.exp(logits - logits.max())
+        probs /= probs.sum()
+        assert kept.sum() >= 1
+        # Removing any kept token (other than the smallest) would drop the
+        # cumulative mass below p, by construction of the nucleus.
+        if kept.sum() > 1:
+            kept_mass = probs[kept].sum()
+            smallest_kept = probs[kept].min()
+            assert kept_mass - smallest_kept <= p + 1e-9

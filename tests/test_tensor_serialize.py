@@ -1,0 +1,42 @@
+"""Tests for module weight persistence."""
+
+import numpy as np
+import pytest
+
+from repro.llm import LMConfig, TinyLlama
+from repro.tensor import MLP, Tensor
+from repro.tensor.serialize import load_module, save_module
+
+
+class TestSerialization:
+    def test_roundtrip_mlp(self, tmp_path):
+        source = MLP([4, 8, 2], rng=np.random.default_rng(1))
+        target = MLP([4, 8, 2], rng=np.random.default_rng(2))
+        path = save_module(source, tmp_path / "mlp")
+        load_module(target, path)
+        x = Tensor(np.random.default_rng(3).standard_normal((5, 4))
+                   .astype(np.float32))
+        np.testing.assert_allclose(source(x).data, target(x).data)
+
+    def test_roundtrip_language_model(self, tmp_path):
+        config = LMConfig(vocab_size=40, dim=16, num_layers=1, num_heads=2,
+                          ffn_hidden=24)
+        source = TinyLlama(config)
+        target = TinyLlama(config)
+        path = save_module(source, tmp_path / "lm.npz")
+        load_module(target, path)
+        tokens = np.array([[1, 2, 3]])
+        np.testing.assert_allclose(source(tokens).data, target(tokens).data)
+
+    def test_suffix_normalised(self, tmp_path):
+        model = MLP([2, 2], rng=np.random.default_rng(0))
+        path = save_module(model, tmp_path / "weights")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_mismatched_architecture_rejected(self, tmp_path):
+        source = MLP([4, 8, 2], rng=np.random.default_rng(1))
+        target = MLP([4, 4, 2], rng=np.random.default_rng(2))
+        path = save_module(source, tmp_path / "mlp")
+        with pytest.raises(ValueError):
+            load_module(target, path)
