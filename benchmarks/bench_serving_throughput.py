@@ -1,0 +1,86 @@
+"""Serving throughput: batched engine vs the single-request decode loop.
+
+Measures requests/sec and per-request latency of the micro-batched
+:class:`RecommendationService` at batch sizes B ∈ {1, 4, 16, 64} against
+the pre-batching per-request beam-search loop on the same prompts.  The
+batched engine amortizes every decode step across the whole ``B*K``
+hypothesis axis, so requests/sec should rise with B while per-request
+rankings stay identical.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import report, scaled_dataset
+from repro.bench.runners import build_lcrec_model
+from repro.llm import beam_search_items_single, ranked_item_ids
+from repro.serving import MicroBatcherConfig, RecommendationService
+
+BATCH_SIZES = (1, 4, 16, 64)
+NUM_REQUESTS = 64
+TOP_K = 10
+
+
+def _histories(dataset, count):
+    pool = dataset.split.test_histories
+    return [list(pool[i % len(pool)]) for i in range(count)]
+
+
+def _single_loop_throughput(model, histories):
+    """The old serving path: one full beam search per request."""
+    beam = max(model.config.beam_size, TOP_K)
+    start = time.perf_counter()
+    rankings = []
+    for history in histories:
+        prompt = model.encode_instruction(model.seq_instruction(history))
+        hypotheses = beam_search_items_single(model.lm, prompt, model.trie,
+                                              beam_size=beam)
+        rankings.append(ranked_item_ids(hypotheses, TOP_K))
+    elapsed = time.perf_counter() - start
+    return rankings, elapsed
+
+
+def _batched_throughput(model, histories, batch_size):
+    service = RecommendationService(
+        model, batcher=MicroBatcherConfig(max_batch_size=batch_size))
+    start = time.perf_counter()
+    rankings = service.recommend_many(histories, top_k=TOP_K)
+    elapsed = time.perf_counter() - start
+    return rankings, elapsed
+
+
+def run_throughput_table():
+    dataset = scaled_dataset("instruments")
+    model = build_lcrec_model(dataset, tasks=("seq",))
+    histories = _histories(dataset, NUM_REQUESTS)
+
+    single_rankings, single_elapsed = _single_loop_throughput(model,
+                                                              histories)
+    rows = [f"{'config':<16} {'req/s':>8} {'ms/req':>9} {'speedup':>8}"]
+    single_rps = NUM_REQUESTS / single_elapsed
+    rows.append(f"{'single-loop':<16} {single_rps:>8.2f} "
+                f"{1000 * single_elapsed / NUM_REQUESTS:>9.1f} "
+                f"{1.0:>8.2f}")
+
+    results = {}
+    for batch_size in BATCH_SIZES:
+        rankings, elapsed = _batched_throughput(model, histories, batch_size)
+        assert rankings == single_rankings, (
+            f"batched rankings diverged at B={batch_size}")
+        rps = NUM_REQUESTS / elapsed
+        results[batch_size] = rps
+        rows.append(f"{f'batched B={batch_size}':<16} {rps:>8.2f} "
+                    f"{1000 * elapsed / NUM_REQUESTS:>9.1f} "
+                    f"{rps / single_rps:>8.2f}")
+
+    report("serving_throughput", "\n".join(rows))
+    return single_rps, results
+
+
+def test_serving_throughput(benchmark):
+    single_rps, results = benchmark.pedantic(run_throughput_table, rounds=1,
+                                             iterations=1)
+    # The headline acceptance criterion: batching B=16 beats the old loop.
+    assert results[16] > single_rps
+    assert results[64] > single_rps

@@ -13,7 +13,6 @@ import functools
 import pytest
 
 from repro.bench import bench_scale, build_lcrec_model, scaled_dataset
-from repro.bench.runners import lcrec_config_for
 from repro.core import LCRec
 
 

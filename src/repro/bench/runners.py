@@ -29,6 +29,7 @@ from ..data import SequentialDataset
 from ..eval import (
     MetricReport,
     evaluate_generative_model,
+    evaluate_generative_model_batched,
     evaluate_score_model,
 )
 from ..llm import LMConfig, PretrainConfig, TuningConfig
@@ -113,14 +114,16 @@ def run_generative_baseline(name: str, dataset: SequentialDataset,
         model = TIGER(index_set, TIGERConfig(
             dim=_DIM, epochs=scale.epochs(30), seed=seed))
         model.fit(dataset)
-        recommend = lambda history: model.recommend(history, top_k=10)
     elif name == "P5-CID":
         model = P5CID(dataset, P5CIDConfig(
             dim=_DIM, epochs=scale.epochs(30), seed=seed))
         model.fit(dataset)
-        recommend = lambda history: model.recommend(history, top_k=10)
     else:
         raise KeyError(f"unknown generative baseline {name!r}")
+
+    def recommend(history):
+        return model.recommend(history, top_k=10)
+
     histories, targets = _eval_slice(dataset, scale)
     return evaluate_generative_model(recommend, histories, targets)
 
@@ -172,13 +175,21 @@ def build_lcrec_model(dataset: SequentialDataset,
 
 def evaluate_recommender(model: LCRec, dataset: SequentialDataset,
                          scale: BenchScale | None = None,
-                         template_id: int = 0) -> MetricReport:
-    """Full-ranking leave-one-out evaluation of an LC-Rec model."""
+                         template_id: int = 0,
+                         batch_size: int = 16) -> MetricReport:
+    """Full-ranking leave-one-out evaluation of an LC-Rec model.
+
+    Users are decoded through the batched serving engine ``batch_size`` at
+    a time (rankings are identical to per-user decoding).
+    """
     scale = scale or bench_scale()
     histories, targets = _eval_slice(dataset, scale)
-    recommend = lambda history: model.recommend(history, top_k=10,
-                                                template_id=template_id)
-    return evaluate_generative_model(recommend, histories, targets)
+
+    def recommend_batch(batch):
+        return model.recommend_many(batch, top_k=10, template_id=template_id)
+
+    return evaluate_generative_model_batched(recommend_batch, histories,
+                                             targets, batch_size=batch_size)
 
 
 def evaluate_recommender_multi_template(

@@ -16,6 +16,7 @@ The :class:`LCRec` model reproduces the paper's pipeline:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -27,10 +28,11 @@ from ..llm import (
     PretrainConfig,
     TinyLlama,
     TuningConfig,
-    beam_search_items,
+    beam_search_items_batched,
     encode_texts,
     greedy_generate,
     pretrain_lm,
+    ranked_item_ids,
     sequence_logprob,
 )
 from ..llm.instruction import prompt_ids
@@ -194,6 +196,12 @@ class LCRec:
         history_text = " , ".join(self.index_set.index_text(i) for i in history)
         return T.SEQ_TEMPLATES[template_id].format(history=history_text)
 
+    def encode_instruction(self, instruction: str) -> list[int]:
+        """Inference-side prompt token ids for a rendered instruction."""
+        self._require_built()
+        return prompt_ids(self.tokenizer, instruction,
+                          max_len=self.config.tuning.max_len)
+
     def recommend(self, history: list[int], top_k: int = 10,
                   template_id: int = 0) -> list[int]:
         """Full-ranking next-item recommendation via constrained beam search."""
@@ -201,21 +209,42 @@ class LCRec:
         instruction = self.seq_instruction(history, template_id)
         return self.recommend_from_instruction(instruction, top_k=top_k)
 
+    def recommend_many(self, histories: Sequence[Sequence[int]],
+                       top_k: int = 10,
+                       template_id: int = 0) -> list[list[int]]:
+        """Batched :meth:`recommend`: all histories decoded together."""
+        self._require_built()
+        instructions = [self.seq_instruction(list(h), template_id)
+                        for h in histories]
+        return self.recommend_many_from_instructions(instructions,
+                                                     top_k=top_k)
+
     def recommend_from_instruction(self, instruction: str,
                                    top_k: int = 10) -> list[int]:
         """Generate item recommendations for an arbitrary instruction."""
+        return self.recommend_many_from_instructions([instruction],
+                                                     top_k=top_k)[0]
+
+    def recommend_many_from_instructions(self, instructions: Sequence[str],
+                                         top_k: int = 10) -> list[list[int]]:
+        """Batched constrained decoding of arbitrary instructions.
+
+        All prompts run through :func:`beam_search_items_batched` in one
+        ``B`` × ``K``-beam decode; rankings match per-request decoding.
+        """
         self._require_built()
-        ids = prompt_ids(self.tokenizer, instruction,
-                         max_len=self.config.tuning.max_len)
+        prompts = [self.encode_instruction(i) for i in instructions]
         beam = max(self.config.beam_size, top_k)
-        hypotheses = beam_search_items(self.lm, ids, self.trie, beam_size=beam)
-        ranked: list[int] = []
-        for hypothesis in hypotheses:
-            if hypothesis.item_id not in ranked:
-                ranked.append(hypothesis.item_id)
-            if len(ranked) == top_k:
-                break
-        return ranked
+        all_hypotheses = beam_search_items_batched(self.lm, prompts, self.trie,
+                                                   beam_size=beam)
+        return [ranked_item_ids(hypotheses, top_k)
+                for hypotheses in all_hypotheses]
+
+    def service(self, batcher=None):
+        """A :class:`repro.serving.RecommendationService` over this model."""
+        from ..serving import RecommendationService
+
+        return RecommendationService(self, batcher=batcher)
 
     def intention_instruction(self, intention_text: str,
                               template_id: int = 0) -> str:
@@ -227,6 +256,14 @@ class LCRec:
         """Item retrieval from a natural-language intention (Fig. 3 task)."""
         return self.recommend_from_instruction(
             self.intention_instruction(intention_text), top_k=top_k)
+
+    def recommend_for_intentions(self, intention_texts: Sequence[str],
+                                 top_k: int = 10) -> list[list[int]]:
+        """Batched intention retrieval: one decode for all queries."""
+        instructions = [self.intention_instruction(text)
+                        for text in intention_texts]
+        return self.recommend_many_from_instructions(instructions,
+                                                     top_k=top_k)
 
     def generate_text(self, instruction: str, max_new_tokens: int = 24) -> str:
         """Free-text generation (titles/descriptions, Fig. 5 case study)."""

@@ -10,14 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-import numpy as np
-
 from ..utils.rng import SeedSequenceFactory
 from .catalog import CatalogConfig, ItemCatalog, generate_catalog
 from .interactions import (
     BehaviorConfig,
     BehaviorModel,
-    Interaction,
     simulate_interactions,
 )
 from .preprocess import (

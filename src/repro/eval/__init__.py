@@ -17,6 +17,7 @@ from .negatives import (
 )
 from .ranking import (
     evaluate_generative_model,
+    evaluate_generative_model_batched,
     evaluate_score_model,
     rankings_from_scores,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "rank_of_target",
     "evaluate_score_model",
     "evaluate_generative_model",
+    "evaluate_generative_model_batched",
     "rankings_from_scores",
     "NegativeSample",
     "mine_similar_negatives",

@@ -5,7 +5,11 @@ from .embedding import encode_items, encode_texts
 from .generation import (
     BeamHypothesis,
     beam_search_items,
+    beam_search_items_batched,
+    beam_search_items_single,
     greedy_generate,
+    left_pad_prompts,
+    ranked_item_ids,
     sequence_logprob,
 )
 from .instruction import (
@@ -41,6 +45,10 @@ __all__ = [
     "TuningConfig",
     "BeamHypothesis",
     "beam_search_items",
+    "beam_search_items_batched",
+    "beam_search_items_single",
+    "left_pad_prompts",
+    "ranked_item_ids",
     "greedy_generate",
     "sequence_logprob",
     "sample_generate",

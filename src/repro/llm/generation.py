@@ -4,11 +4,28 @@ Implements the paper's inference procedure (Sec. III-D2): "the decoder
 module performs a beam search across the index tokens ... the probabilities
 of tokens that may result in illegal item indices will be assigned as 0",
 using the index trie built from the learned item indices.
+
+Two constrained-decoding paths are provided:
+
+* :func:`beam_search_items_batched` — the serving engine: decodes ``B``
+  prompts × ``K`` beams per step in a single ``model.forward`` over a
+  flattened ``B*K`` batch axis, with the trie constraint applied as one
+  vectorized mask.  Prompts of mixed length are left-padded; pad positions
+  are masked out of attention and real tokens keep their unpadded RoPE
+  positions, so padding changes nothing mathematically: rankings are
+  identical to per-request decoding and scores agree to float rounding
+  (BLAS accumulation order varies with batch shape).
+* :func:`beam_search_items_single` — the original per-hypothesis reference
+  loop, kept as the parity/throughput baseline.
+
+:func:`beam_search_items` keeps the old single-request signature but runs
+on the batched engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -16,13 +33,30 @@ from ..quantization.trie import IndexTrie
 from ..tensor import no_grad
 from .model import TinyLlama
 
-__all__ = ["BeamHypothesis", "beam_search_items", "greedy_generate",
-           "sequence_logprob"]
+__all__ = ["BeamHypothesis", "beam_search_items", "beam_search_items_batched",
+           "beam_search_items_single", "left_pad_prompts", "ranked_item_ids",
+           "greedy_generate", "sequence_logprob"]
 
 
 def _log_softmax_np(logits: np.ndarray) -> np.ndarray:
     shifted = logits - logits.max(axis=-1, keepdims=True)
     return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def _topk_desc(scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row top-``k`` of a 2-D array: descending score, ties by index.
+
+    ``argpartition`` + a sort of only ``k`` winners per row, instead of a
+    full ``O(n log n)`` argsort over every candidate.
+    """
+    if k < scores.shape[1]:
+        part = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+    else:
+        part = np.broadcast_to(np.arange(scores.shape[1]), scores.shape)
+    part_scores = np.take_along_axis(scores, part, axis=1)
+    order = np.lexsort((part, -part_scores), axis=1)
+    top = np.take_along_axis(part, order, axis=1)
+    return top, np.take_along_axis(part_scores, order, axis=1)
 
 
 @dataclass
@@ -34,6 +68,122 @@ class BeamHypothesis:
     item_id: int
 
 
+def left_pad_prompts(prompts: Sequence[Sequence[int]],
+                     pad_id: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Left-pad ``prompts`` to a rectangle.
+
+    Returns ``(tokens, pad_lengths)`` where ``tokens`` is ``(B, max_len)``
+    int64 and ``pad_lengths[b]`` counts the pads prepended to row ``b``.
+    Left-padding keeps every prompt's *last* token in the final column, so
+    next-token logits for all rows come from one slice.
+    """
+    if not prompts:
+        raise ValueError("need at least one prompt")
+    if any(len(p) == 0 for p in prompts):
+        raise ValueError("prompts must be non-empty")
+    max_len = max(len(p) for p in prompts)
+    tokens = np.full((len(prompts), max_len), pad_id, dtype=np.int64)
+    pad_lengths = np.zeros(len(prompts), dtype=np.int64)
+    for row, prompt in enumerate(prompts):
+        pad_lengths[row] = max_len - len(prompt)
+        tokens[row, pad_lengths[row]:] = np.asarray(prompt, dtype=np.int64)
+    return tokens, pad_lengths
+
+
+def ranked_item_ids(hypotheses: Sequence[BeamHypothesis],
+                    top_k: int) -> list[int]:
+    """Unique item ids of score-sorted ``hypotheses``, best first."""
+    ranked: list[int] = []
+    for hypothesis in hypotheses:
+        if hypothesis.item_id not in ranked:
+            ranked.append(hypothesis.item_id)
+        if len(ranked) == top_k:
+            break
+    return ranked
+
+
+def beam_search_items_batched(model: TinyLlama,
+                              prompts: Sequence[Sequence[int]],
+                              trie: IndexTrie, beam_size: int = 20,
+                              pad_id: int = 0) -> list[list[BeamHypothesis]]:
+    """Batched trie-constrained beam search (the serving engine).
+
+    Decodes all ``len(prompts)`` requests together: each step is a single
+    ``model.forward`` over the flattened ``B*K`` hypothesis axis with one
+    vectorized trie mask, instead of per-request forwards and
+    per-hypothesis Python loops.  Returns one score-sorted hypothesis list
+    per prompt with the same rankings as running each prompt through the
+    single-request path alone.
+
+    Requests with fewer than ``K`` legal hypotheses at some level carry
+    ``-inf``-scored filler beams to keep the batch rectangular; fillers are
+    dropped from the results.
+    """
+    if beam_size < 1:
+        raise ValueError("beam_size must be positive")
+    prompts = [list(map(int, p)) for p in prompts]
+    if not prompts:
+        return []
+    num_requests = len(prompts)
+    vocab_size = model.vocab_size
+    num_beams = min(beam_size, trie.num_items, vocab_size)
+    with no_grad():
+        # Shared-prompt beam caches: prompt K/V stays at B rows for the
+        # whole decode; only per-beam suffix tokens live on the B*K axis.
+        caches = model.new_beam_caches()
+        tokens, pad_lengths = left_pad_prompts(prompts, pad_id=pad_id)
+        logits = model.forward(tokens, caches=caches,
+                               pad_lengths=pad_lengths).data[:, -1, :]
+        log_probs = _log_softmax_np(logits)  # (B, V)
+
+        # Level 0: expand every prompt to its top-K legal first tokens.
+        root_mask = trie.allowed_token_mask([()], vocab_size)
+        scores = np.where(root_mask, log_probs, -np.inf)
+        order, top_scores = _topk_desc(scores, num_beams)
+        # Scores accumulate in float64, matching the reference path.
+        beam_scores = top_scores.astype(np.float64)  # (B, K)
+        beam_tokens = [[(int(token),) for token in row] for row in order]
+        model.fan_out_caches(caches, num_beams)
+        flat_pads = np.repeat(pad_lengths, num_beams)
+
+        for _ in range(1, trie.num_levels):
+            last = np.array(
+                [prefix[-1] for row in beam_tokens for prefix in row],
+                dtype=np.int64,
+            )[:, None]
+            step_logits = model.forward(last, caches=caches,
+                                        pad_lengths=flat_pads).data[:, -1, :]
+            step_logp = _log_softmax_np(step_logits)  # (B*K, V)
+            states = [prefix for row in beam_tokens for prefix in row]
+            mask = trie.allowed_token_mask(states, vocab_size)
+            candidates = np.where(mask, step_logp.astype(np.float64), -np.inf)
+            candidates += beam_scores.reshape(-1, 1)
+            candidates = candidates.reshape(num_requests, num_beams * vocab_size)
+            order, beam_scores = _topk_desc(candidates, num_beams)
+            origin = order // vocab_size  # per-request beam index
+            token = order % vocab_size
+            beam_tokens = [
+                [beam_tokens[b][int(origin[b, k])] + (int(token[b, k]),)
+                 for k in range(num_beams)]
+                for b in range(num_requests)
+            ]
+            flat_origin = (
+                np.arange(num_requests)[:, None] * num_beams + origin
+            ).reshape(-1)
+            model.reorder_caches(caches, flat_origin)
+
+    results: list[list[BeamHypothesis]] = []
+    for b in range(num_requests):
+        hypotheses = [
+            BeamHypothesis(prefix, float(score), trie.item_at(prefix))
+            for prefix, score in zip(beam_tokens[b], beam_scores[b])
+            if np.isfinite(score)
+        ]
+        hypotheses.sort(key=lambda h: -h.score)
+        results.append(hypotheses)
+    return results
+
+
 def beam_search_items(model: TinyLlama, prompt_ids: list[int], trie: IndexTrie,
                       beam_size: int = 20) -> list[BeamHypothesis]:
     """Constrained beam search over the item-index trie.
@@ -41,6 +191,19 @@ def beam_search_items(model: TinyLlama, prompt_ids: list[int], trie: IndexTrie,
     Returns hypotheses sorted by descending log probability.  Every
     hypothesis is a *legal* complete item index (illegal continuations are
     masked to ``-inf`` at every level), so each maps to exactly one item.
+    Runs on the batched engine with a batch of one.
+    """
+    return beam_search_items_batched(model, [prompt_ids], trie,
+                                     beam_size=beam_size)[0]
+
+
+def beam_search_items_single(model: TinyLlama, prompt_ids: list[int],
+                             trie: IndexTrie,
+                             beam_size: int = 20) -> list[BeamHypothesis]:
+    """Reference single-request beam search (pre-batching implementation).
+
+    Kept verbatim as the parity oracle for the batched engine and as the
+    baseline for ``benchmarks/bench_serving_throughput.py``.
     """
     if beam_size < 1:
         raise ValueError("beam_size must be positive")

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..tensor import (
+    BeamKVCache,
     Dropout,
     Embedding,
     KVCache,
@@ -58,9 +59,11 @@ class TransformerBlock(Module):
         self.dropout = Dropout(config.dropout, rng=rng)
 
     def forward(self, x: Tensor, attn_mask: np.ndarray | None,
-                cache: KVCache | None = None) -> Tensor:
+                cache: KVCache | None = None,
+                rope_offset: int | np.ndarray | None = None) -> Tensor:
         x = x + self.dropout(
-            self.attention(self.attn_norm(x), attn_mask=attn_mask, cache=cache)
+            self.attention(self.attn_norm(x), attn_mask=attn_mask, cache=cache,
+                           rope_offset=rope_offset)
         )
         x = x + self.dropout(self.feed_forward(self.ffn_norm(x)))
         return x
@@ -111,28 +114,57 @@ class TinyLlama(Module):
 
     # ------------------------------------------------------------------
     def hidden_states(self, tokens: np.ndarray,
-                      caches: list[KVCache] | None = None) -> Tensor:
-        """Final-norm hidden states ``(B, T, dim)`` for ``tokens``."""
+                      caches: list[KVCache] | None = None,
+                      pad_lengths: np.ndarray | None = None) -> Tensor:
+        """Final-norm hidden states ``(B, T, dim)`` for ``tokens``.
+
+        ``pad_lengths[b]`` counts *left* pads in row ``b`` of a padded batch.
+        Pad positions are masked out as attention keys and real tokens keep
+        their unpadded RoPE positions, so the hidden states of real tokens
+        match an unpadded per-row forward pass (exactly in exact arithmetic;
+        to float rounding under BLAS, whose accumulation order varies with
+        batch shape).
+        """
         tokens = np.asarray(tokens)
         seq_len = tokens.shape[1]
         offset = caches[0].length if caches else 0
         mask = causal_mask(seq_len, offset + seq_len, offset=offset)
+        rope_offset: int | np.ndarray = offset
+        if pad_lengths is not None and np.any(pad_lengths):
+            pad_lengths = np.asarray(pad_lengths, dtype=np.int64)
+            key_len = offset + seq_len
+            pad_keys = np.arange(key_len)[None, :] < pad_lengths[:, None]
+            mask = mask[None, None, :, :] | pad_keys[:, None, None, :]
+            rope_offset = offset - pad_lengths
         x = self.tok_embeddings(tokens)
         for layer_index, block in enumerate(self.blocks):
             cache = caches[layer_index] if caches else None
-            x = block(x, attn_mask=mask, cache=cache)
+            x = block(x, attn_mask=mask, cache=cache, rope_offset=rope_offset)
         return self.final_norm(x)
 
     def forward(self, tokens: np.ndarray,
-                caches: list[KVCache] | None = None) -> Tensor:
+                caches: list[KVCache] | None = None,
+                pad_lengths: np.ndarray | None = None) -> Tensor:
         """Next-token logits ``(B, T, vocab)``."""
-        return self.lm_head(self.hidden_states(tokens, caches=caches))
+        return self.lm_head(
+            self.hidden_states(tokens, caches=caches, pad_lengths=pad_lengths)
+        )
 
     def new_caches(self) -> list[KVCache]:
         """Fresh per-layer KV caches for incremental decoding."""
         return [KVCache() for _ in range(self.config.num_layers)]
 
+    def new_beam_caches(self) -> list[BeamKVCache]:
+        """Per-layer beam caches sharing the prompt across hypotheses."""
+        return [BeamKVCache() for _ in range(self.config.num_layers)]
+
+    def fan_out_caches(self, caches: list[BeamKVCache], beams: int) -> None:
+        """Declare ``beams`` hypotheses per request on every layer cache."""
+        for cache in caches:
+            cache.fan_out(beams)
+
     def reorder_caches(self, caches: list[KVCache],
                        beam_indices: np.ndarray) -> None:
+        """Reindex every layer cache; supports a flattened ``B*K`` beam axis."""
         for cache in caches:
             cache.reorder(beam_indices)

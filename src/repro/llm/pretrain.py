@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..tensor import AdamW, CosineWarmup, Tensor, clip_grad_norm
+from ..tensor import AdamW, CosineWarmup, clip_grad_norm
 from ..tensor import functional as F
 from ..text import WordTokenizer
 from ..utils.logging import get_logger

@@ -49,12 +49,47 @@ class IndexTrie:
             prefix: np.array(sorted(children), dtype=np.int64)
             for prefix, children in self._children.items()
         }
+        self._mask_cache: dict[tuple[int, ...], np.ndarray] = {}
+        self._mask_vocab_size = 0
+        self.max_token_id = max(
+            token for children in self._children.values() for token in children
+        )
 
     # ------------------------------------------------------------------
     def allowed_tokens(self, prefix: tuple[int, ...]) -> np.ndarray:
         """Token ids that legally extend ``prefix`` (empty array if none)."""
         prefix = tuple(int(t) for t in prefix)
         return self._allowed_cache.get(prefix, np.empty(0, dtype=np.int64))
+
+    def allowed_token_mask(self, prefixes: list[tuple[int, ...]],
+                           vocab_size: int) -> np.ndarray:
+        """Boolean ``(len(prefixes), vocab_size)`` constraint mask.
+
+        Row ``i`` is True exactly at the token ids that legally extend
+        ``prefixes[i]`` (all-False for unknown/illegal prefixes).  Per-prefix
+        rows are cached, so constrained decoding pays one dictionary lookup
+        and one stack per step instead of per-hypothesis Python loops.
+        """
+        if vocab_size <= self.max_token_id:
+            raise ValueError(
+                f"vocab_size {vocab_size} too small for trie tokens "
+                f"(max id {self.max_token_id})"
+            )
+        if vocab_size != self._mask_vocab_size:
+            self._mask_cache = {}
+            self._mask_vocab_size = vocab_size
+        rows = []
+        for prefix in prefixes:
+            prefix = tuple(int(t) for t in prefix)
+            row = self._mask_cache.get(prefix)
+            if row is None:
+                row = np.zeros(vocab_size, dtype=bool)
+                allowed = self._allowed_cache.get(prefix)
+                if allowed is not None:
+                    row[allowed] = True
+                self._mask_cache[prefix] = row
+            rows.append(row)
+        return np.stack(rows, axis=0)
 
     def item_at(self, sequence: tuple[int, ...]) -> int:
         """The item id stored at a complete index sequence."""

@@ -1,0 +1,22 @@
+"""Batched recommendation serving: queue, micro-batcher, service facade."""
+
+from .batcher import (
+    MicroBatcher,
+    MicroBatcherConfig,
+    padding_fraction,
+    plan_batches,
+)
+from .queue import RecommendRequest, RequestQueue
+from .service import PendingRecommendation, RecommendationService, ServingStats
+
+__all__ = [
+    "RecommendRequest",
+    "RequestQueue",
+    "MicroBatcher",
+    "MicroBatcherConfig",
+    "plan_batches",
+    "padding_fraction",
+    "PendingRecommendation",
+    "RecommendationService",
+    "ServingStats",
+]

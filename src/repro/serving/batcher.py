@@ -1,0 +1,84 @@
+"""Micro-batching: group queued requests for one-forward-per-step decoding.
+
+The engine (:func:`repro.llm.beam_search_items_batched`) left-pads every
+batch to its longest prompt, so each pad token costs a full extra model
+column for the whole beam fan-out.  The batcher therefore buckets requests
+by prompt length before slicing them into batches: within a micro-batch the
+length spread is bounded by ``bucket_width``, which bounds wasted padding
+while still filling batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .queue import RecommendRequest
+
+__all__ = ["MicroBatcherConfig", "MicroBatcher", "plan_batches", "padding_fraction"]
+
+
+@dataclass
+class MicroBatcherConfig:
+    """Batching policy knobs."""
+
+    max_batch_size: int = 16
+    bucket_width: int = 16  # max (longest - shortest) prompt in one batch
+
+    def validate(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if self.bucket_width < 0:
+            raise ValueError("bucket_width must be non-negative")
+
+
+def plan_batches(
+    requests: list[RecommendRequest], config: MicroBatcherConfig
+) -> list[list[RecommendRequest]]:
+    """Partition ``requests`` into micro-batches.
+
+    Requests are sorted by (beam width, prompt length) — stable, so FIFO
+    order breaks ties — then sliced greedily: a batch closes when it
+    reaches ``max_batch_size``, when the next request would stretch the
+    batch's length spread beyond ``bucket_width``, or when its beam width
+    differs (a request's rankings must not depend on who it is co-batched
+    with, and beam width changes rankings).  Every request lands in exactly
+    one batch — nothing is dropped.
+    """
+    config.validate()
+    if not requests:
+        return []
+    ordered = sorted(requests, key=lambda r: (r.beam_size, r.prompt_len))
+    batches: list[list[RecommendRequest]] = []
+    current: list[RecommendRequest] = []
+    for request in ordered:
+        if current and (
+            len(current) >= config.max_batch_size
+            or request.beam_size != current[0].beam_size
+            or request.prompt_len - current[0].prompt_len > config.bucket_width
+        ):
+            batches.append(current)
+            current = []
+        current.append(request)
+    batches.append(current)
+    return batches
+
+
+def padding_fraction(batch: list[RecommendRequest]) -> float:
+    """Fraction of a padded batch's prompt tokens that would be padding."""
+    if not batch:
+        return 0.0
+    longest = max(r.prompt_len for r in batch)
+    total = longest * len(batch)
+    real = sum(r.prompt_len for r in batch)
+    return (total - real) / total
+
+
+class MicroBatcher:
+    """Stateless planner bound to one configuration."""
+
+    def __init__(self, config: MicroBatcherConfig | None = None):
+        self.config = config or MicroBatcherConfig()
+        self.config.validate()
+
+    def plan(self, requests: list[RecommendRequest]) -> list[list[RecommendRequest]]:
+        return plan_batches(requests, self.config)

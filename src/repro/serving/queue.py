@@ -1,0 +1,67 @@
+"""Request queue for the batched recommendation service.
+
+Requests arrive one at a time (interactive traffic) but are decoded in
+micro-batches; the queue is the buffer between the two.  It is a plain
+thread-safe FIFO: ``push`` from any producer thread, ``drain`` from the
+serving loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["RecommendRequest", "RequestQueue"]
+
+_request_counter = itertools.count()
+
+
+@dataclass
+class RecommendRequest:
+    """One queued recommendation call, already encoded to prompt ids.
+
+    ``beam_size`` is the *effective* beam width this request must be decoded
+    with (already folding in ``top_k``); the batcher never mixes beam widths
+    in one micro-batch, because beam width changes rankings and co-batched
+    requests must get exactly the results they would get decoded alone.
+    """
+
+    prompt_ids: list[int]
+    top_k: int = 10
+    beam_size: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_counter))
+
+    @property
+    def prompt_len(self) -> int:
+        return len(self.prompt_ids)
+
+
+class RequestQueue:
+    """Thread-safe FIFO of :class:`RecommendRequest`."""
+
+    def __init__(self) -> None:
+        self._items: deque[RecommendRequest] = deque()
+        self._lock = threading.Lock()
+
+    def push(self, request: RecommendRequest) -> None:
+        with self._lock:
+            self._items.append(request)
+
+    def drain(self, limit: int | None = None) -> list[RecommendRequest]:
+        """Pop up to ``limit`` requests (all, if ``limit`` is None), FIFO."""
+        with self._lock:
+            if limit is None or limit >= len(self._items):
+                drained = list(self._items)
+                self._items.clear()
+            else:
+                drained = [self._items.popleft() for _ in range(limit)]
+        return drained
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

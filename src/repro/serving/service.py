@@ -1,0 +1,150 @@
+"""The serving facade: queue in front, batched beam search behind.
+
+:class:`RecommendationService` is the deployment-shaped entry point to a
+built LC-Rec model: callers ``submit`` recommendation requests (histories,
+free-form instructions, or intention queries) and read results from the
+returned :class:`PendingRecommendation`; ``flush`` drains the queue through
+the micro-batcher and decodes every micro-batch with one batched
+trie-constrained beam search.  Results are identical to calling
+``LCRec.recommend`` per request — batching changes the cost, not the math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from ..llm import beam_search_items_batched, ranked_item_ids
+from .batcher import MicroBatcher, MicroBatcherConfig, padding_fraction
+from .queue import RecommendRequest, RequestQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle at runtime
+    from ..core.lcrec import LCRec
+
+__all__ = ["PendingRecommendation", "ServingStats", "RecommendationService"]
+
+
+class PendingRecommendation:
+    """Future-style handle for one submitted request."""
+
+    def __init__(self, service: "RecommendationService", request_id: int):
+        self._service = service
+        self._request_id = request_id
+        self._result: list[int] | None = None
+
+    @property
+    def request_id(self) -> int:
+        return self._request_id
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None or self._request_id in self._service._results
+
+    def result(self) -> list[int]:
+        """The ranked item ids; flushes the queue if still pending."""
+        if self._result is None:
+            if self._request_id not in self._service._results:
+                self._service.flush()
+            # Evict from the service so completed results don't accumulate
+            # for the lifetime of a long-running service.
+            self._result = self._service._results.pop(self._request_id)
+        return self._result
+
+
+@dataclass
+class ServingStats:
+    """O(1)-memory counters the throughput benchmark and tests read."""
+
+    requests: int = 0
+    batches: int = 0
+    padding_fraction_sum: float = 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def mean_padding_fraction(self) -> float:
+        return self.padding_fraction_sum / self.batches if self.batches else 0.0
+
+
+class RecommendationService:
+    """Micro-batched recommendation serving over a built :class:`LCRec`.
+
+    >>> service = RecommendationService(model)
+    >>> pending = [service.submit(h) for h in histories]
+    >>> service.flush()
+    >>> rankings = [p.result() for p in pending]
+    """
+
+    def __init__(self, model: "LCRec", batcher: MicroBatcherConfig | None = None):
+        model._require_built()
+        self.model = model
+        self.batcher = MicroBatcher(batcher)
+        self.queue = RequestQueue()
+        self.stats = ServingStats()
+        self._results: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self, history: Sequence[int], top_k: int = 10, template_id: int = 0
+    ) -> PendingRecommendation:
+        """Queue a next-item recommendation for an interaction history."""
+        instruction = self.model.seq_instruction(list(history), template_id)
+        return self.submit_instruction(instruction, top_k=top_k)
+
+    def submit_intention(self, intention_text: str, top_k: int = 10) -> PendingRecommendation:
+        """Queue an intention-query retrieval (paper Fig. 3 task)."""
+        instruction = self.model.intention_instruction(intention_text)
+        return self.submit_instruction(instruction, top_k=top_k)
+
+    def submit_instruction(self, instruction: str, top_k: int = 10) -> PendingRecommendation:
+        """Queue an arbitrary already-rendered instruction."""
+        request = RecommendRequest(
+            prompt_ids=self.model.encode_instruction(instruction),
+            top_k=top_k,
+            # The effective beam width is fixed per request at submit time
+            # (never widened by co-batched requests) so results match the
+            # per-request path regardless of batch composition.
+            beam_size=max(self.model.config.beam_size, top_k),
+        )
+        self.queue.push(request)
+        return PendingRecommendation(self, request.request_id)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Decode everything queued; returns the number of requests served."""
+        requests = self.queue.drain()
+        for batch in self.batcher.plan(requests):
+            self._decode_batch(batch)
+        return len(requests)
+
+    def _decode_batch(self, batch: list[RecommendRequest]) -> None:
+        all_hypotheses = beam_search_items_batched(
+            self.model.lm,
+            [request.prompt_ids for request in batch],
+            self.model.trie,
+            beam_size=batch[0].beam_size,  # the batcher keeps beams uniform
+        )
+        for request, hypotheses in zip(batch, all_hypotheses):
+            self._results[request.request_id] = ranked_item_ids(hypotheses, request.top_k)
+        self.stats.requests += len(batch)
+        self.stats.batches += 1
+        self.stats.padding_fraction_sum += padding_fraction(batch)
+
+    # ------------------------------------------------------------------
+    # Synchronous convenience
+    # ------------------------------------------------------------------
+    def recommend_many(
+        self, histories: Sequence[Sequence[int]], top_k: int = 10, template_id: int = 0
+    ) -> list[list[int]]:
+        """Submit + flush a whole batch of histories, preserving order."""
+        pending = [
+            self.submit(history, top_k=top_k, template_id=template_id) for history in histories
+        ]
+        self.flush()
+        return [p.result() for p in pending]

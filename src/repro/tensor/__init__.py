@@ -1,7 +1,8 @@
 """Numpy autodiff engine: tensors, layers, optimisers and schedules."""
 
 from . import functional
-from .attention import KVCache, MultiHeadAttention, RotaryEmbedding, causal_mask
+from .attention import (BeamKVCache, KVCache, MultiHeadAttention,
+                        RotaryEmbedding, causal_mask)
 from .init import kaiming_uniform, normal_, uniform_, xavier_uniform
 from .nn import (
     MLP,
@@ -51,6 +52,7 @@ __all__ = [
     "MultiHeadAttention",
     "RotaryEmbedding",
     "KVCache",
+    "BeamKVCache",
     "causal_mask",
     "GRU",
     "GRUCell",

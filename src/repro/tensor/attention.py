@@ -7,7 +7,7 @@ attention) and the Transformer baselines (SASRec, BERT4Rec, FDSA).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -15,7 +15,8 @@ from . import functional as F
 from .nn import Dropout, Linear, Module
 from .tensor import Tensor, concat
 
-__all__ = ["RotaryEmbedding", "KVCache", "MultiHeadAttention", "causal_mask"]
+__all__ = ["RotaryEmbedding", "KVCache", "BeamKVCache", "MultiHeadAttention",
+           "causal_mask"]
 
 
 def causal_mask(query_len: int, key_len: int, offset: int = 0) -> np.ndarray:
@@ -49,10 +50,27 @@ class RotaryEmbedding:
         self.cos = np.cos(angles).astype(np.float32)
         self.sin = np.sin(angles).astype(np.float32)
 
-    def apply(self, x: Tensor, offset: int = 0) -> Tensor:
-        """Rotate ``x`` of shape ``(B, H, T, Dh)`` at positions ``offset..``."""
+    def apply(self, x: Tensor, offset: int | np.ndarray = 0) -> Tensor:
+        """Rotate ``x`` of shape ``(B, H, T, Dh)`` at positions ``offset..``.
+
+        ``offset`` may be a per-row array of shape ``(B,)``, which batched
+        decoding uses to keep left-padded rows at their *unpadded* positions
+        (a padded row's offset is negative by its pad count; pad positions
+        clamp to 0 — they are always masked out of attention anyway).
+        """
         seq_len = x.shape[2]
         half = self.head_dim // 2
+        if isinstance(offset, np.ndarray):
+            positions = np.maximum(
+                offset.astype(np.int64)[:, None] + np.arange(seq_len), 0
+            )  # (B, T)
+            cos = self.cos[positions][:, None, :, :]
+            sin = self.sin[positions][:, None, :, :]
+            x1 = x[..., :half]
+            x2 = x[..., half:]
+            rotated_first = x1 * cos - x2 * sin
+            rotated_second = x2 * cos + x1 * sin
+            return concat([rotated_first, rotated_second], axis=-1)
         cos = self.cos[offset:offset + seq_len][None, None, :, :]
         sin = self.sin[offset:offset + seq_len][None, None, :, :]
         x1 = x[..., :half]
@@ -64,28 +82,132 @@ class RotaryEmbedding:
 
 @dataclass
 class KVCache:
-    """Per-layer key/value cache for incremental decoding (inference only)."""
+    """Per-layer key/value cache for incremental decoding (inference only).
+
+    ``keys``/``values`` are views of the used prefix of preallocated buffers
+    that grow geometrically, so appending one decode step writes a single
+    column instead of re-copying the whole cache (``np.concatenate`` made
+    every step O(sequence length); batched serving made that the dominant
+    cost).
+    """
 
     keys: np.ndarray | None = None
     values: np.ndarray | None = None
 
+    def __post_init__(self) -> None:
+        self._buf_keys = self.keys
+        self._buf_values = self.values
+
     def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        if self.keys is None:
-            self.keys, self.values = k, v
-        else:
-            self.keys = np.concatenate([self.keys, k], axis=2)
-            self.values = np.concatenate([self.values, v], axis=2)
+        used = self.length
+        new_len = used + k.shape[2]
+        if (self._buf_keys is None or new_len > self._buf_keys.shape[2]
+                or self._buf_keys.shape[0] != k.shape[0]):
+            # Modest headroom: beam reordering copies whole buffers, so a
+            # 2x growth factor would double that traffic for the short
+            # (num_levels-long) decodes this cache serves.
+            capacity = new_len + max(16, new_len // 4)
+            shape = (k.shape[0], k.shape[1], capacity, k.shape[3])
+            new_keys = np.empty(shape, dtype=k.dtype)
+            new_values = np.empty(shape, dtype=v.dtype)
+            if used:
+                new_keys[:, :, :used] = self.keys
+                new_values[:, :, :used] = self.values
+            self._buf_keys, self._buf_values = new_keys, new_values
+        self._buf_keys[:, :, used:new_len] = k
+        self._buf_values[:, :, used:new_len] = v
+        self.keys = self._buf_keys[:, :, :new_len]
+        self.values = self._buf_values[:, :, :new_len]
         return self.keys, self.values
 
     @property
     def length(self) -> int:
         return 0 if self.keys is None else self.keys.shape[2]
 
+    @property
+    def batch_size(self) -> int:
+        return 0 if self.keys is None else self.keys.shape[0]
+
     def reorder(self, beam_indices: np.ndarray) -> None:
-        """Reindex the batch dimension after a beam-search hypothesis shuffle."""
-        if self.keys is not None:
-            self.keys = self.keys[beam_indices]
-            self.values = self.values[beam_indices]
+        """Reindex the batch dimension after a beam-search hypothesis shuffle.
+
+        ``beam_indices`` may have any length, so a flattened ``B*K`` beam
+        axis is supported directly: batched beam search reorders with global
+        indices ``b * K + origin`` and may also grow or shrink the batch.
+        Spare buffer capacity is preserved so the following ``append`` stays
+        a single-column write.
+        """
+        if self.keys is None:
+            return
+        beam_indices = np.asarray(beam_indices)
+        if (len(beam_indices) == self.batch_size
+                and np.array_equal(beam_indices,
+                                   np.arange(self.batch_size))):
+            return  # identity shuffle: nothing moves
+        used = self.length
+        # Gather the *contiguous* buffers (a strided view would push numpy's
+        # advanced indexing onto its slow generic path), keeping capacity.
+        self._buf_keys = self._buf_keys[beam_indices]
+        self._buf_values = self._buf_values[beam_indices]
+        self.keys = self._buf_keys[:, :, :used]
+        self.values = self._buf_values[:, :, :used]
+
+
+class BeamKVCache:
+    """KV cache that shares the prompt prefix across ``K`` beams per request.
+
+    Beam search over ``B`` requests × ``K`` beams reads the same prompt
+    keys/values for every beam of a request; a flat ``(B*K, H, T, Dh)``
+    cache stores (and re-shuffles, every level) ``K`` copies of them, which
+    makes memory traffic — not matmuls — the decode bottleneck.  This cache
+    keeps the prompt portion at ``B`` rows and only the post-``fan_out``
+    suffix at ``B*K`` rows; attention combines the two blockwise (see
+    :meth:`MultiHeadAttention.forward`).
+
+    Beam reordering is legal because hypotheses never migrate between
+    requests: flat index ``b*K + k`` always maps to prompt row ``b``, so
+    ``reorder`` touches only the tiny suffix.
+    """
+
+    def __init__(self) -> None:
+        self.prompt = KVCache()
+        self.suffix = KVCache()
+        self.beams = 1
+
+    @property
+    def fanned(self) -> bool:
+        return self.beams > 1
+
+    @property
+    def length(self) -> int:
+        return self.prompt.length + self.suffix.length
+
+    @property
+    def batch_size(self) -> int:
+        return self.prompt.batch_size * self.beams
+
+    def fan_out(self, beams: int) -> None:
+        """Declare ``beams`` hypotheses per request.  No data is copied."""
+        if beams < 1:
+            raise ValueError("beams must be positive")
+        if self.fanned:
+            raise RuntimeError("cache is already fanned out")
+        if self.suffix.keys is not None:
+            raise RuntimeError("fan_out must precede suffix appends")
+        self.beams = beams
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Append to the prompt before :meth:`fan_out`, else to the suffix."""
+        if not self.fanned:
+            return self.prompt.append(k, v)
+        return self.suffix.append(k, v)
+
+    def reorder(self, beam_indices: np.ndarray) -> None:
+        """Shuffle hypotheses (flat ``B*K`` indices, within-request only)."""
+        if not self.fanned:
+            self.prompt.reorder(beam_indices)
+        else:
+            self.suffix.reorder(beam_indices)
 
 
 class MultiHeadAttention(Module):
@@ -134,26 +256,33 @@ class MultiHeadAttention(Module):
         context: Tensor | None = None,
         attn_mask: np.ndarray | None = None,
         cache: KVCache | None = None,
+        rope_offset: int | np.ndarray | None = None,
     ) -> Tensor:
         """Attend from ``x`` to ``context`` (defaults to self-attention).
 
         ``attn_mask`` is a boolean array broadcastable to
         ``(batch, heads, q_len, k_len)``; True entries are masked out.
         When ``cache`` is given, newly computed keys/values are appended and
-        attention spans the full cached sequence.
+        attention spans the full cached sequence.  ``rope_offset`` overrides
+        the RoPE position offset (default: the cache length); batched
+        left-padded decoding passes a per-row ``(B,)`` array.
         """
         source = context if context is not None else x
         q = self._split_heads(self.q_proj(x))
         k = self._split_heads(self.k_proj(source))
         v = self._split_heads(self.v_proj(source))
 
-        offset = cache.length if cache is not None else 0
+        if rope_offset is None:
+            rope_offset = cache.length if cache is not None else 0
         if self.rope is not None and context is None:
-            q = self.rope.apply(q, offset=offset)
-            k = self.rope.apply(k, offset=offset)
+            q = self.rope.apply(q, offset=rope_offset)
+            k = self.rope.apply(k, offset=rope_offset)
 
         if cache is not None:
             k_data, v_data = cache.append(k.data, v.data)
+            if isinstance(cache, BeamKVCache) and cache.fanned:
+                out = self._beam_cached_attention(q.data, cache, attn_mask)
+                return self.out_proj(Tensor(out))
             k, v = Tensor(k_data), Tensor(v_data)
 
         scale = 1.0 / np.sqrt(self.head_dim)
@@ -164,3 +293,52 @@ class MultiHeadAttention(Module):
         probs = self.attn_dropout(probs)
         out = probs @ v
         return self.out_proj(self._merge_heads(out))
+
+    def _beam_cached_attention(self, q: np.ndarray, cache: BeamKVCache,
+                               attn_mask: np.ndarray | None) -> np.ndarray:
+        """Single-token decode attention over a shared-prompt beam cache.
+
+        ``q`` is ``(B*K, H, 1, Dh)`` (the new token per hypothesis, RoPE
+        already applied; its keys/values are already in ``cache.suffix``).
+        Prompt keys/values stay at ``B`` rows and are attended through one
+        broadcast matmul per request instead of ``K`` duplicated copies;
+        only the per-beam suffix lives on the flat ``B*K`` axis.  Returns
+        merged-head outputs ``(B*K, 1, dim)``.
+        """
+        kp, vp = cache.prompt.keys, cache.prompt.values    # (B, H, Tp, Dh)
+        ks, vs = cache.suffix.keys, cache.suffix.values    # (B*K, H, S, Dh)
+        beams = cache.beams
+        num_requests, heads, prompt_len, head_dim = kp.shape
+        flat, suffix_len = q.shape[0], ks.shape[2]
+        scale = 1.0 / np.sqrt(head_dim)
+
+        q_bhkd = q.reshape(num_requests, beams, heads,
+                           head_dim).transpose(0, 2, 1, 3)
+        scores_p = (q_bhkd @ kp.transpose(0, 1, 3, 2)) * scale  # (B,H,K,Tp)
+        scores_s = (q @ ks.transpose(0, 1, 3, 2)) * scale  # (B*K,H,1,S)
+        scores_s = scores_s.reshape(num_requests, beams, heads,
+                                    suffix_len).transpose(0, 2, 1, 3)
+        scores = np.concatenate([scores_p, scores_s], axis=3)
+
+        if attn_mask is not None and np.any(attn_mask):
+            mask = np.asarray(attn_mask)
+            key_len = prompt_len + suffix_len
+            if mask.ndim == 2:
+                mask = mask[None, None]
+            if mask.shape[0] == flat:
+                # (B*K, 1, 1, key_len) -> (B, 1, K, key_len)
+                mask = mask.reshape(num_requests, beams, 1,
+                                    key_len).transpose(0, 2, 1, 3)
+            scores = np.where(mask, np.float32(-1e9), scores)
+
+        scores -= scores.max(axis=-1, keepdims=True)
+        np.exp(scores, out=scores)
+        scores /= scores.sum(axis=-1, keepdims=True)
+        probs = self.attn_dropout(Tensor(scores)).data
+
+        out_p = probs[..., :prompt_len] @ vp  # (B, H, K, Dh)
+        out_p = out_p.transpose(0, 2, 1, 3).reshape(flat, heads, 1, head_dim)
+        probs_s = probs[..., prompt_len:].transpose(0, 2, 1, 3)
+        out_s = probs_s.reshape(flat, heads, 1, suffix_len) @ vs
+        out = out_p + out_s
+        return out.transpose(0, 2, 1, 3).reshape(flat, 1, self.dim)

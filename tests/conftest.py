@@ -8,36 +8,15 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from helpers import small_lcrec_config
 
-from repro.core import LCRec, LCRecConfig
-from repro.core.indexer import SemanticIndexerConfig
-from repro.core.tasks import AlignmentTaskConfig
+from repro.core import LCRec
 from repro.data import build_dataset, preset_config
-from repro.llm import PretrainConfig, TuningConfig
-from repro.quantization import RQVAEConfig, RQVAETrainerConfig
 
 
 @pytest.fixture(scope="session")
 def tiny_dataset():
     return build_dataset(preset_config("tiny"))
-
-
-def small_lcrec_config(**overrides) -> LCRecConfig:
-    """A fast LC-Rec configuration for tests."""
-    config = LCRecConfig(
-        pretrain=PretrainConfig(steps=80, batch_size=8, seq_len=48),
-        indexer=SemanticIndexerConfig(
-            rqvae=RQVAEConfig(codebook_size=8, latent_dim=16,
-                              hidden_dims=(32,)),
-            trainer=RQVAETrainerConfig(epochs=60, batch_size=64),
-        ),
-        tasks=AlignmentTaskConfig(seq_per_user=1, max_history=6),
-        tuning=TuningConfig(epochs=1, batch_size=8, max_len=160),
-        beam_size=10,
-    )
-    for key, value in overrides.items():
-        setattr(config, key, value)
-    return config
 
 
 @pytest.fixture(scope="session")

@@ -1,4 +1,8 @@
-"""Shared test utilities (numerical gradient checking)."""
+"""Shared test utilities (configs and numerical gradient checking).
+
+Imported absolutely (``from helpers import ...``): the tests directory is
+not a package, so relative imports do not resolve here.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +10,30 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core import LCRecConfig
+from repro.core.indexer import SemanticIndexerConfig
+from repro.core.tasks import AlignmentTaskConfig
+from repro.llm import PretrainConfig, TuningConfig
+from repro.quantization import RQVAEConfig, RQVAETrainerConfig
 from repro.tensor import Tensor
+
+
+def small_lcrec_config(**overrides) -> LCRecConfig:
+    """A fast LC-Rec configuration for tests."""
+    config = LCRecConfig(
+        pretrain=PretrainConfig(steps=80, batch_size=8, seq_len=48),
+        indexer=SemanticIndexerConfig(
+            rqvae=RQVAEConfig(codebook_size=8, latent_dim=16,
+                              hidden_dims=(32,)),
+            trainer=RQVAETrainerConfig(epochs=60, batch_size=64),
+        ),
+        tasks=AlignmentTaskConfig(seq_per_user=1, max_history=6),
+        tuning=TuningConfig(epochs=1, batch_size=8, max_len=160),
+        beam_size=10,
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
 
 
 def numeric_grad(fn: Callable[[np.ndarray], float], x: np.ndarray,

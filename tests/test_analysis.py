@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import (
-    LevelChangeReport,
     PrefixGeneration,
     ascii_scatter,
     count_level_changes,

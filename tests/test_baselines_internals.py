@@ -21,7 +21,7 @@ class TestP5CIDEncoding:
         assert SEP_ID in input_ids
         sep_position = input_ids.index(SEP_ID)
         # Everything before (and including) the separator is masked out.
-        assert all(l == IGNORE for l in labels[:sep_position + 1])
+        assert all(label == IGNORE for label in labels[:sep_position + 1])
         target_tokens = list(model.space.item_tokens(2))
         assert input_ids[sep_position + 1:] == target_tokens
         assert labels[sep_position + 1:] == target_tokens

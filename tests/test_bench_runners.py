@@ -1,6 +1,5 @@
 """Plumbing tests for the bench runners (tiny scale, fast settings)."""
 
-import numpy as np
 import pytest
 
 from repro.bench.config import BenchScale

@@ -6,7 +6,7 @@ import pytest
 from repro.core import LCRec, LCRecConfig
 from repro.text import INDEX_TOKEN_PATTERN
 
-from .conftest import small_lcrec_config
+from helpers import small_lcrec_config
 
 
 class TestBuildArtifacts:

@@ -114,7 +114,9 @@ class TestEvaluators:
         assert model.calls == 3
 
     def test_evaluate_generative_model(self):
-        recommend = lambda history: [history[0], 99]
+        def recommend(history):
+            return [history[0], 99]
+
         report = evaluate_generative_model(recommend, [[4], [7]], [4, 99],
                                            ks=(1,))
         assert report["HR@1"] == 0.5

@@ -1,0 +1,168 @@
+"""Batched constrained decoding: parity with the single-request path."""
+
+import numpy as np
+import pytest
+
+from repro.llm import (
+    LMConfig,
+    TinyLlama,
+    beam_search_items,
+    beam_search_items_batched,
+    beam_search_items_single,
+    left_pad_prompts,
+    ranked_item_ids,
+)
+from repro.quantization import IndexTrie
+
+
+def make_model(vocab=30):
+    model = TinyLlama(LMConfig(vocab_size=vocab, dim=16, num_layers=1,
+                               num_heads=2, ffn_hidden=24, max_seq_len=64,
+                               seed=7))
+    model.eval()
+    return model
+
+
+def make_trie():
+    return IndexTrie({
+        0: (10, 12, 14),
+        1: (10, 12, 15),
+        2: (10, 13, 14),
+        3: (11, 12, 14),
+        4: (11, 13, 15),
+    })
+
+
+MIXED_PROMPTS = [[1, 2, 3], [4, 5], [1], [2, 2, 6, 7], [3, 3, 3]]
+
+
+class TestLeftPadPrompts:
+    def test_rectangle_and_pad_counts(self):
+        tokens, pads = left_pad_prompts(MIXED_PROMPTS, pad_id=0)
+        assert tokens.shape == (5, 4)
+        assert pads.tolist() == [1, 2, 3, 0, 1]
+        # Real tokens occupy the tail of each row.
+        for row, prompt in zip(tokens, MIXED_PROMPTS):
+            assert row[len(row) - len(prompt):].tolist() == prompt
+
+    def test_last_column_is_last_token(self):
+        tokens, _ = left_pad_prompts(MIXED_PROMPTS)
+        assert tokens[:, -1].tolist() == [p[-1] for p in MIXED_PROMPTS]
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            left_pad_prompts([])
+        with pytest.raises(ValueError):
+            left_pad_prompts([[1], []])
+
+
+class TestBatchedParity:
+    """Rankings must match the reference single-request loop exactly."""
+
+    @pytest.mark.parametrize("beam_size", [1, 3, 5, 50])
+    def test_mixed_length_batch_matches_reference(self, beam_size):
+        model, trie = make_model(), make_trie()
+        batched = beam_search_items_batched(model, MIXED_PROMPTS, trie,
+                                            beam_size=beam_size)
+        assert len(batched) == len(MIXED_PROMPTS)
+        for prompt, hypotheses in zip(MIXED_PROMPTS, batched):
+            reference = beam_search_items_single(model, prompt, trie,
+                                                 beam_size=beam_size)
+            assert ([h.item_id for h in hypotheses]
+                    == [h.item_id for h in reference])
+            assert ([h.token_ids for h in hypotheses]
+                    == [h.token_ids for h in reference])
+            np.testing.assert_allclose([h.score for h in hypotheses],
+                                       [h.score for h in reference],
+                                       rtol=1e-5, atol=1e-6)
+
+    def test_wrapper_matches_reference(self):
+        model, trie = make_model(), make_trie()
+        wrapped = beam_search_items(model, [1, 2, 3], trie, beam_size=10)
+        reference = beam_search_items_single(model, [1, 2, 3], trie,
+                                             beam_size=10)
+        assert [h.item_id for h in wrapped] == [h.item_id for h in reference]
+        np.testing.assert_allclose([h.score for h in wrapped],
+                                   [h.score for h in reference], rtol=1e-6)
+
+    def test_batch_of_one_equals_batch_of_many(self):
+        model, trie = make_model(), make_trie()
+        together = beam_search_items_batched(model, MIXED_PROMPTS, trie,
+                                             beam_size=5)
+        for prompt, hypotheses in zip(MIXED_PROMPTS, together):
+            alone = beam_search_items_batched(model, [prompt], trie,
+                                              beam_size=5)[0]
+            assert ([h.item_id for h in hypotheses]
+                    == [h.item_id for h in alone])
+
+    def test_wide_beam_covers_all_items_per_request(self):
+        model, trie = make_model(), make_trie()
+        batched = beam_search_items_batched(model, [[1], [2, 3]], trie,
+                                            beam_size=50)
+        for hypotheses in batched:
+            assert {h.item_id for h in hypotheses} == {0, 1, 2, 3, 4}
+
+    def test_scores_sorted_descending_per_request(self):
+        model, trie = make_model(), make_trie()
+        for hypotheses in beam_search_items_batched(model, MIXED_PROMPTS,
+                                                    trie, beam_size=10):
+            scores = [h.score for h in hypotheses]
+            assert scores == sorted(scores, reverse=True)
+            assert all(np.isfinite(s) for s in scores)
+
+    def test_empty_batch(self):
+        assert beam_search_items_batched(make_model(), [], make_trie()) == []
+
+    def test_beam_size_validated(self):
+        with pytest.raises(ValueError):
+            beam_search_items_batched(make_model(), [[1]], make_trie(),
+                                      beam_size=0)
+
+
+class TestRankedItemIds:
+    def test_dedup_and_truncation(self):
+        model, trie = make_model(), make_trie()
+        hypotheses = beam_search_items(model, [1], trie, beam_size=50)
+        ranked = ranked_item_ids(hypotheses, top_k=3)
+        assert len(ranked) == 3
+        assert len(set(ranked)) == 3
+        assert ranked == [h.item_id for h in hypotheses[:3]]
+
+
+class TestTrieMask:
+    def test_mask_matches_allowed_tokens(self):
+        trie = make_trie()
+        prefixes = [(), (10,), (11,), (10, 12), (11, 13)]
+        mask = trie.allowed_token_mask(prefixes, vocab_size=30)
+        assert mask.shape == (5, 30)
+        for row, prefix in zip(mask, prefixes):
+            assert set(np.flatnonzero(row)) == set(trie.allowed_tokens(prefix))
+
+    def test_unknown_prefix_has_empty_row(self):
+        mask = make_trie().allowed_token_mask([(9,), (10, 11)], vocab_size=30)
+        assert not mask.any()
+
+    def test_vocab_size_validated(self):
+        with pytest.raises(ValueError):
+            make_trie().allowed_token_mask([()], vocab_size=15)
+
+    def test_vocab_growth_rebuilds_rows(self):
+        trie = make_trie()
+        small = trie.allowed_token_mask([()], vocab_size=20)
+        grown = trie.allowed_token_mask([()], vocab_size=40)
+        assert small.shape == (1, 20)
+        assert grown.shape == (1, 40)
+        np.testing.assert_array_equal(np.flatnonzero(small),
+                                      np.flatnonzero(grown))
+
+
+class TestPaddedForwardEquivalence:
+    def test_padded_hidden_states_match_unpadded(self):
+        """Left-padding + masking must reproduce per-row forward passes."""
+        model = make_model()
+        tokens, pads = left_pad_prompts(MIXED_PROMPTS, pad_id=0)
+        batched = model.forward(tokens, pad_lengths=pads).data
+        for row, prompt in enumerate(MIXED_PROMPTS):
+            solo = model.forward(np.asarray([prompt], dtype=np.int64)).data[0]
+            real = batched[row, pads[row]:, :]
+            np.testing.assert_allclose(real, solo, rtol=2e-5, atol=2e-6)

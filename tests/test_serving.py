@@ -1,0 +1,256 @@
+"""Serving subsystem: queue, micro-batcher, and the service facade."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    MicroBatcherConfig,
+    RecommendationService,
+    RecommendRequest,
+    RequestQueue,
+    padding_fraction,
+    plan_batches,
+)
+
+
+def request(length, top_k=10, beam_size=10):
+    return RecommendRequest(prompt_ids=list(range(1, length + 1)),
+                            top_k=top_k, beam_size=beam_size)
+
+
+class TestRequestQueue:
+    def test_fifo_order(self):
+        queue = RequestQueue()
+        submitted = [request(3), request(5), request(2)]
+        for r in submitted:
+            queue.push(r)
+        assert len(queue) == 3
+        drained = queue.drain()
+        assert [r.request_id for r in drained] \
+            == [r.request_id for r in submitted]
+        assert len(queue) == 0
+        assert not queue
+
+    def test_drain_limit(self):
+        queue = RequestQueue()
+        for _ in range(5):
+            queue.push(request(4))
+        first = queue.drain(limit=2)
+        assert len(first) == 2
+        assert len(queue) == 3
+        assert len(queue.drain()) == 3
+
+    def test_request_ids_unique(self):
+        ids = {request(2).request_id for _ in range(50)}
+        assert len(ids) == 50
+
+
+class TestMicroBatcher:
+    def test_respects_max_batch_size(self):
+        config = MicroBatcherConfig(max_batch_size=4, bucket_width=100)
+        batches = plan_batches([request(5) for _ in range(10)], config)
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_buckets_by_length(self):
+        config = MicroBatcherConfig(max_batch_size=64, bucket_width=2)
+        requests = [request(n) for n in (3, 10, 4, 11, 5, 30)]
+        batches = plan_batches(requests, config)
+        assert [sorted(r.prompt_len for r in b) for b in batches] \
+            == [[3, 4, 5], [10, 11], [30]]
+
+    def test_nothing_dropped_or_duplicated(self):
+        config = MicroBatcherConfig(max_batch_size=3, bucket_width=4)
+        requests = [request(n) for n in (9, 1, 5, 5, 2, 8, 7, 3)]
+        batches = plan_batches(requests, config)
+        flat = [r.request_id for b in batches for r in b]
+        assert sorted(flat) == sorted(r.request_id for r in requests)
+
+    def test_never_mixes_beam_widths(self):
+        """Beam width changes rankings, so co-batching must not mix it."""
+        config = MicroBatcherConfig(max_batch_size=64, bucket_width=100)
+        requests = [request(5, beam_size=b) for b in (10, 50, 10, 50, 10)]
+        batches = plan_batches(requests, config)
+        assert sorted(len(b) for b in batches) == [2, 3]
+        for batch in batches:
+            assert len({r.beam_size for r in batch}) == 1
+
+    def test_width_bounds_padding_within_batch(self):
+        config = MicroBatcherConfig(max_batch_size=64, bucket_width=2)
+        requests = [request(n) for n in (3, 9, 4, 8, 5, 10)]
+        for batch in plan_batches(requests, config):
+            lengths = [r.prompt_len for r in batch]
+            assert max(lengths) - min(lengths) <= 2
+
+    def test_empty_plan(self):
+        assert plan_batches([], MicroBatcherConfig()) == []
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            plan_batches([request(2)], MicroBatcherConfig(max_batch_size=0))
+        with pytest.raises(ValueError):
+            plan_batches([request(2)], MicroBatcherConfig(bucket_width=-1))
+
+    def test_padding_fraction(self):
+        batch = [request(2), request(4)]
+        assert padding_fraction(batch) == pytest.approx(2 / 8)
+        assert padding_fraction([request(6)]) == 0.0
+
+
+class TestRecommendationService:
+    """End-to-end: batched serving returns exactly what per-request does."""
+
+    @pytest.fixture()
+    def service(self, tiny_lcrec):
+        return RecommendationService(
+            tiny_lcrec, batcher=MicroBatcherConfig(max_batch_size=4))
+
+    def test_recommend_many_matches_per_request(self, service, tiny_lcrec,
+                                                tiny_dataset):
+        histories = tiny_dataset.split.test_histories[:6]
+        batched = service.recommend_many(histories, top_k=5)
+        for history, ranked in zip(histories, batched):
+            assert ranked == tiny_lcrec.recommend(list(history), top_k=5)
+
+    def test_submit_flush_result(self, service, tiny_dataset):
+        pending = [service.submit(h, top_k=3)
+                   for h in tiny_dataset.split.test_histories[:5]]
+        assert not any(p.done for p in pending)
+        served = service.flush()
+        assert served == 5
+        for p in pending:
+            assert p.done
+            assert len(p.result()) == 3
+
+    def test_result_triggers_flush(self, service, tiny_dataset):
+        pending = service.submit(tiny_dataset.split.test_histories[0])
+        ranked = pending.result()  # implicit flush
+        assert len(ranked) == 10
+        assert pending.done
+
+    def test_intention_submission(self, service, tiny_lcrec):
+        pending = service.submit_intention("looking for something nice",
+                                           top_k=5)
+        assert pending.result() == tiny_lcrec.recommend_for_intention(
+            "looking for something nice", top_k=5)
+
+    def test_stats_track_batches(self, service, tiny_dataset):
+        service.recommend_many(tiny_dataset.split.test_histories[:6],
+                               top_k=2)
+        assert service.stats.requests == 6
+        assert service.stats.batches >= 2  # max_batch_size=4
+        assert 0.0 < service.stats.mean_batch_size <= 4.0
+        assert 0.0 <= service.stats.mean_padding_fraction < 1.0
+
+    def test_mixed_top_k_does_not_change_rankings(self, service, tiny_lcrec,
+                                                  tiny_dataset):
+        """A co-batched wide-beam request must not perturb its neighbors."""
+        histories = tiny_dataset.split.test_histories[:3]
+        pending = [service.submit(h, top_k=3) for h in histories]
+        wide = service.submit(histories[0], top_k=30)  # wider beam
+        service.flush()
+        for history, p in zip(histories, pending):
+            assert p.result() == tiny_lcrec.recommend(list(history), top_k=3)
+        assert len(wide.result()) <= 30
+
+    def test_requires_built_model(self, tiny_dataset):
+        from helpers import small_lcrec_config
+
+        from repro.core import LCRec
+
+        with pytest.raises(RuntimeError):
+            RecommendationService(LCRec(tiny_dataset, small_lcrec_config()))
+
+
+class TestLCRecBatchedPaths:
+    def test_recommend_many_matches_recommend(self, tiny_lcrec,
+                                              tiny_dataset):
+        histories = tiny_dataset.split.test_histories[:4]
+        batched = tiny_lcrec.recommend_many(histories, top_k=7)
+        for history, ranked in zip(histories, batched):
+            assert ranked == tiny_lcrec.recommend(list(history), top_k=7)
+
+    def test_recommend_for_intentions_batched(self, tiny_lcrec):
+        texts = ["something nice", "a gift for a friend"]
+        batched = tiny_lcrec.recommend_for_intentions(texts, top_k=4)
+        for text, ranked in zip(texts, batched):
+            assert ranked == tiny_lcrec.recommend_for_intention(text,
+                                                                top_k=4)
+
+    def test_batched_matches_reference_loop(self, tiny_lcrec, tiny_dataset):
+        """Parity against the pre-batching single-request implementation."""
+        from repro.llm import beam_search_items_single, ranked_item_ids
+
+        histories = tiny_dataset.split.test_histories[:3]
+        batched = tiny_lcrec.recommend_many(histories, top_k=5)
+        beam = max(tiny_lcrec.config.beam_size, 5)
+        for history, ranked in zip(histories, batched):
+            prompt = tiny_lcrec.encode_instruction(
+                tiny_lcrec.seq_instruction(list(history)))
+            reference = beam_search_items_single(tiny_lcrec.lm, prompt,
+                                                 tiny_lcrec.trie,
+                                                 beam_size=beam)
+            assert ranked == ranked_item_ids(reference, 5)
+
+    def test_service_factory(self, tiny_lcrec):
+        service = tiny_lcrec.service()
+        assert isinstance(service, RecommendationService)
+
+    def test_chat_ask_many(self, tiny_lcrec, tiny_dataset):
+        from repro.core.chat import ChatSession
+
+        session = ChatSession(tiny_lcrec,
+                              history=list(tiny_dataset.split
+                                           .test_histories[0]))
+        results = session.ask_many(["something nice", "a fun game"],
+                                   top_k=3)
+        assert len(results) == 2
+        assert session.num_turns == 2
+        assert session.turns[0].query == "something nice"
+
+
+class TestKVCacheBeamAxis:
+    def test_flattened_reorder_grows_and_shuffles(self):
+        from repro.tensor import KVCache
+
+        cache = KVCache()
+        keys = np.arange(3 * 2 * 4 * 2, dtype=np.float32).reshape(3, 2, 4, 2)
+        cache.append(keys, keys + 100)
+        # Reorder may grow the batch axis: B=3 -> B*K=6, rows interleaved.
+        cache.reorder(np.repeat(np.arange(3), 2))
+        assert cache.batch_size == 6
+        np.testing.assert_array_equal(cache.keys[0], cache.keys[1])
+        np.testing.assert_array_equal(cache.keys[0], keys[0])
+        np.testing.assert_array_equal(cache.keys[4], keys[2])
+        # Flattened B*K reorder: request b keeps rows b*K..b*K+K-1.
+        cache.reorder(np.array([1, 0, 3, 3, 5, 4]))
+        np.testing.assert_array_equal(cache.keys[2], keys[1])
+        np.testing.assert_array_equal(cache.keys[3], keys[1])
+        np.testing.assert_array_equal(cache.values[2], keys[1] + 100)
+
+    def test_append_after_reorder_keeps_single_column_write(self):
+        from repro.tensor import KVCache
+
+        cache = KVCache()
+        keys = np.ones((2, 2, 3, 2), dtype=np.float32)
+        cache.append(keys, keys)
+        cache.reorder(np.array([1, 1, 0]))
+        step = np.full((3, 2, 1, 2), 7.0, dtype=np.float32)
+        k, v = cache.append(step, step)
+        assert k.shape == (3, 2, 4, 2)
+        np.testing.assert_array_equal(k[:, :, -1], step[:, :, 0])
+
+    def test_beam_cache_fan_out_shares_prompt(self):
+        from repro.tensor import BeamKVCache
+
+        cache = BeamKVCache()
+        prompt = np.arange(2 * 2 * 3 * 2, dtype=np.float32).reshape(2, 2, 3, 2)
+        cache.append(prompt, prompt)
+        cache.fan_out(4)
+        assert cache.batch_size == 8
+        assert cache.prompt.batch_size == 2  # prompt rows are not copied
+        step = np.zeros((8, 2, 1, 2), dtype=np.float32)
+        cache.append(step, step)
+        assert cache.length == 4
+        assert cache.suffix.batch_size == 8
+        with pytest.raises(RuntimeError):
+            cache.fan_out(2)  # already fanned

@@ -11,7 +11,7 @@ from repro.tensor import (
     no_grad,
 )
 
-from .helpers import check_gradient
+from helpers import check_gradient
 
 
 def rng():

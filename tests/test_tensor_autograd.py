@@ -6,7 +6,7 @@ import pytest
 from repro.tensor import Tensor, concat, no_grad, stack, where
 from repro.tensor import functional as F
 
-from .helpers import check_gradient
+from helpers import check_gradient
 
 RNG = np.random.default_rng(7)
 
