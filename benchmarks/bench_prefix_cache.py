@@ -1,0 +1,180 @@
+"""Prefix KV cache: hit rate and req/s against the PR 1 batched baseline.
+
+LC-Rec serving traffic is template-heavy by construction: every
+recommendation instruction renders from a handful of templates, a
+returning user's next prompt extends their previous one (the history grew
+by the items they just interacted with), and hot queries repeat verbatim
+(feed refreshes).  This benchmark replays exactly that workload — per-user
+*sessions* arriving in waves (one wave per session turn, then refresh
+waves re-issuing the last query) — through the micro-batched service at
+B=16, with and without the cross-request
+:class:`repro.llm.PrefixKVCache`.
+
+The model is built at *serving scale* (dim 256, 4 layers — the repo-scale
+stand-in for the paper's LLaMA backbone) rather than the dim-64 tier-1
+toy: a prompt-prefill optimization can only be measured where prefill is
+compute-bound, and at tiny dims the decode is pure Python/numpy dispatch
+overhead.  Training is kept minimal — throughput does not care about model
+quality, and every parity assertion compares engines on the *same*
+weights.
+
+The no-cache baseline already includes this PR's engine speedups (folded
+GEMM decode, last-position-only prompt head), so the reported speedup
+*understates* the gap to the actual PR 1 code.
+
+Measured: requests/sec, per-request latency, the cache's token hit rate
+(fraction of prompt tokens whose transformer forward was skipped), and a
+hard parity assertion that cached rankings equal both the uncached
+batched path and the single-request reference loop.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import report, scaled_dataset
+from repro.core import LCRec, LCRecConfig
+from repro.core import templates as T
+from repro.core.indexer import SemanticIndexerConfig
+from repro.core.tasks import AlignmentTaskConfig
+from repro.llm import (
+    LMConfig,
+    PrefixKVCache,
+    PretrainConfig,
+    TuningConfig,
+    beam_search_items_single,
+    ranked_item_ids,
+)
+from repro.quantization import RQVAEConfig, RQVAETrainerConfig
+from repro.serving import MicroBatcherConfig, RecommendationService
+
+BATCH_SIZE = 16
+NUM_USERS = 24
+GROWTH_TURNS = 4
+REFRESH_WAVES = 3
+TOP_K = 10
+
+
+def build_serving_scale_model(dataset) -> LCRec:
+    """An LC-Rec with a serving-scale LM (see module docstring)."""
+    config = LCRecConfig(
+        lm=LMConfig(dim=256, num_layers=4, num_heads=8, ffn_hidden=704, max_seq_len=256),
+        pretrain=PretrainConfig(steps=30, batch_size=16, seq_len=64),
+        indexer=SemanticIndexerConfig(
+            rqvae=RQVAEConfig(latent_dim=32, hidden_dims=(96, 48), num_levels=4, codebook_size=24),
+            trainer=RQVAETrainerConfig(epochs=30, batch_size=512),
+        ),
+        tasks=AlignmentTaskConfig(tasks=("seq",), max_history=10, seq_per_user=2),
+        tuning=TuningConfig(epochs=1, batch_size=16, lr=3e-3, max_len=220),
+        beam_size=20,
+    )
+    return LCRec(dataset, config).build()
+
+
+def personalized_instruction(model, history, intention):
+    """Render the paper's personalized-intention task (Sec. III-C3b).
+
+    The longest serving template: a fixed ~35-token preamble/connective
+    frame around the user's history and free-text intention — the shape
+    where cross-request prefix collisions are largest.
+    """
+    history = history[-model.config.tasks.max_history :]
+    history_text = " , ".join(model.index_set.index_text(i) for i in history)
+    return T.ITE_PERSONALIZED_TEMPLATES[0].format(history=history_text, intention=intention)
+
+
+def session_waves(model, dataset):
+    """Instruction waves: growth turns, then refresh (hot-query) waves.
+
+    A user's turn-``t`` history is their full history truncated
+    ``GROWTH_TURNS - 1 - t`` items short, so consecutive turns extend the
+    same prompt the way a live session does; the refresh waves re-issue
+    every user's final query verbatim.
+    """
+    pool = dataset.split.test_histories
+    catalog = dataset.catalog
+    histories = [list(pool[i % len(pool)]) for i in range(NUM_USERS)]
+    waves, last = [], {}
+    for turn in range(GROWTH_TURNS):
+        wave = []
+        for user, history in enumerate(histories):
+            cut = max(len(history) - (GROWTH_TURNS - 1 - turn), 1)
+            intention = f"something like {catalog[history[-1]].title}"
+            instruction = personalized_instruction(model, history[:cut], intention)
+            last[user] = instruction
+            wave.append(instruction)
+        waves.append(wave)
+    for _ in range(REFRESH_WAVES):
+        waves.append([last[user] for user in range(NUM_USERS)])
+    return waves
+
+
+def run_service(model, waves, prefix_cache):
+    service = RecommendationService(
+        model,
+        batcher=MicroBatcherConfig(max_batch_size=BATCH_SIZE),
+        prefix_cache=prefix_cache,
+    )
+    rankings = []
+    start = time.perf_counter()
+    for wave in waves:
+        pending = [service.submit_instruction(i, top_k=TOP_K) for i in wave]
+        service.flush()
+        rankings.append([p.result() for p in pending])
+    elapsed = time.perf_counter() - start
+    return rankings, elapsed, service
+
+
+def run_prefix_cache_table():
+    dataset = scaled_dataset("instruments")
+    model = build_serving_scale_model(dataset)
+    waves = session_waves(model, dataset)
+    num_requests = sum(len(w) for w in waves)
+
+    run_service(model, waves[:1], prefix_cache=False)  # warm numpy/BLAS
+    baseline_rankings, baseline_s, _ = run_service(model, waves, prefix_cache=False)
+    cache = PrefixKVCache(max_entries=8 * NUM_USERS)
+    cached_rankings, cached_s, service = run_service(model, waves, prefix_cache=cache)
+
+    assert cached_rankings == baseline_rankings, "prefix cache changed rankings"
+    # Spot-check the first wave against the single-request reference loop.
+    beam = max(model.config.beam_size, TOP_K)
+    for instruction, ranked in list(zip(waves[0], cached_rankings[0]))[:3]:
+        prompt = model.encode_instruction(instruction)
+        reference = beam_search_items_single(model.lm, prompt, model.trie, beam_size=beam)
+        assert ranked == ranked_item_ids(reference, TOP_K), "parity with reference broke"
+
+    baseline_rps = num_requests / baseline_s
+    cached_rps = num_requests / cached_s
+    stats = cache.stats
+    rows = [
+        f"{'config':<24} {'req/s':>8} {'ms/req':>9} {'speedup':>8}",
+        f"{'batched B=16 (PR 1)':<24} {baseline_rps:>8.2f} "
+        f"{1000 * baseline_s / num_requests:>9.1f} {1.0:>8.2f}",
+        f"{'batched B=16 + prefix':<24} {cached_rps:>8.2f} "
+        f"{1000 * cached_s / num_requests:>9.1f} {cached_rps / baseline_rps:>8.2f}",
+        "",
+        f"requests: {num_requests} ({NUM_USERS} users x {GROWTH_TURNS} session turns "
+        f"+ {REFRESH_WAVES} refresh waves)",
+        f"prefix cache: {stats.hits}/{stats.lookups} request hits, "
+        f"token hit rate {stats.token_hit_rate:.1%} "
+        f"({stats.reused_tokens}/{stats.prompt_tokens} prompt tokens skipped), "
+        f"{len(cache)} entries, {stats.evictions} evictions",
+        f"service: mean batch {service.stats.mean_batch_size:.1f}, "
+        f"mean padding {service.stats.mean_padding_fraction:.1%}",
+    ]
+    report("prefix_cache", "\n".join(rows))
+    return baseline_rps, cached_rps, stats
+
+
+def test_prefix_cache_throughput(benchmark):
+    baseline_rps, cached_rps, stats = benchmark.pedantic(
+        run_prefix_cache_table, rounds=1, iterations=1
+    )
+    # Headline acceptance: >= 1.3x req/s over the PR 1 batched path at B=16
+    # on this template-heavy workload, with most prompt tokens served from
+    # the cache once sessions are warm.
+    assert cached_rps >= 1.3 * baseline_rps, (
+        f"prefix cache speedup {cached_rps / baseline_rps:.2f}x < 1.3x"
+    )
+    assert stats.token_hit_rate > 0.5

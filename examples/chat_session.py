@@ -23,12 +23,12 @@ def main() -> None:
     config = LCRecConfig(
         pretrain=PretrainConfig(steps=200, batch_size=16),
         indexer=SemanticIndexerConfig(
-            rqvae=RQVAEConfig(latent_dim=32, hidden_dims=(96, 48),
-                              num_levels=4, codebook_size=16),
+            rqvae=RQVAEConfig(latent_dim=32, hidden_dims=(96, 48), num_levels=4, codebook_size=16),
             trainer=RQVAETrainerConfig(epochs=100, batch_size=512),
         ),
-        tasks=AlignmentTaskConfig(max_history=8, seq_per_user=2,
-                                  tasks=("seq", "mut", "asy", "ite", "per")),
+        tasks=AlignmentTaskConfig(
+            max_history=8, seq_per_user=2, tasks=("seq", "mut", "asy", "ite", "per")
+        ),
         tuning=TuningConfig(epochs=3, batch_size=16, lr=3e-3),
     )
     model = LCRec(dataset, config).build()
@@ -61,9 +61,11 @@ def main() -> None:
 
     session.accept(answers[0])
     print(f"\n> user accepts {dataset.catalog[answers[0]].title!r}")
-    print(f"session: {session.num_turns} turns, "
-          f"history now {len(session.history)} items, "
-          f"{len(session.rejected)} rejected")
+    print(
+        f"session: {session.num_turns} turns, "
+        f"history now {len(session.history)} items, "
+        f"{len(session.rejected)} rejected"
+    )
 
 
 if __name__ == "__main__":

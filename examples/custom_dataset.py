@@ -26,35 +26,35 @@ def main() -> None:
     # A bespoke dataset: denser than the presets, stronger complements.
     config = DatasetConfig(
         name="my-shop",
-        catalog=CatalogConfig(num_items=150, num_categories=5,
-                              subcategories_per_category=3),
-        behavior=BehaviorConfig(num_users=400, mean_length=10.0,
-                                complement_prob=0.25),
+        catalog=CatalogConfig(num_items=150, num_categories=5, subcategories_per_category=3),
+        behavior=BehaviorConfig(num_users=400, mean_length=10.0, complement_prob=0.25),
         max_seq_len=20,
         seed=777,
     )
     dataset = build_dataset(config)
     print(format_table2_row(dataset_statistics(dataset)))
-    print(f"kept {dataset.num_items}/{config.catalog.num_items} items after "
-          "5-core filtering")
+    print(f"kept {dataset.num_items}/{config.catalog.num_items} items after 5-core filtering")
 
     # Any (num_items, dim) embedding matrix works as RQ-VAE input; here we
     # use a bag-of-keywords embedding instead of LLM states to show the API.
     lexicon_words = dataset.catalog.lexicon.all_words()
     word_to_col = {w: i for i, w in enumerate(lexicon_words)}
-    embeddings = np.zeros((dataset.num_items, len(lexicon_words)),
-                          dtype=np.float32)
+    embeddings = np.zeros((dataset.num_items, len(lexicon_words)), dtype=np.float32)
     for item in dataset.catalog:
         for word in item.description.split():
             column = word_to_col.get(word)
             if column is not None:
                 embeddings[item.item_id, column] += 1.0
-    embeddings /= np.maximum(
-        np.linalg.norm(embeddings, axis=1, keepdims=True), 1e-9)
+    embeddings /= np.maximum(np.linalg.norm(embeddings, axis=1, keepdims=True), 1e-9)
 
     indexer = SemanticIndexerConfig(
-        rqvae=RQVAEConfig(input_dim=embeddings.shape[1], latent_dim=24,
-                          hidden_dims=(64,), num_levels=4, codebook_size=16),
+        rqvae=RQVAEConfig(
+            input_dim=embeddings.shape[1],
+            latent_dim=24,
+            hidden_dims=(64,),
+            num_levels=4,
+            codebook_size=16,
+        ),
         trainer=RQVAETrainerConfig(epochs=100, batch_size=256),
     )
 
@@ -62,11 +62,12 @@ def main() -> None:
         indexer.strategy = strategy
         index_set, rqvae, _ = build_semantic_index_set(embeddings, indexer)
         raw_conflicts = count_conflicts(rqvae.quantize(embeddings).codes)
-        print(f"\nstrategy={strategy}: levels={index_set.num_levels}, "
-              f"unique={index_set.is_unique()}, "
-              f"raw greedy conflicts resolved={raw_conflicts}")
-        print("  sample indices:",
-              ", ".join(index_set.index_text(i) for i in range(3)))
+        print(
+            f"\nstrategy={strategy}: levels={index_set.num_levels}, "
+            f"unique={index_set.is_unique()}, "
+            f"raw greedy conflicts resolved={raw_conflicts}"
+        )
+        print("  sample indices:", ", ".join(index_set.index_text(i) for i in range(3)))
 
     # Same-subcategory items should share index prefixes (semantics!).
     indexer.strategy = "usm"
@@ -79,8 +80,10 @@ def main() -> None:
                 same_sub += 1
                 if index_set.codes[a, 0] == index_set.codes[b, 0]:
                     prefix_match += 1
-    print(f"\nsame-subcategory pairs sharing the level-1 code: "
-          f"{prefix_match / max(same_sub, 1):.1%}")
+    print(
+        f"\nsame-subcategory pairs sharing the level-1 code: "
+        f"{prefix_match / max(same_sub, 1):.1%}"
+    )
 
 
 if __name__ == "__main__":

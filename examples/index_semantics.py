@@ -27,8 +27,7 @@ def main() -> None:
     config = LCRecConfig(
         pretrain=PretrainConfig(steps=250, batch_size=16),
         indexer=SemanticIndexerConfig(
-            rqvae=RQVAEConfig(latent_dim=32, hidden_dims=(96, 48),
-                              num_levels=4, codebook_size=16),
+            rqvae=RQVAEConfig(latent_dim=32, hidden_dims=(96, 48), num_levels=4, codebook_size=16),
             trainer=RQVAETrainerConfig(epochs=120, batch_size=512),
         ),
         tasks=AlignmentTaskConfig(max_history=8, seq_per_user=2),
@@ -46,13 +45,11 @@ def main() -> None:
             print(f"  {prefix:<28} -> {text[:70]}")
 
     # Fig. 6: proportion of generation changes per added level.
-    sample = rng.choice(dataset.num_items, size=min(60, dataset.num_items),
-                        replace=False)
+    sample = rng.choice(dataset.num_items, size=min(60, dataset.num_items), replace=False)
     studies = [generate_from_prefixes(model, int(i)) for i in sample]
     changes = count_level_changes(studies)
     print("\ncontent changes caused by each index level (Fig. 6):")
-    for transition, proportion in zip(changes.transitions,
-                                      changes.change_proportions):
+    for transition, proportion in zip(changes.transitions, changes.change_proportions):
         bar = "#" * int(proportion * 40)
         print(f"  level {transition}: {proportion:6.1%} {bar}")
 
@@ -60,7 +57,8 @@ def main() -> None:
     anchor = int(sample[0])
     prefix = model.index_set.codes[anchor][:2]
     index_related = [
-        i for i in range(dataset.num_items)
+        i
+        for i in range(dataset.num_items)
         if i != anchor and (model.index_set.codes[i][:2] == prefix).all()
     ][:3]
     emb = model.item_embeddings

@@ -28,12 +28,10 @@ def main() -> None:
     config = LCRecConfig(
         pretrain=PretrainConfig(steps=250, batch_size=16),
         indexer=SemanticIndexerConfig(
-            rqvae=RQVAEConfig(latent_dim=32, hidden_dims=(96, 48),
-                              num_levels=4, codebook_size=16),
+            rqvae=RQVAEConfig(latent_dim=32, hidden_dims=(96, 48), num_levels=4, codebook_size=16),
             trainer=RQVAETrainerConfig(epochs=120, batch_size=512),
         ),
-        tasks=AlignmentTaskConfig(max_history=8, seq_per_user=2,
-                                  ite_per_user=2),
+        tasks=AlignmentTaskConfig(max_history=8, seq_per_user=2, ite_per_user=2),
         tuning=TuningConfig(epochs=2, batch_size=16, lr=3e-3),
         beam_size=20,
     )
@@ -54,23 +52,25 @@ def main() -> None:
 
     # DSSM baseline trained on intentions for *training* interactions.
     train_intents = generator.training_intentions(dataset, per_user=2)
-    dssm = DSSM([item.title for item in dataset.catalog],
-                DSSMConfig(epochs=25),
-                extra_texts=[e.text for e in train_intents])
+    dssm = DSSM(
+        [item.title for item in dataset.catalog],
+        DSSMConfig(epochs=25),
+        extra_texts=[e.text for e in train_intents],
+    )
     dssm.fit(train_intents)
 
     lcrec_report = evaluate_intention_retrieval(
-        lambda query: model.recommend_for_intention(query, top_k=10),
-        test_examples)
+        lambda query: model.recommend_for_intention(query, top_k=10), test_examples
+    )
     dssm_report = evaluate_intention_retrieval(
-        lambda query: dssm.retrieve(query, top_k=10), test_examples)
+        lambda query: dssm.retrieve(query, top_k=10), test_examples
+    )
 
     print("\nintention retrieval (Fig. 3 protocol):")
     header = ("model", "HR@5", "HR@10", "NDCG@5", "NDCG@10")
     print(f"{header[0]:<8} " + " ".join(f"{h:>7}" for h in header[1:]))
     for label, rep in (("DSSM", dssm_report), ("LC-Rec", lcrec_report)):
-        cells = " ".join(f"{rep[m]:7.4f}"
-                         for m in ("HR@5", "HR@10", "NDCG@5", "NDCG@10"))
+        cells = " ".join(f"{rep[m]:7.4f}" for m in ("HR@5", "HR@10", "NDCG@5", "NDCG@10"))
         print(f"{label:<8} {cells}")
 
 

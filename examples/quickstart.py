@@ -15,8 +15,7 @@ Run:  python examples/quickstart.py
 from repro.core import LCRec, LCRecConfig
 from repro.core.indexer import SemanticIndexerConfig
 from repro.core.tasks import AlignmentTaskConfig
-from repro.data import build_dataset, dataset_statistics, format_table2_row, \
-    preset_config
+from repro.data import build_dataset, dataset_statistics, format_table2_row, preset_config
 from repro.eval import evaluate_generative_model
 from repro.llm import PretrainConfig, TuningConfig
 from repro.quantization import RQVAEConfig, RQVAETrainerConfig
@@ -31,8 +30,7 @@ def main() -> None:
     config = LCRecConfig(
         pretrain=PretrainConfig(steps=250, batch_size=16),
         indexer=SemanticIndexerConfig(
-            rqvae=RQVAEConfig(latent_dim=32, hidden_dims=(96, 48),
-                              num_levels=4, codebook_size=16),
+            rqvae=RQVAEConfig(latent_dim=32, hidden_dims=(96, 48), num_levels=4, codebook_size=16),
             trainer=RQVAETrainerConfig(epochs=120, batch_size=512),
         ),
         tasks=AlignmentTaskConfig(max_history=8, seq_per_user=2),
@@ -41,8 +39,7 @@ def main() -> None:
     )
     model = LCRec(dataset, config).build()
     print(f"LM parameters: {model.lm.num_parameters():,}")
-    print("example item index:", model.index_set.index_text(0),
-          "->", dataset.catalog[0].title)
+    print("example item index:", model.index_set.index_text(0), "->", dataset.catalog[0].title)
 
     # 5. Recommend for one user...
     history = dataset.split.test_histories[0]

@@ -240,11 +240,16 @@ class LCRec:
         return [ranked_item_ids(hypotheses, top_k)
                 for hypotheses in all_hypotheses]
 
-    def service(self, batcher=None):
-        """A :class:`repro.serving.RecommendationService` over this model."""
+    def service(self, batcher=None, **kwargs):
+        """A :class:`repro.serving.RecommendationService` over this model.
+
+        Keyword arguments (``deadline_ms``, ``prefix_cache``) are forwarded
+        to the service constructor; call ``.start()`` on the result (or use
+        it as a context manager) for async deadline-batched serving.
+        """
         from ..serving import RecommendationService
 
-        return RecommendationService(self, batcher=batcher)
+        return RecommendationService(self, batcher=batcher, **kwargs)
 
     def intention_instruction(self, intention_text: str,
                               template_id: int = 0) -> str:

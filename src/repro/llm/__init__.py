@@ -21,6 +21,7 @@ from .instruction import (
     prompt_ids,
 )
 from .model import SwiGLU, TinyLlama, TransformerBlock
+from .prefix_cache import PrefixCacheStats, PrefixKVCache, PrefixMatch
 from .pretrain import PretrainConfig, build_corpus_stream, pretrain_lm
 from .sampling import sample_generate
 from .trainer import InstructionTuner, TuningConfig
@@ -47,6 +48,9 @@ __all__ = [
     "beam_search_items",
     "beam_search_items_batched",
     "beam_search_items_single",
+    "PrefixKVCache",
+    "PrefixMatch",
+    "PrefixCacheStats",
     "left_pad_prompts",
     "ranked_item_ids",
     "greedy_generate",

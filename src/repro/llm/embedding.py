@@ -16,38 +16,42 @@ from .model import TinyLlama
 __all__ = ["encode_texts", "encode_items"]
 
 
-def encode_texts(model: TinyLlama, tokenizer: WordTokenizer,
-                 texts: list[str], batch_size: int = 32,
-                 max_len: int = 64) -> np.ndarray:
+def encode_texts(
+    model: TinyLlama,
+    tokenizer: WordTokenizer,
+    texts: list[str],
+    batch_size: int = 32,
+    max_len: int = 64,
+) -> np.ndarray:
     """Mean-pooled final hidden states for each text ``(N, dim)``."""
     if not texts:
         raise ValueError("no texts to encode")
     pad_id = tokenizer.vocab.pad_id
-    encoded = [
-        [tokenizer.vocab.bos_id] + tokenizer.encode(text)[:max_len - 1]
-        for text in texts
-    ]
+    encoded = [[tokenizer.vocab.bos_id] + tokenizer.encode(text)[: max_len - 1] for text in texts]
     outputs = np.zeros((len(texts), model.config.dim), dtype=np.float32)
     model.eval()
     with no_grad():
         for start in range(0, len(encoded), batch_size):
-            chunk = encoded[start:start + batch_size]
+            chunk = encoded[start : start + batch_size]
             width = max(len(ids) for ids in chunk)
             batch = np.full((len(chunk), width), pad_id, dtype=np.int64)
             mask = np.zeros((len(chunk), width), dtype=np.float32)
             for row, ids in enumerate(chunk):
-                batch[row, :len(ids)] = ids
-                mask[row, :len(ids)] = 1.0
+                batch[row, : len(ids)] = ids
+                mask[row, : len(ids)] = 1.0
             hidden = model.hidden_states(batch).data
             pooled = (hidden * mask[:, :, None]).sum(axis=1)
             pooled /= mask.sum(axis=1, keepdims=True)
-            outputs[start:start + len(chunk)] = pooled
+            outputs[start : start + len(chunk)] = pooled
     return outputs
 
 
-def encode_items(model: TinyLlama, tokenizer: WordTokenizer,
-                 item_texts: list[str], batch_size: int = 32,
-                 max_len: int = 64) -> np.ndarray:
+def encode_items(
+    model: TinyLlama,
+    tokenizer: WordTokenizer,
+    item_texts: list[str],
+    batch_size: int = 32,
+    max_len: int = 64,
+) -> np.ndarray:
     """Alias of :func:`encode_texts` with item-centric naming."""
-    return encode_texts(model, tokenizer, item_texts,
-                        batch_size=batch_size, max_len=max_len)
+    return encode_texts(model, tokenizer, item_texts, batch_size=batch_size, max_len=max_len)

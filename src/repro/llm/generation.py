@@ -14,7 +14,11 @@ Two constrained-decoding paths are provided:
   are masked out of attention and real tokens keep their unpadded RoPE
   positions, so padding changes nothing mathematically: rankings are
   identical to per-request decoding and scores agree to float rounding
-  (BLAS accumulation order varies with batch shape).
+  (BLAS accumulation order varies with batch shape).  With a
+  :class:`PrefixKVCache` the engine additionally skips re-running prompt
+  prefixes it has decoded before (template heads, grown session histories,
+  repeated queries): cached K/V is seeded into the decode caches and only
+  each request's unseen suffix is forwarded.
 * :func:`beam_search_items_single` — the original per-hypothesis reference
   loop, kept as the parity/throughput baseline.
 
@@ -30,12 +34,20 @@ from typing import Sequence
 import numpy as np
 
 from ..quantization.trie import IndexTrie
-from ..tensor import no_grad
+from ..tensor import BeamKVCache, no_grad
 from .model import TinyLlama
+from .prefix_cache import PrefixKVCache, PrefixMatch
 
-__all__ = ["BeamHypothesis", "beam_search_items", "beam_search_items_batched",
-           "beam_search_items_single", "left_pad_prompts", "ranked_item_ids",
-           "greedy_generate", "sequence_logprob"]
+__all__ = [
+    "BeamHypothesis",
+    "beam_search_items",
+    "beam_search_items_batched",
+    "beam_search_items_single",
+    "left_pad_prompts",
+    "ranked_item_ids",
+    "greedy_generate",
+    "sequence_logprob",
+]
 
 
 def _log_softmax_np(logits: np.ndarray) -> np.ndarray:
@@ -68,8 +80,9 @@ class BeamHypothesis:
     item_id: int
 
 
-def left_pad_prompts(prompts: Sequence[Sequence[int]],
-                     pad_id: int = 0) -> tuple[np.ndarray, np.ndarray]:
+def left_pad_prompts(
+    prompts: Sequence[Sequence[int]], pad_id: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
     """Left-pad ``prompts`` to a rectangle.
 
     Returns ``(tokens, pad_lengths)`` where ``tokens`` is ``(B, max_len)``
@@ -86,12 +99,11 @@ def left_pad_prompts(prompts: Sequence[Sequence[int]],
     pad_lengths = np.zeros(len(prompts), dtype=np.int64)
     for row, prompt in enumerate(prompts):
         pad_lengths[row] = max_len - len(prompt)
-        tokens[row, pad_lengths[row]:] = np.asarray(prompt, dtype=np.int64)
+        tokens[row, pad_lengths[row] :] = np.asarray(prompt, dtype=np.int64)
     return tokens, pad_lengths
 
 
-def ranked_item_ids(hypotheses: Sequence[BeamHypothesis],
-                    top_k: int) -> list[int]:
+def ranked_item_ids(hypotheses: Sequence[BeamHypothesis], top_k: int) -> list[int]:
     """Unique item ids of score-sorted ``hypotheses``, best first."""
     ranked: list[int] = []
     for hypothesis in hypotheses:
@@ -102,10 +114,114 @@ def ranked_item_ids(hypotheses: Sequence[BeamHypothesis],
     return ranked
 
 
-def beam_search_items_batched(model: TinyLlama,
-                              prompts: Sequence[Sequence[int]],
-                              trie: IndexTrie, beam_size: int = 20,
-                              pad_id: int = 0) -> list[list[BeamHypothesis]]:
+def _seed_prefix_region(
+    caches: list[BeamKVCache],
+    matches: list[PrefixMatch | None],
+    prefix_width: int,
+) -> None:
+    """Seed every layer cache with the matched prefix K/V, right-aligned.
+
+    The cached region is one rectangle of ``prefix_width`` columns shared by
+    the whole batch; rows with shorter (or no) matches are left-padded
+    inside it and those columns are masked as pads by the caller.
+    """
+    first = next(m for m in matches if m is not None)
+    batch = len(matches)
+    for layer, cache in enumerate(caches):
+        ref = first.layer_kvs[layer][0]
+        _, heads, _, head_dim = ref.shape
+        keys = np.zeros((batch, heads, prefix_width, head_dim), dtype=ref.dtype)
+        values = np.zeros_like(keys)
+        for row, match in enumerate(matches):
+            if match is not None:
+                k, v = match.layer_kvs[layer]
+                keys[row, :, prefix_width - match.length :, :] = k[0]
+                values[row, :, prefix_width - match.length :, :] = v[0]
+        cache.seed_prompt(keys, values)
+
+
+def _store_prompts(
+    prompts: list[list[int]],
+    caches: list[BeamKVCache],
+    cached_lens: np.ndarray,
+    prefix_width: int,
+    suffix_pads: np.ndarray,
+    prefix_cache: PrefixKVCache,
+) -> None:
+    """File each row's full-prompt K/V back into the prefix cache.
+
+    Row ``b``'s prompt K/V sits right-aligned in two rectangles of the
+    decode cache — the seeded prefix region and the forwarded suffix region
+    — so its pad-free concatenation is exactly the unpadded prompt K/V
+    (pads influence nothing: they are masked out of attention and K/V at
+    position ``i`` depends only on tokens ``<= i``).
+    """
+    for row, prompt in enumerate(prompts):
+        if len(prompt) < prefix_cache.min_prefix_len or prompt in prefix_cache:
+            continue
+        layer_kvs = []
+        for cache in caches:
+            kp, vp = cache.prompt.keys, cache.prompt.values
+            row_slice = slice(row, row + 1)
+            prefix_cols = slice(prefix_width - int(cached_lens[row]), prefix_width)
+            suffix_cols = slice(prefix_width + int(suffix_pads[row]), kp.shape[2])
+            keys = np.concatenate(
+                [kp[row_slice, :, prefix_cols, :], kp[row_slice, :, suffix_cols, :]], axis=2
+            )
+            values = np.concatenate(
+                [vp[row_slice, :, prefix_cols, :], vp[row_slice, :, suffix_cols, :]], axis=2
+            )
+            layer_kvs.append((keys, values))
+        prefix_cache.insert(prompt, layer_kvs)
+
+
+def _prefill_prompts(
+    model: TinyLlama,
+    prompts: list[list[int]],
+    caches: list[BeamKVCache],
+    pad_id: int,
+    prefix_cache: PrefixKVCache | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run the prompt phase of a batched decode through ``caches``.
+
+    With a prefix cache, each row is independently matched against it: the
+    matched K/V is seeded into the caches (skipping the transformer for
+    those tokens) and only the per-row unseen suffix is forwarded.  Newly
+    decoded prompts are stored back, so repeated templates, grown session
+    histories, and duplicate queries hit on later batches.
+
+    Returns ``(last_logits, pad_columns)``: the next-token logits ``(B, V)``
+    and the boolean per-row pad-column map over all prompt columns, which
+    every subsequent decode step must pass back to ``model.forward``.
+    """
+    matches: list[PrefixMatch | None] = [None] * len(prompts)
+    if prefix_cache is not None:
+        matches = [prefix_cache.match(p, max_len=len(p) - 1) for p in prompts]
+    cached_lens = np.array([m.length if m else 0 for m in matches], dtype=np.int64)
+    prefix_width = int(cached_lens.max())
+    if prefix_width:
+        _seed_prefix_region(caches, matches, prefix_width)
+    remainders = [p[int(c) :] for p, c in zip(prompts, cached_lens)]
+    tokens, suffix_pads = left_pad_prompts(remainders, pad_id=pad_id)
+    prefix_pad = np.arange(prefix_width)[None, :] < (prefix_width - cached_lens)[:, None]
+    suffix_pad = np.arange(tokens.shape[1])[None, :] < suffix_pads[:, None]
+    pad_columns = np.concatenate([prefix_pad, suffix_pad], axis=1)
+    logits = model.forward(
+        tokens, caches=caches, pad_columns=pad_columns, last_only=True
+    ).data[:, -1, :]
+    if prefix_cache is not None:
+        _store_prompts(prompts, caches, cached_lens, prefix_width, suffix_pads, prefix_cache)
+    return logits, pad_columns
+
+
+def beam_search_items_batched(
+    model: TinyLlama,
+    prompts: Sequence[Sequence[int]],
+    trie: IndexTrie,
+    beam_size: int = 20,
+    pad_id: int = 0,
+    prefix_cache: PrefixKVCache | None = None,
+) -> list[list[BeamHypothesis]]:
     """Batched trie-constrained beam search (the serving engine).
 
     Decodes all ``len(prompts)`` requests together: each step is a single
@@ -114,6 +230,14 @@ def beam_search_items_batched(model: TinyLlama,
     per-hypothesis Python loops.  Returns one score-sorted hypothesis list
     per prompt with the same rankings as running each prompt through the
     single-request path alone.
+
+    ``prefix_cache`` enables cross-request prompt K/V reuse: prompt
+    prefixes this cache has seen before (in this batch's predecessors) are
+    not re-forwarded — their cached K/V is seeded directly into the decode
+    caches and only each row's unseen suffix runs through the model.
+    Rankings are unaffected (the K/V of a prompt prefix is identical
+    whenever the tokens and weights are identical); see
+    :class:`repro.llm.PrefixKVCache` for the invalidation contract.
 
     Requests with fewer than ``K`` legal hypotheses at some level carry
     ``-inf``-scored filler beams to keep the batch rectangular; fillers are
@@ -131,9 +255,7 @@ def beam_search_items_batched(model: TinyLlama,
         # Shared-prompt beam caches: prompt K/V stays at B rows for the
         # whole decode; only per-beam suffix tokens live on the B*K axis.
         caches = model.new_beam_caches()
-        tokens, pad_lengths = left_pad_prompts(prompts, pad_id=pad_id)
-        logits = model.forward(tokens, caches=caches,
-                               pad_lengths=pad_lengths).data[:, -1, :]
+        logits, pad_columns = _prefill_prompts(model, prompts, caches, pad_id, prefix_cache)
         log_probs = _log_softmax_np(logits)  # (B, V)
 
         # Level 0: expand every prompt to its top-K legal first tokens.
@@ -144,15 +266,18 @@ def beam_search_items_batched(model: TinyLlama,
         beam_scores = top_scores.astype(np.float64)  # (B, K)
         beam_tokens = [[(int(token),) for token in row] for row in order]
         model.fan_out_caches(caches, num_beams)
-        flat_pads = np.repeat(pad_lengths, num_beams)
+        flat_pad_columns = None
+        if np.any(pad_columns):
+            flat_pad_columns = np.repeat(pad_columns, num_beams, axis=0)
 
         for _ in range(1, trie.num_levels):
             last = np.array(
                 [prefix[-1] for row in beam_tokens for prefix in row],
                 dtype=np.int64,
             )[:, None]
-            step_logits = model.forward(last, caches=caches,
-                                        pad_lengths=flat_pads).data[:, -1, :]
+            step_logits = model.forward(
+                last, caches=caches, pad_columns=flat_pad_columns
+            ).data[:, -1, :]
             step_logp = _log_softmax_np(step_logits)  # (B*K, V)
             states = [prefix for row in beam_tokens for prefix in row]
             mask = trie.allowed_token_mask(states, vocab_size)
@@ -163,13 +288,13 @@ def beam_search_items_batched(model: TinyLlama,
             origin = order // vocab_size  # per-request beam index
             token = order % vocab_size
             beam_tokens = [
-                [beam_tokens[b][int(origin[b, k])] + (int(token[b, k]),)
-                 for k in range(num_beams)]
+                [
+                    beam_tokens[b][int(origin[b, k])] + (int(token[b, k]),)
+                    for k in range(num_beams)
+                ]
                 for b in range(num_requests)
             ]
-            flat_origin = (
-                np.arange(num_requests)[:, None] * num_beams + origin
-            ).reshape(-1)
+            flat_origin = (np.arange(num_requests)[:, None] * num_beams + origin).reshape(-1)
             model.reorder_caches(caches, flat_origin)
 
     results: list[list[BeamHypothesis]] = []
@@ -184,8 +309,9 @@ def beam_search_items_batched(model: TinyLlama,
     return results
 
 
-def beam_search_items(model: TinyLlama, prompt_ids: list[int], trie: IndexTrie,
-                      beam_size: int = 20) -> list[BeamHypothesis]:
+def beam_search_items(
+    model: TinyLlama, prompt_ids: list[int], trie: IndexTrie, beam_size: int = 20
+) -> list[BeamHypothesis]:
     """Constrained beam search over the item-index trie.
 
     Returns hypotheses sorted by descending log probability.  Every
@@ -193,13 +319,12 @@ def beam_search_items(model: TinyLlama, prompt_ids: list[int], trie: IndexTrie,
     masked to ``-inf`` at every level), so each maps to exactly one item.
     Runs on the batched engine with a batch of one.
     """
-    return beam_search_items_batched(model, [prompt_ids], trie,
-                                     beam_size=beam_size)[0]
+    return beam_search_items_batched(model, [prompt_ids], trie, beam_size=beam_size)[0]
 
 
-def beam_search_items_single(model: TinyLlama, prompt_ids: list[int],
-                             trie: IndexTrie,
-                             beam_size: int = 20) -> list[BeamHypothesis]:
+def beam_search_items_single(
+    model: TinyLlama, prompt_ids: list[int], trie: IndexTrie, beam_size: int = 20
+) -> list[BeamHypothesis]:
     """Reference single-request beam search (pre-batching implementation).
 
     Kept verbatim as the parity oracle for the batched engine and as the
@@ -234,16 +359,11 @@ def beam_search_items_single(model: TinyLlama, prompt_ids: list[int],
             for beam_index, prefix in enumerate(beam_tokens):
                 allowed = trie.allowed_tokens(prefix)
                 for token in allowed:
-                    candidate_scores.append(
-                        beam_scores[beam_index] + step_logp[beam_index, token]
-                    )
+                    candidate_scores.append(beam_scores[beam_index] + step_logp[beam_index, token])
                     candidate_origin.append(beam_index)
                     candidate_token.append(int(token))
             order = np.argsort(-np.asarray(candidate_scores))[:beam_size]
-            beam_tokens = [
-                beam_tokens[candidate_origin[i]] + (candidate_token[i],)
-                for i in order
-            ]
+            beam_tokens = [beam_tokens[candidate_origin[i]] + (candidate_token[i],) for i in order]
             beam_scores = np.asarray([candidate_scores[i] for i in order])
             origins = np.asarray([candidate_origin[i] for i in order])
             model.reorder_caches(caches, origins)
@@ -256,9 +376,13 @@ def beam_search_items_single(model: TinyLlama, prompt_ids: list[int],
     return hypotheses
 
 
-def greedy_generate(model: TinyLlama, prompt_ids: list[int],
-                    max_new_tokens: int, eos_id: int,
-                    banned_ids: set[int] | None = None) -> list[int]:
+def greedy_generate(
+    model: TinyLlama,
+    prompt_ids: list[int],
+    max_new_tokens: int,
+    eos_id: int,
+    banned_ids: set[int] | None = None,
+) -> list[int]:
     """Greedy free-text generation (used by the Fig. 5 case study)."""
     banned = banned_ids or set()
     with no_grad():
@@ -279,9 +403,12 @@ def greedy_generate(model: TinyLlama, prompt_ids: list[int],
     return generated
 
 
-def sequence_logprob(model: TinyLlama, prompt_ids: list[int],
-                     continuation_ids: list[int],
-                     length_normalize: bool = True) -> float:
+def sequence_logprob(
+    model: TinyLlama,
+    prompt_ids: list[int],
+    continuation_ids: list[int],
+    length_normalize: bool = True,
+) -> float:
     """Log probability of ``continuation_ids`` given ``prompt_ids``.
 
     Used for the Table V pairwise discrimination task: the model "chooses"

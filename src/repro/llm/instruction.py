@@ -14,8 +14,14 @@ import numpy as np
 
 from ..text import WordTokenizer
 
-__all__ = ["InstructionExample", "EncodedExample", "encode_example",
-           "collate_batch", "prompt_ids", "IGNORE_INDEX"]
+__all__ = [
+    "InstructionExample",
+    "EncodedExample",
+    "encode_example",
+    "collate_batch",
+    "prompt_ids",
+    "IGNORE_INDEX",
+]
 
 IGNORE_INDEX = -100
 _ANSWER_MARKER = "answer :"
@@ -41,30 +47,29 @@ class EncodedExample:
         return len(self.input_ids)
 
 
-def encode_example(tokenizer: WordTokenizer, example: InstructionExample,
-                   max_len: int = 256) -> EncodedExample:
+def encode_example(
+    tokenizer: WordTokenizer, example: InstructionExample, max_len: int = 256
+) -> EncodedExample:
     """Tokenise one example, truncating the *prompt side* if too long."""
     vocab = tokenizer.vocab
     marker_ids = tokenizer.encode(_ANSWER_MARKER)
     response_ids = tokenizer.encode(example.response) + [vocab.eos_id]
     prompt_budget = max_len - len(marker_ids) - len(response_ids) - 1
     if prompt_budget < 1:
-        raise ValueError(
-            f"max_len {max_len} too small for response of "
-            f"{len(response_ids)} tokens"
-        )
+        raise ValueError(f"max_len {max_len} too small for response of {len(response_ids)} tokens")
     instruction_ids = tokenizer.encode(example.instruction)[:prompt_budget]
-    prompt_ids = [vocab.bos_id] + instruction_ids + marker_ids
-    input_ids = np.array(prompt_ids + response_ids, dtype=np.int64)
-    labels = np.concatenate([
-        np.full(len(prompt_ids), IGNORE_INDEX, dtype=np.int64),
-        np.array(response_ids, dtype=np.int64),
-    ])
+    prompt = [vocab.bos_id] + instruction_ids + marker_ids
+    input_ids = np.array(prompt + response_ids, dtype=np.int64)
+    labels = np.concatenate(
+        [
+            np.full(len(prompt), IGNORE_INDEX, dtype=np.int64),
+            np.array(response_ids, dtype=np.int64),
+        ]
+    )
     return EncodedExample(input_ids=input_ids, labels=labels)
 
 
-def prompt_ids(tokenizer: WordTokenizer, instruction: str,
-               max_len: int = 256) -> list[int]:
+def prompt_ids(tokenizer: WordTokenizer, instruction: str, max_len: int = 256) -> list[int]:
     """Inference-side prompt encoding matching ``encode_example``."""
     vocab = tokenizer.vocab
     marker_ids = tokenizer.encode(_ANSWER_MARKER)
@@ -73,8 +78,7 @@ def prompt_ids(tokenizer: WordTokenizer, instruction: str,
     return [vocab.bos_id] + instruction_ids + marker_ids
 
 
-def collate_batch(examples: list[EncodedExample],
-                  pad_id: int) -> tuple[np.ndarray, np.ndarray]:
+def collate_batch(examples: list[EncodedExample], pad_id: int) -> tuple[np.ndarray, np.ndarray]:
     """Right-pad a batch; padded label positions are ``IGNORE_INDEX``."""
     if not examples:
         raise ValueError("empty batch")
@@ -82,6 +86,6 @@ def collate_batch(examples: list[EncodedExample],
     input_ids = np.full((len(examples), max_len), pad_id, dtype=np.int64)
     labels = np.full((len(examples), max_len), IGNORE_INDEX, dtype=np.int64)
     for row, example in enumerate(examples):
-        input_ids[row, :len(example)] = example.input_ids
-        labels[row, :len(example)] = example.labels
+        input_ids[row, : len(example)] = example.input_ids
+        labels[row, : len(example)] = example.labels
     return input_ids, labels

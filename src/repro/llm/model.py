@@ -46,24 +46,31 @@ class SwiGLU(Module):
 class TransformerBlock(Module):
     """Pre-norm attention + SwiGLU block with residual connections."""
 
-    def __init__(self, config: LMConfig, rope: RotaryEmbedding,
-                 rng: np.random.Generator):
+    def __init__(self, config: LMConfig, rope: RotaryEmbedding, rng: np.random.Generator):
         super().__init__()
         self.attn_norm = RMSNorm(config.dim, eps=config.norm_eps)
         self.attention = MultiHeadAttention(
-            config.dim, config.num_heads, rope=rope,
-            dropout=config.dropout, rng=rng,
+            config.dim,
+            config.num_heads,
+            rope=rope,
+            dropout=config.dropout,
+            rng=rng,
         )
         self.ffn_norm = RMSNorm(config.dim, eps=config.norm_eps)
         self.feed_forward = SwiGLU(config.dim, config.ffn_hidden, rng)
         self.dropout = Dropout(config.dropout, rng=rng)
 
-    def forward(self, x: Tensor, attn_mask: np.ndarray | None,
-                cache: KVCache | None = None,
-                rope_offset: int | np.ndarray | None = None) -> Tensor:
+    def forward(
+        self,
+        x: Tensor,
+        attn_mask: np.ndarray | None,
+        cache: KVCache | None = None,
+        rope_offset: int | np.ndarray | None = None,
+    ) -> Tensor:
         x = x + self.dropout(
-            self.attention(self.attn_norm(x), attn_mask=attn_mask, cache=cache,
-                           rope_offset=rope_offset)
+            self.attention(
+                self.attn_norm(x), attn_mask=attn_mask, cache=cache, rope_offset=rope_offset
+            )
         )
         x = x + self.dropout(self.feed_forward(self.ffn_norm(x)))
         return x
@@ -81,14 +88,15 @@ class TinyLlama(Module):
         config.validate()
         rng = np.random.default_rng(config.seed)
         self.config = config
-        self.rope = RotaryEmbedding(config.dim // config.num_heads,
-                                    max_positions=config.max_seq_len,
-                                    base=config.rope_base)
+        self.rope = RotaryEmbedding(
+            config.dim // config.num_heads,
+            max_positions=config.max_seq_len,
+            base=config.rope_base,
+        )
         self.tok_embeddings = Embedding(config.vocab_size, config.dim, rng=rng)
-        self.blocks = ModuleList([
-            TransformerBlock(config, self.rope, rng)
-            for _ in range(config.num_layers)
-        ])
+        self.blocks = ModuleList(
+            [TransformerBlock(config, self.rope, rng) for _ in range(config.num_layers)]
+        )
         self.final_norm = RMSNorm(config.dim, eps=config.norm_eps)
         self.lm_head = Linear(config.dim, config.vocab_size, bias=False, rng=rng)
 
@@ -97,25 +105,25 @@ class TinyLlama(Module):
     def vocab_size(self) -> int:
         return self.tok_embeddings.num_embeddings
 
-    def extend_vocab(self, extra_tokens: int,
-                     rng: np.random.Generator | None = None) -> None:
+    def extend_vocab(self, extra_tokens: int, rng: np.random.Generator | None = None) -> None:
         """Grow the embedding table and output head by ``extra_tokens`` rows."""
         if extra_tokens <= 0:
             return
         rng = rng or np.random.default_rng(self.config.seed + 1)
         self.tok_embeddings.extend(extra_tokens, rng=rng)
-        new_cols = (rng.standard_normal((self.config.dim, extra_tokens)) * 0.02
-                    ).astype(np.float32)
-        self.lm_head.weight.data = np.concatenate(
-            [self.lm_head.weight.data, new_cols], axis=1
-        )
+        new_cols = (rng.standard_normal((self.config.dim, extra_tokens)) * 0.02).astype(np.float32)
+        self.lm_head.weight.data = np.concatenate([self.lm_head.weight.data, new_cols], axis=1)
         self.lm_head.weight.grad = None
         self.lm_head.out_features += extra_tokens
 
     # ------------------------------------------------------------------
-    def hidden_states(self, tokens: np.ndarray,
-                      caches: list[KVCache] | None = None,
-                      pad_lengths: np.ndarray | None = None) -> Tensor:
+    def hidden_states(
+        self,
+        tokens: np.ndarray,
+        caches: list[KVCache] | None = None,
+        pad_lengths: np.ndarray | None = None,
+        pad_columns: np.ndarray | None = None,
+    ) -> Tensor:
         """Final-norm hidden states ``(B, T, dim)`` for ``tokens``.
 
         ``pad_lengths[b]`` counts *left* pads in row ``b`` of a padded batch.
@@ -124,31 +132,63 @@ class TinyLlama(Module):
         match an unpadded per-row forward pass (exactly in exact arithmetic;
         to float rounding under BLAS, whose accumulation order varies with
         batch shape).
+
+        ``pad_columns`` generalises ``pad_lengths`` to pads at arbitrary key
+        columns: a boolean ``(B, C)`` map (``C <= cache length + T``; missing
+        trailing columns are real) that is True at pad positions.  The
+        cached-prefix decode path needs this because its pads sit *between*
+        the per-row cached prefix and the left-padded suffix, not at column
+        zero.  Real tokens still keep unpadded RoPE positions: row ``b`` of
+        the new tokens is offset by the cache length minus its total pad
+        count.  At most one of ``pad_lengths`` / ``pad_columns`` may be
+        given.
         """
         tokens = np.asarray(tokens)
         seq_len = tokens.shape[1]
         offset = caches[0].length if caches else 0
-        mask = causal_mask(seq_len, offset + seq_len, offset=offset)
+        key_len = offset + seq_len
+        mask = causal_mask(seq_len, key_len, offset=offset)
         rope_offset: int | np.ndarray = offset
+        if pad_lengths is not None and pad_columns is not None:
+            raise ValueError("pass pad_lengths or pad_columns, not both")
         if pad_lengths is not None and np.any(pad_lengths):
             pad_lengths = np.asarray(pad_lengths, dtype=np.int64)
-            key_len = offset + seq_len
             pad_keys = np.arange(key_len)[None, :] < pad_lengths[:, None]
             mask = mask[None, None, :, :] | pad_keys[:, None, None, :]
             rope_offset = offset - pad_lengths
+        elif pad_columns is not None and np.any(pad_columns):
+            pad_columns = np.asarray(pad_columns, dtype=bool)
+            pad_keys = np.zeros((pad_columns.shape[0], key_len), dtype=bool)
+            pad_keys[:, : pad_columns.shape[1]] = pad_columns
+            mask = mask[None, None, :, :] | pad_keys[:, None, None, :]
+            rope_offset = offset - pad_columns.sum(axis=1)
         x = self.tok_embeddings(tokens)
         for layer_index, block in enumerate(self.blocks):
             cache = caches[layer_index] if caches else None
             x = block(x, attn_mask=mask, cache=cache, rope_offset=rope_offset)
         return self.final_norm(x)
 
-    def forward(self, tokens: np.ndarray,
-                caches: list[KVCache] | None = None,
-                pad_lengths: np.ndarray | None = None) -> Tensor:
-        """Next-token logits ``(B, T, vocab)``."""
-        return self.lm_head(
-            self.hidden_states(tokens, caches=caches, pad_lengths=pad_lengths)
+    def forward(
+        self,
+        tokens: np.ndarray,
+        caches: list[KVCache] | None = None,
+        pad_lengths: np.ndarray | None = None,
+        pad_columns: np.ndarray | None = None,
+        last_only: bool = False,
+    ) -> Tensor:
+        """Next-token logits ``(B, T, vocab)``.
+
+        ``last_only`` applies the output head to the final position only
+        (returning ``(B, 1, vocab)``): prompt prefill needs just the
+        next-token logits, and the head matmul over every prompt column is
+        otherwise the single largest wasted cost of a batched decode.
+        """
+        hidden = self.hidden_states(
+            tokens, caches=caches, pad_lengths=pad_lengths, pad_columns=pad_columns
         )
+        if last_only:
+            hidden = hidden[:, -1:, :]
+        return self.lm_head(hidden)
 
     def new_caches(self) -> list[KVCache]:
         """Fresh per-layer KV caches for incremental decoding."""
@@ -163,8 +203,7 @@ class TinyLlama(Module):
         for cache in caches:
             cache.fan_out(beams)
 
-    def reorder_caches(self, caches: list[KVCache],
-                       beam_indices: np.ndarray) -> None:
+    def reorder_caches(self, caches: list[KVCache], beam_indices: np.ndarray) -> None:
         """Reindex every layer cache; supports a flattened ``B*K`` beam axis."""
         for cache in caches:
             cache.reorder(beam_indices)

@@ -1,0 +1,268 @@
+"""Cross-request prompt-prefix KV cache for the batched serving engine.
+
+LC-Rec renders every serving instruction from a handful of prompt
+templates, so concurrent requests share long identical prompt prefixes:
+every sequential-recommendation prompt for template 0 starts with the same
+~10 tokens, a returning user's prompts share the template head *plus* most
+of their interaction history, and a repeated query is a whole-prompt
+duplicate.  Re-running the transformer over those shared tokens is pure
+waste — key/value tensors at position ``i`` depend only on tokens ``<= i``,
+so the K/V of any previously decoded prompt prefix can be reused verbatim.
+
+:class:`PrefixKVCache` stores per-layer prompt K/V keyed by token-id
+sequence in a trie:
+
+* ``insert(prompt_ids, layer_kvs)`` files the full prompt's K/V under its
+  token sequence.  Every trie node along the path remembers one *donor*
+  entry passing through it.
+* ``match(prompt_ids)`` walks the trie as deep as the query agrees with any
+  stored sequence and returns that donor's K/V sliced to the matched depth
+  — so a stored prompt serves exact repeats, grown-session prompts (shared
+  history prefix), and unrelated requests from the same template (shared
+  template head) with a single entry.
+
+The decode integration lives in
+:func:`repro.llm.generation.beam_search_items_batched`: matched rows skip
+the transformer for their cached prefix (the K/V is seeded straight into
+the :class:`repro.tensor.BeamKVCache` via ``seed_prompt``) and only the
+per-row suffix is forwarded.
+
+Thread safety: all public methods take an internal lock, and stored K/V
+arrays are copied on insert and marked read-only, so a
+:class:`PrefixMatch` handed to one decode thread is never mutated by
+another thread's insert or eviction.  Invalidation: entries are keyed by
+token ids under *fixed* model weights — call :meth:`clear` after any
+weight update (further tuning, vocabulary extension) or when switching
+models.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PrefixCacheStats", "PrefixMatch", "PrefixKVCache"]
+
+
+@dataclass
+class PrefixCacheStats:
+    """Counters a long-running service (and the benchmark) reads.
+
+    ``token_hit_rate`` is the load-bearing number: the fraction of prompt
+    tokens whose transformer forward pass was skipped.
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    prompt_tokens: int = 0
+    reused_tokens: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that matched a non-empty prefix."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def token_hit_rate(self) -> float:
+        """Fraction of looked-up prompt tokens served from the cache."""
+        return self.reused_tokens / self.prompt_tokens if self.prompt_tokens else 0.0
+
+
+@dataclass
+class _Entry:
+    """One stored prompt: its token key and per-layer K/V arrays."""
+
+    key: tuple[int, ...]
+    layer_kvs: list[tuple[np.ndarray, np.ndarray]]
+
+
+class _TrieNode:
+    """Token-trie node; ``donor`` is any stored entry passing through it."""
+
+    __slots__ = ("children", "donor")
+
+    def __init__(self) -> None:
+        self.children: dict[int, _TrieNode] = {}
+        self.donor: _Entry | None = None
+
+
+@dataclass(frozen=True)
+class PrefixMatch:
+    """A successful lookup: reusable K/V for the first ``length`` tokens.
+
+    ``layer_kvs[i]`` is the layer-``i`` ``(keys, values)`` pair, each of
+    shape ``(1, heads, length, head_dim)``.  The arrays are read-only views
+    of cache-owned storage — consume them (seed a decode cache, which
+    copies on first append) without writing into them.
+    """
+
+    length: int
+    layer_kvs: tuple[tuple[np.ndarray, np.ndarray], ...] = field(repr=False)
+
+
+class PrefixKVCache:
+    """Trie-keyed LRU cache of prompt-prefix K/V tensors.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity in stored prompts.  Sized for a template-driven
+        workload: one entry per hot template rendering plus headroom for
+        per-user session prompts.
+    min_prefix_len:
+        Shortest prefix worth reusing (and shortest prompt worth storing).
+        Matching only ``<bos>`` saves nothing, so tiny matches are reported
+        as misses.
+
+    All methods are safe to call from multiple threads; see the module
+    docstring for the invalidation contract.
+    """
+
+    def __init__(self, max_entries: int = 64, min_prefix_len: int = 4):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        if min_prefix_len < 1:
+            raise ValueError("min_prefix_len must be positive")
+        self.max_entries = max_entries
+        self.min_prefix_len = min_prefix_len
+        self.stats = PrefixCacheStats()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[int, ...], _Entry] = OrderedDict()
+        self._root = _TrieNode()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def match(self, prompt_ids: list[int], max_len: int | None = None) -> PrefixMatch | None:
+        """Longest cached prefix of ``prompt_ids``, or None.
+
+        ``max_len`` caps the matched length (decoding needs at least one
+        real suffix token to forward, so callers pass ``len(prompt) - 1``).
+        Matches shorter than ``min_prefix_len`` count as misses.
+        """
+        with self._lock:
+            self.stats.lookups += 1
+            self.stats.prompt_tokens += len(prompt_ids)
+            limit = len(prompt_ids) if max_len is None else min(max_len, len(prompt_ids))
+            node = self._root
+            depth = 0
+            donor: _Entry | None = None
+            for token in prompt_ids[:limit]:
+                child = node.children.get(int(token))
+                if child is None:
+                    break
+                node = child
+                depth += 1
+                donor = node.donor
+            if donor is None or depth < self.min_prefix_len:
+                return None
+            self._entries.move_to_end(donor.key)  # LRU touch
+            self.stats.hits += 1
+            self.stats.reused_tokens += depth
+            layer_kvs = tuple(
+                (keys[:, :, :depth, :], values[:, :, :depth, :])
+                for keys, values in donor.layer_kvs
+            )
+            return PrefixMatch(length=depth, layer_kvs=layer_kvs)
+
+    def probe(self, prompt_ids: Sequence[int], max_len: int | None = None) -> int:
+        """Matched prefix length a :meth:`match` would return — no side effects.
+
+        Unlike ``match`` this records no stats, touches no LRU order, and
+        builds no views; the micro-batcher uses it to group requests by
+        *effective* (post-cache) prompt length, so near-full hits are not
+        co-batched with misses whose long suffixes would dictate the padded
+        forward width anyway.
+        """
+        with self._lock:
+            limit = len(prompt_ids) if max_len is None else min(max_len, len(prompt_ids))
+            node = self._root
+            depth = 0
+            matched = 0
+            for token in prompt_ids[:limit]:
+                child = node.children.get(int(token))
+                if child is None:
+                    break
+                node = child
+                depth += 1
+                if node.donor is not None:
+                    matched = depth
+            return matched if matched >= self.min_prefix_len else 0
+
+    # ------------------------------------------------------------------
+    # Insertion and eviction
+    # ------------------------------------------------------------------
+    def insert(self, prompt_ids: list[int], layer_kvs: list[tuple[np.ndarray, np.ndarray]]) -> bool:
+        """Store a decoded prompt's per-layer K/V under its token sequence.
+
+        ``layer_kvs[i]`` must be ``(keys, values)`` of shape
+        ``(1, heads, len(prompt_ids), head_dim)``.  The arrays are copied
+        and frozen, so callers may hand in views of live decode caches.
+        Returns False (and stores nothing) for prompts shorter than
+        ``min_prefix_len`` or already stored.
+        """
+        key = tuple(int(t) for t in prompt_ids)
+        if len(key) < self.min_prefix_len:
+            return False
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return False
+            stored = []
+            for keys, values in layer_kvs:
+                if keys.shape[2] != len(key):
+                    raise ValueError(f"K/V length {keys.shape[2]} != prompt length {len(key)}")
+                keys = np.array(keys, copy=True)  # never alias live caches
+                values = np.array(values, copy=True)
+                keys.flags.writeable = False
+                values.flags.writeable = False
+                stored.append((keys, values))
+            entry = _Entry(key=key, layer_kvs=stored)
+            self._entries[key] = entry
+            self._index(entry)
+            self.stats.inserts += 1
+            if len(self._entries) > self.max_entries:
+                # Evict a batch of cold entries (1/4 of capacity) so the
+                # trie rebuild amortizes over many inserts instead of
+                # running once per overflow.
+                drop = max(1, self.max_entries // 4)
+                for _ in range(drop):
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+                self._rebuild_trie()
+            return True
+
+    def _index(self, entry: _Entry) -> None:
+        node = self._root
+        for token in entry.key:
+            node = node.children.setdefault(token, _TrieNode())
+            node.donor = entry
+
+    def _rebuild_trie(self) -> None:
+        # Eviction is rare (LRU overflow only) and entries are few, so a
+        # rebuild beats reference-counted donor bookkeeping on every node.
+        self._root = _TrieNode()
+        for entry in self._entries.values():
+            self._index(entry)
+
+    def clear(self) -> None:
+        """Drop every entry (required after any model-weight change)."""
+        with self._lock:
+            self._entries.clear()
+            self._root = _TrieNode()
+
+    def __contains__(self, prompt_ids: Sequence[int]) -> bool:
+        """Whether the *exact* prompt is stored (not merely matchable)."""
+        key = tuple(int(t) for t in prompt_ids)
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

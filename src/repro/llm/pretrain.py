@@ -50,8 +50,9 @@ def build_corpus_stream(tokenizer: WordTokenizer, texts: list[str]) -> np.ndarra
     return np.array(stream, dtype=np.int64)
 
 
-def pretrain_lm(model: TinyLlama, tokenizer: WordTokenizer, texts: list[str],
-                config: PretrainConfig) -> list[float]:
+def pretrain_lm(
+    model: TinyLlama, tokenizer: WordTokenizer, texts: list[str], config: PretrainConfig
+) -> list[float]:
     """Train ``model`` as a causal LM over random corpus windows."""
     stream = build_corpus_stream(tokenizer, texts)
     seq_len = min(config.seq_len, model.config.max_seq_len)
@@ -60,18 +61,19 @@ def pretrain_lm(model: TinyLlama, tokenizer: WordTokenizer, texts: list[str],
         reps = (seq_len + 2) // len(stream) + 1
         stream = np.tile(stream, reps)
     rng = np.random.default_rng(config.seed)
-    optimizer = AdamW(model.parameters(), lr=config.lr,
-                      weight_decay=config.weight_decay)
-    schedule = CosineWarmup(config.lr,
-                            warmup_steps=int(config.steps * config.warmup_frac),
-                            total_steps=config.steps)
+    optimizer = AdamW(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    schedule = CosineWarmup(
+        config.lr,
+        warmup_steps=int(config.steps * config.warmup_frac),
+        total_steps=config.steps,
+    )
     losses: list[float] = []
     model.train()
     max_start = len(stream) - seq_len - 1
     for step in range(config.steps):
         schedule.apply(optimizer, step)
         starts = rng.integers(0, max_start + 1, size=config.batch_size)
-        batch = np.stack([stream[s:s + seq_len + 1] for s in starts])
+        batch = np.stack([stream[s : s + seq_len + 1] for s in starts])
         inputs, targets = batch[:, :-1], batch[:, 1:]
         optimizer.zero_grad()
         logits = model(inputs)

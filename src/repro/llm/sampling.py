@@ -39,12 +39,17 @@ def _filter_top_p(logits: np.ndarray, top_p: float) -> np.ndarray:
     return filtered
 
 
-def sample_generate(model: TinyLlama, prompt_ids: list[int],
-                    max_new_tokens: int, eos_id: int,
-                    rng: np.random.Generator,
-                    temperature: float = 1.0, top_k: int = 0,
-                    top_p: float = 1.0,
-                    banned_ids: set[int] | None = None) -> list[int]:
+def sample_generate(
+    model: TinyLlama,
+    prompt_ids: list[int],
+    max_new_tokens: int,
+    eos_id: int,
+    rng: np.random.Generator,
+    temperature: float = 1.0,
+    top_k: int = 0,
+    top_p: float = 1.0,
+    banned_ids: set[int] | None = None,
+) -> list[int]:
     """Sample a continuation with temperature / top-k / nucleus filtering."""
     if temperature <= 0:
         raise ValueError("temperature must be positive")

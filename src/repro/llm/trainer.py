@@ -48,15 +48,16 @@ class TuningConfig:
 class InstructionTuner:
     """Fine-tunes a :class:`TinyLlama` on instruction/response pairs."""
 
-    def __init__(self, model: TinyLlama, tokenizer: WordTokenizer,
-                 config: TuningConfig):
+    def __init__(self, model: TinyLlama, tokenizer: WordTokenizer, config: TuningConfig):
         self.model = model
         self.tokenizer = tokenizer
         self.config = config
 
-    def tune(self, sampler: ExampleSampler,
-             validation_examples: Sequence[InstructionExample] | None = None,
-             ) -> list[float]:
+    def tune(
+        self,
+        sampler: ExampleSampler,
+        validation_examples: Sequence[InstructionExample] | None = None,
+    ) -> list[float]:
         """Run tuning; ``sampler(epoch)`` yields that epoch's examples.
 
         When ``validation_examples`` is given and
@@ -68,44 +69,42 @@ class InstructionTuner:
         Returns the per-step loss history.
         """
         config = self.config
-        early_stopping = (config.early_stopping_patience is not None
-                          and validation_examples is not None)
+        early_stopping = (
+            config.early_stopping_patience is not None and validation_examples is not None
+        )
         best_val = float("inf")
         best_state = None
         bad_epochs = 0
         rng = np.random.default_rng(config.seed)
-        optimizer = AdamW(self.model.parameters(), lr=config.lr,
-                          weight_decay=config.weight_decay)
+        optimizer = AdamW(self.model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
 
         first_epoch = list(sampler(0))
         if not first_epoch:
             raise ValueError("sampler produced no examples")
         steps_per_epoch = int(np.ceil(len(first_epoch) / config.batch_size))
         total_steps = steps_per_epoch * config.epochs
-        schedule = CosineWarmup(config.lr,
-                                warmup_steps=int(total_steps * config.warmup_frac),
-                                total_steps=total_steps)
+        schedule = CosineWarmup(
+            config.lr,
+            warmup_steps=int(total_steps * config.warmup_frac),
+            total_steps=total_steps,
+        )
         losses: list[float] = []
         step = 0
         self.model.train()
         for epoch in range(config.epochs):
             examples = first_epoch if epoch == 0 else list(sampler(epoch))
-            encoded = [encode_example(self.tokenizer, ex, config.max_len)
-                       for ex in examples]
+            encoded = [encode_example(self.tokenizer, ex, config.max_len) for ex in examples]
             # Length-bucketed shuffling: randomise, then sort within chunks
             # so batches have similar lengths (less padding waste).
             order = rng.permutation(len(encoded))
             chunk = config.batch_size * 8
             bucketed: list[int] = []
             for start in range(0, len(order), chunk):
-                block = sorted(order[start:start + chunk],
-                               key=lambda i: len(encoded[i]))
+                block = sorted(order[start : start + chunk], key=lambda i: len(encoded[i]))
                 bucketed.extend(block)
             for start in range(0, len(bucketed), config.batch_size):
-                batch = [encoded[i] for i in bucketed[start:start + config.batch_size]]
-                input_ids, labels = collate_batch(
-                    batch, pad_id=self.tokenizer.vocab.pad_id
-                )
+                batch = [encoded[i] for i in bucketed[start : start + config.batch_size]]
+                input_ids, labels = collate_batch(batch, pad_id=self.tokenizer.vocab.pad_id)
                 schedule.apply(optimizer, step)
                 optimizer.zero_grad()
                 logits = self.model(input_ids[:, :-1])
@@ -116,8 +115,7 @@ class InstructionTuner:
                 losses.append(loss.item())
                 step += 1
                 if step % config.log_every == 0:
-                    logger.info("tune step %d/%d: loss=%.4f", step,
-                                total_steps, losses[-1])
+                    logger.info("tune step %d/%d: loss=%.4f", step, total_steps, losses[-1])
             if early_stopping:
                 val_loss = self.evaluate_loss(validation_examples)
                 self.model.train()
@@ -128,8 +126,9 @@ class InstructionTuner:
                 else:
                     bad_epochs += 1
                     if bad_epochs >= config.early_stopping_patience:
-                        logger.info("early stop after epoch %d (best "
-                                    "val=%.4f)", epoch + 1, best_val)
+                        logger.info(
+                            "early stop after epoch %d (best val=%.4f)", epoch + 1, best_val
+                        )
                         break
         if early_stopping and best_state is not None:
             self.model.load_state_dict(best_state)
@@ -140,16 +139,13 @@ class InstructionTuner:
         """Mean response-token cross-entropy on held-out examples."""
         from ..tensor import no_grad
 
-        encoded = [encode_example(self.tokenizer, ex, self.config.max_len)
-                   for ex in examples]
+        encoded = [encode_example(self.tokenizer, ex, self.config.max_len) for ex in examples]
         total, count = 0.0, 0
         self.model.eval()
         with no_grad():
             for start in range(0, len(encoded), self.config.batch_size):
-                batch = encoded[start:start + self.config.batch_size]
-                input_ids, labels = collate_batch(
-                    batch, pad_id=self.tokenizer.vocab.pad_id
-                )
+                batch = encoded[start : start + self.config.batch_size]
+                input_ids, labels = collate_batch(batch, pad_id=self.tokenizer.vocab.pad_id)
                 logits = self.model(input_ids[:, :-1])
                 loss = F.cross_entropy(logits, labels[:, 1:], ignore_index=-100)
                 total += loss.item() * len(batch)

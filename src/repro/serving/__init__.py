@@ -1,5 +1,22 @@
-"""Batched recommendation serving: queue, micro-batcher, service facade."""
+"""Batched recommendation serving: queue, micro-batcher, service facade.
 
+The package turns a built :class:`repro.core.LCRec` into a
+deployment-shaped service: producers push :class:`RecommendRequest`\\ s
+into a thread-safe :class:`RequestQueue`, the :class:`MicroBatcher` plans
+length-bucketed, prefix-clustered micro-batches, and
+:class:`RecommendationService` decodes them through the batched
+trie-constrained beam search — synchronously via ``flush()`` or
+asynchronously via a deadline-batched background loop
+(``start()``/``stop()``).  A cross-request
+:class:`repro.llm.PrefixKVCache` (re-exported here) skips re-running
+prompt prefixes shared between requests.
+
+See ``docs/serving.md`` for the architecture, tuning guidance, and the
+prefix-cache invalidation contract, and ``examples/serving_async.py`` for
+a runnable walkthrough.
+"""
+
+from ..llm import PrefixCacheStats, PrefixKVCache
 from .batcher import (
     MicroBatcher,
     MicroBatcherConfig,
@@ -19,4 +36,6 @@ __all__ = [
     "PendingRecommendation",
     "RecommendationService",
     "ServingStats",
+    "PrefixKVCache",
+    "PrefixCacheStats",
 ]

@@ -6,11 +6,24 @@ column for the whole beam fan-out.  The batcher therefore buckets requests
 by prompt length before slicing them into batches: within a micro-batch the
 length spread is bounded by ``bucket_width``, which bounds wasted padding
 while still filling batches.
+
+With the cross-request prefix KV cache in play, batch *composition* also
+matters for cache effectiveness: requests rendered from the same template
+share a long prompt prefix, so co-batching them turns one cached template
+head into hits for the whole batch.  ``prefix_locality`` folds the first
+few prompt token ids into the sort key, which clusters same-template
+requests without changing the batching invariants (beam widths never mix,
+length spread stays bounded).
+
+Thread safety: the planner is stateless — ``plan_batches`` is a pure
+function of its inputs and a :class:`MicroBatcher` holds only immutable
+configuration, so planning may run from any thread.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from .queue import RecommendRequest
 
@@ -19,45 +32,84 @@ __all__ = ["MicroBatcherConfig", "MicroBatcher", "plan_batches", "padding_fracti
 
 @dataclass
 class MicroBatcherConfig:
-    """Batching policy knobs."""
+    """Batching policy knobs.
+
+    ``max_batch_size`` doubles as the async flush trigger: the background
+    loop flushes as soon as a full batch is waiting, without waiting out
+    the deadline.
+    """
 
     max_batch_size: int = 16
     bucket_width: int = 16  # max (longest - shortest) prompt in one batch
+    prefix_locality: int = 12  # leading token ids folded into the sort key
 
     def validate(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be positive")
         if self.bucket_width < 0:
             raise ValueError("bucket_width must be non-negative")
+        if self.prefix_locality < 0:
+            raise ValueError("prefix_locality must be non-negative")
+
+
+def _prompt_len(request: RecommendRequest) -> int:
+    return request.prompt_len
 
 
 def plan_batches(
-    requests: list[RecommendRequest], config: MicroBatcherConfig
+    requests: list[RecommendRequest],
+    config: MicroBatcherConfig,
+    effective_len: Callable[[RecommendRequest], int] | None = None,
 ) -> list[list[RecommendRequest]]:
     """Partition ``requests`` into micro-batches.
 
-    Requests are sorted by (beam width, prompt length) — stable, so FIFO
-    order breaks ties — then sliced greedily: a batch closes when it
-    reaches ``max_batch_size``, when the next request would stretch the
-    batch's length spread beyond ``bucket_width``, or when its beam width
-    differs (a request's rankings must not depend on who it is co-batched
-    with, and beam width changes rankings).  Every request lands in exactly
-    one batch — nothing is dropped.
+    Requests are sorted by (beam width, leading prompt tokens, effective
+    length) — stable, so FIFO order breaks ties — then sliced greedily: a
+    batch closes when it reaches ``max_batch_size``, when the next request
+    would stretch the batch's length spread beyond ``bucket_width``, or
+    when its beam width differs (a request's rankings must not depend on
+    who it is co-batched with, and beam width changes rankings).  The
+    leading-token component clusters requests that share a template prefix,
+    which feeds the prefix KV cache whole batches of hits.  Every request
+    lands in exactly one batch — nothing is dropped.
+
+    ``effective_len`` (default: the prompt length) is the per-request cost
+    model the length bucketing runs on.  The service passes the
+    *post-prefix-cache* length — prompt length minus the cached prefix the
+    decode will skip — because a padded batch's prompt forward is as wide
+    as its longest un-cached suffix: co-batching a near-full cache hit with
+    a miss would make the hit pay the miss's columns anyway.
     """
     config.validate()
     if not requests:
         return []
-    ordered = sorted(requests, key=lambda r: (r.beam_size, r.prompt_len))
+    locality = config.prefix_locality
+    if effective_len is None:
+        effective_len = _prompt_len
+
+    def sort_key(request: RecommendRequest):
+        return (request.beam_size, request.prompt_ids[:locality], effective_len(request))
+
+    ordered = sorted(requests, key=sort_key)
     batches: list[list[RecommendRequest]] = []
     current: list[RecommendRequest] = []
+    min_len = max_len = 0
     for request in ordered:
+        length = effective_len(request)
+        # Prefix-locality sorting means lengths are not globally ascending,
+        # so the spread check tracks the open batch's min and max.
         if current and (
             len(current) >= config.max_batch_size
             or request.beam_size != current[0].beam_size
-            or request.prompt_len - current[0].prompt_len > config.bucket_width
+            or max(max_len, length) - min(min_len, length) > config.bucket_width
         ):
             batches.append(current)
             current = []
+        if current:
+            min_len = min(min_len, length)
+            max_len = max(max_len, length)
+        else:
+            min_len = max_len = length
         current.append(request)
     batches.append(current)
     return batches
@@ -80,5 +132,9 @@ class MicroBatcher:
         self.config = config or MicroBatcherConfig()
         self.config.validate()
 
-    def plan(self, requests: list[RecommendRequest]) -> list[list[RecommendRequest]]:
-        return plan_batches(requests, self.config)
+    def plan(
+        self,
+        requests: list[RecommendRequest],
+        effective_len: Callable[[RecommendRequest], int] | None = None,
+    ) -> list[list[RecommendRequest]]:
+        return plan_batches(requests, self.config, effective_len)

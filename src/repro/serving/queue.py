@@ -1,17 +1,26 @@
 """Request queue for the batched recommendation service.
 
 Requests arrive one at a time (interactive traffic) but are decoded in
-micro-batches; the queue is the buffer between the two.  It is a plain
-thread-safe FIFO: ``push`` from any producer thread, ``drain`` from the
-serving loop.
+micro-batches; the queue is the buffer between the two.  It is a
+thread-safe FIFO with a condition variable on top: producers ``push`` from
+any thread, and the consumer either ``drain``\\ s explicitly (synchronous
+serving) or blocks in :meth:`RequestQueue.await_batch` until a flush is
+due (the async serving loop) — due meaning a full batch is waiting or the
+oldest request has exceeded its latency budget.
+
+Thread safety: every method takes the internal condition's lock;
+``push``/``drain``/``await_batch``/``kick`` may be called concurrently
+from any mix of threads.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 __all__ = ["RecommendRequest", "RequestQueue"]
 
@@ -26,12 +35,15 @@ class RecommendRequest:
     with (already folding in ``top_k``); the batcher never mixes beam widths
     in one micro-batch, because beam width changes rankings and co-batched
     requests must get exactly the results they would get decoded alone.
+    ``enqueued_at`` (monotonic seconds) is what deadline-based flushing
+    measures request age against.
     """
 
     prompt_ids: list[int]
     top_k: int = 10
     beam_size: int = 0
     request_id: int = field(default_factory=lambda: next(_request_counter))
+    enqueued_at: float = field(default_factory=time.monotonic)
 
     @property
     def prompt_len(self) -> int:
@@ -39,28 +51,71 @@ class RecommendRequest:
 
 
 class RequestQueue:
-    """Thread-safe FIFO of :class:`RecommendRequest`."""
+    """Thread-safe FIFO of :class:`RecommendRequest` with deadline waits."""
 
     def __init__(self) -> None:
         self._items: deque[RecommendRequest] = deque()
-        self._lock = threading.Lock()
+        self._cond = threading.Condition()
 
     def push(self, request: RecommendRequest) -> None:
-        with self._lock:
+        with self._cond:
             self._items.append(request)
+            self._cond.notify_all()
 
     def drain(self, limit: int | None = None) -> list[RecommendRequest]:
         """Pop up to ``limit`` requests (all, if ``limit`` is None), FIFO."""
-        with self._lock:
-            if limit is None or limit >= len(self._items):
-                drained = list(self._items)
-                self._items.clear()
-            else:
-                drained = [self._items.popleft() for _ in range(limit)]
+        with self._cond:
+            return self._drain_locked(limit)
+
+    def _drain_locked(self, limit: int | None) -> list[RecommendRequest]:
+        if limit is None or limit >= len(self._items):
+            drained = list(self._items)
+            self._items.clear()
+        else:
+            drained = [self._items.popleft() for _ in range(limit)]
         return drained
 
+    def await_batch(
+        self,
+        deadline: float,
+        max_size: int,
+        should_stop: Callable[[], bool],
+    ) -> tuple[list[RecommendRequest], str]:
+        """Block until a flush is due, then drain the whole queue.
+
+        A flush is due when ``max_size`` requests are waiting (returns
+        reason ``"size"``) or when the oldest waiting request is older than
+        ``deadline`` seconds (reason ``"deadline"``).  Returns
+        ``([], "stop")`` as soon as ``should_stop()`` turns true; callers
+        flip their stop flag and :meth:`kick` the queue to wake this wait.
+        """
+        with self._cond:
+            while not should_stop():
+                if not self._items:
+                    self._cond.wait()
+                    continue
+                if len(self._items) >= max_size:
+                    return self._drain_locked(None), "size"
+                age = time.monotonic() - self._items[0].enqueued_at
+                if age >= deadline:
+                    return self._drain_locked(None), "deadline"
+                self._cond.wait(timeout=deadline - age)
+            return [], "stop"
+
+    def kick(self) -> None:
+        """Wake every :meth:`await_batch` waiter to re-check its stop flag."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def oldest_age(self) -> float | None:
+        """Seconds the oldest queued request has been waiting, if any."""
+        with self._cond:
+            if not self._items:
+                return None
+            return time.monotonic() - self._items[0].enqueued_at
+
     def __len__(self) -> int:
-        with self._lock:
+        with self._cond:
             return len(self._items)
 
     def __bool__(self) -> bool:

@@ -3,18 +3,41 @@
 :class:`RecommendationService` is the deployment-shaped entry point to a
 built LC-Rec model: callers ``submit`` recommendation requests (histories,
 free-form instructions, or intention queries) and read results from the
-returned :class:`PendingRecommendation`; ``flush`` drains the queue through
-the micro-batcher and decodes every micro-batch with one batched
-trie-constrained beam search.  Results are identical to calling
-``LCRec.recommend`` per request — batching changes the cost, not the math.
+returned :class:`PendingRecommendation`.  Two flush disciplines drain the
+queue through the micro-batcher into the batched trie-constrained beam
+search:
+
+* **Synchronous** — the caller invokes :meth:`RecommendationService.flush`
+  (or lets ``result()`` trigger it).  Zero threads, deterministic batching;
+  what tests and offline evaluation use.
+* **Asynchronous** — :meth:`RecommendationService.start` launches a
+  background flush thread that decodes as soon as a full micro-batch is
+  waiting *or* the oldest request exceeds the ``deadline_ms`` latency
+  budget, whichever comes first.  Callers block in
+  ``PendingRecommendation.result(timeout=...)``; :meth:`stop` drains
+  in-flight work and joins the thread.  This is deadline-based batching:
+  under load, batches fill and flush at ``max_batch_size``; at low traffic,
+  no request ever waits more than one latency budget.
+
+Results are identical to calling ``LCRec.recommend`` per request — batching
+changes the cost, not the math.  A shared :class:`repro.llm.PrefixKVCache`
+(on by default) additionally skips re-running prompt prefixes the service
+has decoded before; see ``docs/serving.md`` for tuning and invalidation.
+
+Thread safety: ``submit*`` may be called from any number of threads in
+either mode, and ``flush`` may race the background loop (decoding is
+serialized on an internal lock; each request is delivered exactly once).
+``start``/``stop`` are main-thread lifecycle calls; handles are safe to
+share between threads.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
 
-from ..llm import beam_search_items_batched, ranked_item_ids
+from ..llm import PrefixKVCache, beam_search_items_batched, ranked_item_ids
 from .batcher import MicroBatcher, MicroBatcherConfig, padding_fraction
 from .queue import RecommendRequest, RequestQueue
 
@@ -25,12 +48,20 @@ __all__ = ["PendingRecommendation", "ServingStats", "RecommendationService"]
 
 
 class PendingRecommendation:
-    """Future-style handle for one submitted request."""
+    """Future-style handle for one submitted request.
+
+    Thread safety: the handle is written once by whichever thread decodes
+    its batch (delivery is signalled through a :class:`threading.Event`)
+    and may be read from any thread; ``result`` and ``done`` never race the
+    writer.
+    """
 
     def __init__(self, service: "RecommendationService", request_id: int):
         self._service = service
         self._request_id = request_id
+        self._event = threading.Event()
         self._result: list[int] | None = None
+        self._error: BaseException | None = None
 
     @property
     def request_id(self) -> int:
@@ -38,26 +69,48 @@ class PendingRecommendation:
 
     @property
     def done(self) -> bool:
-        return self._result is not None or self._request_id in self._service._results
+        return self._event.is_set()
 
-    def result(self) -> list[int]:
-        """The ranked item ids; flushes the queue if still pending."""
-        if self._result is None:
-            if self._request_id not in self._service._results:
-                self._service.flush()
-            # Evict from the service so completed results don't accumulate
-            # for the lifetime of a long-running service.
-            self._result = self._service._results.pop(self._request_id)
+    def result(self, timeout: float | None = None) -> list[int]:
+        """The ranked item ids, blocking until the request is served.
+
+        With the background flush loop running, blocks (up to ``timeout``
+        seconds, raising ``TimeoutError`` on expiry) until the deadline or
+        batch-size trigger decodes this request.  Without it, triggers a
+        synchronous ``flush()`` — the pre-async behaviour.  Raises the
+        decode's exception if this request's batch failed.
+        """
+        if not self._event.is_set() and not self._service.is_running:
+            self._service.flush()
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"request {self._request_id} not served within {timeout}s")
+        if self._error is not None:
+            raise self._error
         return self._result
+
+    def _deliver(self, result: list[int]) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
 
 
 @dataclass
 class ServingStats:
-    """O(1)-memory counters the throughput benchmark and tests read."""
+    """O(1)-memory counters the throughput benchmark and tests read.
+
+    ``size_flushes``/``deadline_flushes`` count what triggered each
+    background flush: a full batch waiting vs the oldest request aging past
+    the latency budget.  Synchronous ``flush()`` calls count in neither.
+    """
 
     requests: int = 0
     batches: int = 0
     padding_fraction_sum: float = 0.0
+    size_flushes: int = 0
+    deadline_flushes: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -71,19 +124,124 @@ class ServingStats:
 class RecommendationService:
     """Micro-batched recommendation serving over a built :class:`LCRec`.
 
-    >>> service = RecommendationService(model)
-    >>> pending = [service.submit(h) for h in histories]
-    >>> service.flush()
-    >>> rankings = [p.result() for p in pending]
+    Synchronous use (explicit flush)::
+
+        service = RecommendationService(model)
+        pending = [service.submit(h) for h in histories]
+        service.flush()
+        rankings = [p.result() for p in pending]
+
+    Asynchronous use (deadline-batched background flushing)::
+
+        with RecommendationService(model, deadline_ms=25.0) as service:
+            pending = [service.submit(h) for h in histories]   # any thread
+            rankings = [p.result(timeout=5.0) for p in pending]
+        # __exit__ -> stop(): drains in-flight work, joins the thread
+
+    Parameters
+    ----------
+    model:
+        A built :class:`LCRec`.
+    batcher:
+        Micro-batching policy; see :class:`MicroBatcherConfig`.
+    deadline_ms:
+        Async latency budget: the background loop flushes once the oldest
+        queued request has waited this long (a full batch flushes sooner).
+    prefix_cache:
+        ``True`` (default) builds a :class:`repro.llm.PrefixKVCache` so
+        prompt prefixes shared across requests (template heads, growing
+        session histories, repeated queries) are decoded once.  Pass a
+        preconfigured cache to share or size it, or ``False``/``None`` to
+        disable — rankings are identical either way.
+
+    Thread safety: see the module docstring.  The decode path itself is
+    serialized on one internal lock, so a concurrent ``flush()`` and
+    background loop never interleave inside the model.
     """
 
-    def __init__(self, model: "LCRec", batcher: MicroBatcherConfig | None = None):
+    def __init__(
+        self,
+        model: "LCRec",
+        batcher: MicroBatcherConfig | None = None,
+        deadline_ms: float = 25.0,
+        prefix_cache: PrefixKVCache | bool | None = True,
+    ):
         model._require_built()
+        if deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
         self.model = model
         self.batcher = MicroBatcher(batcher)
         self.queue = RequestQueue()
         self.stats = ServingStats()
-        self._results: dict[int, list[int]] = {}
+        self.deadline_ms = float(deadline_ms)
+        if prefix_cache is True:
+            prefix_cache = PrefixKVCache()
+        elif prefix_cache is False:
+            prefix_cache = None
+        self.prefix_cache = prefix_cache
+        self._pending: dict[int, PendingRecommendation] = {}
+        self._pending_lock = threading.Lock()
+        self._decode_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._drain_on_stop = True
+        self._worker: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_running(self) -> bool:
+        """Whether the background flush loop is active."""
+        return self._worker is not None
+
+    def start(self) -> "RecommendationService":
+        """Launch the background flush thread; returns self for chaining."""
+        if self._worker is not None:
+            raise RuntimeError("service is already running")
+        self._stop.clear()
+        self._worker = threading.Thread(
+            target=self._flush_loop, name="lcrec-serving-flush", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the background loop, by default draining in-flight work.
+
+        With ``drain=True`` every request submitted before ``stop`` is
+        decoded and delivered before the thread exits; with ``drain=False``
+        queued requests stay queued (a later ``flush()`` or ``result()``
+        still serves them synchronously).  Idempotent.
+        """
+        if self._worker is None:
+            return
+        self._drain_on_stop = drain
+        self._stop.set()
+        self.queue.kick()
+        self._worker.join()
+        self._worker = None
+
+    def __enter__(self) -> "RecommendationService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _flush_loop(self) -> None:
+        """Deadline-batched flushing: the background thread's main loop."""
+        deadline = self.deadline_ms / 1000.0
+        max_size = self.batcher.config.max_batch_size
+        while True:
+            requests, reason = self.queue.await_batch(deadline, max_size, self._stop.is_set)
+            if reason == "stop":
+                break
+            if reason == "size":
+                self.stats.size_flushes += 1
+            else:
+                self.stats.deadline_flushes += 1
+            self._decode_requests(requests, raise_errors=False)
+        if self._drain_on_stop:
+            self._decode_requests(self.queue.drain(), raise_errors=False)
 
     # ------------------------------------------------------------------
     # Submission
@@ -110,8 +268,13 @@ class RecommendationService:
             # per-request path regardless of batch composition.
             beam_size=max(self.model.config.beam_size, top_k),
         )
+        handle = PendingRecommendation(self, request.request_id)
+        # Register before push: with the background loop running, the
+        # request may be decoded the instant it becomes visible.
+        with self._pending_lock:
+            self._pending[request.request_id] = handle
         self.queue.push(request)
-        return PendingRecommendation(self, request.request_id)
+        return handle
 
     # ------------------------------------------------------------------
     # Decoding
@@ -119,9 +282,52 @@ class RecommendationService:
     def flush(self) -> int:
         """Decode everything queued; returns the number of requests served."""
         requests = self.queue.drain()
-        for batch in self.batcher.plan(requests):
-            self._decode_batch(batch)
+        self._decode_requests(requests)
         return len(requests)
+
+    def _effective_len(self) -> "Callable[[RecommendRequest], int] | None":
+        """Post-cache length prober for batch planning, memoized per request.
+
+        With the prefix cache on, a request's real prompt-forward cost is
+        its prompt length minus the cached prefix the decode will skip;
+        bucketing on that keeps near-full hits (1-token suffixes) out of
+        batches whose misses would dictate the padded width.
+        """
+        if self.prefix_cache is None:
+            return None
+        cache = self.prefix_cache
+        memo: dict[int, int] = {}
+
+        def effective(request: RecommendRequest) -> int:
+            length = memo.get(request.request_id)
+            if length is None:
+                cached = cache.probe(request.prompt_ids, max_len=request.prompt_len - 1)
+                length = request.prompt_len - cached
+                memo[request.request_id] = length
+            return length
+
+        return effective
+
+    def _decode_requests(self, requests: list[RecommendRequest], raise_errors: bool = True) -> None:
+        # A failing batch must neither hang its own waiters nor strand the
+        # other planned batches (their requests are already drained from the
+        # queue): fail the broken batch's handles, keep decoding the rest,
+        # and re-raise the first error at the end.
+        first_error: Exception | None = None
+        with self._decode_lock:
+            for batch in self.batcher.plan(requests, self._effective_len()):
+                try:
+                    self._decode_batch(batch)
+                except Exception as exc:
+                    for request in batch:
+                        with self._pending_lock:
+                            handle = self._pending.pop(request.request_id, None)
+                        if handle is not None:
+                            handle._fail(exc)
+                    if first_error is None:
+                        first_error = exc
+        if first_error is not None and raise_errors:
+            raise first_error
 
     def _decode_batch(self, batch: list[RecommendRequest]) -> None:
         all_hypotheses = beam_search_items_batched(
@@ -129,9 +335,13 @@ class RecommendationService:
             [request.prompt_ids for request in batch],
             self.model.trie,
             beam_size=batch[0].beam_size,  # the batcher keeps beams uniform
+            prefix_cache=self.prefix_cache,
         )
         for request, hypotheses in zip(batch, all_hypotheses):
-            self._results[request.request_id] = ranked_item_ids(hypotheses, request.top_k)
+            with self._pending_lock:
+                handle = self._pending.pop(request.request_id, None)
+            if handle is not None:
+                handle._deliver(ranked_item_ids(hypotheses, request.top_k))
         self.stats.requests += len(batch)
         self.stats.batches += 1
         self.stats.padding_fraction_sum += padding_fraction(batch)
@@ -142,9 +352,15 @@ class RecommendationService:
     def recommend_many(
         self, histories: Sequence[Sequence[int]], top_k: int = 10, template_id: int = 0
     ) -> list[list[int]]:
-        """Submit + flush a whole batch of histories, preserving order."""
+        """Submit + await a whole batch of histories, preserving order.
+
+        Works in both modes: without the background loop this is exactly
+        submit-all + one ``flush()``; with it, the loop's size trigger does
+        the flushing and ``result()`` blocks until delivery.
+        """
         pending = [
             self.submit(history, top_k=top_k, template_id=template_id) for history in histories
         ]
-        self.flush()
+        if not self.is_running:
+            self.flush()
         return [p.result() for p in pending]

@@ -98,6 +98,25 @@ class KVCache:
         self._buf_keys = self.keys
         self._buf_values = self.values
 
+    def seed(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Resume decoding from precomputed K/V of shape ``(B, H, L, Dh)``.
+
+        The cached-prefix serving path (:class:`repro.llm.PrefixKVCache`)
+        seeds a fresh cache with the keys/values of an already-forwarded
+        prompt prefix, so the model only runs the suffix tokens.  The
+        arrays are adopted without copying: the first :meth:`append` sees a
+        full buffer and reallocates, so seeded (possibly read-only, shared)
+        arrays are never written in place.
+        """
+        if self.keys is not None:
+            raise RuntimeError("seed() requires an empty cache")
+        if keys.shape != values.shape:
+            raise ValueError("keys and values must share a shape")
+        self._buf_keys = keys
+        self._buf_values = values
+        self.keys = keys
+        self.values = values
+
     def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         used = self.length
         new_len = used + k.shape[2]
@@ -185,6 +204,17 @@ class BeamKVCache:
     @property
     def batch_size(self) -> int:
         return self.prompt.batch_size * self.beams
+
+    def seed_prompt(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Resume from cached prompt-prefix K/V (``(B, H, L, Dh)``).
+
+        Must run before any :meth:`append` or :meth:`fan_out`: the seeded
+        columns become the leftmost prompt columns, and the remaining
+        prompt tokens are appended behind them by the suffix forward pass.
+        """
+        if self.fanned:
+            raise RuntimeError("seed_prompt must precede fan_out")
+        self.prompt.seed(keys, values)
 
     def fan_out(self, beams: int) -> None:
         """Declare ``beams`` hypotheses per request.  No data is copied."""

@@ -13,37 +13,39 @@ Design notes
 * Everything is vectorised; backward closures capture numpy arrays only.
 * Gradients flow through broadcasting: ``_unbroadcast`` sums a gradient
   down to the shape of the original operand.
-* A process-wide ``no_grad`` switch disables taping for inference paths
+* A per-thread ``no_grad`` switch disables taping for inference paths
   (beam search, evaluation), which keeps generation fast.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "as_tensor"]
 
-_GRAD_ENABLED = True
+# Per-thread, so a background serving thread decoding under ``no_grad``
+# cannot switch taping off (or back on) under a training thread's feet.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables gradient taping (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations are currently recorded on the tape."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -137,7 +139,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create an op output, recording it on the tape when appropriate."""
-        needs_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        needs_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=needs_grad)
         if needs_grad:
             out._parents = tuple(parents)
@@ -295,6 +297,25 @@ class Tensor:
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
         a, b = self, other
+        if a.data.ndim >= 3 and b.data.ndim == 2:
+            # Fold the batch dims into one GEMM: numpy dispatches
+            # (B, T, k) @ (k, m) as B separate (T, k) products, which for
+            # the decode hot path's (B*K, 1, k) activations degenerates
+            # into thousands of thin GEMVs.  One (B*T, k) @ (k, m) call
+            # is the same arithmetic in a single BLAS dispatch, and the
+            # gradients likewise fold (the batched ``aᵀ @ g`` summed over
+            # batch dims *is* the folded two-dimensional product).
+            lead = a.data.shape[:-1]
+            a2 = np.ascontiguousarray(a.data).reshape(-1, a.data.shape[-1])
+            out_data = (a2 @ b.data).reshape(*lead, b.data.shape[-1])
+
+            def backward_folded(g):
+                g2 = g.reshape(-1, g.shape[-1])
+                ga = (g2 @ b.data.T).reshape(a.data.shape)
+                gb = a2.T @ g2
+                return (ga, gb)
+
+            return Tensor._make(out_data, (a, b), backward_folded)
         out_data = a.data @ b.data
 
         def backward(g):

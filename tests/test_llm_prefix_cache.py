@@ -1,0 +1,262 @@
+"""Cross-request prefix KV cache: trie semantics, eviction, decode parity."""
+
+import numpy as np
+import pytest
+
+from repro.llm import (
+    LMConfig,
+    PrefixKVCache,
+    TinyLlama,
+    beam_search_items_batched,
+    beam_search_items_single,
+    ranked_item_ids,
+)
+from repro.quantization.trie import IndexTrie
+
+
+def fake_kvs(length, layers=2, heads=2, head_dim=4, fill=1.0):
+    """Per-layer (keys, values) pairs shaped like a 1-row prompt cache."""
+    out = []
+    for layer in range(layers):
+        keys = np.full((1, heads, length, head_dim), fill + layer, dtype=np.float32)
+        values = keys + 100.0
+        out.append((keys, values))
+    return out
+
+
+class TestPrefixKVCacheUnit:
+    def test_exact_and_partial_match(self):
+        cache = PrefixKVCache(min_prefix_len=2)
+        prompt = [1, 5, 6, 7, 8]
+        cache.insert(prompt, fake_kvs(5))
+        exact = cache.match(prompt)
+        assert exact.length == 5
+        assert exact.layer_kvs[0][0].shape == (1, 2, 5, 4)
+        # A diverging prompt reuses the shared prefix via the same entry.
+        partial = cache.match([1, 5, 6, 9, 9, 9])
+        assert partial.length == 3
+        np.testing.assert_array_equal(
+            partial.layer_kvs[1][1], exact.layer_kvs[1][1][:, :, :3, :]
+        )
+
+    def test_max_len_caps_match(self):
+        cache = PrefixKVCache(min_prefix_len=2)
+        prompt = [1, 5, 6, 7, 8]
+        cache.insert(prompt, fake_kvs(5))
+        assert cache.match(prompt, max_len=len(prompt) - 1).length == 4
+
+    def test_short_matches_are_misses(self):
+        cache = PrefixKVCache(min_prefix_len=4)
+        cache.insert([1, 2, 3, 4, 5], fake_kvs(5))
+        assert cache.match([1, 2, 3, 9, 9, 9]) is None  # depth 3 < 4
+        assert cache.match([1, 2, 3, 4, 9]) is not None
+        assert cache.stats.lookups == 2
+        assert cache.stats.hits == 1
+
+    def test_insert_rejects_short_and_duplicate(self):
+        cache = PrefixKVCache(min_prefix_len=4)
+        assert not cache.insert([1, 2], fake_kvs(2))
+        assert cache.insert([1, 2, 3, 4], fake_kvs(4))
+        assert not cache.insert([1, 2, 3, 4], fake_kvs(4))
+        assert len(cache) == 1
+        assert [1, 2, 3, 4] in cache
+        assert [1, 2, 3] not in cache
+
+    def test_insert_copies_and_freezes(self):
+        cache = PrefixKVCache(min_prefix_len=2)
+        kvs = fake_kvs(3)
+        cache.insert([1, 2, 3], kvs)
+        kvs[0][0][:] = -1.0  # caller mutates its live buffer afterwards
+        match = cache.match([1, 2, 3])
+        np.testing.assert_array_equal(match.layer_kvs[0][0], fake_kvs(3)[0][0])
+        assert not match.layer_kvs[0][0].flags.writeable
+
+    def test_length_mismatch_rejected(self):
+        cache = PrefixKVCache(min_prefix_len=2)
+        with pytest.raises(ValueError):
+            cache.insert([1, 2, 3], fake_kvs(4))
+
+    def test_lru_eviction_and_rebuild(self):
+        cache = PrefixKVCache(max_entries=2, min_prefix_len=2)
+        cache.insert([1, 2, 3], fake_kvs(3))
+        cache.insert([4, 5, 6], fake_kvs(3))
+        cache.match([1, 2, 3])  # touch: [4, 5, 6] becomes least-recent
+        cache.insert([7, 8, 9], fake_kvs(3))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.match([4, 5, 6]) is None  # evicted, trie rebuilt
+        assert cache.match([1, 2, 3]) is not None
+        assert cache.match([7, 8, 9]) is not None
+
+    def test_clear(self):
+        cache = PrefixKVCache(min_prefix_len=2)
+        cache.insert([1, 2, 3], fake_kvs(3))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.match([1, 2, 3]) is None
+
+    def test_stats_token_hit_rate(self):
+        cache = PrefixKVCache(min_prefix_len=2)
+        cache.insert([1, 2, 3, 4], fake_kvs(4))
+        cache.match([1, 2, 3, 4, 5, 6])  # 4 of 6 tokens reused
+        assert cache.stats.prompt_tokens == 6
+        assert cache.stats.reused_tokens == 4
+        assert cache.stats.token_hit_rate == pytest.approx(4 / 6)
+        assert cache.stats.hit_rate == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefixKVCache(max_entries=0)
+        with pytest.raises(ValueError):
+            PrefixKVCache(min_prefix_len=0)
+
+
+def make_model(vocab_size=64):
+    model = TinyLlama(
+        LMConfig(
+            vocab_size=vocab_size,
+            dim=32,
+            num_layers=2,
+            num_heads=4,
+            ffn_hidden=64,
+            max_seq_len=128,
+        )
+    )
+    model.eval()
+    return model
+
+
+def make_trie():
+    sequences = {}
+    item = 0
+    for a in range(4, 10):
+        for b in range(10, 16):
+            sequences[item] = (a, b, (a + b) % 6 + 16, (a * b) % 6 + 22)
+            item += 1
+    return IndexTrie(sequences)
+
+
+TEMPLATE_HEAD = [1, 33, 34, 35, 36, 37, 38, 39]
+
+
+def session_prompts(rng, users=6, turns=2):
+    """Template-headed prompts where each user's later turns grow the first."""
+    prompts = []
+    for _ in range(users):
+        base = TEMPLATE_HEAD + [int(t) for t in rng.integers(40, 60, size=4)]
+        prompts.append(base)
+        for _ in range(turns - 1):
+            base = base + [int(t) for t in rng.integers(40, 60, size=2)]
+            prompts.append(base)
+    return prompts
+
+
+class TestPrefixCacheDecodeParity:
+    """Cached-prefix decoding must return byte-identical rankings."""
+
+    def test_warm_cache_matches_single_reference(self):
+        model, trie = make_model(), make_trie()
+        rng = np.random.default_rng(7)
+        prompts = session_prompts(rng)
+        reference = [
+            ranked_item_ids(beam_search_items_single(model, p, trie, beam_size=8), 5)
+            for p in prompts
+        ]
+        cache = PrefixKVCache()
+        for round_index in range(3):  # cold, then increasingly warm
+            batched = beam_search_items_batched(
+                model, prompts, trie, beam_size=8, prefix_cache=cache
+            )
+            assert [ranked_item_ids(h, 5) for h in batched] == reference, (
+                f"rankings diverged on round {round_index}"
+            )
+        assert cache.stats.hits > 0
+        assert cache.stats.reused_tokens > 0
+
+    def test_scores_match_uncached_batched(self):
+        model, trie = make_model(), make_trie()
+        rng = np.random.default_rng(11)
+        prompts = session_prompts(rng, users=3)
+        plain = beam_search_items_batched(model, prompts, trie, beam_size=6)
+        cache = PrefixKVCache()
+        beam_search_items_batched(model, prompts, trie, beam_size=6, prefix_cache=cache)
+        warm = beam_search_items_batched(
+            model, prompts, trie, beam_size=6, prefix_cache=cache
+        )
+        for plain_row, warm_row in zip(plain, warm):
+            assert [h.token_ids for h in plain_row] == [h.token_ids for h in warm_row]
+            for plain_hyp, warm_hyp in zip(plain_row, warm_row):
+                assert plain_hyp.score == pytest.approx(warm_hyp.score, abs=1e-4)
+
+    def test_session_growth_reuses_previous_turn(self):
+        model, trie = make_model(), make_trie()
+        cache = PrefixKVCache()
+        first = TEMPLATE_HEAD + [40, 41, 42]
+        beam_search_items_batched(model, [first], trie, beam_size=6, prefix_cache=cache)
+        grown = first + [43, 44]
+        reused_before = cache.stats.reused_tokens
+        batched = beam_search_items_batched(
+            model, [grown], trie, beam_size=6, prefix_cache=cache
+        )
+        assert cache.stats.reused_tokens - reused_before == len(first)
+        reference = beam_search_items_single(model, grown, trie, beam_size=6)
+        assert ranked_item_ids(batched[0], 5) == ranked_item_ids(reference, 5)
+
+    def test_mixed_hit_miss_batch(self):
+        """Rows with cached prefixes co-decode with never-seen rows."""
+        model, trie = make_model(), make_trie()
+        rng = np.random.default_rng(3)
+        known = session_prompts(rng, users=2, turns=1)
+        cache = PrefixKVCache()
+        beam_search_items_batched(model, known, trie, beam_size=8, prefix_cache=cache)
+        fresh = [[1, 50, 51, 52, 53, 54, 55], [1, 56, 57]]  # no shared head
+        mixed = [known[0], fresh[0], known[1], fresh[1]]
+        batched = beam_search_items_batched(
+            model, mixed, trie, beam_size=8, prefix_cache=cache
+        )
+        for prompt, hypotheses in zip(mixed, batched):
+            reference = beam_search_items_single(model, prompt, trie, beam_size=8)
+            assert ranked_item_ids(hypotheses, 5) == ranked_item_ids(reference, 5)
+
+    def test_whole_prompt_repeat_caps_at_one_suffix_token(self):
+        """An exact repeat still forwards >= 1 token (the logits source)."""
+        model, trie = make_model(), make_trie()
+        cache = PrefixKVCache()
+        prompt = TEMPLATE_HEAD + [44, 45]
+        beam_search_items_batched(model, [prompt], trie, beam_size=6, prefix_cache=cache)
+        repeat = beam_search_items_batched(
+            model, [prompt], trie, beam_size=6, prefix_cache=cache
+        )
+        assert cache.stats.reused_tokens == len(prompt) - 1
+        reference = beam_search_items_single(model, prompt, trie, beam_size=6)
+        assert ranked_item_ids(repeat[0], 5) == ranked_item_ids(reference, 5)
+
+
+class TestPrefixCacheOnLCRec:
+    """End-to-end on the built tiny model: serving templates really collide."""
+
+    def test_service_prefix_cache_parity(self, tiny_lcrec, tiny_dataset):
+        histories = tiny_dataset.split.test_histories[:6]
+        service = tiny_lcrec.service()
+        assert service.prefix_cache is not None  # on by default
+        cold = service.recommend_many(histories, top_k=5)
+        warm = service.recommend_many(histories, top_k=5)
+        assert cold == warm
+        for history, ranked in zip(histories, cold):
+            assert ranked == tiny_lcrec.recommend(list(history), top_k=5)
+        assert service.prefix_cache.stats.hits > 0
+
+    def test_template_heads_hit_across_users(self, tiny_lcrec, tiny_dataset):
+        service = tiny_lcrec.service()
+        first, second = tiny_dataset.split.test_histories[:2]
+        service.recommend_many([first], top_k=3)
+        before = service.prefix_cache.stats.reused_tokens
+        service.recommend_many([second], top_k=3)  # different user, same template
+        assert service.prefix_cache.stats.reused_tokens > before
+
+    def test_disabled_cache(self, tiny_lcrec, tiny_dataset):
+        service = tiny_lcrec.service(prefix_cache=False)
+        assert service.prefix_cache is None
+        histories = tiny_dataset.split.test_histories[:3]
+        for history, ranked in zip(histories, service.recommend_many(histories, top_k=4)):
+            assert ranked == tiny_lcrec.recommend(list(history), top_k=4)
