@@ -18,7 +18,8 @@ import numpy as np
 
 from ..data import SequentialDataset
 from ..data.batching import iterate_minibatches
-from ..llm import LMConfig, TinyLlama, beam_search_items
+from ..llm import LMConfig, TinyLlama, backfill_ranked_item_ids, \
+    beam_search_items_batched, ranked_item_ids
 from ..tensor import Adam, clip_grad_norm
 from ..tensor import functional as F
 from ..utils.logging import get_logger
@@ -129,14 +130,33 @@ class P5CID:
 
     # ------------------------------------------------------------------
     def recommend(self, history: list[int], top_k: int = 10) -> list[int]:
-        prompt, _ = self._example(list(history), None)
+        return self.recommend_many([list(history)], top_k=top_k)[0]
+
+    def recommend_many(self, histories: list[list[int]],
+                       top_k: int = 10) -> list[list[int]]:
+        """Trie-constrained beam search for a batch of users.
+
+        All prompts run through the batched engine in one decode (one
+        ``model.forward`` per step for the whole batch) instead of the old
+        per-request loop.  Rankings that come up short of ``top_k`` unique
+        items — a narrow collaborative-trie level can starve the beam —
+        are re-decoded once with the beam widened to the full catalog and
+        backfilled deterministically, so callers always get ``top_k`` ids
+        (catalog permitting).
+        """
+        prompts = [self._example(list(history), None)[0]
+                   for history in histories]
         beam = max(self.config.beam_size, top_k)
-        hypotheses = beam_search_items(self.lm, prompt, self.trie,
-                                       beam_size=beam)
-        ranked = []
-        for hypothesis in hypotheses:
-            if hypothesis.item_id not in ranked:
-                ranked.append(hypothesis.item_id)
-            if len(ranked) == top_k:
-                break
-        return ranked
+        num_items = self.trie.num_items
+        batches = beam_search_items_batched(self.lm, prompts, self.trie,
+                                            beam_size=beam, pad_id=PAD_ID)
+        short = [row for row, hyps in enumerate(batches)
+                 if len(ranked_item_ids(hyps, top_k)) < min(top_k, num_items)]
+        if short and beam < num_items:
+            widened = beam_search_items_batched(
+                self.lm, [prompts[row] for row in short], self.trie,
+                beam_size=num_items, pad_id=PAD_ID)
+            for row, hyps in zip(short, widened):
+                batches[row] = hyps
+        return [backfill_ranked_item_ids(hyps, top_k, num_items)
+                for hyps in batches]

@@ -29,6 +29,7 @@ from ..tensor import (
     no_grad,
 )
 from ..tensor import functional as F
+from ..llm import backfill_items
 from ..quantization.indexing import ItemIndexSet
 from ..utils.logging import get_logger
 from .generative import BOS_ID, PAD_ID, IndexTokenSpace
@@ -174,36 +175,37 @@ class TIGER(Module):
         return losses
 
     # ------------------------------------------------------------------
-    def recommend(self, history: list[int], top_k: int = 10) -> list[int]:
-        """Trie-constrained beam search over semantic IDs."""
-        beam_size = max(self.config.beam_size, top_k)
-        with no_grad():
-            source = self._pad_histories([list(history)])
-            memory, mask = self.encode(source)
-            beams: list[tuple[tuple[int, ...], float]] = [((), 0.0)]
-            for _ in range(self.num_levels):
-                # Re-decode the full (short) prefix for every beam.
-                prefixes = [beam[0] for beam in beams]
-                decoder_input = np.array(
-                    [(BOS_ID,) + prefix for prefix in prefixes],
-                    dtype=np.int64,
-                )
-                batch = len(beams)
-                memory_b = Tensor(np.repeat(memory.data, batch, axis=0))
-                mask_b = np.repeat(mask, batch, axis=0)
-                logits = self.decode(memory_b, mask_b, decoder_input).data
-                step_logits = logits[:, -1, :]
-                step_logp = step_logits - _logsumexp_rows(step_logits)
-                candidates = []
-                for beam_index, (prefix, score) in enumerate(beams):
-                    for token in self.trie.allowed_tokens(prefix):
-                        candidates.append((
-                            prefix + (int(token),),
-                            score + float(step_logp[beam_index, token]),
-                        ))
-                candidates.sort(key=lambda c: -c[1])
-                beams = candidates[:beam_size]
-        ranked = []
+    def _beam_search(self, memory: Tensor, memory_mask: np.ndarray,
+                     beam_size: int) -> list[tuple[tuple[int, ...], float]]:
+        """Trie-constrained beam expansion over one encoded history."""
+        beams: list[tuple[tuple[int, ...], float]] = [((), 0.0)]
+        for _ in range(self.num_levels):
+            # Re-decode the full (short) prefix for every beam.
+            prefixes = [beam[0] for beam in beams]
+            decoder_input = np.array(
+                [(BOS_ID,) + prefix for prefix in prefixes],
+                dtype=np.int64,
+            )
+            batch = len(beams)
+            memory_b = Tensor(np.repeat(memory.data, batch, axis=0))
+            mask_b = np.repeat(memory_mask, batch, axis=0)
+            logits = self.decode(memory_b, mask_b, decoder_input).data
+            step_logits = logits[:, -1, :]
+            step_logp = step_logits - _logsumexp_rows(step_logits)
+            candidates = []
+            for beam_index, (prefix, score) in enumerate(beams):
+                for token in self.trie.allowed_tokens(prefix):
+                    candidates.append((
+                        prefix + (int(token),),
+                        score + float(step_logp[beam_index, token]),
+                    ))
+            candidates.sort(key=lambda c: -c[1])
+            beams = candidates[:beam_size]
+        return beams
+
+    def _ranked(self, beams: list[tuple[tuple[int, ...], float]],
+                top_k: int) -> list[int]:
+        ranked: list[int] = []
         for prefix, _ in beams:
             item = self.trie.item_at(prefix)
             if item not in ranked:
@@ -211,6 +213,27 @@ class TIGER(Module):
             if len(ranked) == top_k:
                 break
         return ranked
+
+    def recommend(self, history: list[int], top_k: int = 10) -> list[int]:
+        """Trie-constrained beam search over semantic IDs.
+
+        Always returns ``top_k`` item ids (catalog permitting): a beam that
+        dedups to fewer unique items — narrow trie levels starve the beam
+        mid-search — is re-run once at full-catalog width, and any residual
+        shortfall is backfilled deterministically with the smallest unused
+        item ids, so ranking metrics never see truncated lists.
+        """
+        beam_size = max(self.config.beam_size, top_k)
+        num_items = self.trie.num_items
+        with no_grad():
+            source = self._pad_histories([list(history)])
+            memory, mask = self.encode(source)
+            beams = self._beam_search(memory, mask, beam_size)
+            ranked = self._ranked(beams, top_k)
+            if len(ranked) < min(top_k, num_items) and beam_size < num_items:
+                beams = self._beam_search(memory, mask, num_items)
+                ranked = self._ranked(beams, top_k)
+        return backfill_items(ranked, top_k, num_items)
 
     def score_all(self, histories):  # pragma: no cover - guard
         raise NotImplementedError("TIGER is generative; use recommend()")

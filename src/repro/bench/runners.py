@@ -121,10 +121,17 @@ def run_generative_baseline(name: str, dataset: SequentialDataset,
     else:
         raise KeyError(f"unknown generative baseline {name!r}")
 
+    histories, targets = _eval_slice(dataset, scale)
+    if hasattr(model, "recommend_many"):
+        # P5-CID decodes through the batched engine: whole evaluation
+        # chunks share one beam-search forward per trie level.
+        return evaluate_generative_model_batched(
+            lambda chunk: model.recommend_many(chunk, top_k=10),
+            histories, targets)
+
     def recommend(history):
         return model.recommend(history, top_k=10)
 
-    histories, targets = _eval_slice(dataset, scale)
     return evaluate_generative_model(recommend, histories, targets)
 
 

@@ -4,9 +4,17 @@ from .config import LMConfig
 from .embedding import encode_items, encode_texts
 from .generation import (
     BeamHypothesis,
+    DecodeState,
+    backfill_items,
+    backfill_ranked_item_ids,
     beam_search_items,
     beam_search_items_batched,
     beam_search_items_single,
+    decode_finish,
+    decode_join,
+    decode_prefill,
+    decode_retire,
+    decode_step,
     greedy_generate,
     left_pad_prompts,
     ranked_item_ids,
@@ -45,9 +53,17 @@ __all__ = [
     "InstructionTuner",
     "TuningConfig",
     "BeamHypothesis",
+    "DecodeState",
+    "backfill_items",
+    "backfill_ranked_item_ids",
     "beam_search_items",
     "beam_search_items_batched",
     "beam_search_items_single",
+    "decode_prefill",
+    "decode_step",
+    "decode_join",
+    "decode_retire",
+    "decode_finish",
     "PrefixKVCache",
     "PrefixMatch",
     "PrefixCacheStats",

@@ -7,23 +7,30 @@ using the index trie built from the learned item indices.
 
 Two constrained-decoding paths are provided:
 
-* :func:`beam_search_items_batched` — the serving engine: decodes ``B``
-  prompts × ``K`` beams per step in a single ``model.forward`` over a
-  flattened ``B*K`` batch axis, with the trie constraint applied as one
-  vectorized mask.  Prompts of mixed length are left-padded; pad positions
-  are masked out of attention and real tokens keep their unpadded RoPE
-  positions, so padding changes nothing mathematically: rankings are
-  identical to per-request decoding and scores agree to float rounding
-  (BLAS accumulation order varies with batch shape).  With a
-  :class:`PrefixKVCache` the engine additionally skips re-running prompt
-  prefixes it has decoded before (template heads, grown session histories,
-  repeated queries): cached K/V is seeded into the decode caches and only
-  each request's unseen suffix is forwarded.
+* the batched serving engine — decodes ``B`` prompts × ``K`` beams per
+  step in a single ``model.forward`` over a flattened ``B*K`` batch axis,
+  with the trie constraint applied as one vectorized mask.  Prompts of
+  mixed length are left-padded; pad positions are masked out of attention
+  and real tokens keep their unpadded RoPE positions, so padding changes
+  nothing mathematically: rankings are identical to per-request decoding
+  and scores agree to float rounding (BLAS accumulation order varies with
+  batch shape).  With a :class:`PrefixKVCache` the engine additionally
+  skips re-running prompt prefixes it has decoded before (template heads,
+  grown session histories, repeated queries): cached K/V is seeded into
+  the decode caches and only each request's unseen suffix is forwarded.
 * :func:`beam_search_items_single` — the original per-hypothesis reference
   loop, kept as the parity/throughput baseline.
 
-:func:`beam_search_items` keeps the old single-request signature but runs
-on the batched engine.
+The batched engine is a resumable stepper built around
+:class:`DecodeState`: :func:`decode_prefill` runs the prompt phase and
+level-0 beam expansion, :func:`decode_step` advances every in-flight row
+by one trie level, :func:`decode_join` merges freshly prefilled rows into
+a live decode at a level boundary (continuous batching's admission
+primitive), :func:`decode_retire` pops finished rows as soon as they reach
+the final level, and :func:`decode_finish` harvests everything.
+:func:`beam_search_items_batched` is the one-shot wrapper (prefill, step
+to depth, finish) and :func:`beam_search_items` keeps the old
+single-request signature on top of it.
 """
 
 from __future__ import annotations
@@ -40,9 +47,17 @@ from .prefix_cache import PrefixKVCache, PrefixMatch
 
 __all__ = [
     "BeamHypothesis",
+    "DecodeState",
+    "backfill_items",
+    "backfill_ranked_item_ids",
     "beam_search_items",
     "beam_search_items_batched",
     "beam_search_items_single",
+    "decode_finish",
+    "decode_join",
+    "decode_prefill",
+    "decode_retire",
+    "decode_step",
     "left_pad_prompts",
     "ranked_item_ids",
     "greedy_generate",
@@ -112,6 +127,37 @@ def ranked_item_ids(hypotheses: Sequence[BeamHypothesis], top_k: int) -> list[in
         if len(ranked) == top_k:
             break
     return ranked
+
+
+def backfill_items(ranked: list[int], top_k: int, num_items: int) -> list[int]:
+    """Pad a deduped ranking to ``top_k`` ids, deterministically.
+
+    The tail is filled with the smallest catalog item ids not already
+    ranked; only a catalog smaller than ``top_k`` yields a shorter list.
+    """
+    if len(ranked) >= min(top_k, num_items):
+        return ranked
+    seen = set(ranked)
+    for item in range(num_items):
+        if item not in seen:
+            ranked.append(item)
+            if len(ranked) == top_k:
+                break
+    return ranked
+
+
+def backfill_ranked_item_ids(
+    hypotheses: Sequence[BeamHypothesis], top_k: int, num_items: int
+) -> list[int]:
+    """:func:`ranked_item_ids`, padded to ``top_k`` ids when the beam is short.
+
+    Constrained decoding can surface fewer than ``top_k`` unique items — a
+    narrow trie level starves the beam mid-search, or ``top_k`` exceeds
+    what the beam width can enumerate — and ranking metrics (HR@k, NDCG@k)
+    treat a short list as misses at the missing ranks; see
+    :func:`backfill_items` for the fill policy.
+    """
+    return backfill_items(ranked_item_ids(hypotheses, top_k), top_k, num_items)
 
 
 def _seed_prefix_region(
@@ -214,6 +260,287 @@ def _prefill_prompts(
     return logits, pad_columns
 
 
+@dataclass
+class DecodeState:
+    """Resumable state of a batched trie-constrained beam decode.
+
+    Produced by :func:`decode_prefill`, advanced one trie level at a time
+    by :func:`decode_step`, grown by :func:`decode_join` and harvested by
+    :func:`decode_retire`/:func:`decode_finish`.  Rows may sit at
+    *different* trie levels — requests admitted at different level
+    boundaries — and the per-row pad bookkeeping (``prompt_pads`` over the
+    shared prompt region, ``suffix_pads`` counting suffix columns that
+    predate each row's admission) keeps every row's attention inputs and
+    RoPE positions identical to decoding it alone.  That invariant is what
+    makes continuous admission ranking-preserving rather than an
+    approximation.
+
+    ``tags`` carries one caller-opaque object per row (the serving layer
+    stores its :class:`RecommendRequest` there) and follows rows through
+    joins and retirements.
+    """
+
+    model: TinyLlama
+    trie: IndexTrie
+    num_beams: int
+    pad_id: int
+    caches: list[BeamKVCache]
+    beam_tokens: list[list[tuple[int, ...]]]  # (B rows) x (K prefixes)
+    beam_scores: np.ndarray  # (B, K) float64
+    prompt_pads: np.ndarray  # (B, W) bool: pad columns in the prompt region
+    suffix_pads: np.ndarray  # (B,) int64: suffix columns predating each row
+    tags: list[object]
+
+    @property
+    def num_rows(self) -> int:
+        """Requests currently in flight."""
+        return len(self.beam_tokens)
+
+    @property
+    def levels(self) -> np.ndarray:
+        """Per-row decoded depth (number of index tokens chosen so far)."""
+        return np.array([len(row[0]) for row in self.beam_tokens], dtype=np.int64)
+
+    @property
+    def done(self) -> bool:
+        """Whether every in-flight row has reached the final trie level."""
+        depth = self.trie.num_levels
+        return all(len(row[0]) == depth for row in self.beam_tokens)
+
+    def finished_rows(self) -> list[int]:
+        """Row indices that have reached the final trie level."""
+        depth = self.trie.num_levels
+        return [b for b, row in enumerate(self.beam_tokens) if len(row[0]) == depth]
+
+    def flat_pad_columns(self) -> np.ndarray | None:
+        """Per-hypothesis pad map over all current key columns (or None).
+
+        Covers the prompt region (left-padding and cached-prefix padding)
+        plus, for rows admitted mid-decode, the suffix columns written
+        before they joined.  Recomputed per step because joins change it.
+        """
+        full = self.prompt_pads
+        suffix_len = self.caches[0].suffix.length
+        if suffix_len:
+            suffix_map = np.arange(suffix_len)[None, :] < self.suffix_pads[:, None]
+            full = np.concatenate([full, suffix_map], axis=1)
+        if not np.any(full):
+            return None
+        return np.repeat(full, self.num_beams, axis=0)
+
+
+def decode_prefill(
+    model: TinyLlama,
+    prompts: Sequence[Sequence[int]],
+    trie: IndexTrie,
+    beam_size: int = 20,
+    pad_id: int = 0,
+    prefix_cache: PrefixKVCache | None = None,
+    tags: Sequence[object] | None = None,
+) -> DecodeState:
+    """Run the prompt phase and level-0 beam expansion for ``prompts``.
+
+    Returns a :class:`DecodeState` with every row holding its top-``K``
+    legal first index tokens; :func:`decode_step` advances it one trie
+    level per call.  ``prefix_cache`` enables cross-request prompt K/V
+    reuse exactly as in :func:`beam_search_items_batched`.  ``tags``
+    optionally attaches one opaque object per prompt (defaults to the
+    prompt's position).
+    """
+    if beam_size < 1:
+        raise ValueError("beam_size must be positive")
+    prompts = [list(map(int, p)) for p in prompts]
+    if not prompts:
+        raise ValueError("need at least one prompt")
+    for row, prompt in enumerate(prompts):
+        if not prompt:
+            raise ValueError(f"prompt {row} is empty: every request needs at least one token")
+    if tags is None:
+        tags = list(range(len(prompts)))
+    elif len(tags) != len(prompts):
+        raise ValueError("tags must match prompts one-to-one")
+    vocab_size = model.vocab_size
+    num_beams = min(beam_size, trie.num_items, vocab_size)
+    with no_grad():
+        # Shared-prompt beam caches: prompt K/V stays at B rows for the
+        # whole decode; only per-beam suffix tokens live on the B*K axis.
+        caches = model.new_beam_caches()
+        logits, pad_columns = _prefill_prompts(model, prompts, caches, pad_id, prefix_cache)
+        log_probs = _log_softmax_np(logits)  # (B, V)
+
+        # Level 0: expand every prompt to its top-K legal first tokens.
+        root_mask = trie.allowed_token_mask([()], vocab_size)
+        scores = np.where(root_mask, log_probs, -np.inf)
+        order, top_scores = _topk_desc(scores, num_beams)
+        # Scores accumulate in float64, matching the reference path.
+        beam_scores = top_scores.astype(np.float64)  # (B, K)
+        beam_tokens = [[(int(token),) for token in row] for row in order]
+        model.fan_out_caches(caches, num_beams)
+    return DecodeState(
+        model=model,
+        trie=trie,
+        num_beams=num_beams,
+        pad_id=pad_id,
+        caches=caches,
+        beam_tokens=beam_tokens,
+        beam_scores=beam_scores,
+        prompt_pads=pad_columns,
+        suffix_pads=np.zeros(len(prompts), dtype=np.int64),
+        tags=list(tags),
+    )
+
+
+def decode_step(state: DecodeState) -> DecodeState:
+    """Advance every in-flight row by one trie level (one ``model.forward``).
+
+    Rows at different levels step together: the vectorized trie mask is
+    built from each hypothesis's own prefix, so depth never has to be
+    uniform across the batch.  Rows already at the final level must be
+    retired (:func:`decode_retire`) before stepping.  Returns ``state``
+    (mutated in place) for chaining.
+    """
+    if state.num_rows == 0:
+        raise RuntimeError("cannot step an empty decode state")
+    if state.finished_rows():
+        raise RuntimeError("retire finished rows before stepping")
+    model, trie = state.model, state.trie
+    num_requests, num_beams = state.num_rows, state.num_beams
+    vocab_size = model.vocab_size
+    beam_tokens = state.beam_tokens
+    with no_grad():
+        last = np.array(
+            [prefix[-1] for row in beam_tokens for prefix in row],
+            dtype=np.int64,
+        )[:, None]
+        step_logits = model.forward(
+            last, caches=state.caches, pad_columns=state.flat_pad_columns()
+        ).data[:, -1, :]
+        step_logp = _log_softmax_np(step_logits)  # (B*K, V)
+        states = [prefix for row in beam_tokens for prefix in row]
+        mask = trie.allowed_token_mask(states, vocab_size)
+        candidates = np.where(mask, step_logp.astype(np.float64), -np.inf)
+        candidates += state.beam_scores.reshape(-1, 1)
+        candidates = candidates.reshape(num_requests, num_beams * vocab_size)
+        order, state.beam_scores = _topk_desc(candidates, num_beams)
+        origin = order // vocab_size  # per-request beam index
+        token = order % vocab_size
+        state.beam_tokens = [
+            [beam_tokens[b][int(origin[b, k])] + (int(token[b, k]),) for k in range(num_beams)]
+            for b in range(num_requests)
+        ]
+        flat_origin = (np.arange(num_requests)[:, None] * num_beams + origin).reshape(-1)
+        model.reorder_caches(state.caches, flat_origin)
+    return state
+
+
+def _pad_left_columns(pads: np.ndarray, extra: int) -> np.ndarray:
+    """Prepend ``extra`` all-pad columns to a boolean ``(B, W)`` pad map."""
+    if not extra:
+        return pads
+    return np.pad(pads, ((0, 0), (extra, 0)), constant_values=True)
+
+
+def decode_join(state: DecodeState, incoming: DecodeState) -> DecodeState:
+    """Merge ``incoming``'s freshly prefilled rows into a live decode.
+
+    The continuous-batching admission primitive: between two trie levels
+    the engine's state is just per-row beams plus K/V caches, so new
+    requests prefilled on the side (:func:`decode_prefill`) can join the
+    in-flight batch axis.  ``incoming`` must share ``state``'s model, trie,
+    pad id and effective beam width, and must not have stepped yet —
+    admission happens at a level boundary, straight out of prefill.  The
+    incoming rows' pad maps are extended over the columns they must ignore
+    (width-alignment pads and the live batch's existing suffix columns),
+    which is why joining changes no row's rankings.  ``incoming`` is
+    consumed: its rows now live in ``state``.
+    """
+    if incoming is state:
+        raise ValueError("cannot join a decode state with itself")
+    if incoming.model is not state.model or incoming.trie is not state.trie:
+        raise ValueError("joined decodes must share one model and trie")
+    if incoming.num_beams != state.num_beams:
+        raise ValueError(f"beam width mismatch: {incoming.num_beams} != {state.num_beams}")
+    if state.num_beams == 1:
+        # A width-1 decode never fans out, so its suffix tokens share the
+        # prompt cache region; there is no suffix axis to join onto.
+        raise ValueError("cannot join width-1 beam decodes; decode them separately")
+    if incoming.pad_id != state.pad_id:
+        raise ValueError("joined decodes must share a pad id")
+    if incoming.num_rows == 0:
+        raise ValueError("incoming state has no rows")
+    if incoming.caches[0].suffix.length:
+        raise ValueError("incoming state must be freshly prefilled (no steps yet)")
+    if state.num_rows == 0:
+        raise RuntimeError("cannot join into an empty decode state")
+    suffix_len = state.caches[0].suffix.length
+    pad_state, pad_incoming = state.model.join_caches(state.caches, incoming.caches)
+    state.prompt_pads = np.concatenate(
+        [
+            _pad_left_columns(state.prompt_pads, pad_state),
+            _pad_left_columns(incoming.prompt_pads, pad_incoming),
+        ],
+        axis=0,
+    )
+    state.suffix_pads = np.concatenate(
+        [state.suffix_pads, np.full(incoming.num_rows, suffix_len, dtype=np.int64)]
+    )
+    state.beam_tokens.extend(incoming.beam_tokens)
+    state.beam_scores = np.concatenate([state.beam_scores, incoming.beam_scores], axis=0)
+    state.tags.extend(incoming.tags)
+    # Consume the incoming state so a stray step/retire on it cannot
+    # corrupt the caches it no longer owns.
+    incoming.caches = []
+    incoming.beam_tokens = []
+    incoming.beam_scores = incoming.beam_scores[:0]
+    incoming.prompt_pads = incoming.prompt_pads[:0]
+    incoming.suffix_pads = incoming.suffix_pads[:0]
+    incoming.tags = []
+    return state
+
+
+def decode_retire(state: DecodeState, rows: Sequence[int]) -> list[list[BeamHypothesis]]:
+    """Pop the given finished rows, returning one hypothesis list per row.
+
+    Every row must be at the final trie level.  Remaining rows keep
+    decoding in a smaller batch: the layer caches are compacted (prompt
+    and suffix rows evicted) so later forwards pay only for live requests.
+    Results are in the order of ``rows``; ``-inf`` filler beams are
+    dropped, as in :func:`beam_search_items_batched`.
+    """
+    rows = [int(row) for row in rows]
+    if len(set(rows)) != len(rows):
+        raise ValueError("duplicate rows in retirement")
+    depth = state.trie.num_levels
+    results: list[list[BeamHypothesis]] = []
+    for row in rows:
+        if not 0 <= row < state.num_rows:
+            raise IndexError(f"row {row} out of range for {state.num_rows} rows")
+        if len(state.beam_tokens[row][0]) != depth:
+            raise ValueError(f"row {row} has not reached the final trie level")
+        hypotheses = [
+            BeamHypothesis(prefix, float(score), state.trie.item_at(prefix))
+            for prefix, score in zip(state.beam_tokens[row], state.beam_scores[row])
+            if np.isfinite(score)
+        ]
+        hypotheses.sort(key=lambda h: -h.score)
+        results.append(hypotheses)
+    if rows:
+        retired = set(rows)
+        keep = [b for b in range(state.num_rows) if b not in retired]
+        state.model.evict_cache_rows(state.caches, np.asarray(keep, dtype=np.int64))
+        state.beam_tokens = [state.beam_tokens[b] for b in keep]
+        state.beam_scores = state.beam_scores[keep]
+        state.prompt_pads = state.prompt_pads[keep]
+        state.suffix_pads = state.suffix_pads[keep]
+        state.tags = [state.tags[b] for b in keep]
+    return results
+
+
+def decode_finish(state: DecodeState) -> list[list[BeamHypothesis]]:
+    """Retire every row (all must be at the final level), in row order."""
+    return decode_retire(state, range(state.num_rows))
+
+
 def beam_search_items_batched(
     model: TinyLlama,
     prompts: Sequence[Sequence[int]],
@@ -242,71 +569,22 @@ def beam_search_items_batched(
     Requests with fewer than ``K`` legal hypotheses at some level carry
     ``-inf``-scored filler beams to keep the batch rectangular; fillers are
     dropped from the results.
+
+    This is the one-shot wrapper over the resumable stepper
+    (:func:`decode_prefill` → :func:`decode_step` × levels →
+    :func:`decode_finish`); the continuous-batching scheduler drives the
+    same stepper with admissions and retirements between levels.
     """
     if beam_size < 1:
         raise ValueError("beam_size must be positive")
-    prompts = [list(map(int, p)) for p in prompts]
-    if not prompts:
+    if not list(prompts):
         return []
-    num_requests = len(prompts)
-    vocab_size = model.vocab_size
-    num_beams = min(beam_size, trie.num_items, vocab_size)
-    with no_grad():
-        # Shared-prompt beam caches: prompt K/V stays at B rows for the
-        # whole decode; only per-beam suffix tokens live on the B*K axis.
-        caches = model.new_beam_caches()
-        logits, pad_columns = _prefill_prompts(model, prompts, caches, pad_id, prefix_cache)
-        log_probs = _log_softmax_np(logits)  # (B, V)
-
-        # Level 0: expand every prompt to its top-K legal first tokens.
-        root_mask = trie.allowed_token_mask([()], vocab_size)
-        scores = np.where(root_mask, log_probs, -np.inf)
-        order, top_scores = _topk_desc(scores, num_beams)
-        # Scores accumulate in float64, matching the reference path.
-        beam_scores = top_scores.astype(np.float64)  # (B, K)
-        beam_tokens = [[(int(token),) for token in row] for row in order]
-        model.fan_out_caches(caches, num_beams)
-        flat_pad_columns = None
-        if np.any(pad_columns):
-            flat_pad_columns = np.repeat(pad_columns, num_beams, axis=0)
-
-        for _ in range(1, trie.num_levels):
-            last = np.array(
-                [prefix[-1] for row in beam_tokens for prefix in row],
-                dtype=np.int64,
-            )[:, None]
-            step_logits = model.forward(
-                last, caches=caches, pad_columns=flat_pad_columns
-            ).data[:, -1, :]
-            step_logp = _log_softmax_np(step_logits)  # (B*K, V)
-            states = [prefix for row in beam_tokens for prefix in row]
-            mask = trie.allowed_token_mask(states, vocab_size)
-            candidates = np.where(mask, step_logp.astype(np.float64), -np.inf)
-            candidates += beam_scores.reshape(-1, 1)
-            candidates = candidates.reshape(num_requests, num_beams * vocab_size)
-            order, beam_scores = _topk_desc(candidates, num_beams)
-            origin = order // vocab_size  # per-request beam index
-            token = order % vocab_size
-            beam_tokens = [
-                [
-                    beam_tokens[b][int(origin[b, k])] + (int(token[b, k]),)
-                    for k in range(num_beams)
-                ]
-                for b in range(num_requests)
-            ]
-            flat_origin = (np.arange(num_requests)[:, None] * num_beams + origin).reshape(-1)
-            model.reorder_caches(caches, flat_origin)
-
-    results: list[list[BeamHypothesis]] = []
-    for b in range(num_requests):
-        hypotheses = [
-            BeamHypothesis(prefix, float(score), trie.item_at(prefix))
-            for prefix, score in zip(beam_tokens[b], beam_scores[b])
-            if np.isfinite(score)
-        ]
-        hypotheses.sort(key=lambda h: -h.score)
-        results.append(hypotheses)
-    return results
+    state = decode_prefill(
+        model, prompts, trie, beam_size=beam_size, pad_id=pad_id, prefix_cache=prefix_cache
+    )
+    for _ in range(1, trie.num_levels):
+        decode_step(state)
+    return decode_finish(state)
 
 
 def beam_search_items(

@@ -207,3 +207,22 @@ class TinyLlama(Module):
         """Reindex every layer cache; supports a flattened ``B*K`` beam axis."""
         for cache in caches:
             cache.reorder(beam_indices)
+
+    def join_caches(
+        self, caches: list[BeamKVCache], incoming: list[BeamKVCache]
+    ) -> tuple[int, int]:
+        """Merge ``incoming``'s request rows into ``caches``, layer by layer.
+
+        Returns the ``(pad_self, pad_other)`` prompt-column padding reported
+        by :meth:`repro.tensor.BeamKVCache.join` (identical on every layer);
+        the caller must mask those columns out of attention.
+        """
+        pads = (0, 0)
+        for cache, inc in zip(caches, incoming):
+            pads = cache.join(inc)
+        return pads
+
+    def evict_cache_rows(self, caches: list[BeamKVCache], keep: np.ndarray) -> None:
+        """Keep only request rows ``keep`` on every layer cache."""
+        for cache in caches:
+            cache.select_requests(keep)

@@ -5,9 +5,12 @@ deployment-shaped service: producers push :class:`RecommendRequest`\\ s
 into a thread-safe :class:`RequestQueue`, the :class:`MicroBatcher` plans
 length-bucketed, prefix-clustered micro-batches, and
 :class:`RecommendationService` decodes them through the batched
-trie-constrained beam search — synchronously via ``flush()`` or
+trie-constrained beam search — synchronously via ``flush()``,
 asynchronously via a deadline-batched background loop
-(``start()``/``stop()``).  A cross-request
+(``start()``/``stop()``), or with continuous batching
+(``mode="continuous"``): a :class:`ContinuousScheduler` admits queued
+requests into the in-flight decode at trie-level boundaries and retires
+finished requests the moment their own rows complete.  A cross-request
 :class:`repro.llm.PrefixKVCache` (re-exported here) skips re-running
 prompt prefixes shared between requests.
 
@@ -23,6 +26,7 @@ from .batcher import (
     padding_fraction,
     plan_batches,
 )
+from .continuous import ContinuousScheduler
 from .queue import RecommendRequest, RequestQueue
 from .service import PendingRecommendation, RecommendationService, ServingStats
 
@@ -33,6 +37,7 @@ __all__ = [
     "MicroBatcherConfig",
     "plan_batches",
     "padding_fraction",
+    "ContinuousScheduler",
     "PendingRecommendation",
     "RecommendationService",
     "ServingStats",

@@ -115,14 +115,26 @@ def plan_batches(
     return batches
 
 
-def padding_fraction(batch: list[RecommendRequest]) -> float:
-    """Fraction of a padded batch's prompt tokens that would be padding."""
+def padding_fraction(
+    batch: list[RecommendRequest],
+    effective_len: Callable[[RecommendRequest], int] | None = None,
+) -> float:
+    """Fraction of a padded batch's forwarded prompt columns that are padding.
+
+    ``effective_len`` (default: the raw prompt length) is the per-request
+    cost model — the service passes the *post-prefix-cache* length, because
+    rows whose prefix is served from the cache only forward their unseen
+    suffix: a batch of near-full cache hits pads (and costs) far less than
+    its raw prompt lengths suggest, and the reported mean must reflect the
+    decode cost actually paid.
+    """
     if not batch:
         return 0.0
-    longest = max(r.prompt_len for r in batch)
-    total = longest * len(batch)
-    real = sum(r.prompt_len for r in batch)
-    return (total - real) / total
+    if effective_len is None:
+        effective_len = _prompt_len
+    lengths = [effective_len(request) for request in batch]
+    total = max(lengths) * len(batch)
+    return (total - sum(lengths)) / total if total else 0.0
 
 
 class MicroBatcher:

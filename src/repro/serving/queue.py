@@ -102,8 +102,45 @@ class RequestQueue:
                 self._cond.wait(timeout=deadline - age)
             return [], "stop"
 
+    def await_request(self, should_stop: Callable[[], bool]) -> bool:
+        """Block until at least one request is queued (True) or stop (False).
+
+        The continuous-batching loop parks here while its decode is idle:
+        unlike :meth:`await_batch` there is no deadline to wait out —
+        admission happens immediately, and batching emerges from later
+        requests joining the decode in flight.
+        """
+        with self._cond:
+            while not should_stop():
+                if self._items:
+                    return True
+                self._cond.wait()
+            return False
+
+    def pop_front(
+        self,
+        limit: int,
+        admit: Callable[[RecommendRequest], bool] | None = None,
+    ) -> list[RecommendRequest]:
+        """Pop up to ``limit`` requests from the head, stopping at the first
+        one ``admit`` rejects.
+
+        FIFO order is never bypassed: an inadmissible request at the head
+        (wrong beam width for the in-flight batch) blocks the ones behind
+        it until the decode drains, rather than being overtaken.  The
+        continuous scheduler uses this to take exactly what fits its width
+        cap and beam-compatibility constraint.
+        """
+        with self._cond:
+            popped: list[RecommendRequest] = []
+            while self._items and len(popped) < limit:
+                if admit is not None and not admit(self._items[0]):
+                    break
+                popped.append(self._items.popleft())
+            return popped
+
     def kick(self) -> None:
-        """Wake every :meth:`await_batch` waiter to re-check its stop flag."""
+        """Wake every queue waiter to re-check its stop flag."""
         with self._cond:
             self._cond.notify_all()
 

@@ -10,25 +10,36 @@ search:
 * **Synchronous** — the caller invokes :meth:`RecommendationService.flush`
   (or lets ``result()`` trigger it).  Zero threads, deterministic batching;
   what tests and offline evaluation use.
-* **Asynchronous** — :meth:`RecommendationService.start` launches a
-  background flush thread that decodes as soon as a full micro-batch is
-  waiting *or* the oldest request exceeds the ``deadline_ms`` latency
-  budget, whichever comes first.  Callers block in
-  ``PendingRecommendation.result(timeout=...)``; :meth:`stop` drains
-  in-flight work and joins the thread.  This is deadline-based batching:
-  under load, batches fill and flush at ``max_batch_size``; at low traffic,
-  no request ever waits more than one latency budget.
+* **Asynchronous, deadline-batched** (``mode="deadline"``, the default) —
+  :meth:`RecommendationService.start` launches a background flush thread
+  that decodes as soon as a full micro-batch is waiting *or* the oldest
+  request exceeds the ``deadline_ms`` latency budget, whichever comes
+  first.  Callers block in ``PendingRecommendation.result(timeout=...)``;
+  :meth:`stop` drains in-flight work and joins the thread.  This is
+  deadline-based batching: under load, batches fill and flush at
+  ``max_batch_size``; at low traffic, no request ever waits more than one
+  latency budget.
+* **Asynchronous, continuous** (``mode="continuous"``) — the background
+  thread instead drives a :class:`ContinuousScheduler`: requests are
+  admitted into the in-flight decode at trie-level boundaries (no closed
+  batches, no deadline wait) and delivered the moment their own rows
+  finish, rather than at batch end.  Under load this trades the
+  deadline-flush queueing delay for at most one trie level of admission
+  latency; ``benchmarks/bench_continuous_batching.py`` measures the p50/
+  p95 gap under Poisson arrivals.
 
-Results are identical to calling ``LCRec.recommend`` per request — batching
-changes the cost, not the math.  A shared :class:`repro.llm.PrefixKVCache`
-(on by default) additionally skips re-running prompt prefixes the service
-has decoded before; see ``docs/serving.md`` for tuning and invalidation.
+Results are identical to calling ``LCRec.recommend`` per request in every
+mode — batching, deadlines, and continuous admission change the cost,
+never the math.  A shared :class:`repro.llm.PrefixKVCache` (on by default)
+additionally skips re-running prompt prefixes the service has decoded
+before; see ``docs/serving.md`` for tuning and invalidation.
 
 Thread safety: ``submit*`` may be called from any number of threads in
-either mode, and ``flush`` may race the background loop (decoding is
+any mode, and ``flush`` may race the background loop (decoding is
 serialized on an internal lock; each request is delivered exactly once).
-``start``/``stop`` are main-thread lifecycle calls; handles are safe to
-share between threads.
+``start``/``stop`` are serialized on a lifecycle lock and may be called
+from any thread (``stop`` is idempotent, including under concurrent
+callers); handles are safe to share between threads.
 """
 
 from __future__ import annotations
@@ -39,6 +50,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..llm import PrefixKVCache, beam_search_items_batched, ranked_item_ids
 from .batcher import MicroBatcher, MicroBatcherConfig, padding_fraction
+from .continuous import ContinuousScheduler
 from .queue import RecommendRequest, RequestQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle at runtime
@@ -104,6 +116,15 @@ class ServingStats:
     ``size_flushes``/``deadline_flushes`` count what triggered each
     background flush: a full batch waiting vs the oldest request aging past
     the latency budget.  Synchronous ``flush()`` calls count in neither.
+    In continuous mode, ``batches`` counts admission prefills instead of
+    closed batches, and ``admissions``/``joins`` record how many admission
+    groups were prefilled / how many of those joined an already-live
+    decode rather than starting a fresh one.
+
+    ``padding_fraction_sum`` accumulates per-batch padding fractions over
+    the *effective* (post-prefix-cache) prompt lengths when the cache is
+    active — the columns the decode actually forwards — so the mean
+    reflects real decode cost, not raw prompt shapes.
     """
 
     requests: int = 0
@@ -111,6 +132,8 @@ class ServingStats:
     padding_fraction_sum: float = 0.0
     size_flushes: int = 0
     deadline_flushes: int = 0
+    admissions: int = 0
+    joins: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -147,6 +170,14 @@ class RecommendationService:
     deadline_ms:
         Async latency budget: the background loop flushes once the oldest
         queued request has waited this long (a full batch flushes sooner).
+        Ignored by the continuous loop, which admits immediately.
+    mode:
+        Background-loop discipline: ``"deadline"`` (default) decodes in
+        closed deadline-batched flushes; ``"continuous"`` admits queued
+        requests into the in-flight decode at trie-level boundaries and
+        retires finished requests early, with ``max_batch_size`` acting as
+        the cap on the joined batch width.  Synchronous ``flush()`` and
+        rankings are identical in both modes.
     prefix_cache:
         ``True`` (default) builds a :class:`repro.llm.PrefixKVCache` so
         prompt prefixes shared across requests (template heads, growing
@@ -164,16 +195,20 @@ class RecommendationService:
         model: "LCRec",
         batcher: MicroBatcherConfig | None = None,
         deadline_ms: float = 25.0,
+        mode: str = "deadline",
         prefix_cache: PrefixKVCache | bool | None = True,
     ):
         model._require_built()
         if deadline_ms <= 0:
             raise ValueError("deadline_ms must be positive")
+        if mode not in ("deadline", "continuous"):
+            raise ValueError(f"mode must be 'deadline' or 'continuous', got {mode!r}")
         self.model = model
         self.batcher = MicroBatcher(batcher)
         self.queue = RequestQueue()
         self.stats = ServingStats()
         self.deadline_ms = float(deadline_ms)
+        self.mode = mode
         if prefix_cache is True:
             prefix_cache = PrefixKVCache()
         elif prefix_cache is False:
@@ -182,6 +217,7 @@ class RecommendationService:
         self._pending: dict[int, PendingRecommendation] = {}
         self._pending_lock = threading.Lock()
         self._decode_lock = threading.Lock()
+        self._lifecycle = threading.Lock()
         self._stop = threading.Event()
         self._drain_on_stop = True
         self._worker: threading.Thread | None = None
@@ -195,14 +231,19 @@ class RecommendationService:
         return self._worker is not None
 
     def start(self) -> "RecommendationService":
-        """Launch the background flush thread; returns self for chaining."""
-        if self._worker is not None:
-            raise RuntimeError("service is already running")
-        self._stop.clear()
-        self._worker = threading.Thread(
-            target=self._flush_loop, name="lcrec-serving-flush", daemon=True
-        )
-        self._worker.start()
+        """Launch the background loop thread; returns self for chaining.
+
+        The thread runs the deadline-batched flush loop or the continuous
+        scheduler, per the service's ``mode``.  Serialized with
+        :meth:`stop` on the lifecycle lock.
+        """
+        with self._lifecycle:
+            if self._worker is not None:
+                raise RuntimeError("service is already running")
+            self._stop.clear()
+            target = self._continuous_loop if self.mode == "continuous" else self._flush_loop
+            self._worker = threading.Thread(target=target, name="lcrec-serving-flush", daemon=True)
+            self._worker.start()
         return self
 
     def stop(self, drain: bool = True) -> None:
@@ -211,15 +252,19 @@ class RecommendationService:
         With ``drain=True`` every request submitted before ``stop`` is
         decoded and delivered before the thread exits; with ``drain=False``
         queued requests stay queued (a later ``flush()`` or ``result()``
-        still serves them synchronously).  Idempotent.
+        still serves them synchronously).  Idempotent, including under
+        concurrent callers: the lifecycle lock serializes ``start``/``stop``
+        so one caller joins the worker and every other sees it already
+        stopped.
         """
-        if self._worker is None:
-            return
-        self._drain_on_stop = drain
-        self._stop.set()
-        self.queue.kick()
-        self._worker.join()
-        self._worker = None
+        with self._lifecycle:
+            if self._worker is None:
+                return
+            self._drain_on_stop = drain
+            self._stop.set()
+            self.queue.kick()
+            self._worker.join()
+            self._worker = None
 
     def __enter__(self) -> "RecommendationService":
         return self.start()
@@ -242,6 +287,77 @@ class RecommendationService:
             self._decode_requests(requests, raise_errors=False)
         if self._drain_on_stop:
             self._decode_requests(self.queue.drain(), raise_errors=False)
+
+    def _continuous_loop(self) -> None:
+        """Continuous batching: the background thread's main loop.
+
+        Each iteration is one trie-level boundary: admit whatever queued
+        requests fit the in-flight decode (width cap, beam compatibility),
+        advance every row one level, and deliver the rows that finished.
+        When idle it parks on the queue — no deadline wait: the first
+        request is admitted immediately and later ones join it mid-decode.
+        """
+        scheduler = ContinuousScheduler(
+            self.model.lm,
+            self.model.trie,
+            max_width=self.batcher.config.max_batch_size,
+            prefix_cache=self.prefix_cache,
+        )
+        while not self._stop.is_set():
+            if scheduler.idle and not self.queue.await_request(self._stop.is_set):
+                break
+            self._drive_scheduler(scheduler)
+        # In-flight rows are no longer queued, so they must be finished and
+        # delivered regardless of the drain flag; with drain, everything
+        # still waiting in the queue is admitted and finished too.
+        while not scheduler.idle or (self._drain_on_stop and self.queue):
+            self._drive_scheduler(scheduler, admit=self._drain_on_stop)
+
+    def _drive_scheduler(self, scheduler: ContinuousScheduler, admit: bool = True) -> None:
+        """One level boundary: admit compatible queued work, step, deliver."""
+        with self._decode_lock:
+            if admit:
+                requests = self.queue.pop_front(scheduler.free_width, scheduler.compatible)
+                if requests:
+                    joining = not scheduler.idle
+                    # Probe effective lengths before admit(): prefill files
+                    # the prompts into the prefix cache, after which they
+                    # would all probe as full hits.
+                    padding = padding_fraction(requests, self._effective_len())
+                    try:
+                        scheduler.admit(requests)
+                    except Exception as exc:
+                        # Prefill and join validation run before the live
+                        # decode's state is touched: fail only the incoming
+                        # requests, keep serving the in-flight ones.
+                        self._fail_requests(requests, exc)
+                        requests = []
+                    if requests:
+                        self.stats.admissions += 1
+                        self.stats.joins += int(joining)
+                        self.stats.batches += 1
+                        self.stats.padding_fraction_sum += padding
+            try:
+                delivered = scheduler.step()
+            except Exception as exc:
+                # A broken step takes down every in-flight row (their K/V
+                # state is unrecoverable); fail those handles and keep the
+                # loop alive for the requests still queued.
+                self._fail_requests(scheduler.abort(), exc)
+                return
+            self.stats.requests += len(delivered)
+        for request, hypotheses in delivered:
+            with self._pending_lock:
+                handle = self._pending.pop(request.request_id, None)
+            if handle is not None:
+                handle._deliver(ranked_item_ids(hypotheses, request.top_k))
+
+    def _fail_requests(self, requests: list[RecommendRequest], error: Exception) -> None:
+        for request in requests:
+            with self._pending_lock:
+                handle = self._pending.pop(request.request_id, None)
+            if handle is not None:
+                handle._fail(error)
 
     # ------------------------------------------------------------------
     # Submission
@@ -314,10 +430,11 @@ class RecommendationService:
         # queue): fail the broken batch's handles, keep decoding the rest,
         # and re-raise the first error at the end.
         first_error: Exception | None = None
+        effective_len = self._effective_len()
         with self._decode_lock:
-            for batch in self.batcher.plan(requests, self._effective_len()):
+            for batch in self.batcher.plan(requests, effective_len):
                 try:
-                    self._decode_batch(batch)
+                    self._decode_batch(batch, effective_len)
                 except Exception as exc:
                     for request in batch:
                         with self._pending_lock:
@@ -329,7 +446,11 @@ class RecommendationService:
         if first_error is not None and raise_errors:
             raise first_error
 
-    def _decode_batch(self, batch: list[RecommendRequest]) -> None:
+    def _decode_batch(
+        self,
+        batch: list[RecommendRequest],
+        effective_len: "Callable[[RecommendRequest], int] | None" = None,
+    ) -> None:
         all_hypotheses = beam_search_items_batched(
             self.model.lm,
             [request.prompt_ids for request in batch],
@@ -344,7 +465,11 @@ class RecommendationService:
                 handle._deliver(ranked_item_ids(hypotheses, request.top_k))
         self.stats.requests += len(batch)
         self.stats.batches += 1
-        self.stats.padding_fraction_sum += padding_fraction(batch)
+        # Post-cache effective lengths (memoized at plan time, so this sees
+        # the same probe the batcher bucketed on): rows served from the
+        # prefix cache forward only their unseen suffix, and the padding
+        # stat must reflect that real decode width, not raw prompt shapes.
+        self.stats.padding_fraction_sum += padding_fraction(batch, effective_len)
 
     # ------------------------------------------------------------------
     # Synchronous convenience

@@ -1,8 +1,7 @@
 """Numpy autodiff engine: tensors, layers, optimisers and schedules."""
 
 from . import functional
-from .attention import (BeamKVCache, KVCache, MultiHeadAttention,
-                        RotaryEmbedding, causal_mask)
+from .attention import BeamKVCache, KVCache, MultiHeadAttention, RotaryEmbedding, causal_mask
 from .init import kaiming_uniform, normal_, uniform_, xavier_uniform
 from .nn import (
     MLP,

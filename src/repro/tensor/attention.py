@@ -15,8 +15,7 @@ from . import functional as F
 from .nn import Dropout, Linear, Module
 from .tensor import Tensor, concat
 
-__all__ = ["RotaryEmbedding", "KVCache", "BeamKVCache", "MultiHeadAttention",
-           "causal_mask"]
+__all__ = ["RotaryEmbedding", "KVCache", "BeamKVCache", "MultiHeadAttention", "causal_mask"]
 
 
 def causal_mask(query_len: int, key_len: int, offset: int = 0) -> np.ndarray:
@@ -38,8 +37,7 @@ class RotaryEmbedding:
     rotation with differentiable primitive ops.
     """
 
-    def __init__(self, head_dim: int, max_positions: int = 4096,
-                 base: float = 10000.0):
+    def __init__(self, head_dim: int, max_positions: int = 4096, base: float = 10000.0):
         if head_dim % 2 != 0:
             raise ValueError("RoPE head dimension must be even")
         self.head_dim = head_dim
@@ -71,8 +69,8 @@ class RotaryEmbedding:
             rotated_first = x1 * cos - x2 * sin
             rotated_second = x2 * cos + x1 * sin
             return concat([rotated_first, rotated_second], axis=-1)
-        cos = self.cos[offset:offset + seq_len][None, None, :, :]
-        sin = self.sin[offset:offset + seq_len][None, None, :, :]
+        cos = self.cos[offset : offset + seq_len][None, None, :, :]
+        sin = self.sin[offset : offset + seq_len][None, None, :, :]
         x1 = x[..., :half]
         x2 = x[..., half:]
         rotated_first = x1 * cos - x2 * sin
@@ -120,8 +118,11 @@ class KVCache:
     def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         used = self.length
         new_len = used + k.shape[2]
-        if (self._buf_keys is None or new_len > self._buf_keys.shape[2]
-                or self._buf_keys.shape[0] != k.shape[0]):
+        if (
+            self._buf_keys is None
+            or new_len > self._buf_keys.shape[2]
+            or self._buf_keys.shape[0] != k.shape[0]
+        ):
             # Modest headroom: beam reordering copies whole buffers, so a
             # 2x growth factor would double that traffic for the short
             # (num_levels-long) decodes this cache serves.
@@ -152,16 +153,17 @@ class KVCache:
 
         ``beam_indices`` may have any length, so a flattened ``B*K`` beam
         axis is supported directly: batched beam search reorders with global
-        indices ``b * K + origin`` and may also grow or shrink the batch.
-        Spare buffer capacity is preserved so the following ``append`` stays
-        a single-column write.
+        indices ``b * K + origin`` and may also grow or shrink the batch
+        (continuous batching retires finished rows by reordering with the
+        surviving subset).  Spare buffer capacity is preserved so the
+        following ``append`` stays a single-column write.
         """
         if self.keys is None:
             return
         beam_indices = np.asarray(beam_indices)
-        if (len(beam_indices) == self.batch_size
-                and np.array_equal(beam_indices,
-                                   np.arange(self.batch_size))):
+        if len(beam_indices) == self.batch_size and np.array_equal(
+            beam_indices, np.arange(self.batch_size)
+        ):
             return  # identity shuffle: nothing moves
         used = self.length
         # Gather the *contiguous* buffers (a strided view would push numpy's
@@ -170,6 +172,46 @@ class KVCache:
         self._buf_values = self._buf_values[beam_indices]
         self.keys = self._buf_keys[:, :, :used]
         self.values = self._buf_values[:, :, :used]
+
+    def join(
+        self, other: "KVCache", pad_self: int = 0, pad_other: int = 0, other_rows: int = 0
+    ) -> None:
+        """Concatenate ``other``'s rows after this cache's on the batch axis.
+
+        ``pad_self``/``pad_other`` zero key *columns* are prepended to the
+        respective side so both reach one common width (``self.length +
+        pad_self == other.length + pad_other``).  Prepended columns carry
+        no information — callers must mask them out of attention for the
+        corresponding rows, exactly like prompt left-padding.  An empty
+        ``other`` instead contributes ``other_rows`` rows made entirely of
+        zero columns (a freshly admitted request's share of an in-flight
+        suffix region).  Spare capacity is allocated so following appends
+        stay single-column writes.
+        """
+        if self.keys is None:
+            raise RuntimeError("join requires a non-empty left cache")
+        if other.keys is None and other_rows <= 0:
+            raise ValueError("joining an empty cache requires other_rows")
+        other_batch = other.batch_size if other.keys is not None else other_rows
+        width = self.length + pad_self
+        if other.length + pad_other != width:
+            raise ValueError(
+                f"padded widths disagree: {self.length}+{pad_self} != "
+                f"{other.length}+{pad_other}"
+            )
+        rows = self.batch_size + other_batch
+        capacity = width + max(16, width // 4)
+        shape = (rows, self.keys.shape[1], capacity, self.keys.shape[3])
+        new_keys = np.zeros(shape, dtype=self.keys.dtype)
+        new_values = np.zeros(shape, dtype=self.values.dtype)
+        new_keys[: self.batch_size, :, pad_self:width] = self.keys
+        new_values[: self.batch_size, :, pad_self:width] = self.values
+        if other.keys is not None:
+            new_keys[self.batch_size :, :, pad_other:width] = other.keys
+            new_values[self.batch_size :, :, pad_other:width] = other.values
+        self._buf_keys, self._buf_values = new_keys, new_values
+        self.keys = new_keys[:, :, :width]
+        self.values = new_values[:, :, :width]
 
 
 class BeamKVCache:
@@ -239,6 +281,51 @@ class BeamKVCache:
         else:
             self.suffix.reorder(beam_indices)
 
+    def join(self, other: "BeamKVCache") -> tuple[int, int]:
+        """Merge ``other``'s requests onto this cache's batch axis.
+
+        The continuous-batching admission primitive: ``other`` holds freshly
+        prefilled requests (fanned out to the same beam count, no suffix
+        columns yet) and its rows are appended after this cache's.  Prompt
+        regions of different widths are aligned by prepending zero columns
+        to the narrower side; the incoming rows also receive one all-zero
+        column per existing suffix column (decode steps that ran before they
+        were admitted).  Returns ``(pad_self, pad_other)`` — the prompt
+        columns prepended to the live rows / the incoming rows — so the
+        caller can extend its pad-column masks; every prepended or zero
+        column must be masked out of attention for the affected rows.
+        """
+        if not self.fanned or not other.fanned:
+            raise RuntimeError("join requires both caches fanned out")
+        if self.beams != other.beams:
+            raise ValueError(f"beam width mismatch: {self.beams} != {other.beams}")
+        if other.suffix.length:
+            raise ValueError("incoming cache must not have suffix columns")
+        if self.prompt.keys is None or other.prompt.keys is None:
+            raise RuntimeError("join requires prefilled prompt regions")
+        pad_self = max(0, other.prompt.length - self.prompt.length)
+        pad_other = max(0, self.prompt.length - other.prompt.length)
+        incoming_rows = other.prompt.batch_size
+        self.prompt.join(other.prompt, pad_self, pad_other)
+        if self.suffix.keys is not None:
+            self.suffix.join(
+                other.suffix, 0, self.suffix.length, other_rows=incoming_rows * self.beams
+            )
+        return pad_self, pad_other
+
+    def select_requests(self, keep: np.ndarray) -> None:
+        """Keep only the request rows in ``keep`` (in order), drop the rest.
+
+        ``keep`` indexes the request axis; the matching flat ``B*K`` suffix
+        rows are derived from it.  Retiring finished requests mid-decode
+        this way shrinks every later forward and reorder to the live rows.
+        """
+        keep = np.asarray(keep, dtype=np.int64)
+        self.prompt.reorder(keep)
+        if self.suffix.keys is not None:
+            flat = (keep[:, None] * self.beams + np.arange(self.beams)).reshape(-1)
+            self.suffix.reorder(flat)
+
 
 class MultiHeadAttention(Module):
     """Scaled dot-product multi-head attention.
@@ -256,8 +343,14 @@ class MultiHeadAttention(Module):
         Attention-probability dropout rate.
     """
 
-    def __init__(self, dim: int, num_heads: int, rope: RotaryEmbedding | None = None,
-                 dropout: float = 0.0, rng: np.random.Generator | None = None):
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        rope: RotaryEmbedding | None = None,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
         super().__init__()
         if dim % num_heads != 0:
             raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
@@ -324,8 +417,9 @@ class MultiHeadAttention(Module):
         out = probs @ v
         return self.out_proj(self._merge_heads(out))
 
-    def _beam_cached_attention(self, q: np.ndarray, cache: BeamKVCache,
-                               attn_mask: np.ndarray | None) -> np.ndarray:
+    def _beam_cached_attention(
+        self, q: np.ndarray, cache: BeamKVCache, attn_mask: np.ndarray | None
+    ) -> np.ndarray:
         """Single-token decode attention over a shared-prompt beam cache.
 
         ``q`` is ``(B*K, H, 1, Dh)`` (the new token per hypothesis, RoPE
@@ -335,19 +429,17 @@ class MultiHeadAttention(Module):
         only the per-beam suffix lives on the flat ``B*K`` axis.  Returns
         merged-head outputs ``(B*K, 1, dim)``.
         """
-        kp, vp = cache.prompt.keys, cache.prompt.values    # (B, H, Tp, Dh)
-        ks, vs = cache.suffix.keys, cache.suffix.values    # (B*K, H, S, Dh)
+        kp, vp = cache.prompt.keys, cache.prompt.values  # (B, H, Tp, Dh)
+        ks, vs = cache.suffix.keys, cache.suffix.values  # (B*K, H, S, Dh)
         beams = cache.beams
         num_requests, heads, prompt_len, head_dim = kp.shape
         flat, suffix_len = q.shape[0], ks.shape[2]
         scale = 1.0 / np.sqrt(head_dim)
 
-        q_bhkd = q.reshape(num_requests, beams, heads,
-                           head_dim).transpose(0, 2, 1, 3)
+        q_bhkd = q.reshape(num_requests, beams, heads, head_dim).transpose(0, 2, 1, 3)
         scores_p = (q_bhkd @ kp.transpose(0, 1, 3, 2)) * scale  # (B,H,K,Tp)
         scores_s = (q @ ks.transpose(0, 1, 3, 2)) * scale  # (B*K,H,1,S)
-        scores_s = scores_s.reshape(num_requests, beams, heads,
-                                    suffix_len).transpose(0, 2, 1, 3)
+        scores_s = scores_s.reshape(num_requests, beams, heads, suffix_len).transpose(0, 2, 1, 3)
         scores = np.concatenate([scores_p, scores_s], axis=3)
 
         if attn_mask is not None and np.any(attn_mask):
@@ -357,8 +449,7 @@ class MultiHeadAttention(Module):
                 mask = mask[None, None]
             if mask.shape[0] == flat:
                 # (B*K, 1, 1, key_len) -> (B, 1, K, key_len)
-                mask = mask.reshape(num_requests, beams, 1,
-                                    key_len).transpose(0, 2, 1, 3)
+                mask = mask.reshape(num_requests, beams, 1, key_len).transpose(0, 2, 1, 3)
             scores = np.where(mask, np.float32(-1e9), scores)
 
         scores -= scores.max(axis=-1, keepdims=True)

@@ -118,9 +118,7 @@ def cross_entropy(
     return Tensor._make(np.float32(loss), (logits,), backward)
 
 
-def layer_norm(
-    x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5
-) -> Tensor:
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalisation over the last dimension."""
     x = as_tensor(x)
     weight = as_tensor(weight)

@@ -21,13 +21,15 @@ def xavier_uniform(rng: np.random.Generator, shape: tuple[int, int]) -> np.ndarr
     return rng.uniform(-bound, bound, size=shape).astype(np.float32)
 
 
-def normal_(rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.02,
-            mean: float = 0.0) -> np.ndarray:
+def normal_(
+    rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.02, mean: float = 0.0
+) -> np.ndarray:
     """Gaussian init (the transformer-embedding default)."""
     return (rng.standard_normal(shape) * std + mean).astype(np.float32)
 
 
-def uniform_(rng: np.random.Generator, shape: tuple[int, ...], low: float,
-             high: float) -> np.ndarray:
+def uniform_(
+    rng: np.random.Generator, shape: tuple[int, ...], low: float, high: float
+) -> np.ndarray:
     """Uniform init on ``[low, high)``."""
     return rng.uniform(low, high, size=shape).astype(np.float32)

@@ -94,9 +94,7 @@ class Module:
         for name, param in own.items():
             value = np.asarray(state[name], dtype=np.float32)
             if value.shape != param.shape:
-                raise ValueError(
-                    f"shape mismatch for {name}: {value.shape} vs {param.shape}"
-                )
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.shape}")
             param.data = value.copy()
 
     # -- call protocol -----------------------------------------------------
@@ -146,8 +144,13 @@ class Sequential(Module):
 class Linear(Module):
     """Affine map ``y = x @ W + b`` with Kaiming-uniform initialisation."""
 
-    def __init__(self, in_features: int, out_features: int, bias: bool = True,
-                 rng: np.random.Generator | None = None):
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
         super().__init__()
         rng = rng or np.random.default_rng(0)
         self.in_features = in_features
@@ -165,8 +168,13 @@ class Linear(Module):
 class Embedding(Module):
     """Token-id to vector lookup table."""
 
-    def __init__(self, num_embeddings: int, embedding_dim: int,
-                 rng: np.random.Generator | None = None, std: float = 0.02):
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | None = None,
+        std: float = 0.02,
+    ):
         super().__init__()
         rng = rng or np.random.default_rng(0)
         self.num_embeddings = num_embeddings
@@ -176,8 +184,7 @@ class Embedding(Module):
     def forward(self, indices: np.ndarray) -> Tensor:
         return F.embedding(self.weight, np.asarray(indices))
 
-    def extend(self, extra_rows: int, rng: np.random.Generator,
-               std: float = 0.02) -> None:
+    def extend(self, extra_rows: int, rng: np.random.Generator, std: float = 0.02) -> None:
         """Grow the table by ``extra_rows`` freshly initialised rows.
 
         This mirrors how LC-Rec appends item-index tokens to the LLaMA
@@ -235,8 +242,12 @@ class MLP(Module):
     encoder and decoder of RQ-VAE are implemented as MLPs with ReLU").
     """
 
-    def __init__(self, dims: list[int], rng: np.random.Generator | None = None,
-                 final_activation: bool = False):
+    def __init__(
+        self,
+        dims: list[int],
+        rng: np.random.Generator | None = None,
+        final_activation: bool = False,
+    ):
         super().__init__()
         if len(dims) < 2:
             raise ValueError("MLP needs at least input and output dims")
@@ -256,7 +267,8 @@ class MLP(Module):
         return x
 
 
-def uniform_init(rng: np.random.Generator, shape: tuple[int, ...],
-                 low: float, high: float) -> np.ndarray:
+def uniform_init(
+    rng: np.random.Generator, shape: tuple[int, ...], low: float, high: float
+) -> np.ndarray:
     """Convenience re-export used by a few baseline models."""
     return uniform_(rng, shape, low, high)

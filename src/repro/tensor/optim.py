@@ -54,8 +54,7 @@ class SGD(Optimizer):
 class Adam(Optimizer):
     """Adam optimiser (Kingma & Ba)."""
 
-    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999),
-                 eps: float = 1e-8):
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999), eps: float = 1e-8):
         super().__init__(params, lr)
         self.beta1, self.beta2 = betas
         self.eps = eps
@@ -83,8 +82,14 @@ class Adam(Optimizer):
 class AdamW(Adam):
     """Adam with decoupled weight decay (Loshchilov & Hutter)."""
 
-    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999),
-                 eps: float = 1e-8, weight_decay: float = 0.01):
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ):
         super().__init__(params, lr, betas, eps)
         self.weight_decay = weight_decay
 

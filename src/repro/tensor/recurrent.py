@@ -18,8 +18,7 @@ class GRUCell(Module):
     ``n`` computed from the input and previous hidden state.
     """
 
-    def __init__(self, input_dim: int, hidden_dim: int,
-                 rng: np.random.Generator | None = None):
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator | None = None):
         super().__init__()
         rng = rng or np.random.default_rng(0)
         self.input_dim = input_dim
@@ -34,16 +33,21 @@ class GRUCell(Module):
         gates_h = hidden @ self.w_hidden + self.b_hidden
         d = self.hidden_dim
         r = (gates_x[:, :d] + gates_h[:, :d]).sigmoid()
-        z = (gates_x[:, d:2 * d] + gates_h[:, d:2 * d]).sigmoid()
-        n = (gates_x[:, 2 * d:] + r * gates_h[:, 2 * d:]).tanh()
+        z = (gates_x[:, d : 2 * d] + gates_h[:, d : 2 * d]).sigmoid()
+        n = (gates_x[:, 2 * d :] + r * gates_h[:, 2 * d :]).tanh()
         return (1.0 - z) * n + z * hidden
 
 
 class GRU(Module):
     """Unidirectional (stacked) GRU over a ``(batch, time, dim)`` input."""
 
-    def __init__(self, input_dim: int, hidden_dim: int, num_layers: int = 1,
-                 rng: np.random.Generator | None = None):
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        num_layers: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
         super().__init__()
         rng = rng or np.random.default_rng(0)
         self.hidden_dim = hidden_dim

@@ -49,8 +49,7 @@ class LinearWarmup(Schedule):
 class CosineWarmup(Schedule):
     """Linear warmup followed by cosine decay to ``min_lr``."""
 
-    def __init__(self, base_lr: float, warmup_steps: int, total_steps: int,
-                 min_lr: float = 0.0):
+    def __init__(self, base_lr: float, warmup_steps: int, total_steps: int, min_lr: float = 0.0):
         super().__init__(base_lr)
         if total_steps <= 0:
             raise ValueError("total_steps must be positive")

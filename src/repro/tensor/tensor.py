@@ -197,9 +197,7 @@ class Tensor:
     def _backward_dispatch(self, grad: np.ndarray, grads: dict[int, np.ndarray]):
         contributions = self._backward(grad)
         for parent, contribution in zip(self._parents, contributions):
-            if contribution is None or not (
-                parent.requires_grad or parent._backward is not None
-            ):
+            if contribution is None or not (parent.requires_grad or parent._backward is not None):
                 continue
             key = id(parent)
             if key in grads:

@@ -108,6 +108,20 @@ class TestTIGER:
         assert len(ranked) == len(set(ranked))
         assert all(0 <= i < tiny_dataset.num_items for i in ranked)
 
+    def test_recommend_always_returns_top_k(self, tiger, tiny_dataset):
+        """Regression: a beam that dedups short must be widened/backfilled
+        so ranking metrics never see truncated lists."""
+        num_items = tiny_dataset.num_items
+        for top_k in (1, 10, num_items, num_items + 7):
+            ranked = tiger.recommend(tiny_dataset.split.test_histories[0],
+                                     top_k=top_k)
+            assert len(ranked) == min(top_k, num_items)
+            assert len(ranked) == len(set(ranked))
+        # top_k beyond the catalog covers every item exactly once.
+        everything = tiger.recommend(tiny_dataset.split.test_histories[0],
+                                     top_k=num_items + 7)
+        assert sorted(everything) == list(range(num_items))
+
     def test_training_loss_decreases(self, tiny_dataset, rng):
         index_set = build_random_index_set(tiny_dataset.num_items, 3, 8, rng)
         model = TIGER(index_set, TIGERConfig(epochs=6, dim=16))
@@ -120,16 +134,37 @@ class TestTIGER:
 
 
 class TestP5CID:
-    def test_fit_and_recommend(self, tiny_dataset):
+    @pytest.fixture(scope="class")
+    def p5cid(self, tiny_dataset):
         model = P5CID(tiny_dataset, P5CIDConfig(epochs=3, dim=16,
                                                 cluster_levels=2, branch=4,
                                                 beam_size=10))
-        losses = model.fit(tiny_dataset)
-        assert losses[-1] < losses[0]
-        ranked = model.recommend(tiny_dataset.split.test_histories[0],
+        model.losses = model.fit(tiny_dataset)
+        return model
+
+    def test_fit_and_recommend(self, p5cid, tiny_dataset):
+        assert p5cid.losses[-1] < p5cid.losses[0]
+        ranked = p5cid.recommend(tiny_dataset.split.test_histories[0],
                                  top_k=5)
         assert len(ranked) == 5
         assert all(0 <= i < tiny_dataset.num_items for i in ranked)
+
+    def test_recommend_many_matches_per_request(self, p5cid, tiny_dataset):
+        """The batched engine route returns per-request results verbatim."""
+        histories = [list(h) for h in tiny_dataset.split.test_histories[:5]]
+        batched = p5cid.recommend_many(histories, top_k=5)
+        assert batched == [p5cid.recommend(h, top_k=5) for h in histories]
+
+    def test_recommend_always_returns_top_k(self, p5cid, tiny_dataset):
+        """Regression: short rankings are widened/backfilled to top_k."""
+        num_items = tiny_dataset.num_items
+        history = list(tiny_dataset.split.test_histories[0])
+        for top_k in (1, 10, num_items, num_items + 3):
+            ranked = p5cid.recommend(history, top_k=top_k)
+            assert len(ranked) == min(top_k, num_items)
+            assert len(ranked) == len(set(ranked))
+        everything = p5cid.recommend(history, top_k=num_items + 3)
+        assert sorted(everything) == list(range(num_items))
 
 
 class TestDSSM:

@@ -6,6 +6,7 @@ import pytest
 from repro.llm import (
     LMConfig,
     TinyLlama,
+    backfill_ranked_item_ids,
     beam_search_items,
     beam_search_items_batched,
     beam_search_items_single,
@@ -118,6 +119,42 @@ class TestBatchedParity:
             beam_search_items_batched(make_model(), [[1]], make_trie(),
                                       beam_size=0)
 
+    def test_empty_prompt_in_batch_rejected_with_row(self):
+        """A degenerate row must raise a clear per-row error, not crash
+        somewhere inside left-padding or prefill."""
+        with pytest.raises(ValueError, match="prompt 1 is empty"):
+            beam_search_items_batched(make_model(), [[1, 2], [], [3]],
+                                      make_trie(), beam_size=5)
+
+    def test_single_item_trie(self):
+        model = make_model()
+        trie = IndexTrie({0: (10, 12, 14)})
+        batched = beam_search_items_batched(model, [[1], [2, 3]], trie,
+                                            beam_size=20)
+        for hypotheses in batched:
+            assert [h.item_id for h in hypotheses] == [0]
+            assert hypotheses[0].token_ids == (10, 12, 14)
+
+    def test_beam_exceeding_legal_hypotheses_mid_batch(self):
+        """Rows starving mid-search carry -inf fillers that never leak out."""
+        model = make_model()
+        # Item 5 lives alone under root token 20: any row whose beam leads
+        # with that branch has a single legal continuation at every level.
+        trie = IndexTrie({
+            0: (10, 12, 14),
+            1: (10, 12, 15),
+            5: (20, 21, 22),
+        })
+        batched = beam_search_items_batched(model, [[1, 2], [4]], trie,
+                                            beam_size=50)
+        for prompt, hypotheses in zip([[1, 2], [4]], batched):
+            assert {h.item_id for h in hypotheses} == {0, 1, 5}
+            assert all(np.isfinite(h.score) for h in hypotheses)
+            reference = beam_search_items_single(model, prompt, trie,
+                                                 beam_size=50)
+            assert ([h.token_ids for h in hypotheses]
+                    == [h.token_ids for h in reference])
+
 
 class TestRankedItemIds:
     def test_dedup_and_truncation(self):
@@ -127,6 +164,23 @@ class TestRankedItemIds:
         assert len(ranked) == 3
         assert len(set(ranked)) == 3
         assert ranked == [h.item_id for h in hypotheses[:3]]
+
+    def test_backfill_pads_short_rankings(self):
+        model, trie = make_model(), make_trie()
+        hypotheses = beam_search_items(model, [1], trie, beam_size=50)
+        # Full beams are untouched.
+        assert backfill_ranked_item_ids(hypotheses, 3, 5) == ranked_item_ids(
+            hypotheses, 3)
+        # A starved beam is padded with the smallest unused item ids,
+        # keeping the beam's own ranking at the front.
+        padded = backfill_ranked_item_ids(hypotheses[:2], top_k=4, num_items=5)
+        assert padded[:2] == [h.item_id for h in hypotheses[:2]]
+        assert len(padded) == 4
+        assert len(set(padded)) == 4
+        # top_k beyond the catalog: every item once, nothing invented.
+        everything = backfill_ranked_item_ids(hypotheses[:2], top_k=10,
+                                              num_items=5)
+        assert sorted(everything) == [0, 1, 2, 3, 4]
 
 
 class TestTrieMask:

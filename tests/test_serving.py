@@ -95,6 +95,16 @@ class TestMicroBatcher:
         assert padding_fraction(batch) == pytest.approx(2 / 8)
         assert padding_fraction([request(6)]) == 0.0
 
+    def test_padding_fraction_uses_effective_lengths(self):
+        """With a prefix cache, rows forward only their unseen suffix: the
+        padding stat must reflect those effective widths, not raw prompts."""
+        batch = [request(10), request(12)]
+        effective = {batch[0].request_id: 1, batch[1].request_id: 4}
+        fraction = padding_fraction(
+            batch, lambda r: effective[r.request_id])
+        assert fraction == pytest.approx((2 * 4 - 5) / (2 * 4))
+        assert fraction != padding_fraction(batch)
+
 
 class TestRecommendationService:
     """End-to-end: batched serving returns exactly what per-request does."""
@@ -151,6 +161,41 @@ class TestRecommendationService:
         for history, p in zip(histories, pending):
             assert p.result() == tiny_lcrec.recommend(list(history), top_k=3)
         assert len(wide.result()) <= 30
+
+    def test_padding_stats_use_post_cache_lengths(self, tiny_lcrec,
+                                                  tiny_dataset):
+        """A cached row forwards only its unseen suffix; the padding stat
+        must be computed over those effective widths, not raw prompts."""
+        service = RecommendationService(
+            tiny_lcrec,
+            batcher=MicroBatcherConfig(max_batch_size=4, bucket_width=10_000))
+        history = list(tiny_dataset.split.test_histories[0])
+        grown = history + [tiny_dataset.split.test_targets[0]]
+        base_instr = tiny_lcrec.seq_instruction(history)
+        grown_instr = tiny_lcrec.seq_instruction(grown)
+        service.submit_instruction(base_instr, top_k=3)
+        service.flush()  # warms the prefix cache with the base prompt
+        before = service.stats.padding_fraction_sum
+
+        # Probe *before* the decode inserts these prompts, exactly as the
+        # batch planner does.
+        effective = {}
+        for instruction in (base_instr, grown_instr):
+            ids = tiny_lcrec.encode_instruction(instruction)
+            cached = service.prefix_cache.probe(ids, max_len=len(ids) - 1)
+            effective[instruction] = len(ids) - cached
+        assert effective[base_instr] == 1  # exact repeat: 1-token suffix
+
+        pending = [service.submit_instruction(i, top_k=3)
+                   for i in (base_instr, grown_instr)]
+        service.flush()
+        for p in pending:
+            assert len(p.result()) == 3
+        assert service.stats.batches == 2  # the pair co-batched
+        widths = list(effective.values())
+        expected = (2 * max(widths) - sum(widths)) / (2 * max(widths))
+        assert (service.stats.padding_fraction_sum - before
+                == pytest.approx(expected))
 
     def test_requires_built_model(self, tiny_dataset):
         from helpers import small_lcrec_config

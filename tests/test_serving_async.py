@@ -202,6 +202,35 @@ class TestAsyncService:
         pending = service.submit(tiny_dataset.split.test_histories[0], top_k=3)
         assert len(pending.result(timeout=10.0)) == 3
 
+    def test_stop_safe_under_concurrent_callers(self, service):
+        """Regression: concurrent stop() calls used to race the worker field.
+
+        Two callers could both pass the ``_worker is None`` check; the
+        loser then joined/cleared a dead (or None) thread.  The lifecycle
+        lock serializes them: every caller returns cleanly and the service
+        is stopped exactly once per start.
+        """
+        errors: list[BaseException] = []
+        for _ in range(10):
+            service.start()
+            barrier = threading.Barrier(4)
+
+            def stopper():
+                try:
+                    barrier.wait(timeout=5)
+                    service.stop()
+                except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=stopper) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert not any(thread.is_alive() for thread in threads)
+            assert not service.is_running
+        assert errors == []
+
     def test_sync_flush_still_works_while_running(self, service, tiny_dataset):
         """Explicit flush() and the background loop may race safely."""
         service.start()

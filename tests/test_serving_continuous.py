@@ -1,0 +1,511 @@
+"""Continuous batching: stepper parity, level-boundary admission, scheduler.
+
+The load-bearing invariant: a request's rankings are identical to decoding
+it alone *no matter when it is admitted* into an in-flight decode — that
+is what makes continuous batching a scheduling change, not an
+approximation.  The parity suite pins that down for every admission level,
+the scheduler tests cover admission policy (width cap, beam
+compatibility, FIFO), and the service tests drive the whole background
+loop under concurrent submitters.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.llm import (
+    LMConfig,
+    PrefixKVCache,
+    TinyLlama,
+    beam_search_items_batched,
+    decode_finish,
+    decode_join,
+    decode_prefill,
+    decode_retire,
+    decode_step,
+)
+from repro.quantization import IndexTrie
+from repro.serving import (
+    ContinuousScheduler,
+    MicroBatcherConfig,
+    RecommendationService,
+    RecommendRequest,
+    RequestQueue,
+)
+
+
+def make_model(vocab=30, num_layers=2):
+    model = TinyLlama(LMConfig(vocab_size=vocab, dim=16, num_layers=num_layers,
+                               num_heads=2, ffn_hidden=24, max_seq_len=64,
+                               seed=7))
+    model.eval()
+    return model
+
+
+def make_trie():
+    return IndexTrie({
+        0: (10, 12, 14),
+        1: (10, 12, 15),
+        2: (10, 13, 14),
+        3: (11, 12, 14),
+        4: (11, 13, 15),
+    })
+
+
+LIVE_PROMPTS = [[1, 2, 3], [4, 5]]
+LATE_PROMPTS = [[2, 2, 6, 7], [3, 3, 3], [1]]
+
+
+def run_to_completion(state):
+    """Drive a joined state to the end, collecting results by tag.
+
+    Returns ``(results, delivery_order)``: rows are retired the moment they
+    reach the final level, so rows admitted earlier are delivered earlier.
+    """
+    results, order = {}, []
+    while state.num_rows:
+        rows = state.finished_rows()
+        if rows:
+            tags = [state.tags[row] for row in rows]
+            for tag, hyps in zip(tags, decode_retire(state, rows)):
+                results[tag] = hyps
+                order.append(tag)
+        if state.num_rows:
+            decode_step(state)
+    return results, order
+
+
+class TestStepperParity:
+    """prefill/step/finish must reproduce the one-shot engine exactly."""
+
+    def test_stepper_matches_one_shot(self):
+        model, trie = make_model(), make_trie()
+        one_shot = beam_search_items_batched(model, LIVE_PROMPTS + LATE_PROMPTS,
+                                             trie, beam_size=5)
+        state = decode_prefill(model, LIVE_PROMPTS + LATE_PROMPTS, trie,
+                               beam_size=5)
+        for _ in range(1, trie.num_levels):
+            decode_step(state)
+        stepped = decode_finish(state)
+        for a, b in zip(stepped, one_shot):
+            assert [h.token_ids for h in a] == [h.token_ids for h in b]
+            assert [h.score for h in a] == [h.score for h in b]
+
+    @pytest.mark.parametrize("level", [0, 1, 2])
+    def test_admission_at_any_level_preserves_rankings(self, level):
+        """Join at level L: every request matches decode-alone, for all L."""
+        model, trie = make_model(), make_trie()
+        reference = {
+            tuple(p): beam_search_items_batched(model, [p], trie, beam_size=5)[0]
+            for p in LIVE_PROMPTS + LATE_PROMPTS
+        }
+        state = decode_prefill(model, LIVE_PROMPTS, trie, beam_size=5,
+                               tags=[("live", i) for i in range(len(LIVE_PROMPTS))])
+        for _ in range(level):
+            decode_step(state)
+        incoming = decode_prefill(model, LATE_PROMPTS, trie, beam_size=5,
+                                  tags=[("late", i) for i in range(len(LATE_PROMPTS))])
+        decode_join(state, incoming)
+        results, _ = run_to_completion(state)
+        prompts = {("live", i): p for i, p in enumerate(LIVE_PROMPTS)}
+        prompts |= {("late", i): p for i, p in enumerate(LATE_PROMPTS)}
+        assert set(results) == set(prompts)
+        for tag, hyps in results.items():
+            expected = reference[tuple(prompts[tag])]
+            assert [h.item_id for h in hyps] == [h.item_id for h in expected]
+            assert [h.token_ids for h in hyps] == [h.token_ids for h in expected]
+            np.testing.assert_allclose([h.score for h in hyps],
+                                       [h.score for h in expected],
+                                       rtol=1e-5, atol=1e-6)
+
+    @pytest.mark.parametrize("level", [1, 2])
+    def test_admission_with_prefix_cache(self, level):
+        """Cache-seeded rows (mid-sequence pads) join without changing ranks."""
+        model, trie = make_model(), make_trie()
+        live = [[1, 2, 3, 4, 5, 6], [4, 5, 2]]
+        late = [[1, 2, 3, 4, 5, 6, 7, 8], [1, 2, 3, 4]]  # hit live's prompts
+        reference = {
+            tuple(p): beam_search_items_batched(model, [p], trie, beam_size=5)[0]
+            for p in live + late
+        }
+        cache = PrefixKVCache(min_prefix_len=2)
+        beam_search_items_batched(model, live, trie, beam_size=5,
+                                  prefix_cache=cache)
+        state = decode_prefill(model, live, trie, beam_size=5,
+                               prefix_cache=cache, tags=["a", "b"])
+        for _ in range(level):
+            decode_step(state)
+        incoming = decode_prefill(model, late, trie, beam_size=5,
+                                  prefix_cache=cache, tags=["c", "d"])
+        assert cache.stats.hits > 0
+        decode_join(state, incoming)
+        results, _ = run_to_completion(state)
+        prompts = dict(zip("abcd", live + late))
+        for tag, hyps in results.items():
+            expected = reference[tuple(prompts[tag])]
+            assert [h.item_id for h in hyps] == [h.item_id for h in expected]
+            np.testing.assert_allclose([h.score for h in hyps],
+                                       [h.score for h in expected],
+                                       rtol=1e-5, atol=1e-6)
+
+    def test_early_rows_retire_before_late_rows(self):
+        """Delivery order follows admission order, not batch completion."""
+        model, trie = make_model(), make_trie()
+        state = decode_prefill(model, LIVE_PROMPTS, trie, beam_size=5,
+                               tags=["early0", "early1"])
+        decode_step(state)
+        incoming = decode_prefill(model, LATE_PROMPTS, trie, beam_size=5,
+                                  tags=["late0", "late1", "late2"])
+        decode_join(state, incoming)
+        _, order = run_to_completion(state)
+        assert order == ["early0", "early1", "late0", "late1", "late2"]
+        # The early rows retired while the late rows were still in flight:
+        # both groups were delivered in different retirement rounds.
+        assert order.index("late0") > order.index("early1")
+
+    def test_chained_joins(self):
+        """Several staggered admissions accumulate into one live decode."""
+        model, trie = make_model(), make_trie()
+        reference = {
+            tuple(p): beam_search_items_batched(model, [p], trie, beam_size=4)[0]
+            for p in LIVE_PROMPTS + LATE_PROMPTS
+        }
+        state = decode_prefill(model, [LIVE_PROMPTS[0]], trie, beam_size=4,
+                               tags=[0])
+        decode_join(state, decode_prefill(model, [LIVE_PROMPTS[1]], trie,
+                                          beam_size=4, tags=[1]))
+        decode_step(state)
+        results = {}
+        for i, prompt in enumerate(LATE_PROMPTS):
+            rows = state.finished_rows()
+            if rows:
+                tags = [state.tags[row] for row in rows]
+                results |= dict(zip(tags, decode_retire(state, rows)))
+            decode_join(state, decode_prefill(model, [prompt], trie,
+                                              beam_size=4, tags=[2 + i]))
+            decode_step(state)
+        rest, _ = run_to_completion(state)
+        results |= rest
+        prompts = LIVE_PROMPTS + LATE_PROMPTS
+        for tag, hyps in results.items():
+            expected = reference[tuple(prompts[tag])]
+            assert [h.item_id for h in hyps] == [h.item_id for h in expected]
+
+
+class TestJoinValidation:
+    def test_beam_width_mismatch_rejected(self):
+        model, trie = make_model(), make_trie()
+        state = decode_prefill(model, LIVE_PROMPTS, trie, beam_size=5)
+        incoming = decode_prefill(model, LATE_PROMPTS, trie, beam_size=3)
+        with pytest.raises(ValueError, match="beam width"):
+            decode_join(state, incoming)
+
+    def test_width_one_join_rejected_with_clear_error(self):
+        """Width-1 decodes never fan out, so join must refuse them cleanly."""
+        model = make_model()
+        trie = IndexTrie({0: (10, 12, 14)})  # single item -> effective width 1
+        state = decode_prefill(model, [[1, 2]], trie, beam_size=5)
+        incoming = decode_prefill(model, [[3]], trie, beam_size=5)
+        with pytest.raises(ValueError, match="width-1"):
+            decode_join(state, incoming)
+
+    def test_stepped_incoming_rejected(self):
+        model, trie = make_model(), make_trie()
+        state = decode_prefill(model, LIVE_PROMPTS, trie, beam_size=5)
+        incoming = decode_prefill(model, LATE_PROMPTS, trie, beam_size=5)
+        decode_step(incoming)
+        with pytest.raises(ValueError, match="freshly prefilled"):
+            decode_join(state, incoming)
+
+    def test_join_consumes_incoming(self):
+        model, trie = make_model(), make_trie()
+        state = decode_prefill(model, LIVE_PROMPTS, trie, beam_size=5)
+        incoming = decode_prefill(model, LATE_PROMPTS, trie, beam_size=5)
+        decode_join(state, incoming)
+        assert incoming.num_rows == 0
+        with pytest.raises(RuntimeError):
+            decode_step(incoming)
+
+    def test_step_requires_retirement_first(self):
+        model, trie = make_model(), make_trie()
+        state = decode_prefill(model, LIVE_PROMPTS, trie, beam_size=5)
+        for _ in range(1, trie.num_levels):
+            decode_step(state)
+        with pytest.raises(RuntimeError, match="retire"):
+            decode_step(state)
+
+    def test_retire_unfinished_row_rejected(self):
+        model, trie = make_model(), make_trie()
+        state = decode_prefill(model, LIVE_PROMPTS, trie, beam_size=5)
+        with pytest.raises(ValueError, match="final trie level"):
+            decode_retire(state, [0])
+
+
+def request(prompt, beam_size=5, top_k=3):
+    return RecommendRequest(prompt_ids=list(prompt), top_k=top_k,
+                            beam_size=beam_size)
+
+
+class TestContinuousScheduler:
+    def test_admit_step_parity(self):
+        model, trie = make_model(), make_trie()
+        reference = {
+            tuple(p): beam_search_items_batched(model, [p], trie, beam_size=5)[0]
+            for p in LIVE_PROMPTS + LATE_PROMPTS
+        }
+        scheduler = ContinuousScheduler(model, trie, max_width=8)
+        early = [request(p) for p in LIVE_PROMPTS]
+        late = [request(p) for p in LATE_PROMPTS]
+        scheduler.admit(early)
+        delivered = scheduler.step()
+        scheduler.admit(late)
+        while not scheduler.idle:
+            delivered.extend(scheduler.step())
+        assert [req.request_id for req, _ in delivered] == [
+            r.request_id for r in early + late
+        ]
+        for req, hyps in delivered:
+            expected = reference[tuple(req.prompt_ids)]
+            assert [h.item_id for h in hyps] == [h.item_id for h in expected]
+        assert scheduler.admissions == 2
+        assert scheduler.joins == 1
+
+    def test_width_cap_enforced(self):
+        model, trie = make_model(), make_trie()
+        scheduler = ContinuousScheduler(model, trie, max_width=2)
+        scheduler.admit([request(p) for p in LIVE_PROMPTS])
+        assert scheduler.free_width == 0
+        with pytest.raises(ValueError, match="free width"):
+            scheduler.admit([request([9, 9])])
+
+    def test_beam_compatibility_gate(self):
+        model, trie = make_model(), make_trie()
+        scheduler = ContinuousScheduler(model, trie, max_width=8)
+        scheduler.admit([request([1, 2], beam_size=5)])
+        assert not scheduler.compatible(request([3], beam_size=2))
+        # Same *effective* width is compatible even if raw sizes differ:
+        # the 5-item trie clamps any beam >= 5 to 5 hypotheses.
+        assert scheduler.compatible(request([3], beam_size=50))
+        while not scheduler.idle:
+            scheduler.step()
+        assert scheduler.compatible(request([3], beam_size=2))
+
+    def test_width_one_requests_wait_instead_of_joining(self):
+        """A width-1 in-flight decode rejects joiners; they drain-then-run."""
+        model = make_model()
+        trie = IndexTrie({0: (10, 12, 14)})
+        scheduler = ContinuousScheduler(model, trie, max_width=8)
+        first, second = request([1, 2], beam_size=5), request([3], beam_size=5)
+        scheduler.admit([first])
+        assert not scheduler.compatible(second)
+        delivered = []
+        while not scheduler.idle:
+            delivered.extend(scheduler.step())
+        assert scheduler.compatible(second)
+        scheduler.admit([second])
+        while not scheduler.idle:
+            delivered.extend(scheduler.step())
+        assert [req.request_id for req, _ in delivered] == [
+            first.request_id, second.request_id
+        ]
+        for _, hyps in delivered:
+            assert [h.item_id for h in hyps] == [0]
+
+    def test_abort_reports_in_flight_requests(self):
+        model, trie = make_model(), make_trie()
+        scheduler = ContinuousScheduler(model, trie, max_width=8)
+        reqs = [request(p) for p in LIVE_PROMPTS]
+        scheduler.admit(reqs)
+        aborted = scheduler.abort()
+        assert [r.request_id for r in aborted] == [r.request_id for r in reqs]
+        assert scheduler.idle
+
+
+class TestQueueAdmissionPrimitives:
+    def test_pop_front_respects_fifo_and_predicate(self):
+        queue = RequestQueue()
+        first = request([1, 2], beam_size=5)
+        blocker = request([3], beam_size=2)
+        behind = request([4], beam_size=5)
+        for r in (first, blocker, behind):
+            queue.push(r)
+        popped = queue.pop_front(10, lambda r: r.beam_size == 5)
+        # FIFO is never bypassed: the incompatible head blocks what follows.
+        assert [r.request_id for r in popped] == [first.request_id]
+        assert len(queue) == 2
+
+    def test_pop_front_limit(self):
+        queue = RequestQueue()
+        reqs = [request([i + 1]) for i in range(5)]
+        for r in reqs:
+            queue.push(r)
+        popped = queue.pop_front(3)
+        assert [r.request_id for r in popped] == [r.request_id for r in reqs[:3]]
+
+    def test_await_request_wakes_on_push(self):
+        queue = RequestQueue()
+        out = {}
+
+        def waiter():
+            out["ready"] = queue.await_request(lambda: False)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        queue.push(request([1]))
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert out["ready"] is True
+
+    def test_await_request_stop(self):
+        queue = RequestQueue()
+        stop = threading.Event()
+        out = {}
+
+        def waiter():
+            out["ready"] = queue.await_request(stop.is_set)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        stop.set()
+        queue.kick()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert out["ready"] is False
+
+
+class TestContinuousService:
+    @pytest.fixture()
+    def service(self, tiny_lcrec):
+        service = RecommendationService(
+            tiny_lcrec,
+            batcher=MicroBatcherConfig(max_batch_size=4),
+            mode="continuous",
+        )
+        yield service
+        service.stop()
+
+    def test_mode_validated(self, tiny_lcrec):
+        with pytest.raises(ValueError, match="mode"):
+            RecommendationService(tiny_lcrec, mode="sometimes")
+
+    def test_results_match_sync_recommend(self, service, tiny_lcrec,
+                                          tiny_dataset):
+        histories = tiny_dataset.split.test_histories[:6]
+        service.start()
+        pending = [service.submit(h, top_k=5) for h in histories]
+        for history, p in zip(histories, pending):
+            assert p.result(timeout=20.0) == tiny_lcrec.recommend(
+                list(history), top_k=5)
+        assert service.stats.requests == len(histories)
+        assert service.stats.admissions >= 1
+
+    def test_concurrent_submitters_stress(self, service, tiny_lcrec,
+                                          tiny_dataset):
+        """Many threads submitting against a live decode stay bit-identical."""
+        histories = tiny_dataset.split.test_histories[:10]
+        expected = [tiny_lcrec.recommend(list(h), top_k=4) for h in histories]
+        service.start()
+        results: dict[int, list[int]] = {}
+
+        def submit_and_wait(index, history):
+            results[index] = service.submit(history, top_k=4).result(timeout=20.0)
+
+        threads = [
+            threading.Thread(target=submit_and_wait, args=(i, h))
+            for i, h in enumerate(histories)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(results) == len(histories)
+        for index in range(len(histories)):
+            assert results[index] == expected[index]
+
+    def test_stop_drains_queued_and_in_flight(self, service, tiny_dataset):
+        service.start()
+        pending = [service.submit(h, top_k=3)
+                   for h in tiny_dataset.split.test_histories[:6]]
+        service.stop()
+        assert all(p.done for p in pending)
+        assert all(len(p.result()) == 3 for p in pending)
+        assert not service.is_running
+
+    def test_stop_without_drain_leaves_queue_served_synchronously(
+            self, tiny_lcrec, tiny_dataset):
+        service = RecommendationService(
+            tiny_lcrec, batcher=MicroBatcherConfig(max_batch_size=4),
+            mode="continuous")
+        # Not started: nothing consumes the queue until stop/flush.
+        pending = service.submit(tiny_dataset.split.test_histories[0], top_k=3)
+        service.start()
+        service.stop(drain=False)
+        # Whether the loop admitted it before stop or left it queued, the
+        # handle must still resolve via the synchronous fallback.
+        assert len(pending.result(timeout=20.0)) == 3
+
+    def test_sync_flush_coexists_with_continuous_loop(self, service,
+                                                      tiny_dataset):
+        service.start()
+        pending = [service.submit(h, top_k=3)
+                   for h in tiny_dataset.split.test_histories[:3]]
+        service.flush()  # may race the loop; each request delivered once
+        assert all(len(p.result(timeout=20.0)) == 3 for p in pending)
+
+    def test_failing_decode_fails_handles_but_not_loop(self, tiny_lcrec,
+                                                       tiny_dataset,
+                                                       monkeypatch):
+        from repro.serving import continuous as continuous_module
+
+        service = RecommendationService(
+            tiny_lcrec, batcher=MicroBatcherConfig(max_batch_size=4),
+            mode="continuous", prefix_cache=False)
+        calls = {"count": 0}
+        real_prefill = continuous_module.decode_prefill
+
+        def flaky(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("decode blew up")
+            return real_prefill(*args, **kwargs)
+
+        monkeypatch.setattr(continuous_module, "decode_prefill", flaky)
+        service.start()
+        first = service.submit(tiny_dataset.split.test_histories[0], top_k=3)
+        with pytest.raises(RuntimeError, match="decode blew up"):
+            first.result(timeout=20.0)
+        # The loop survives: later submissions are served normally.
+        second = service.submit(tiny_dataset.split.test_histories[1], top_k=3)
+        assert len(second.result(timeout=20.0)) == 3
+        service.stop()
+
+    def test_failing_admission_spares_in_flight_requests(self, tiny_lcrec,
+                                                         tiny_dataset,
+                                                         monkeypatch):
+        """A prefill failure fails only the incoming requests: the live
+        decode's K/V is untouched and its requests still deliver."""
+        from repro.serving import continuous as continuous_module
+
+        service = RecommendationService(
+            tiny_lcrec, batcher=MicroBatcherConfig(max_batch_size=4),
+            mode="continuous", prefix_cache=False)
+        calls = {"count": 0}
+        real_prefill = continuous_module.decode_prefill
+
+        def flaky(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 2:
+                raise RuntimeError("admission blew up")
+            return real_prefill(*args, **kwargs)
+
+        monkeypatch.setattr(continuous_module, "decode_prefill", flaky)
+        service.start()
+        first = service.submit(tiny_dataset.split.test_histories[0], top_k=3)
+        while calls["count"] == 0:  # first request is admitted and live
+            threading.Event().wait(0.002)
+        second = service.submit(tiny_dataset.split.test_histories[1], top_k=3)
+        with pytest.raises(RuntimeError, match="admission blew up"):
+            second.result(timeout=20.0)
+        assert len(first.result(timeout=20.0)) == 3  # in-flight unharmed
+        service.stop()
