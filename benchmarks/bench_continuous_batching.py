@@ -29,7 +29,7 @@ import numpy as np
 from repro.bench import report, scaled_dataset
 from repro.bench.runners import build_lcrec_model
 from repro.llm import beam_search_items_single, ranked_item_ids
-from repro.serving import MicroBatcherConfig, RecommendationService
+from repro.serving import LCRecEngine, MicroBatcherConfig, RecommendationService
 
 BATCH_WIDTH = 8  # max_batch_size / joined-width cap, both modes
 NUM_REQUESTS = 48
@@ -47,7 +47,7 @@ def _histories(dataset, count):
 def run_mode(model, histories, gaps, mode):
     """Open-loop replay: Poisson submits, per-request completion latency."""
     service = RecommendationService(
-        model,
+        LCRecEngine(model),
         batcher=MicroBatcherConfig(max_batch_size=BATCH_WIDTH),
         deadline_ms=DEADLINE_MS,
         mode=mode,

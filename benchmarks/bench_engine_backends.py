@@ -1,0 +1,191 @@
+"""One serving stack, every backend: throughput/latency across engines.
+
+The :class:`repro.serving.GenerativeEngine` redesign promises that the
+queue → micro-batcher → scheduler machinery is shared infrastructure for
+*every* generative recommender.  This benchmark sweeps the adapters
+through the same harness and records requests/sec plus p50/p95 latency:
+
+* **LCRec, deadline vs continuous** — the same Poisson open-loop workload
+  (each submitter blocks only on its own result) replayed through
+  ``LCRecEngine`` in both background-loop disciplines;
+* **TIGER, single loop vs batched engine** — the pre-engine per-request
+  ``TIGER.recommend`` Python loop against ``TIGEREngine`` decoding the
+  same requests in closed micro-batches (encode once per batch, ``B×K``
+  decoder beams per forward).
+
+Correctness is asserted, not assumed: every path must return rankings
+identical to its per-request oracle — the engine boundary is a scheduling
+and batching seam, never an approximation.  Results are persisted to both
+``benchmarks/results/`` (the harness convention) and the repo-root
+``benchmark_results/`` directory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.bench import bench_scale, report, scaled_dataset
+from repro.bench.runners import build_lcrec_model
+from repro.baselines import TIGER, TIGERConfig
+from repro.core.indexer import build_random_index_set
+from repro.serving import LCRecEngine, MicroBatcherConfig, RecommendationService, TIGEREngine
+
+BATCH_WIDTH = 8  # max_batch_size / joined-width cap for LCRec serving
+TIGER_BATCH = 16  # micro-batch size for the TIGER engine sweep
+NUM_REQUESTS = 32
+MEAN_GAP_MS = 12.0  # Poisson arrivals for the LCRec open-loop replay
+DEADLINE_MS = 60.0
+TOP_K = 10
+SEED = 11
+
+
+def _histories(dataset, count):
+    pool = dataset.split.test_histories
+    return [list(pool[i % len(pool)]) for i in range(count)]
+
+
+def _percentiles(latencies):
+    arr = np.asarray(latencies)
+    return float(np.percentile(arr, 50)), float(np.percentile(arr, 95))
+
+
+# ----------------------------------------------------------------------
+# LCRec: deadline-batched vs continuous through the same engine
+# ----------------------------------------------------------------------
+def run_lcrec_mode(model, histories, gaps, mode):
+    """Open-loop replay: Poisson submits, per-request completion latency."""
+    service = RecommendationService(
+        LCRecEngine(model),
+        batcher=MicroBatcherConfig(max_batch_size=BATCH_WIDTH),
+        deadline_ms=DEADLINE_MS,
+        mode=mode,
+    )
+    latencies = [0.0] * len(histories)
+    completed = [0.0] * len(histories)
+    rankings: list[list[int] | None] = [None] * len(histories)
+
+    def waiter(index, handle, submitted_at):
+        rankings[index] = handle.result(timeout=120.0)
+        completed[index] = time.perf_counter()
+        latencies[index] = completed[index] - submitted_at
+
+    threads = []
+    with service:
+        start = time.perf_counter()
+        for index, (history, gap) in enumerate(zip(histories, gaps)):
+            time.sleep(gap)
+            submitted_at = time.perf_counter()
+            handle = service.submit(history, top_k=TOP_K)
+            thread = threading.Thread(target=waiter, args=(index, handle, submitted_at))
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join(timeout=180)
+    assert all(r is not None for r in rankings), f"lcrec/{mode}: requests lost"
+    elapsed = max(completed) - start
+    return rankings, latencies, len(histories) / elapsed
+
+
+# ----------------------------------------------------------------------
+# TIGER: per-request loop vs the batched engine
+# ----------------------------------------------------------------------
+def run_tiger_single(model, histories):
+    rankings, latencies = [], []
+    start = time.perf_counter()
+    for history in histories:
+        tick = time.perf_counter()
+        rankings.append(model.recommend(history, top_k=TOP_K))
+        latencies.append(time.perf_counter() - tick)
+    elapsed = time.perf_counter() - start
+    return rankings, latencies, len(histories) / elapsed
+
+
+def run_tiger_batched(engine, histories):
+    """Closed micro-batches: each request's latency is its batch's decode."""
+    rankings, latencies = [], []
+    start = time.perf_counter()
+    for lo in range(0, len(histories), TIGER_BATCH):
+        chunk = histories[lo : lo + TIGER_BATCH]
+        tick = time.perf_counter()
+        rankings.extend(engine.recommend_many(chunk, top_k=TOP_K))
+        latencies.extend([time.perf_counter() - tick] * len(chunk))
+    elapsed = time.perf_counter() - start
+    return rankings, latencies, len(histories) / elapsed
+
+
+def run_engine_backend_table():
+    scale = bench_scale()
+    dataset = scaled_dataset("instruments")
+    histories = _histories(dataset, NUM_REQUESTS)
+    gaps = np.random.default_rng(SEED).exponential(MEAN_GAP_MS / 1000.0, NUM_REQUESTS)
+    results = {}
+
+    # LCRec through both scheduling disciplines of the shared stack.
+    lcrec = build_lcrec_model(dataset, tasks=("seq",))
+    run_lcrec_mode(lcrec, histories[:BATCH_WIDTH], gaps[:BATCH_WIDTH], "deadline")  # warm
+    for mode in ("deadline", "continuous"):
+        rankings, latencies, rps = run_lcrec_mode(lcrec, histories, gaps, mode)
+        p50, p95 = _percentiles(latencies)
+        results[f"lcrec/{mode}"] = {"rankings": rankings, "rps": rps, "p50": p50, "p95": p95}
+    assert results["lcrec/deadline"]["rankings"] == results["lcrec/continuous"]["rankings"], (
+        "continuous admission changed LCRec rankings"
+    )
+    oracle = [lcrec.recommend(h, top_k=TOP_K) for h in histories[:3]]
+    assert results["lcrec/continuous"]["rankings"][:3] == oracle, "LCRec engine parity broke"
+
+    # TIGER through the per-request oracle loop and the batched engine.
+    index_set = build_random_index_set(
+        dataset.num_items, 3, 8, np.random.default_rng(SEED)
+    )
+    tiger = TIGER(index_set, TIGERConfig(epochs=scale.epochs(6), seed=SEED))
+    tiger.fit(dataset)
+    engine = TIGEREngine(tiger)
+    run_tiger_batched(engine, histories[:TIGER_BATCH])  # warm
+    single_rankings, single_lat, single_rps = run_tiger_single(tiger, histories)
+    batched_rankings, batched_lat, batched_rps = run_tiger_batched(engine, histories)
+    assert batched_rankings == single_rankings, "TIGER engine parity broke"
+    for name, (lat, rps) in (
+        ("tiger/single-loop", (single_lat, single_rps)),
+        (f"tiger/batched B={TIGER_BATCH}", (batched_lat, batched_rps)),
+    ):
+        p50, p95 = _percentiles(lat)
+        results[name] = {"rps": rps, "p50": p50, "p95": p95}
+
+    rows = [f"{'backend / path':<22} {'req/s':>8} {'p50 ms':>9} {'p95 ms':>9}"]
+    for name in (
+        "lcrec/deadline",
+        "lcrec/continuous",
+        "tiger/single-loop",
+        f"tiger/batched B={TIGER_BATCH}",
+    ):
+        r = results[name]
+        rows.append(
+            f"{name:<22} {r['rps']:>8.2f} {1000 * r['p50']:>9.1f} {1000 * r['p95']:>9.1f}"
+        )
+    rows += [
+        "",
+        f"workload: {NUM_REQUESTS} requests, top_k={TOP_K}; LCRec open-loop "
+        f"Poisson (mean gap {MEAN_GAP_MS:.0f} ms, width {BATCH_WIDTH}, "
+        f"deadline {DEADLINE_MS:.0f} ms); TIGER closed-loop (scale {scale.name})",
+        "rankings asserted identical to each backend's per-request oracle",
+    ]
+    table = "\n".join(rows)
+    destination = report("engine_backends", table)
+    # The repo-root results directory mirrors the harness copy.
+    mirror = destination.parents[2] / "benchmark_results"
+    mirror.mkdir(parents=True, exist_ok=True)
+    (mirror / "engine_backends.txt").write_text(table + "\n")
+    return results
+
+
+def test_engine_backends(benchmark):
+    results = benchmark.pedantic(run_engine_backend_table, rounds=1, iterations=1)
+    # Shared-stack acceptance: continuous admission must not lose throughput
+    # on the same engine, and the batched TIGER engine must at least keep up
+    # with the per-request loop (it amortizes every forward over the batch).
+    assert results["lcrec/continuous"]["rps"] >= 0.9 * results["lcrec/deadline"]["rps"]
+    assert results[f"tiger/batched B={TIGER_BATCH}"]["rps"] >= 0.9 * results["tiger/single-loop"]["rps"]
+

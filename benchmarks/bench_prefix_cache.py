@@ -46,7 +46,7 @@ from repro.llm import (
     ranked_item_ids,
 )
 from repro.quantization import RQVAEConfig, RQVAETrainerConfig
-from repro.serving import MicroBatcherConfig, RecommendationService
+from repro.serving import LCRecEngine, MicroBatcherConfig, RecommendationService
 
 BATCH_SIZE = 16
 NUM_USERS = 24
@@ -111,9 +111,8 @@ def session_waves(model, dataset):
 
 def run_service(model, waves, prefix_cache):
     service = RecommendationService(
-        model,
+        LCRecEngine(model, prefix_cache=prefix_cache),
         batcher=MicroBatcherConfig(max_batch_size=BATCH_SIZE),
-        prefix_cache=prefix_cache,
     )
     rankings = []
     start = time.perf_counter()

@@ -15,7 +15,7 @@ import time
 from repro.bench import report, scaled_dataset
 from repro.bench.runners import build_lcrec_model
 from repro.llm import beam_search_items_single, ranked_item_ids
-from repro.serving import MicroBatcherConfig, RecommendationService
+from repro.serving import LCRecEngine, MicroBatcherConfig, RecommendationService
 
 BATCH_SIZES = (1, 4, 16, 64)
 NUM_REQUESTS = 64
@@ -43,7 +43,7 @@ def _single_loop_throughput(model, histories):
 
 def _batched_throughput(model, histories, batch_size):
     service = RecommendationService(
-        model, batcher=MicroBatcherConfig(max_batch_size=batch_size))
+        LCRecEngine(model), batcher=MicroBatcherConfig(max_batch_size=batch_size))
     start = time.perf_counter()
     rankings = service.recommend_many(histories, top_k=TOP_K)
     elapsed = time.perf_counter() - start

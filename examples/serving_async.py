@@ -23,7 +23,7 @@ from repro.core import LCRec, LCRecConfig
 from repro.core.tasks import AlignmentTaskConfig
 from repro.data import build_dataset, preset_config
 from repro.llm import PretrainConfig, TuningConfig
-from repro.serving import MicroBatcherConfig, RecommendationService
+from repro.serving import LCRecEngine, MicroBatcherConfig, RecommendationService
 
 
 def build_model() -> LCRec:
@@ -50,8 +50,11 @@ def main() -> None:
     model = build_model()
     histories = [list(h) for h in model.dataset.split.test_histories[:24]]
 
+    # The engine adapter is the serving stack's view of the model: the
+    # same RecommendationService machinery serves TIGER and P5-CID through
+    # their own adapters (TIGEREngine, P5CIDEngine).
     service = RecommendationService(
-        model,
+        LCRecEngine(model),  # prefix KV cache on by default
         batcher=MicroBatcherConfig(max_batch_size=8),
         deadline_ms=25.0,  # no request waits longer than this in the queue
     )

@@ -28,8 +28,14 @@ class SequentialRecommender(Module):
     name = "base"
     training_mode = "causal"
 
-    def __init__(self, num_items: int, dim: int, max_len: int,
-                 rng: np.random.Generator, extra_rows: int = 1):
+    def __init__(
+        self,
+        num_items: int,
+        dim: int,
+        max_len: int,
+        rng: np.random.Generator,
+        extra_rows: int = 1,
+    ):
         super().__init__()
         if num_items < 1:
             raise ValueError("num_items must be positive")
@@ -48,8 +54,7 @@ class SequentialRecommender(Module):
         """Per-position representations ``(B, T, dim)``."""
         raise NotImplementedError
 
-    def user_representation(self, padded: np.ndarray,
-                            lengths: np.ndarray) -> Tensor:
+    def user_representation(self, padded: np.ndarray, lengths: np.ndarray) -> Tensor:
         """Representation used for scoring: the last real position."""
         output = self.sequence_output(padded)
         rows = np.arange(padded.shape[0])
@@ -57,17 +62,17 @@ class SequentialRecommender(Module):
 
     def item_logits(self, representation: Tensor) -> Tensor:
         """Tied-weight scores over the real items (padding row excluded)."""
-        weights = self.item_embeddings.weight[:self.num_items]
+        weights = self.item_embeddings.weight[: self.num_items]
         return representation @ weights.transpose(1, 0)
 
     # ------------------------------------------------------------------
-    def pad_histories(self, histories: Sequence[Sequence[int]]
-                      ) -> tuple[np.ndarray, np.ndarray]:
+    def pad_histories(
+        self, histories: Sequence[Sequence[int]]
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Right-pad histories to ``max_len``; returns (batch, lengths)."""
-        clipped = [list(h)[-self.max_len:] for h in histories]
+        clipped = [list(h)[-self.max_len :] for h in histories]
         lengths = np.array([max(len(h), 1) for h in clipped], dtype=np.int64)
-        padded = pad_sequences(clipped, pad_value=self.pad_id,
-                               max_len=self.max_len, align="right")
+        padded = pad_sequences(clipped, pad_value=self.pad_id, max_len=self.max_len, align="right")
         return padded, lengths
 
     def score_all(self, histories: Sequence[Sequence[int]]) -> np.ndarray:

@@ -22,18 +22,27 @@ class BERT4Rec(SequentialRecommender):
     name = "BERT4Rec"
     training_mode = "masked"
 
-    def __init__(self, num_items: int, dim: int = 64, max_len: int = 20,
-                 num_layers: int = 2, num_heads: int = 2,
-                 dropout: float = 0.2, seed: int = 0):
+    def __init__(
+        self,
+        num_items: int,
+        dim: int = 64,
+        max_len: int = 20,
+        num_layers: int = 2,
+        num_heads: int = 2,
+        dropout: float = 0.2,
+        seed: int = 0,
+    ):
         rng = np.random.default_rng(seed)
         # Two extra embedding rows: padding and the mask token.
         super().__init__(num_items, dim, max_len, rng, extra_rows=2)
         self.mask_id = num_items + 1
         self.position_embeddings = Embedding(max_len + 1, dim, rng=rng)
-        self.layers = ModuleList([
-            TransformerEncoderLayer(dim, num_heads, dim * 2, dropout, rng)
-            for _ in range(num_layers)
-        ])
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(dim, num_heads, dim * 2, dropout, rng)
+                for _ in range(num_layers)
+            ]
+        )
         self.final_norm = LayerNorm(dim)
         self.dropout = Dropout(dropout, rng=rng)
 
@@ -48,17 +57,15 @@ class BERT4Rec(SequentialRecommender):
             x = layer(x, attn_mask=pad_mask)
         return self.final_norm(x)
 
-    def user_representation(self, padded: np.ndarray,
-                            lengths: np.ndarray) -> Tensor:
+    def user_representation(self, padded: np.ndarray, lengths: np.ndarray) -> Tensor:
         """Representation of an appended mask token after the history."""
         batch, seq_len = padded.shape
-        extended = np.full((batch, min(seq_len + 1, self.max_len + 1)),
-                           self.pad_id, dtype=np.int64)
+        extended = np.full((batch, min(seq_len + 1, self.max_len + 1)), self.pad_id, dtype=np.int64)
         mask_positions = np.zeros(batch, dtype=np.int64)
         for row in range(batch):
             real = padded[row][padded[row] != self.pad_id]
-            real = real[-(extended.shape[1] - 1):]
-            extended[row, :len(real)] = real
+            real = real[-(extended.shape[1] - 1) :]
+            extended[row, : len(real)] = real
             extended[row, len(real)] = self.mask_id
             mask_positions[row] = len(real)
         output = self.sequence_output(extended)

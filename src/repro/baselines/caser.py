@@ -24,11 +24,17 @@ class Caser(SequentialRecommender):
     name = "Caser"
     training_mode = "pointwise"
 
-    def __init__(self, num_items: int, dim: int = 64, max_len: int = 20,
-                 horizontal_filters: int = 8,
-                 filter_heights: tuple[int, ...] = (2, 3, 4),
-                 vertical_filters: int = 4,
-                 dropout: float = 0.2, seed: int = 0):
+    def __init__(
+        self,
+        num_items: int,
+        dim: int = 64,
+        max_len: int = 20,
+        horizontal_filters: int = 8,
+        filter_heights: tuple[int, ...] = (2, 3, 4),
+        vertical_filters: int = 4,
+        dropout: float = 0.2,
+        seed: int = 0,
+    ):
         rng = np.random.default_rng(seed)
         super().__init__(num_items, dim, max_len, rng)
         self.filter_heights = tuple(filter_heights)
@@ -37,22 +43,18 @@ class Caser(SequentialRecommender):
         # One weight (height * dim, filters) matrix per filter height.
         self._h_weights = []
         for index, height in enumerate(self.filter_heights):
-            weight = Parameter(xavier_uniform(rng, (height * dim,
-                                                    horizontal_filters)))
+            weight = Parameter(xavier_uniform(rng, (height * dim, horizontal_filters)))
             setattr(self, f"h_weight_{index}", weight)
             self._h_weights.append(weight)
         # Vertical convolution: a (max_len, vertical_filters) mixing matrix.
-        self.v_weight = Parameter(xavier_uniform(rng, (max_len,
-                                                       vertical_filters)))
-        conv_out = (len(self.filter_heights) * horizontal_filters
-                    + vertical_filters * dim)
+        self.v_weight = Parameter(xavier_uniform(rng, (max_len, vertical_filters)))
+        conv_out = len(self.filter_heights) * horizontal_filters + vertical_filters * dim
         self.fc = Linear(conv_out, dim, rng=rng)
         self.dropout = Dropout(dropout, rng=rng)
 
-    def user_representation(self, padded: np.ndarray,
-                            lengths: np.ndarray) -> Tensor:
+    def user_representation(self, padded: np.ndarray, lengths: np.ndarray) -> Tensor:
         del lengths  # Caser always consumes the fixed-size window.
-        x = self.item_embeddings(padded)          # (B, L, d)
+        x = self.item_embeddings(padded)  # (B, L, d)
         batch, seq_len, dim = x.shape
 
         horizontal_outputs = []
@@ -60,10 +62,12 @@ class Caser(SequentialRecommender):
             if height > seq_len:
                 continue
             windows = stack(
-                [x[:, t:t + height, :].reshape(batch, height * dim)
-                 for t in range(seq_len - height + 1)],
+                [
+                    x[:, t : t + height, :].reshape(batch, height * dim)
+                    for t in range(seq_len - height + 1)
+                ],
                 axis=1,
-            )                                      # (B, W, height*d)
+            )  # (B, W, height*d)
             activation = (windows @ weight).relu()  # (B, W, F)
             horizontal_outputs.append(activation.max(axis=1))
 

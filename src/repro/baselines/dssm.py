@@ -39,8 +39,7 @@ class DSSMConfig:
 class _TextTower(Module):
     """Mean-pooled word embeddings -> MLP -> L2-normalised vector."""
 
-    def __init__(self, vocab_size: int, config: DSSMConfig,
-                 rng: np.random.Generator):
+    def __init__(self, vocab_size: int, config: DSSMConfig, rng: np.random.Generator):
         super().__init__()
         self.embeddings = Embedding(vocab_size, config.dim, rng=rng)
         self.mlp = MLP([config.dim, config.hidden, config.dim], rng=rng)
@@ -59,8 +58,12 @@ class DSSM(Module):
 
     name = "DSSM"
 
-    def __init__(self, item_titles: list[str], config: DSSMConfig | None = None,
-                 extra_texts: list[str] | None = None):
+    def __init__(
+        self,
+        item_titles: list[str],
+        config: DSSMConfig | None = None,
+        extra_texts: list[str] | None = None,
+    ):
         super().__init__()
         self.config = config or DSSMConfig()
         rng = np.random.default_rng(self.config.seed)
@@ -73,14 +76,13 @@ class DSSM(Module):
 
     # ------------------------------------------------------------------
     def _encode_batch(self, texts: list[str]) -> tuple[np.ndarray, np.ndarray]:
-        ids = [self.tokenizer.encode(t)[:self.config.max_tokens] for t in texts]
+        ids = [self.tokenizer.encode(t)[: self.config.max_tokens] for t in texts]
         width = max(max((len(i) for i in ids), default=1), 1)
-        batch = np.full((len(ids), width), self.tokenizer.vocab.pad_id,
-                        dtype=np.int64)
+        batch = np.full((len(ids), width), self.tokenizer.vocab.pad_id, dtype=np.int64)
         mask = np.zeros((len(ids), width), dtype=np.float32)
         for row, row_ids in enumerate(ids):
-            batch[row, :len(row_ids)] = row_ids
-            mask[row, :len(row_ids)] = 1.0
+            batch[row, : len(row_ids)] = row_ids
+            mask[row, : len(row_ids)] = 1.0
         return batch, mask
 
     def fit(self, examples: list[IntentionExample]) -> list[float]:
@@ -98,7 +100,7 @@ class DSSM(Module):
             order = rng.permutation(len(examples))
             epoch_loss, batches = 0.0, 0
             for start in range(0, len(order), cfg.batch_size):
-                chosen = order[start:start + cfg.batch_size]
+                chosen = order[start : start + cfg.batch_size]
                 if len(chosen) < 2:
                     continue
                 q_ids, q_mask = self._encode_batch([queries[i] for i in chosen])

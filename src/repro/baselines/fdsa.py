@@ -32,10 +32,18 @@ class FDSA(SequentialRecommender):
     name = "FDSA"
     training_mode = "causal"
 
-    def __init__(self, num_items: int, item_features: np.ndarray,
-                 num_features: int, dim: int = 64, max_len: int = 20,
-                 num_layers: int = 1, num_heads: int = 2,
-                 dropout: float = 0.2, seed: int = 0):
+    def __init__(
+        self,
+        num_items: int,
+        item_features: np.ndarray,
+        num_features: int,
+        dim: int = 64,
+        max_len: int = 20,
+        num_layers: int = 1,
+        num_heads: int = 2,
+        dropout: float = 0.2,
+        seed: int = 0,
+    ):
         rng = np.random.default_rng(seed)
         super().__init__(num_items, dim, max_len, rng)
         features = np.asarray(item_features, dtype=np.int64)
@@ -45,14 +53,18 @@ class FDSA(SequentialRecommender):
         self._features = np.concatenate([features, [num_features]])
         self.feature_embeddings = Embedding(num_features + 1, dim, rng=rng)
         self.position_embeddings = Embedding(max_len + 1, dim, rng=rng)
-        self.item_layers = ModuleList([
-            TransformerEncoderLayer(dim, num_heads, dim * 2, dropout, rng)
-            for _ in range(num_layers)
-        ])
-        self.feature_layers = ModuleList([
-            TransformerEncoderLayer(dim, num_heads, dim * 2, dropout, rng)
-            for _ in range(num_layers)
-        ])
+        self.item_layers = ModuleList(
+            [
+                TransformerEncoderLayer(dim, num_heads, dim * 2, dropout, rng)
+                for _ in range(num_layers)
+            ]
+        )
+        self.feature_layers = ModuleList(
+            [
+                TransformerEncoderLayer(dim, num_heads, dim * 2, dropout, rng)
+                for _ in range(num_layers)
+            ]
+        )
         self.fusion = Linear(dim * 2, dim, rng=rng)
         self.final_norm = LayerNorm(dim)
         self.dropout = Dropout(dropout, rng=rng)

@@ -36,9 +36,7 @@ class FilterLayer(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         if x.shape[1] != self.seq_len:
-            raise ValueError(
-                f"FilterLayer built for length {self.seq_len}, got {x.shape[1]}"
-            )
+            raise ValueError(f"FilterLayer built for length {self.seq_len}, got {x.shape[1]}")
         # (T, S, d) circulant kernel; y[b,t,d] = sum_s x[b,s,d] k[(t-s)%L,d]
         circulant = self.kernel[self._circulant_index]
         mixed = x.reshape(x.shape[0], 1, self.seq_len, x.shape[2]) * circulant
@@ -48,8 +46,7 @@ class FilterLayer(Module):
 class FMLPBlock(Module):
     """Filter layer + FFN, each with residual connection and LayerNorm."""
 
-    def __init__(self, seq_len: int, dim: int, dropout: float,
-                 rng: np.random.Generator):
+    def __init__(self, seq_len: int, dim: int, dropout: float, rng: np.random.Generator):
         super().__init__()
         self.filter_layer = FilterLayer(seq_len, dim, rng)
         self.filter_norm = LayerNorm(dim)
@@ -69,18 +66,22 @@ class FMLP(SequentialRecommender):
     name = "FMLP-Rec"
     training_mode = "pointwise"
 
-    def __init__(self, num_items: int, dim: int = 64, max_len: int = 20,
-                 num_layers: int = 2, dropout: float = 0.2, seed: int = 0):
+    def __init__(
+        self,
+        num_items: int,
+        dim: int = 64,
+        max_len: int = 20,
+        num_layers: int = 2,
+        dropout: float = 0.2,
+        seed: int = 0,
+    ):
         rng = np.random.default_rng(seed)
         super().__init__(num_items, dim, max_len, rng)
-        self.blocks = ModuleList([
-            FMLPBlock(max_len, dim, dropout, rng) for _ in range(num_layers)
-        ])
+        self.blocks = ModuleList([FMLPBlock(max_len, dim, dropout, rng) for _ in range(num_layers)])
         self.input_norm = LayerNorm(dim)
         self.dropout = Dropout(dropout, rng=rng)
 
-    def user_representation(self, padded: np.ndarray,
-                            lengths: np.ndarray) -> Tensor:
+    def user_representation(self, padded: np.ndarray, lengths: np.ndarray) -> Tensor:
         x = self.dropout(self.input_norm(self.item_embeddings(padded)))
         real = (padded != self.pad_id).astype(np.float32)[:, :, None]
         x = x * real

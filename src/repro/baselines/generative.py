@@ -18,8 +18,12 @@ from ..data import SequentialDataset
 from ..quantization.indexing import ItemIndexSet
 from ..quantization.trie import IndexTrie
 
-__all__ = ["IndexTokenSpace", "build_cooccurrence_matrix",
-           "collaborative_index_set", "spectral_cluster"]
+__all__ = [
+    "IndexTokenSpace",
+    "build_cooccurrence_matrix",
+    "collaborative_index_set",
+    "spectral_cluster",
+]
 
 PAD_ID = 0
 BOS_ID = 1
@@ -45,8 +49,9 @@ class IndexTokenSpace:
 
     def item_tokens(self, item_id: int) -> tuple[int, ...]:
         codes = self.index_set.codes[item_id]
-        return tuple(self.level_offsets[level] + int(code)
-                     for level, code in enumerate(codes))
+        return tuple(
+            self.level_offsets[level] + int(code) for level, code in enumerate(codes)
+        )
 
     def history_ids(self, history: list[int]) -> list[int]:
         ids: list[int] = []
@@ -55,15 +60,13 @@ class IndexTokenSpace:
         return ids
 
     def build_trie(self) -> IndexTrie:
-        return IndexTrie({
-            item: self.item_tokens(item)
-            for item in range(self.index_set.num_items)
-        })
+        return IndexTrie(
+            {item: self.item_tokens(item) for item in range(self.index_set.num_items)}
+        )
 
 
 # ----------------------------------------------------------------------
-def build_cooccurrence_matrix(dataset: SequentialDataset,
-                              window: int = 3) -> np.ndarray:
+def build_cooccurrence_matrix(dataset: SequentialDataset, window: int = 3) -> np.ndarray:
     """Symmetric item co-occurrence counts within a sliding window."""
     num_items = dataset.num_items
     matrix = np.zeros((num_items, num_items), dtype=np.float64)
@@ -77,8 +80,9 @@ def build_cooccurrence_matrix(dataset: SequentialDataset,
     return matrix
 
 
-def spectral_cluster(adjacency: np.ndarray, num_clusters: int,
-                     rng: np.random.Generator) -> np.ndarray:
+def spectral_cluster(
+    adjacency: np.ndarray, num_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
     """Normalised spectral clustering into at most ``num_clusters`` groups."""
     n = adjacency.shape[0]
     k = min(num_clusters, n)
@@ -97,8 +101,9 @@ def spectral_cluster(adjacency: np.ndarray, num_clusters: int,
     return nearest_code(embedding.astype(np.float32), centers)
 
 
-def collaborative_index_set(dataset: SequentialDataset, num_levels: int = 3,
-                            branch: int = 8, seed: int = 0) -> ItemIndexSet:
+def collaborative_index_set(
+    dataset: SequentialDataset, num_levels: int = 3, branch: int = 8, seed: int = 0
+) -> ItemIndexSet:
     """P5-CID collaborative indexing by recursive spectral clustering.
 
     Levels ``0..num_levels-1`` come from recursively bisecting the

@@ -16,8 +16,15 @@ class GRU4Rec(SequentialRecommender):
     name = "GRU4Rec"
     training_mode = "causal"
 
-    def __init__(self, num_items: int, dim: int = 64, max_len: int = 20,
-                 num_layers: int = 1, dropout: float = 0.1, seed: int = 0):
+    def __init__(
+        self,
+        num_items: int,
+        dim: int = 64,
+        max_len: int = 20,
+        num_layers: int = 1,
+        dropout: float = 0.1,
+        seed: int = 0,
+    ):
         rng = np.random.default_rng(seed)
         super().__init__(num_items, dim, max_len, rng)
         self.gru = GRU(dim, dim, num_layers=num_layers, rng=rng)

@@ -24,26 +24,26 @@ class HGN(SequentialRecommender):
     name = "HGN"
     training_mode = "pointwise"
 
-    def __init__(self, num_items: int, dim: int = 64, max_len: int = 20,
-                 dropout: float = 0.2, seed: int = 0):
+    def __init__(
+        self, num_items: int, dim: int = 64, max_len: int = 20, dropout: float = 0.2, seed: int = 0
+    ):
         rng = np.random.default_rng(seed)
         super().__init__(num_items, dim, max_len, rng)
         self.feature_gate = Linear(dim, dim, rng=rng)
         self.instance_gate = Parameter(xavier_uniform(rng, (dim, 1)))
         self.dropout = Dropout(dropout, rng=rng)
 
-    def user_representation(self, padded: np.ndarray,
-                            lengths: np.ndarray) -> Tensor:
-        x = self.item_embeddings(padded)            # (B, L, d)
+    def user_representation(self, padded: np.ndarray, lengths: np.ndarray) -> Tensor:
+        x = self.item_embeddings(padded)  # (B, L, d)
         real = (padded != self.pad_id).astype(np.float32)[:, :, None]
-        x = x * real                                 # zero out padding rows
-        counts = np.maximum(real.sum(axis=1), 1.0)   # (B, 1)
+        x = x * real  # zero out padding rows
+        counts = np.maximum(real.sum(axis=1), 1.0)  # (B, 1)
 
-        gated = x * self.feature_gate(x).sigmoid()   # feature-level gate
+        gated = x * self.feature_gate(x).sigmoid()  # feature-level gate
         weights = (gated @ self.instance_gate).sigmoid() * real
         instance = (gated * weights).sum(axis=1) / counts
 
-        item_item = x.sum(axis=1) / counts           # raw aggregation term
+        item_item = x.sum(axis=1) / counts  # raw aggregation term
         return self.dropout(instance + item_item)
 
     def sequence_output(self, padded: np.ndarray) -> Tensor:

@@ -19,8 +19,7 @@ __all__ = ["PointwiseFeedForward", "TransformerEncoderLayer"]
 class PointwiseFeedForward(Module):
     """Two-layer position-wise FFN with ReLU."""
 
-    def __init__(self, dim: int, hidden: int, dropout: float,
-                 rng: np.random.Generator):
+    def __init__(self, dim: int, hidden: int, dropout: float, rng: np.random.Generator):
         super().__init__()
         self.fc1 = Linear(dim, hidden, rng=rng)
         self.fc2 = Linear(hidden, dim, rng=rng)
@@ -37,35 +36,40 @@ class TransformerEncoderLayer(Module):
     the TIGER encoder-decoder (decoder layers pass ``context``).
     """
 
-    def __init__(self, dim: int, num_heads: int, ffn_hidden: int,
-                 dropout: float, rng: np.random.Generator,
-                 with_cross_attention: bool = False):
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ffn_hidden: int,
+        dropout: float,
+        rng: np.random.Generator,
+        with_cross_attention: bool = False,
+    ):
         super().__init__()
         self.self_norm = LayerNorm(dim)
-        self.self_attn = MultiHeadAttention(dim, num_heads, dropout=dropout,
-                                            rng=rng)
+        self.self_attn = MultiHeadAttention(dim, num_heads, dropout=dropout, rng=rng)
         self.with_cross_attention = with_cross_attention
         if with_cross_attention:
             self.cross_norm = LayerNorm(dim)
-            self.cross_attn = MultiHeadAttention(dim, num_heads,
-                                                 dropout=dropout, rng=rng)
+            self.cross_attn = MultiHeadAttention(dim, num_heads, dropout=dropout, rng=rng)
         self.ffn_norm = LayerNorm(dim)
         self.ffn = PointwiseFeedForward(dim, ffn_hidden, dropout, rng)
         self.dropout = Dropout(dropout, rng=rng)
 
-    def forward(self, x: Tensor, attn_mask: np.ndarray | None = None,
-                context: Tensor | None = None,
-                context_mask: np.ndarray | None = None,
-                cache=None) -> Tensor:
-        x = x + self.dropout(
-            self.self_attn(self.self_norm(x), attn_mask=attn_mask, cache=cache)
-        )
+    def forward(
+        self,
+        x: Tensor,
+        attn_mask: np.ndarray | None = None,
+        context: Tensor | None = None,
+        context_mask: np.ndarray | None = None,
+        cache=None,
+    ) -> Tensor:
+        x = x + self.dropout(self.self_attn(self.self_norm(x), attn_mask=attn_mask, cache=cache))
         if self.with_cross_attention:
             if context is None:
                 raise ValueError("cross-attention layer needs a context")
             x = x + self.dropout(
-                self.cross_attn(self.cross_norm(x), context=context,
-                                attn_mask=context_mask)
+                self.cross_attn(self.cross_norm(x), context=context, attn_mask=context_mask)
             )
         x = x + self.dropout(self.ffn(self.ffn_norm(x)))
         return x

@@ -18,13 +18,11 @@ import numpy as np
 
 from ..data import SequentialDataset
 from ..data.batching import iterate_minibatches
-from ..llm import LMConfig, TinyLlama, backfill_ranked_item_ids, \
-    beam_search_items_batched, ranked_item_ids
+from ..llm import LMConfig, TinyLlama
 from ..tensor import Adam, clip_grad_norm
 from ..tensor import functional as F
 from ..utils.logging import get_logger
-from .generative import BOS_ID, PAD_ID, SEP_ID, IndexTokenSpace, \
-    collaborative_index_set
+from .generative import BOS_ID, PAD_ID, SEP_ID, IndexTokenSpace, collaborative_index_set
 
 __all__ = ["P5CID", "P5CIDConfig"]
 
@@ -55,30 +53,35 @@ class P5CID:
 
     name = "P5-CID"
 
-    def __init__(self, dataset: SequentialDataset,
-                 config: P5CIDConfig | None = None):
+    def __init__(self, dataset: SequentialDataset, config: P5CIDConfig | None = None):
         self.config = config or P5CIDConfig()
         cfg = self.config
         self.index_set = collaborative_index_set(
-            dataset, num_levels=cfg.cluster_levels, branch=cfg.branch,
-            seed=cfg.seed,
+            dataset, num_levels=cfg.cluster_levels, branch=cfg.branch, seed=cfg.seed
         )
         self.space = IndexTokenSpace(self.index_set)
         self.trie = self.space.build_trie()
         self.num_levels = self.index_set.num_levels
         max_seq = (cfg.max_history + 1) * self.num_levels + 4
-        self.lm = TinyLlama(LMConfig(
-            vocab_size=self.space.vocab_size, dim=cfg.dim,
-            num_layers=cfg.num_layers, num_heads=cfg.num_heads,
-            ffn_hidden=cfg.ffn_hidden, max_seq_len=max_seq, seed=cfg.seed,
-        ))
+        self.lm = TinyLlama(
+            LMConfig(
+                vocab_size=self.space.vocab_size,
+                dim=cfg.dim,
+                num_layers=cfg.num_layers,
+                num_heads=cfg.num_heads,
+                ffn_hidden=cfg.ffn_hidden,
+                max_seq_len=max_seq,
+                seed=cfg.seed,
+            )
+        )
+        self._engine = None  # lazily built serving adapter (P5CIDEngine)
 
     # ------------------------------------------------------------------
-    def _example(self, history: list[int], target: int | None
-                 ) -> tuple[list[int], list[int]]:
+    def _example(self, history: list[int], target: int | None) -> tuple[list[int], list[int]]:
         """(input ids, labels) — labels ignore everything but the target."""
-        prompt = [BOS_ID] + self.space.history_ids(
-            list(history)[-self.config.max_history:]) + [SEP_ID]
+        prompt = (
+            [BOS_ID] + self.space.history_ids(list(history)[-self.config.max_history :]) + [SEP_ID]
+        )
         if target is None:
             return prompt, []
         target_ids = list(self.space.item_tokens(target))
@@ -91,8 +94,7 @@ class P5CID:
         inputs, labels = [], []
         for seq in dataset.split.train_sequences:
             for t in range(1, len(seq)):
-                ids, labs = self._example(seq[max(0, t - cfg.max_history):t],
-                                          seq[t])
+                ids, labs = self._example(seq[max(0, t - cfg.max_history) : t], seq[t])
                 inputs.append(ids)
                 labels.append(labs)
         if not inputs:
@@ -101,8 +103,8 @@ class P5CID:
         input_matrix = np.full((len(inputs), width), PAD_ID, dtype=np.int64)
         label_matrix = np.full((len(inputs), width), IGNORE, dtype=np.int64)
         for row, (ids, labs) in enumerate(zip(inputs, labels)):
-            input_matrix[row, :len(ids)] = ids
-            label_matrix[row, :len(labs)] = labs
+            input_matrix[row, : len(ids)] = ids
+            label_matrix[row, : len(labs)] = labs
 
         rng = np.random.default_rng(cfg.seed)
         optimizer = Adam(self.lm.parameters(), lr=cfg.lr)
@@ -110,12 +112,10 @@ class P5CID:
         self.lm.train()
         for epoch in range(cfg.epochs):
             epoch_loss, batches = 0.0, 0
-            for batch_idx in iterate_minibatches(len(inputs), cfg.batch_size,
-                                                 rng=rng):
+            for batch_idx in iterate_minibatches(len(inputs), cfg.batch_size, rng=rng):
                 optimizer.zero_grad()
                 logits = self.lm(input_matrix[batch_idx, :-1])
-                loss = F.cross_entropy(logits, label_matrix[batch_idx, 1:],
-                                       ignore_index=IGNORE)
+                loss = F.cross_entropy(logits, label_matrix[batch_idx, 1:], ignore_index=IGNORE)
                 loss.backward()
                 clip_grad_norm(self.lm.parameters(), cfg.clip_norm)
                 optimizer.step()
@@ -123,8 +123,7 @@ class P5CID:
                 batches += 1
             losses.append(epoch_loss / max(batches, 1))
             if (epoch + 1) % 10 == 0:
-                logger.info("P5-CID epoch %d: loss=%.4f", epoch + 1,
-                            losses[-1])
+                logger.info("P5-CID epoch %d: loss=%.4f", epoch + 1, losses[-1])
         self.lm.eval()
         return losses
 
@@ -132,31 +131,22 @@ class P5CID:
     def recommend(self, history: list[int], top_k: int = 10) -> list[int]:
         return self.recommend_many([list(history)], top_k=top_k)[0]
 
-    def recommend_many(self, histories: list[list[int]],
-                       top_k: int = 10) -> list[list[int]]:
+    def recommend_many(self, histories: list[list[int]], top_k: int = 10) -> list[list[int]]:
         """Trie-constrained beam search for a batch of users.
 
-        All prompts run through the batched engine in one decode (one
-        ``model.forward`` per step for the whole batch) instead of the old
+        All prompts run through the serving stack's
+        :class:`repro.serving.P5CIDEngine` in one decode (one
+        ``model.forward`` per trie level for the whole batch) instead of a
         per-request loop.  Rankings that come up short of ``top_k`` unique
         items — a narrow collaborative-trie level can starve the beam —
         are re-decoded once with the beam widened to the full catalog and
         backfilled deterministically, so callers always get ``top_k`` ids
         (catalog permitting).
         """
-        prompts = [self._example(list(history), None)[0]
-                   for history in histories]
-        beam = max(self.config.beam_size, top_k)
-        num_items = self.trie.num_items
-        batches = beam_search_items_batched(self.lm, prompts, self.trie,
-                                            beam_size=beam, pad_id=PAD_ID)
-        short = [row for row, hyps in enumerate(batches)
-                 if len(ranked_item_ids(hyps, top_k)) < min(top_k, num_items)]
-        if short and beam < num_items:
-            widened = beam_search_items_batched(
-                self.lm, [prompts[row] for row in short], self.trie,
-                beam_size=num_items, pad_id=PAD_ID)
-            for row, hyps in zip(short, widened):
-                batches[row] = hyps
-        return [backfill_ranked_item_ids(hyps, top_k, num_items)
-                for hyps in batches]
+        # Lazy import: the serving package depends on repro.llm, not the
+        # other way around; baselines must stay importable without it.
+        from ..serving import P5CIDEngine
+
+        if self._engine is None:
+            self._engine = P5CIDEngine(self)
+        return self._engine.recommend_many(histories, top_k=top_k)

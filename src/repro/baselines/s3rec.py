@@ -54,25 +54,34 @@ class S3Rec(SequentialRecommender):
     name = "S3-Rec"
     training_mode = "causal"
 
-    def __init__(self, num_items: int, item_attributes: np.ndarray,
-                 num_attributes: int, dim: int = 64, max_len: int = 20,
-                 num_layers: int = 2, num_heads: int = 2,
-                 dropout: float = 0.2, seed: int = 0):
+    def __init__(
+        self,
+        num_items: int,
+        item_attributes: np.ndarray,
+        num_attributes: int,
+        dim: int = 64,
+        max_len: int = 20,
+        num_layers: int = 2,
+        num_heads: int = 2,
+        dropout: float = 0.2,
+        seed: int = 0,
+    ):
         rng = np.random.default_rng(seed)
         super().__init__(num_items, dim, max_len, rng, extra_rows=2)
         self.mask_id = num_items + 1
         attributes = np.asarray(item_attributes, dtype=np.int64)
         if attributes.shape != (num_items,):
             raise ValueError("item_attributes must be one id per item")
-        self._attributes = np.concatenate([attributes, [num_attributes],
-                                           [num_attributes]])
+        self._attributes = np.concatenate([attributes, [num_attributes], [num_attributes]])
         self.num_attributes = num_attributes
         self.attribute_head = Linear(dim, num_attributes, rng=rng)
         self.position_embeddings = Embedding(max_len + 1, dim, rng=rng)
-        self.layers = ModuleList([
-            TransformerEncoderLayer(dim, num_heads, dim * 2, dropout, rng)
-            for _ in range(num_layers)
-        ])
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(dim, num_heads, dim * 2, dropout, rng)
+                for _ in range(num_layers)
+            ]
+        )
         self.final_norm = LayerNorm(dim)
         self.dropout = Dropout(dropout, rng=rng)
         self._bidirectional = False
@@ -92,13 +101,15 @@ class S3Rec(SequentialRecommender):
         return self.final_norm(x)
 
     # ------------------------------------------------------------------
-    def pretrain(self, dataset: SequentialDataset,
-                 config: S3RecPretrainConfig | None = None) -> list[float]:
+    def pretrain(
+        self, dataset: SequentialDataset, config: S3RecPretrainConfig | None = None
+    ) -> list[float]:
         """Stage one: MIP + AAP objectives with bidirectional attention."""
         config = config or S3RecPretrainConfig()
         sequences = [s for s in dataset.split.train_sequences if len(s) >= 2]
-        padded = pad_sequences(sequences, pad_value=self.pad_id,
-                               max_len=self.max_len, align="right")
+        padded = pad_sequences(
+            sequences, pad_value=self.pad_id, max_len=self.max_len, align="right"
+        )
         is_real = padded != self.pad_id
         rng = np.random.default_rng(config.seed)
         optimizer = Adam(self.parameters(), lr=config.lr)
@@ -108,9 +119,7 @@ class S3Rec(SequentialRecommender):
         try:
             for _ in range(config.epochs):
                 epoch_loss, batches = 0.0, 0
-                for batch_idx in iterate_minibatches(len(sequences),
-                                                     config.batch_size,
-                                                     rng=rng):
+                for batch_idx in iterate_minibatches(len(sequences), config.batch_size, rng=rng):
                     batch = padded[batch_idx].copy()
                     real = is_real[batch_idx]
                     mask = (rng.random(batch.shape) < config.mask_prob) & real
@@ -119,18 +128,17 @@ class S3Rec(SequentialRecommender):
                             choices = np.flatnonzero(real[row])
                             mask[row, rng.choice(choices)] = True
                     item_targets = np.where(mask, batch, IGNORE)
-                    attr_targets = np.where(mask, self._attributes[batch],
-                                            IGNORE)
+                    attr_targets = np.where(mask, self._attributes[batch], IGNORE)
                     batch[mask] = self.mask_id
 
                     optimizer.zero_grad()
                     hidden = self.sequence_output(batch)
-                    mip_loss = F.cross_entropy(self.item_logits(hidden),
-                                               item_targets,
-                                               ignore_index=IGNORE)
-                    aap_loss = F.cross_entropy(self.attribute_head(hidden),
-                                               attr_targets,
-                                               ignore_index=IGNORE)
+                    mip_loss = F.cross_entropy(
+                        self.item_logits(hidden), item_targets, ignore_index=IGNORE
+                    )
+                    aap_loss = F.cross_entropy(
+                        self.attribute_head(hidden), attr_targets, ignore_index=IGNORE
+                    )
                     loss = mip_loss + aap_loss * config.attribute_weight
                     loss.backward()
                     clip_grad_norm(self.parameters(), config.clip_norm)

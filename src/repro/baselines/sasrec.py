@@ -21,16 +21,25 @@ class SASRec(SequentialRecommender):
     name = "SASRec"
     training_mode = "causal"
 
-    def __init__(self, num_items: int, dim: int = 64, max_len: int = 20,
-                 num_layers: int = 2, num_heads: int = 2,
-                 dropout: float = 0.2, seed: int = 0):
+    def __init__(
+        self,
+        num_items: int,
+        dim: int = 64,
+        max_len: int = 20,
+        num_layers: int = 2,
+        num_heads: int = 2,
+        dropout: float = 0.2,
+        seed: int = 0,
+    ):
         rng = np.random.default_rng(seed)
         super().__init__(num_items, dim, max_len, rng)
         self.position_embeddings = Embedding(max_len + 1, dim, rng=rng)
-        self.layers = ModuleList([
-            TransformerEncoderLayer(dim, num_heads, dim * 2, dropout, rng)
-            for _ in range(num_layers)
-        ])
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(dim, num_heads, dim * 2, dropout, rng)
+                for _ in range(num_layers)
+            ]
+        )
         self.final_norm = LayerNorm(dim)
         self.dropout = Dropout(dropout, rng=rng)
 
@@ -46,4 +55,4 @@ class SASRec(SequentialRecommender):
 
     def item_embedding_matrix(self) -> np.ndarray:
         """Trained item embeddings (collaborative space, used by Table V)."""
-        return self.item_embeddings.weight.data[:self.num_items].copy()
+        return self.item_embeddings.weight.data[: self.num_items].copy()

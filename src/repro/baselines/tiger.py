@@ -6,6 +6,12 @@ history as a sequence of semantic-ID tokens (RQ-VAE codes with the
 generates the target item's semantic ID, and inference is trie-constrained
 beam search.  No natural-language pretraining anywhere — the contrast with
 LC-Rec the paper draws in Table I.
+
+Two inference routes share one set of weights: :meth:`TIGER.recommend`, the
+per-request reference loop kept as the parity oracle, and
+:meth:`TIGER.recommend_many`, which decodes whole batches through the
+serving stack's :class:`repro.serving.TIGEREngine` (encode once per batch,
+``B×K`` decoder beams per forward).
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ import numpy as np
 
 from ..data import SequentialDataset
 from ..data.batching import iterate_minibatches
+from ..llm import backfill_items
+from ..quantization.indexing import ItemIndexSet
 from ..tensor import (
     Adam,
     Dropout,
@@ -29,8 +37,6 @@ from ..tensor import (
     no_grad,
 )
 from ..tensor import functional as F
-from ..llm import backfill_items
-from ..quantization.indexing import ItemIndexSet
 from ..utils.logging import get_logger
 from .generative import BOS_ID, PAD_ID, IndexTokenSpace
 from .layers import TransformerEncoderLayer
@@ -70,37 +76,39 @@ class TIGER(Module):
         self.trie = self.space.build_trie()
         self.num_levels = index_set.num_levels
         max_src = cfg.max_history * self.num_levels
-        self.token_embeddings = Embedding(self.space.vocab_size, cfg.dim,
-                                          rng=rng)
+        self.token_embeddings = Embedding(self.space.vocab_size, cfg.dim, rng=rng)
         self.encoder_positions = Embedding(max_src + 1, cfg.dim, rng=rng)
-        self.decoder_positions = Embedding(self.num_levels + 1, cfg.dim,
-                                           rng=rng)
-        self.encoder_layers = ModuleList([
-            TransformerEncoderLayer(cfg.dim, cfg.num_heads, cfg.dim * 2,
-                                    cfg.dropout, rng)
-            for _ in range(cfg.encoder_layers)
-        ])
-        self.decoder_layers = ModuleList([
-            TransformerEncoderLayer(cfg.dim, cfg.num_heads, cfg.dim * 2,
-                                    cfg.dropout, rng, with_cross_attention=True)
-            for _ in range(cfg.decoder_layers)
-        ])
+        self.decoder_positions = Embedding(self.num_levels + 1, cfg.dim, rng=rng)
+        self.encoder_layers = ModuleList(
+            [
+                TransformerEncoderLayer(cfg.dim, cfg.num_heads, cfg.dim * 2, cfg.dropout, rng)
+                for _ in range(cfg.encoder_layers)
+            ]
+        )
+        self.decoder_layers = ModuleList(
+            [
+                TransformerEncoderLayer(
+                    cfg.dim, cfg.num_heads, cfg.dim * 2, cfg.dropout, rng, with_cross_attention=True
+                )
+                for _ in range(cfg.decoder_layers)
+            ]
+        )
         self.encoder_norm = LayerNorm(cfg.dim)
         self.decoder_norm = LayerNorm(cfg.dim)
         self.dropout = Dropout(cfg.dropout, rng=rng)
         self._max_src = max_src
+        self._engine = None  # lazily built serving adapter (TIGEREngine)
 
     # ------------------------------------------------------------------
     def _pad_histories(self, histories: list[list[int]]) -> np.ndarray:
         rows = []
         for history in histories:
-            ids = self.space.history_ids(
-                list(history)[-self.config.max_history:])
-            rows.append(ids[-self._max_src:])
+            ids = self.space.history_ids(list(history)[-self.config.max_history :])
+            rows.append(ids[-self._max_src :])
         width = max(len(r) for r in rows)
         batch = np.full((len(rows), width), PAD_ID, dtype=np.int64)
         for i, row in enumerate(rows):
-            batch[i, :len(row)] = row
+            batch[i, : len(row)] = row
         return batch
 
     def encode(self, source: np.ndarray) -> tuple[Tensor, np.ndarray]:
@@ -113,8 +121,7 @@ class TIGER(Module):
             x = layer(x, attn_mask=pad_mask)
         return self.encoder_norm(x), pad_mask
 
-    def decode(self, memory: Tensor, memory_mask: np.ndarray,
-               decoder_input: np.ndarray) -> Tensor:
+    def decode(self, memory: Tensor, memory_mask: np.ndarray, decoder_input: np.ndarray) -> Tensor:
         """Causal decoding with cross-attention; returns token logits."""
         seq_len = decoder_input.shape[1]
         positions = np.arange(seq_len)
@@ -124,8 +131,7 @@ class TIGER(Module):
         self_mask = causal_mask(seq_len, seq_len)
         cross_mask = memory_mask  # (B, 1, 1, S) broadcasts over query length
         for layer in self.decoder_layers:
-            x = layer(x, attn_mask=self_mask, context=memory,
-                      context_mask=cross_mask)
+            x = layer(x, attn_mask=self_mask, context=memory, context_mask=cross_mask)
         hidden = self.decoder_norm(x)
         return hidden @ self.token_embeddings.weight.transpose(1, 0)
 
@@ -139,17 +145,15 @@ class TIGER(Module):
         histories, targets = [], []
         for seq in dataset.split.train_sequences:
             for t in range(1, len(seq)):
-                histories.append(seq[max(0, t - cfg.max_history):t])
+                histories.append(seq[max(0, t - cfg.max_history) : t])
                 targets.append(seq[t])
         if not histories:
             raise ValueError("no training pairs")
         source = self._pad_histories(histories)
-        target_tokens = np.array(
-            [self.space.item_tokens(item) for item in targets], dtype=np.int64
-        )
+        target_tokens = np.array([self.space.item_tokens(item) for item in targets], dtype=np.int64)
         decoder_input = np.concatenate(
-            [np.full((len(targets), 1), BOS_ID, dtype=np.int64),
-             target_tokens[:, :-1]], axis=1,
+            [np.full((len(targets), 1), BOS_ID, dtype=np.int64), target_tokens[:, :-1]],
+            axis=1,
         )
         rng = np.random.default_rng(cfg.seed)
         optimizer = Adam(self.parameters(), lr=cfg.lr)
@@ -157,11 +161,9 @@ class TIGER(Module):
         self.train()
         for epoch in range(cfg.epochs):
             epoch_loss, batches = 0.0, 0
-            for batch_idx in iterate_minibatches(len(histories),
-                                                 cfg.batch_size, rng=rng):
+            for batch_idx in iterate_minibatches(len(histories), cfg.batch_size, rng=rng):
                 optimizer.zero_grad()
-                logits = self.forward(source[batch_idx],
-                                      decoder_input[batch_idx])
+                logits = self.forward(source[batch_idx], decoder_input[batch_idx])
                 loss = F.cross_entropy(logits, target_tokens[batch_idx])
                 loss.backward()
                 clip_grad_norm(self.parameters(), cfg.clip_norm)
@@ -175,17 +177,15 @@ class TIGER(Module):
         return losses
 
     # ------------------------------------------------------------------
-    def _beam_search(self, memory: Tensor, memory_mask: np.ndarray,
-                     beam_size: int) -> list[tuple[tuple[int, ...], float]]:
+    def _beam_search(
+        self, memory: Tensor, memory_mask: np.ndarray, beam_size: int
+    ) -> list[tuple[tuple[int, ...], float]]:
         """Trie-constrained beam expansion over one encoded history."""
         beams: list[tuple[tuple[int, ...], float]] = [((), 0.0)]
         for _ in range(self.num_levels):
             # Re-decode the full (short) prefix for every beam.
             prefixes = [beam[0] for beam in beams]
-            decoder_input = np.array(
-                [(BOS_ID,) + prefix for prefix in prefixes],
-                dtype=np.int64,
-            )
+            decoder_input = np.array([(BOS_ID,) + prefix for prefix in prefixes], dtype=np.int64)
             batch = len(beams)
             memory_b = Tensor(np.repeat(memory.data, batch, axis=0))
             mask_b = np.repeat(memory_mask, batch, axis=0)
@@ -195,16 +195,14 @@ class TIGER(Module):
             candidates = []
             for beam_index, (prefix, score) in enumerate(beams):
                 for token in self.trie.allowed_tokens(prefix):
-                    candidates.append((
-                        prefix + (int(token),),
-                        score + float(step_logp[beam_index, token]),
-                    ))
+                    candidates.append(
+                        (prefix + (int(token),), score + float(step_logp[beam_index, token]))
+                    )
             candidates.sort(key=lambda c: -c[1])
             beams = candidates[:beam_size]
         return beams
 
-    def _ranked(self, beams: list[tuple[tuple[int, ...], float]],
-                top_k: int) -> list[int]:
+    def _ranked(self, beams: list[tuple[tuple[int, ...], float]], top_k: int) -> list[int]:
         ranked: list[int] = []
         for prefix, _ in beams:
             item = self.trie.item_at(prefix)
@@ -215,13 +213,16 @@ class TIGER(Module):
         return ranked
 
     def recommend(self, history: list[int], top_k: int = 10) -> list[int]:
-        """Trie-constrained beam search over semantic IDs.
+        """Trie-constrained beam search over semantic IDs (reference loop).
 
         Always returns ``top_k`` item ids (catalog permitting): a beam that
         dedups to fewer unique items — narrow trie levels starve the beam
         mid-search — is re-run once at full-catalog width, and any residual
         shortfall is backfilled deterministically with the smallest unused
         item ids, so ranking metrics never see truncated lists.
+
+        This is the single-request parity oracle; serving and batched
+        evaluation go through :meth:`recommend_many` instead.
         """
         beam_size = max(self.config.beam_size, top_k)
         num_items = self.trie.num_items
@@ -234,6 +235,23 @@ class TIGER(Module):
                 beams = self._beam_search(memory, mask, num_items)
                 ranked = self._ranked(beams, top_k)
         return backfill_items(ranked, top_k, num_items)
+
+    def recommend_many(self, histories: list[list[int]], top_k: int = 10) -> list[list[int]]:
+        """Batched :meth:`recommend`: all histories decoded together.
+
+        Routes through the serving stack's :class:`repro.serving.TIGEREngine`
+        — the whole batch is encoded in one encoder forward and expanded
+        ``B×K`` decoder beams per trie level — instead of the per-request
+        Python loop.  Rankings match :meth:`recommend` request-for-request,
+        including the widen-to-catalog retry and deterministic backfill.
+        """
+        # Lazy import: the serving package depends on repro.llm, not the
+        # other way around; baselines must stay importable without it.
+        from ..serving import TIGEREngine
+
+        if self._engine is None:
+            self._engine = TIGEREngine(self)
+        return self._engine.recommend_many(histories, top_k=top_k)
 
     def score_all(self, histories):  # pragma: no cover - guard
         raise NotImplementedError("TIGER is generative; use recommend()")

@@ -50,8 +50,7 @@ class BaselineTrainer:
         self.config = config or BaselineTrainerConfig()
 
     # ------------------------------------------------------------------
-    def fit(self, model: SequentialRecommender,
-            dataset: SequentialDataset) -> list[float]:
+    def fit(self, model: SequentialRecommender, dataset: SequentialDataset) -> list[float]:
         mode = model.training_mode
         if mode == "causal":
             return self._fit_causal(model, dataset)
@@ -72,9 +71,7 @@ class BaselineTrainer:
         model.train()
         for epoch in range(self.config.epochs):
             epoch_loss, batches = 0.0, 0
-            for batch_idx in iterate_minibatches(num_examples,
-                                                 self.config.batch_size,
-                                                 rng=rng):
+            for batch_idx in iterate_minibatches(num_examples, self.config.batch_size, rng=rng):
                 optimizer.zero_grad()
                 loss = step_fn(batch_idx, rng)
                 loss.backward()
@@ -84,8 +81,7 @@ class BaselineTrainer:
                 batches += 1
             losses.append(epoch_loss / max(batches, 1))
             if (epoch + 1) % self.config.log_every == 0:
-                logger.info("%s epoch %d: loss=%.4f", model.name, epoch + 1,
-                            losses[-1])
+                logger.info("%s epoch %d: loss=%.4f", model.name, epoch + 1, losses[-1])
         model.eval()
         return losses
 
@@ -94,8 +90,9 @@ class BaselineTrainer:
         sequences = [s for s in dataset.split.train_sequences if len(s) >= 2]
         if not sequences:
             raise ValueError("no training sequences of length >= 2")
-        padded = pad_sequences(sequences, pad_value=model.pad_id,
-                               max_len=model.max_len + 1, align="right")
+        padded = pad_sequences(
+            sequences, pad_value=model.pad_id, max_len=model.max_len + 1, align="right"
+        )
         inputs_all, targets_all = padded[:, :-1], padded[:, 1:]
         valid = targets_all != model.pad_id
         targets_all = np.where(valid, targets_all, IGNORE)
@@ -113,18 +110,18 @@ class BaselineTrainer:
         histories, targets = [], []
         for seq in dataset.split.train_sequences:
             for t in range(self.config.min_history, len(seq)):
-                histories.append(seq[max(0, t - model.max_len):t])
+                histories.append(seq[max(0, t - model.max_len) : t])
                 targets.append(seq[t])
         if not histories:
             raise ValueError("no pointwise training pairs")
-        padded = pad_sequences(histories, pad_value=model.pad_id,
-                               max_len=model.max_len, align="right")
+        padded = pad_sequences(
+            histories, pad_value=model.pad_id, max_len=model.max_len, align="right"
+        )
         lengths = np.array([len(h) for h in histories], dtype=np.int64)
         targets = np.array(targets, dtype=np.int64)
 
         def step(batch_idx, rng):
-            representation = model.user_representation(padded[batch_idx],
-                                                       lengths[batch_idx])
+            representation = model.user_representation(padded[batch_idx], lengths[batch_idx])
             logits = model.item_logits(representation)
             return F.cross_entropy(logits, targets[batch_idx])
 
@@ -134,8 +131,9 @@ class BaselineTrainer:
         if not hasattr(model, "mask_id"):
             raise TypeError(f"{model.name} lacks mask_id for masked training")
         sequences = [s for s in dataset.split.train_sequences if len(s) >= 2]
-        padded = pad_sequences(sequences, pad_value=model.pad_id,
-                               max_len=model.max_len, align="right")
+        padded = pad_sequences(
+            sequences, pad_value=model.pad_id, max_len=model.max_len, align="right"
+        )
         is_real = padded != model.pad_id
 
         def step(batch_idx, rng):

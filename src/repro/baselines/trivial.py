@@ -52,8 +52,7 @@ class RandomRecommender:
         return self
 
     def score_all(self, histories: Sequence[Sequence[int]]) -> np.ndarray:
-        return self._rng.random((len(histories), self.num_items)).astype(
-            np.float32)
+        return self._rng.random((len(histories), self.num_items)).astype(np.float32)
 
     def recommend(self, history: Sequence[int], top_k: int = 10) -> list[int]:
         return self._rng.permutation(self.num_items)[:top_k].tolist()

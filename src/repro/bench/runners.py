@@ -123,8 +123,9 @@ def run_generative_baseline(name: str, dataset: SequentialDataset,
 
     histories, targets = _eval_slice(dataset, scale)
     if hasattr(model, "recommend_many"):
-        # P5-CID decodes through the batched engine: whole evaluation
-        # chunks share one beam-search forward per trie level.
+        # Both generative baselines decode through their serving-engine
+        # adapters (TIGEREngine / P5CIDEngine): whole evaluation chunks
+        # share one beam-expansion forward per trie level.
         return evaluate_generative_model_batched(
             lambda chunk: model.recommend_many(chunk, top_k=10),
             histories, targets)

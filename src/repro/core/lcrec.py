@@ -28,11 +28,9 @@ from ..llm import (
     PretrainConfig,
     TinyLlama,
     TuningConfig,
-    beam_search_items_batched,
     encode_texts,
     greedy_generate,
     pretrain_lm,
-    ranked_item_ids,
     sequence_logprob,
 )
 from ..llm.instruction import prompt_ids
@@ -100,6 +98,7 @@ class LCRec:
         self.pretrain_losses: list[float] = []
         self._pretrained_state: dict[str, np.ndarray] | None = None
         self._pretrained_config: LMConfig | None = None
+        self._inference_engine = None  # lazily built LCRecEngine
 
     # ------------------------------------------------------------------
     # Build stages
@@ -229,27 +228,46 @@ class LCRec:
                                          top_k: int = 10) -> list[list[int]]:
         """Batched constrained decoding of arbitrary instructions.
 
-        All prompts run through :func:`beam_search_items_batched` in one
-        ``B`` × ``K``-beam decode; rankings match per-request decoding.
+        All prompts run through the :class:`repro.serving.LCRecEngine`
+        adapter in one ``B`` × ``K``-beam decode; rankings match
+        per-request decoding.
         """
         self._require_built()
         prompts = [self.encode_instruction(i) for i in instructions]
-        beam = max(self.config.beam_size, top_k)
-        all_hypotheses = beam_search_items_batched(self.lm, prompts, self.trie,
-                                                   beam_size=beam)
-        return [ranked_item_ids(hypotheses, top_k)
-                for hypotheses in all_hypotheses]
+        engine = self._inference_engine
+        if engine is None or engine.lm is not self.lm or engine.trie is not self.trie:
+            # One cache-less engine for the whole model: the oracle decode
+            # path (no prefix cache, no scheduling) the serving parity
+            # suites compare against.  Rebuilt whenever a build stage has
+            # replaced the language model or the trie, so a re-built model
+            # never serves stale weights.
+            self._inference_engine = self.engine(prefix_cache=None)
+        return self._inference_engine.rank_prompts(prompts, top_k=top_k)
+
+    def engine(self, prefix_cache=True):
+        """A :class:`repro.serving.LCRecEngine` adapter over this model.
+
+        The engine is what the serving stack (micro-batcher, deadline
+        loop, continuous scheduler) drives; ``prefix_cache`` is forwarded
+        to its constructor (``True`` builds a fresh cache).
+        """
+        from ..serving import LCRecEngine
+
+        return LCRecEngine(self, prefix_cache=prefix_cache)
 
     def service(self, batcher=None, **kwargs):
         """A :class:`repro.serving.RecommendationService` over this model.
 
-        Keyword arguments (``deadline_ms``, ``prefix_cache``) are forwarded
-        to the service constructor; call ``.start()`` on the result (or use
-        it as a context manager) for async deadline-batched serving.
+        Builds an :class:`repro.serving.LCRecEngine` adapter (taking the
+        ``prefix_cache`` keyword, default on) and forwards the remaining
+        keyword arguments (``deadline_ms``, ``mode``) to the service
+        constructor; call ``.start()`` on the result (or use it as a
+        context manager) for async serving.
         """
         from ..serving import RecommendationService
 
-        return RecommendationService(self, batcher=batcher, **kwargs)
+        engine = self.engine(prefix_cache=kwargs.pop("prefix_cache", True))
+        return RecommendationService(engine, batcher=batcher, **kwargs)
 
     def intention_instruction(self, intention_text: str,
                               template_id: int = 0) -> str:

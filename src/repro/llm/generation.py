@@ -59,18 +59,21 @@ __all__ = [
     "decode_retire",
     "decode_step",
     "left_pad_prompts",
+    "log_softmax_np",
     "ranked_item_ids",
+    "topk_desc",
     "greedy_generate",
     "sequence_logprob",
 ]
 
 
-def _log_softmax_np(logits: np.ndarray) -> np.ndarray:
+def log_softmax_np(logits: np.ndarray) -> np.ndarray:
+    """Row-wise log-softmax over the last axis (numerically stabilized)."""
     shifted = logits - logits.max(axis=-1, keepdims=True)
     return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
 
 
-def _topk_desc(scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+def topk_desc(scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     """Per-row top-``k`` of a 2-D array: descending score, ties by index.
 
     ``argpartition`` + a sort of only ``k`` winners per row, instead of a
@@ -366,12 +369,12 @@ def decode_prefill(
         # whole decode; only per-beam suffix tokens live on the B*K axis.
         caches = model.new_beam_caches()
         logits, pad_columns = _prefill_prompts(model, prompts, caches, pad_id, prefix_cache)
-        log_probs = _log_softmax_np(logits)  # (B, V)
+        log_probs = log_softmax_np(logits)  # (B, V)
 
         # Level 0: expand every prompt to its top-K legal first tokens.
         root_mask = trie.allowed_token_mask([()], vocab_size)
         scores = np.where(root_mask, log_probs, -np.inf)
-        order, top_scores = _topk_desc(scores, num_beams)
+        order, top_scores = topk_desc(scores, num_beams)
         # Scores accumulate in float64, matching the reference path.
         beam_scores = top_scores.astype(np.float64)  # (B, K)
         beam_tokens = [[(int(token),) for token in row] for row in order]
@@ -415,13 +418,13 @@ def decode_step(state: DecodeState) -> DecodeState:
         step_logits = model.forward(
             last, caches=state.caches, pad_columns=state.flat_pad_columns()
         ).data[:, -1, :]
-        step_logp = _log_softmax_np(step_logits)  # (B*K, V)
+        step_logp = log_softmax_np(step_logits)  # (B*K, V)
         states = [prefix for row in beam_tokens for prefix in row]
         mask = trie.allowed_token_mask(states, vocab_size)
         candidates = np.where(mask, step_logp.astype(np.float64), -np.inf)
         candidates += state.beam_scores.reshape(-1, 1)
         candidates = candidates.reshape(num_requests, num_beams * vocab_size)
-        order, state.beam_scores = _topk_desc(candidates, num_beams)
+        order, state.beam_scores = topk_desc(candidates, num_beams)
         origin = order // vocab_size  # per-request beam index
         token = order % vocab_size
         state.beam_tokens = [
@@ -533,7 +536,31 @@ def decode_retire(state: DecodeState, rows: Sequence[int]) -> list[list[BeamHypo
         state.prompt_pads = state.prompt_pads[keep]
         state.suffix_pads = state.suffix_pads[keep]
         state.tags = [state.tags[b] for b in keep]
+        _trim_all_pad_prompt_columns(state)
     return results
+
+
+def _trim_all_pad_prompt_columns(state: DecodeState) -> None:
+    """Drop prompt columns every surviving row masks as padding.
+
+    Retiring a long-prompt row can leave the joined prompt region wider
+    than any remaining request needs: columns that were real tokens only
+    for the retired rows are now all-pad, yet every later forward still
+    pays attention width for them.  Those columns are masked out of
+    attention for every surviving row, so removing them (from each layer
+    cache and the pad map alike) changes no scores, ranks, or RoPE
+    positions — real tokens keep their unpadded positions because per-row
+    pad counts shrink by exactly the columns dropped.
+    """
+    if state.num_rows == 0:
+        return
+    all_pad = state.prompt_pads.all(axis=0)
+    if not all_pad.any():
+        return
+    keep = np.flatnonzero(~all_pad)
+    for cache in state.caches:
+        cache.prompt.take_columns(keep)
+    state.prompt_pads = state.prompt_pads[:, keep]
 
 
 def decode_finish(state: DecodeState) -> list[list[BeamHypothesis]]:
@@ -617,7 +644,7 @@ def beam_search_items_single(
         logits = model.forward(prompt, caches=caches).data[:, -1, :]
 
         # Level 0 expansion from the single prompt beam.
-        log_probs = _log_softmax_np(logits)[0]
+        log_probs = log_softmax_np(logits)[0]
         allowed = trie.allowed_tokens(())
         scores = log_probs[allowed]
         k = min(beam_size, len(allowed))
@@ -629,7 +656,7 @@ def beam_search_items_single(
         for _ in range(1, num_levels):
             last = np.array([t[-1] for t in beam_tokens], dtype=np.int64)[:, None]
             step_logits = model.forward(last, caches=caches).data[:, -1, :]
-            step_logp = _log_softmax_np(step_logits)
+            step_logp = log_softmax_np(step_logits)
 
             candidate_scores: list[float] = []
             candidate_origin: list[int] = []
@@ -698,7 +725,7 @@ def sequence_logprob(
     full = np.asarray(prompt_ids + continuation_ids, dtype=np.int64)[None, :]
     with no_grad():
         logits = model.forward(full).data[0]
-    log_probs = _log_softmax_np(logits)
+    log_probs = log_softmax_np(logits)
     start = len(prompt_ids) - 1
     total = 0.0
     for offset, token in enumerate(continuation_ids):

@@ -1,18 +1,23 @@
-"""Batched recommendation serving: queue, micro-batcher, service facade.
+"""Batched recommendation serving: queue, micro-batcher, engine, service.
 
-The package turns a built :class:`repro.core.LCRec` into a
-deployment-shaped service: producers push :class:`RecommendRequest`\\ s
-into a thread-safe :class:`RequestQueue`, the :class:`MicroBatcher` plans
-length-bucketed, prefix-clustered micro-batches, and
-:class:`RecommendationService` decodes them through the batched
-trie-constrained beam search — synchronously via ``flush()``,
-asynchronously via a deadline-batched background loop
-(``start()``/``stop()``), or with continuous batching
-(``mode="continuous"``): a :class:`ContinuousScheduler` admits queued
+The package turns any generative recommender into a deployment-shaped
+service.  A :class:`GenerativeEngine` adapter translates between the
+serving layer and one concrete model — :class:`LCRecEngine` over a built
+:class:`repro.core.LCRec`, :class:`TIGEREngine` over a fitted TIGER,
+:class:`P5CIDEngine` over a fitted P5-CID, or your own (see
+``docs/serving.md``, "Writing an engine adapter").  Producers push
+:class:`RecommendRequest`\\ s into a thread-safe :class:`RequestQueue`,
+the :class:`MicroBatcher` plans length-bucketed, prefix-clustered
+micro-batches, and :class:`RecommendationService` decodes them through
+the engine — synchronously via ``flush()``, asynchronously via a
+deadline-batched background loop (``start()``/``stop()``), or with
+continuous batching (``mode="continuous"``, engines advertising
+``supports_continuous``): a :class:`ContinuousScheduler` admits queued
 requests into the in-flight decode at trie-level boundaries and retires
 finished requests the moment their own rows complete.  A cross-request
 :class:`repro.llm.PrefixKVCache` (re-exported here) skips re-running
-prompt prefixes shared between requests.
+prompt prefixes shared between requests, for engines advertising
+``supports_prefix_cache``.
 
 See ``docs/serving.md`` for the architecture, tuning guidance, and the
 prefix-cache invalidation contract, and ``examples/serving_async.py`` for
@@ -27,6 +32,14 @@ from .batcher import (
     plan_batches,
 )
 from .continuous import ContinuousScheduler
+from .engine import (
+    EngineState,
+    GenerativeEngine,
+    LCRecEngine,
+    P5CIDEngine,
+    TIGEREngine,
+    TrieDecoderEngine,
+)
 from .queue import RecommendRequest, RequestQueue
 from .service import PendingRecommendation, RecommendationService, ServingStats
 
@@ -38,6 +51,12 @@ __all__ = [
     "plan_batches",
     "padding_fraction",
     "ContinuousScheduler",
+    "EngineState",
+    "GenerativeEngine",
+    "TrieDecoderEngine",
+    "LCRecEngine",
+    "P5CIDEngine",
+    "TIGEREngine",
     "PendingRecommendation",
     "RecommendationService",
     "ServingStats",

@@ -4,22 +4,23 @@ The deadline-batched loop (see ``docs/serving.md``) decodes in *closed*
 batches: a request arriving one tick after a flush waits for the whole
 in-flight batch to finish every trie level before its own decode even
 starts, which caps throughput and inflates tail latency exactly where
-interactive traffic hurts most.  The trie-constrained decode, however, is
+interactive traffic hurts most.  Trie-constrained decoding, however, is
 level-synchronous with a tiny fixed depth — the generative-retrieval
-serving shape LC-Rec shares with TIGER — so *trie-level boundaries* are
-natural admission points: between two levels the engine's whole state is
-per-row beams plus K/V caches (:class:`repro.llm.DecodeState`), and
+serving shape every :class:`repro.serving.GenerativeEngine` exposes — so
+*trie-level boundaries* are natural admission points: between two levels
+an engine's whole state is one opaque :class:`EngineState`, and
 
-* newly queued requests are prefilled on the side (prefix-cache-seeded)
-  and their rows joined onto the live batch axis
-  (:func:`repro.llm.decode_join`),
+* newly queued requests are prefilled on the side
+  (:meth:`GenerativeEngine.prefill`) and joined onto the live state
+  (:meth:`GenerativeEngine.join`),
 * finished rows are retired and delivered the moment they reach the final
-  level (:func:`repro.llm.decode_retire`), not at batch end.
+  level (:meth:`GenerativeEngine.retire`), not at batch end.
 
 Rankings are identical to decoding each request alone no matter when it is
-admitted: joining only adds masked pad columns and batch-axis rows, never
-changing any live row's attention inputs — the correctness invariant the
-parity suite (``tests/test_serving_continuous.py``) pins down.
+admitted — joining must never change a live row's decode inputs, the
+correctness invariant the parity suite (``tests/test_serving_continuous.py``)
+pins down.  Only engines advertising ``supports_continuous`` may be
+scheduled this way.
 
 Thread safety: the scheduler is *not* thread-safe; the service drives it
 from a single thread (the background loop, or the caller during drain)
@@ -28,19 +29,10 @@ under its decode lock.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
-from ..llm import (
-    BeamHypothesis,
-    DecodeState,
-    decode_join,
-    decode_prefill,
-    decode_retire,
-    decode_step,
-    PrefixKVCache,
-)
-from ..llm.model import TinyLlama
-from ..quantization.trie import IndexTrie
+from ..llm import BeamHypothesis
+from .engine import EngineState, GenerativeEngine
 from .queue import RecommendRequest
 
 __all__ = ["ContinuousScheduler"]
@@ -51,39 +43,29 @@ class ContinuousScheduler:
 
     Parameters
     ----------
-    model, trie:
-        The language model and index trie to decode against.
+    engine:
+        A :class:`repro.serving.GenerativeEngine` with
+        ``supports_continuous`` set; the scheduler owns exactly one of its
+        decode states at a time.
     max_width:
         Cap on the joined batch width (requests in flight at once); queued
         requests beyond it wait for retirements to free rows.
-    pad_id:
-        Pad token id for prefill left-padding.
-    prefix_cache:
-        Optional :class:`repro.llm.PrefixKVCache` shared with the rest of
-        the service; admitted prompts seed from and store into it exactly
-        as closed-batch decodes do.
     """
 
-    def __init__(
-        self,
-        model: TinyLlama,
-        trie: IndexTrie,
-        *,
-        max_width: int = 16,
-        pad_id: int = 0,
-        prefix_cache: PrefixKVCache | None = None,
-    ):
+    def __init__(self, engine: GenerativeEngine, *, max_width: int = 16):
         if max_width < 1:
             raise ValueError("max_width must be positive")
-        self.model = model
-        self.trie = trie
+        if not engine.supports_continuous:
+            raise ValueError(
+                f"engine {engine.name!r} does not support continuous batching "
+                "(supports_continuous is False)"
+            )
+        self.engine = engine
         self.max_width = max_width
-        self.pad_id = pad_id
-        self.prefix_cache = prefix_cache
-        self._state: DecodeState | None = None
+        self._state: EngineState | None = None
         self.admissions = 0  # admit() calls that added at least one request
         self.joins = 0  # admissions that joined an already-live decode
-        self.steps = 0  # decode_step calls
+        self.steps = 0  # engine.step calls
 
     # ------------------------------------------------------------------
     # Introspection
@@ -107,24 +89,38 @@ class ContinuousScheduler:
         """Tags (requests) of every row currently being decoded."""
         return list(self._state.tags) if self._state is not None else []
 
-    def effective_beams(self, beam_size: int) -> int:
-        """The beam width a request actually decodes with (engine clamp)."""
-        return min(beam_size, self.trie.num_items, self.model.vocab_size)
-
     def compatible(self, request: RecommendRequest) -> bool:
         """Whether ``request`` may join the current decode.
 
-        Joined rows must share one effective beam width — a request's
-        rankings must never depend on who it is co-batched with, and beam
-        width changes rankings.  Width-1 decodes never fan out (suffix
-        tokens share the prompt cache region), so they cannot be joined
-        mid-flight: such a request waits for the decode to drain instead.
-        An idle scheduler accepts anything.
+        Delegates to the engine (:meth:`GenerativeEngine.can_join`), which
+        owns the join constraints — e.g. the shared-beam-width rule of the
+        trie-decoder engines.  An idle scheduler accepts anything.
         """
         if self._state is None:
             return True
-        width = self.effective_beams(request.beam_size)
-        return width == self._state.num_beams and width > 1
+        return self.engine.can_join(self._state, request)
+
+    def admission_predicate(self) -> Callable[[RecommendRequest], bool]:
+        """A fresh FIFO pop predicate for one admission round.
+
+        With a live decode this is :meth:`compatible`.  Idle, it latches
+        the first candidate's effective beam width and admits only
+        width-matching followers: one admission is one engine prefill,
+        which requires a uniform effective width — a mixed-width queue
+        must be split across admission rounds (FIFO prefix by prefix),
+        not popped wholesale and failed by prefill's validation.
+        """
+        if self._state is not None:
+            return self.compatible
+        latched: list[int] = []
+
+        def admit(request: RecommendRequest) -> bool:
+            width = self.engine.effective_beams(request.beam_size)
+            if not latched:
+                latched.append(width)
+            return width == latched[0]
+
+        return admit
 
     # ------------------------------------------------------------------
     # Admission and stepping
@@ -132,33 +128,22 @@ class ContinuousScheduler:
     def admit(self, requests: Sequence[RecommendRequest]) -> None:
         """Prefill ``requests`` and join them onto the in-flight decode.
 
-        All requests of one admission are prefilled as a single batch
-        (shared left-padding, one forward) and must agree on effective
-        beam width with each other and with the live decode; the caller
-        gates candidates through :meth:`compatible` and ``free_width``.
+        All requests of one admission are prefilled as a single batch (one
+        engine prefill) and must be join-compatible with the live decode;
+        the caller gates candidates through :meth:`compatible` and
+        ``free_width``.
         """
         requests = list(requests)
         if not requests:
             return
         if len(requests) > self.free_width:
             raise ValueError(f"admission of {len(requests)} exceeds free width {self.free_width}")
-        widths = {self.effective_beams(r.beam_size) for r in requests}
-        if len(widths) != 1:
-            raise ValueError("co-admitted requests must share a beam width")
-        incoming = decode_prefill(
-            self.model,
-            [r.prompt_ids for r in requests],
-            self.trie,
-            beam_size=requests[0].beam_size,
-            pad_id=self.pad_id,
-            prefix_cache=self.prefix_cache,
-            tags=requests,
-        )
+        incoming = self.engine.prefill(requests)
         self.admissions += 1
         if self._state is None:
             self._state = incoming
         else:
-            decode_join(self._state, incoming)
+            self.engine.join(self._state, incoming)
             self.joins += 1
 
     def step(self) -> list[tuple[RecommendRequest, list[BeamHypothesis]]]:
@@ -171,7 +156,7 @@ class ContinuousScheduler:
         """
         delivered = self._retire_finished()
         if self._state is not None:
-            decode_step(self._state)
+            self.engine.step(self._state)
             self.steps += 1
             delivered.extend(self._retire_finished())
         return delivered
@@ -183,7 +168,7 @@ class ContinuousScheduler:
         if not rows:
             return []
         tags = [self._state.tags[row] for row in rows]
-        hypotheses = decode_retire(self._state, rows)
+        hypotheses = self.engine.retire(self._state, rows)
         if self._state.num_rows == 0:
             self._state = None
         return list(zip(tags, hypotheses))

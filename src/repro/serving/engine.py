@@ -1,0 +1,706 @@
+"""The engine boundary: one serving stack for every generative recommender.
+
+:class:`GenerativeEngine` is the protocol between the serving layer (queue,
+micro-batcher, deadline loop, continuous scheduler) and a concrete
+generative recommendation model.  It captures the *resumable decode*
+contract the batched trie-constrained beam search exposes —
+
+* :meth:`GenerativeEngine.prefill` runs the prompt phase plus the level-0
+  beam expansion for a micro-batch and returns an opaque
+  :class:`EngineState`,
+* :meth:`GenerativeEngine.step` advances every in-flight row one trie
+  level,
+* :meth:`GenerativeEngine.join` merges freshly prefilled rows into a live
+  state (continuous batching's admission primitive),
+* :meth:`GenerativeEngine.retire` pops finished rows the moment they reach
+  the final level, and :meth:`GenerativeEngine.finish` harvests everything
+
+— plus capability flags (``supports_continuous``, ``supports_prefix_cache``,
+``num_levels``) the service uses to pick a scheduling discipline, and the
+request-shaping hooks (``encode_history``, ``request_beam_size``,
+``effective_len``, ``finalize``) that keep model-specific text rendering,
+beam policy and ranking post-processing out of the service.
+
+Three adapters ship with the repo:
+
+=================  ==========================================  ==========
+adapter            decode path                                 continuous
+=================  ==========================================  ==========
+:class:`LCRecEngine`   shared :class:`repro.llm.DecodeState` stepper   yes
+:class:`P5CIDEngine`   same stepper (decoder-only TinyLlama)           yes
+:class:`TIGEREngine`   batched encoder-decoder beam expansion          no
+=================  ==========================================  ==========
+
+Every adapter is ranking-preserving: batching is a cost optimisation, never
+an approximation, and the parity suites pin each adapter to its
+single-request oracle (``LCRec.recommend`` / ``beam_search_items_single``,
+``TIGER.recommend``, ``P5CID.recommend``).
+
+Writing a new adapter means implementing ``encode_history`` plus the five
+decode-contract methods over your own state object (any object with
+``num_rows``, ``num_beams``, ``done``, ``tags`` and ``finished_rows()``
+works — see :class:`EngineState`); the service, micro-batcher and bench
+runners then work unchanged.  ``docs/serving.md`` has a walkthrough.
+
+Thread safety: engines are driven under the service's decode lock; they
+are not required to be thread-safe beyond what their prefix cache already
+guarantees.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..llm import (
+    BeamHypothesis,
+    PrefixKVCache,
+    backfill_items,
+    decode_finish,
+    decode_join,
+    decode_prefill,
+    decode_retire,
+    decode_step,
+    ranked_item_ids,
+)
+from ..data.batching import pad_sequences
+from ..llm.generation import log_softmax_np, topk_desc
+from ..quantization.trie import IndexTrie
+from ..tensor import Tensor, no_grad
+from .queue import RecommendRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids cycles at runtime
+    from ..baselines.p5cid import P5CID
+    from ..baselines.tiger import TIGER
+    from ..core.lcrec import LCRec
+    from ..llm.model import TinyLlama
+
+__all__ = [
+    "EngineState",
+    "GenerativeEngine",
+    "TrieDecoderEngine",
+    "LCRecEngine",
+    "P5CIDEngine",
+    "TIGEREngine",
+    "TIGERDecodeState",
+]
+
+
+@runtime_checkable
+class EngineState(Protocol):
+    """What the serving layer needs from an engine's opaque decode state.
+
+    Engines may return any object from :meth:`GenerativeEngine.prefill` as
+    long as it exposes this introspection surface; everything else about
+    the state (caches, beams, memory) is the engine's private business.
+    ``tags`` carries the :class:`RecommendRequest` of every in-flight row,
+    in row order, through joins and retirements.
+    """
+
+    num_beams: int
+
+    @property
+    def num_rows(self) -> int: ...
+
+    @property
+    def done(self) -> bool: ...
+
+    @property
+    def tags(self) -> list: ...
+
+    def finished_rows(self) -> list[int]: ...
+
+
+class GenerativeEngine(abc.ABC):
+    """Backend adapter driven by :class:`repro.serving.RecommendationService`.
+
+    Subclasses wrap one built generative recommender and translate the
+    serving layer's request/decode vocabulary into the model's own.  The
+    base class supplies the one-shot :meth:`decode` loop, the default
+    ranking :meth:`finalize`, and batch-free conveniences
+    (:meth:`recommend_many`, :meth:`rank_prompts`) on top of the abstract
+    decode contract.
+
+    Capability flags
+    ----------------
+    ``supports_continuous``
+        Whether :meth:`join`/:meth:`retire` implement level-boundary
+        admission and early delivery, so the service may run its
+        continuous-batching loop against this engine.
+    ``supports_prefix_cache``
+        Whether the engine can seed prompt K/V from a shared
+        :class:`repro.llm.PrefixKVCache` (``prefix_cache`` is then not
+        ``None`` when enabled).
+    ``num_levels``
+        Trie depth — :meth:`prefill` performs the level-0 expansion, so a
+        freshly prefilled request needs ``num_levels - 1`` further
+        :meth:`step` calls; levels are the granularity of continuous
+        admission.
+    """
+
+    name: str = "engine"
+    supports_continuous: bool = False
+    supports_prefix_cache: bool = False
+    prefix_cache: PrefixKVCache | None = None
+    default_beam_size: int = 20
+
+    # ------------------------------------------------------------------
+    # Capabilities and request shaping
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def num_levels(self) -> int:
+        """Trie depth (prefill covers level 0; steps needed = depth - 1)."""
+
+    @property
+    @abc.abstractmethod
+    def num_items(self) -> int:
+        """Catalog size (for beam clamping and ranking backfill)."""
+
+    def request_beam_size(self, top_k: int) -> int:
+        """The beam width a request submitted with ``top_k`` decodes with.
+
+        Fixed per request at submit time (never widened by co-batched
+        requests) so results match the per-request path regardless of
+        batch composition.
+        """
+        return max(self.default_beam_size, top_k)
+
+    def effective_beams(self, beam_size: int) -> int:
+        """The beam width a request actually decodes with (engine clamp)."""
+        return min(beam_size, self.num_items)
+
+    def effective_len(self, request: RecommendRequest) -> int:
+        """Per-request decode-cost model for micro-batch length bucketing.
+
+        Engines with a prefix cache override this with the *post-cache*
+        length (prompt length minus the cached prefix the decode will
+        skip), so near-full cache hits are not co-batched with misses that
+        would dictate the padded width anyway.
+        """
+        return request.prompt_len
+
+    def set_prefix_cache(self, prefix_cache: PrefixKVCache | bool | None) -> None:
+        """Install (or disable) a cross-request prompt prefix cache."""
+        # Identity checks, not truthiness: an *empty* PrefixKVCache is
+        # falsy (it defines __len__), yet passing one still asks for
+        # caching and must be rejected just like prefix_cache=True.
+        if prefix_cache is not None and prefix_cache is not False:
+            raise NotImplementedError(f"{type(self).__name__} does not support a prefix cache")
+        self.prefix_cache = None
+
+    # ------------------------------------------------------------------
+    # Request encoding
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def encode_history(self, history: Sequence[int], template_id: int = 0) -> list[int]:
+        """Encode an interaction history into this engine's prompt ids."""
+
+    def encode_instruction(self, instruction: str) -> list[int]:
+        """Encode an already-rendered instruction (language engines only)."""
+        raise NotImplementedError(f"{type(self).__name__} does not take free-form instructions")
+
+    def encode_intention(self, intention_text: str) -> list[int]:
+        """Encode an intention query (language engines only)."""
+        raise NotImplementedError(f"{type(self).__name__} does not take intention queries")
+
+    # ------------------------------------------------------------------
+    # The resumable decode contract
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def prefill(self, requests: Sequence[RecommendRequest]) -> EngineState:
+        """Run the prompt phase and level-0 expansion for one micro-batch.
+
+        All requests of one prefill must agree on effective beam width (a
+        request's rankings must never depend on who it is co-batched
+        with, and beam width changes rankings).
+        """
+
+    @abc.abstractmethod
+    def step(self, state: EngineState) -> None:
+        """Advance every in-flight row one trie level (one model forward)."""
+
+    def join(self, state: EngineState, incoming: EngineState) -> None:
+        """Merge freshly prefilled rows into a live state (admission)."""
+        raise NotImplementedError(f"{type(self).__name__} does not support continuous batching")
+
+    @abc.abstractmethod
+    def retire(self, state: EngineState, rows: Sequence[int]) -> list[list[BeamHypothesis]]:
+        """Pop the given finished rows, one hypothesis list per row."""
+
+    def finish(self, state: EngineState) -> list[list[BeamHypothesis]]:
+        """Retire every row (all must be at the final level), in row order."""
+        return self.retire(state, range(state.num_rows))
+
+    def can_join(self, state: EngineState, request: RecommendRequest) -> bool:
+        """Whether ``request`` may be admitted into the live ``state``."""
+        return False
+
+    # ------------------------------------------------------------------
+    # One-shot conveniences built on the contract
+    # ------------------------------------------------------------------
+    def decode(self, requests: Sequence[RecommendRequest]) -> list[list[BeamHypothesis]]:
+        """One closed-batch decode: prefill, step to depth, finish."""
+        requests = list(requests)
+        if not requests:
+            return []
+        state = self.prefill(requests)
+        while not state.done:
+            self.step(state)
+        return self.finish(state)
+
+    def finalize(
+        self,
+        requests: Sequence[RecommendRequest],
+        all_hypotheses: Sequence[list[BeamHypothesis]],
+    ) -> list[list[int]]:
+        """Turn decoded hypotheses into each request's ranked item ids.
+
+        The default is plain score-ordered dedup (what ``LCRec.recommend``
+        returns).  Engines that guarantee full ``top_k`` lists override
+        this with widen-and-backfill (see :func:`widen_and_backfill`);
+        overrides may re-decode, so callers must not hold model state
+        across the call.
+        """
+        return [
+            ranked_item_ids(hypotheses, request.top_k)
+            for request, hypotheses in zip(requests, all_hypotheses)
+        ]
+
+    def rank_prompts(self, prompts: Sequence[Sequence[int]], top_k: int = 10) -> list[list[int]]:
+        """Decode already-encoded prompts into ranked item-id lists."""
+        requests = [
+            RecommendRequest(
+                prompt_ids=list(prompt), top_k=top_k, beam_size=self.request_beam_size(top_k)
+            )
+            for prompt in prompts
+        ]
+        return self.finalize(requests, self.decode(requests))
+
+    def recommend_many(
+        self, histories: Sequence[Sequence[int]], top_k: int = 10, template_id: int = 0
+    ) -> list[list[int]]:
+        """Batched next-item recommendation: one decode for all histories."""
+        prompts = [self.encode_history(list(history), template_id) for history in histories]
+        return self.rank_prompts(prompts, top_k=top_k)
+
+
+def widen_and_backfill(
+    engine: GenerativeEngine,
+    requests: Sequence[RecommendRequest],
+    all_hypotheses: Sequence[list[BeamHypothesis]],
+) -> list[list[int]]:
+    """Rankings padded to ``top_k`` ids: widen short beams, then backfill.
+
+    Constrained decoding can surface fewer than ``top_k`` unique items — a
+    narrow trie level starves the beam mid-search — and ranking metrics
+    treat a short list as misses at the missing ranks.  Rows that come up
+    short are re-decoded once with the beam widened to the full catalog
+    (all short rows of the batch in one decode), and any residual
+    shortfall is backfilled deterministically with the smallest unused
+    item ids.  This is the batched equivalent of ``TIGER.recommend`` /
+    ``P5CID.recommend``'s retry, and matches them ranking-for-ranking.
+    """
+    num_items = engine.num_items
+    rankings = [
+        ranked_item_ids(hypotheses, request.top_k)
+        for request, hypotheses in zip(requests, all_hypotheses)
+    ]
+    short = [
+        row
+        for row, (request, ranked) in enumerate(zip(requests, rankings))
+        if len(ranked) < min(request.top_k, num_items) and request.beam_size < num_items
+    ]
+    if short:
+        widened = engine.decode([replace(requests[row], beam_size=num_items) for row in short])
+        for row, hypotheses in zip(short, widened):
+            rankings[row] = ranked_item_ids(hypotheses, requests[row].top_k)
+    return [
+        backfill_items(ranked, request.top_k, num_items)
+        for request, ranked in zip(requests, rankings)
+    ]
+
+
+def _require_uniform_beams(engine: GenerativeEngine, requests: Sequence[RecommendRequest]) -> int:
+    if not requests:
+        raise ValueError("need at least one request")
+    widths = {engine.effective_beams(request.beam_size) for request in requests}
+    if len(widths) != 1:
+        raise ValueError("co-batched requests must share an effective beam width")
+    return widths.pop()
+
+
+# ----------------------------------------------------------------------
+# Decoder-only adapters: the shared DecodeState stepper
+# ----------------------------------------------------------------------
+class TrieDecoderEngine(GenerativeEngine):
+    """Engine over a decoder-only :class:`TinyLlama` plus an index trie.
+
+    Wraps the resumable :class:`repro.llm.DecodeState` stepper
+    (:func:`decode_prefill` / :func:`decode_step` / :func:`decode_join` /
+    :func:`decode_retire`), which is why every decoder-only backend gets
+    continuous batching and the prefix KV cache for free — LC-Rec and
+    P5-CID differ only in how they render a history into prompt ids and
+    how rankings are post-processed.
+    """
+
+    supports_continuous = True
+    supports_prefix_cache = True
+
+    def __init__(
+        self,
+        lm: "TinyLlama",
+        trie: IndexTrie,
+        pad_id: int = 0,
+        prefix_cache: PrefixKVCache | bool | None = None,
+        default_beam_size: int = 20,
+    ):
+        self.lm = lm
+        self.trie = trie
+        self.pad_id = pad_id
+        self.default_beam_size = default_beam_size
+        self.set_prefix_cache(prefix_cache)
+
+    @property
+    def num_levels(self) -> int:
+        return self.trie.num_levels
+
+    @property
+    def num_items(self) -> int:
+        return self.trie.num_items
+
+    def effective_beams(self, beam_size: int) -> int:
+        return min(beam_size, self.trie.num_items, self.lm.vocab_size)
+
+    def set_prefix_cache(self, prefix_cache: PrefixKVCache | bool | None) -> None:
+        if prefix_cache is True:
+            prefix_cache = PrefixKVCache()
+        elif prefix_cache is False:
+            prefix_cache = None
+        self.prefix_cache = prefix_cache
+
+    def effective_len(self, request: RecommendRequest) -> int:
+        if self.prefix_cache is None:
+            return request.prompt_len
+        cached = self.prefix_cache.probe(request.prompt_ids, max_len=request.prompt_len - 1)
+        return request.prompt_len - cached
+
+    def encode_history(self, history: Sequence[int], template_id: int = 0) -> list[int]:
+        """A bare trie-decoder engine serves pre-encoded prompts only.
+
+        Model adapters (:class:`LCRecEngine`, :class:`P5CIDEngine`)
+        override this with their own history-to-prompt rendering; the bare
+        engine is for raw-prompt workloads (``rank_prompts`` or
+        hand-built :class:`RecommendRequest`\\ s).
+        """
+        raise NotImplementedError(
+            "TrieDecoderEngine has no history rendering; use rank_prompts or a model adapter"
+        )
+
+    # -- decode contract -----------------------------------------------
+    def prefill(self, requests: Sequence[RecommendRequest]) -> EngineState:
+        requests = list(requests)
+        _require_uniform_beams(self, requests)
+        return decode_prefill(
+            self.lm,
+            [request.prompt_ids for request in requests],
+            self.trie,
+            beam_size=requests[0].beam_size,
+            pad_id=self.pad_id,
+            prefix_cache=self.prefix_cache,
+            tags=requests,
+        )
+
+    def step(self, state: EngineState) -> None:
+        decode_step(state)
+
+    def join(self, state: EngineState, incoming: EngineState) -> None:
+        decode_join(state, incoming)
+
+    def retire(self, state: EngineState, rows: Sequence[int]) -> list[list[BeamHypothesis]]:
+        return decode_retire(state, rows)
+
+    def finish(self, state: EngineState) -> list[list[BeamHypothesis]]:
+        return decode_finish(state)
+
+    def can_join(self, state: EngineState, request: RecommendRequest) -> bool:
+        """Joined rows must share one effective beam width.
+
+        Width-1 decodes never fan out (suffix tokens share the prompt
+        cache region), so they cannot be joined mid-flight: such a request
+        waits for the decode to drain instead.
+        """
+        width = self.effective_beams(request.beam_size)
+        return width == state.num_beams and width > 1
+
+
+class LCRecEngine(TrieDecoderEngine):
+    """The LC-Rec adapter: instruction rendering plus the shared stepper.
+
+    ``LCRecEngine(model)`` (prefix cache on by default) is the primary way
+    to stand a :class:`repro.serving.RecommendationService` over a built
+    :class:`repro.core.LCRec`; ``model.service(...)`` builds exactly this.
+    """
+
+    name = "lcrec"
+
+    def __init__(self, model: "LCRec", prefix_cache: PrefixKVCache | bool | None = True):
+        model._require_built()
+        super().__init__(
+            model.lm,
+            model.trie,
+            pad_id=0,
+            prefix_cache=prefix_cache,
+            default_beam_size=model.config.beam_size,
+        )
+        self.model = model
+
+    def encode_history(self, history: Sequence[int], template_id: int = 0) -> list[int]:
+        return self.encode_instruction(self.model.seq_instruction(list(history), template_id))
+
+    def encode_instruction(self, instruction: str) -> list[int]:
+        return self.model.encode_instruction(instruction)
+
+    def encode_intention(self, intention_text: str) -> list[int]:
+        return self.encode_instruction(self.model.intention_instruction(intention_text))
+
+
+class P5CIDEngine(TrieDecoderEngine):
+    """The P5-CID adapter: collaborative-ID prompts over the shared stepper.
+
+    P5-CID's decoder-only LM speaks the same decode contract as LC-Rec, so
+    the adapter inherits continuous batching and (optionally) the prefix
+    cache; only the prompt rendering (BOS + history ids + SEP, no natural
+    language) and the full-``top_k`` ranking guarantee differ.
+    """
+
+    name = "p5cid"
+
+    def __init__(self, model: "P5CID", prefix_cache: PrefixKVCache | bool | None = None):
+        # Lazy import: repro.baselines must stay importable without pulling
+        # the serving package in (and vice versa).
+        from ..baselines.generative import PAD_ID
+
+        super().__init__(
+            model.lm,
+            model.trie,
+            pad_id=PAD_ID,
+            prefix_cache=prefix_cache,
+            default_beam_size=model.config.beam_size,
+        )
+        self.model = model
+
+    def encode_history(self, history: Sequence[int], template_id: int = 0) -> list[int]:
+        if template_id != 0:
+            raise ValueError("P5-CID has a single prompt format (template_id 0)")
+        return self.model._example(list(history), None)[0]
+
+    def finalize(self, requests, all_hypotheses) -> list[list[int]]:
+        return widen_and_backfill(self, requests, all_hypotheses)
+
+
+# ----------------------------------------------------------------------
+# TIGER: batched encoder-decoder beam expansion
+# ----------------------------------------------------------------------
+@dataclass
+class TIGERDecodeState:
+    """Resumable state of a batched TIGER decode (satisfies EngineState).
+
+    The encoder runs once per micro-batch at prefill; each step re-decodes
+    every hypothesis's full (``<= num_levels``-token) prefix against the
+    per-row encoder memory, expanded to ``B*K`` decoder rows.  Requests
+    with fewer than ``K`` legal hypotheses carry ``-inf``-scored filler
+    beams to keep the batch rectangular; fillers are dropped at
+    retirement.
+    """
+
+    memory: Tensor  # (B, S, dim) encoder output
+    memory_mask: np.ndarray  # (B, 1, 1, S) key padding mask
+    beam_tokens: list[list[tuple[int, ...]]]  # (B rows) x (K prefixes)
+    beam_scores: np.ndarray  # (B, K) float64
+    num_beams: int
+    num_levels: int
+    tags: list
+    # Beam-flattened (B*K, ...) views of memory/memory_mask, built lazily
+    # on the first step and reused across trie levels (rows only change at
+    # retirement, which invalidates them).
+    memory_flat: Tensor | None = None
+    memory_mask_flat: np.ndarray | None = None
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.beam_tokens)
+
+    @property
+    def done(self) -> bool:
+        return all(len(row[0]) == self.num_levels for row in self.beam_tokens)
+
+    def finished_rows(self) -> list[int]:
+        return [b for b, row in enumerate(self.beam_tokens) if len(row[0]) == self.num_levels]
+
+
+class TIGEREngine(GenerativeEngine):
+    """The TIGER adapter: batched encoder-decoder trie-constrained beams.
+
+    Each prefill encodes the whole micro-batch's histories in one
+    bidirectional encoder forward (pad columns masked as keys, so batching
+    never changes any row's memory); each step expands ``B`` requests ×
+    ``K`` beams in a single decoder forward with one vectorized trie mask,
+    replacing TIGER's per-request, per-level Python loop.  Rankings match
+    ``TIGER.recommend`` request-for-request, including its widen-to-catalog
+    retry and deterministic backfill (:func:`widen_and_backfill`).
+
+    No continuous batching: the encoder memory is a closed per-batch
+    rectangle, so admission would need memory joins — a future adapter
+    capability, which is exactly what the ``supports_continuous`` flag is
+    for.
+    """
+
+    name = "tiger"
+    supports_continuous = False
+    supports_prefix_cache = False
+
+    def __init__(self, model: "TIGER"):
+        # Lazy import keeps repro.serving importable without the baselines
+        # package (and avoids an import cycle with baselines.tiger).
+        from ..baselines.generative import BOS_ID, PAD_ID
+
+        self.model = model
+        self.trie = model.trie
+        self.pad_id = PAD_ID
+        self.bos_id = BOS_ID
+        self.default_beam_size = model.config.beam_size
+
+    @property
+    def num_levels(self) -> int:
+        return self.model.num_levels
+
+    @property
+    def num_items(self) -> int:
+        return self.trie.num_items
+
+    def effective_beams(self, beam_size: int) -> int:
+        # A trie with uniform-depth leaves has at most num_items distinct
+        # prefixes at every level, so wider beams only add -inf fillers.
+        return min(beam_size, self.num_items)
+
+    def encode_history(self, history: Sequence[int], template_id: int = 0) -> list[int]:
+        if template_id != 0:
+            raise ValueError("TIGER has a single prompt format (template_id 0)")
+        model = self.model
+        ids = model.space.history_ids(list(history)[-model.config.max_history :])
+        return ids[-model._max_src :]
+
+    # -- decode contract -----------------------------------------------
+    def prefill(self, requests: Sequence[RecommendRequest]) -> TIGERDecodeState:
+        requests = list(requests)
+        num_beams = _require_uniform_beams(self, requests)
+        for row, request in enumerate(requests):
+            if not request.prompt_ids:
+                raise ValueError(f"prompt {row} is empty: every request needs at least one token")
+        model = self.model
+        with no_grad():
+            source = pad_sequences(
+                [request.prompt_ids for request in requests],
+                pad_value=self.pad_id,
+                align="right",
+            )
+            memory, memory_mask = model.encode(source)
+            bos = np.full((len(requests), 1), self.bos_id, dtype=np.int64)
+            logits = model.decode(memory, memory_mask, bos).data[:, -1, :]
+        log_probs = log_softmax_np(logits)  # (B, V)
+        root_mask = self.trie.allowed_token_mask([()], logits.shape[-1])
+        scores = np.where(root_mask, log_probs, -np.inf)
+        if num_beams > scores.shape[1]:
+            # The beam can be wider than the token vocabulary (deep tries
+            # fan out at later levels): pad with -inf filler columns so
+            # every row still carries num_beams slots.
+            filler = np.full((scores.shape[0], num_beams - scores.shape[1]), -np.inf)
+            scores = np.concatenate([scores, filler], axis=1)
+        order, top_scores = topk_desc(scores, num_beams)
+        # Filler beams (-inf) may carry out-of-vocabulary slot indices;
+        # clamp them to the pad token so later decoder forwards can embed
+        # them (their candidates stay -inf: a pad prefix is never in the
+        # trie, so the mask never resurrects them).
+        order = np.where(np.isfinite(top_scores), order, self.pad_id)
+        return TIGERDecodeState(
+            memory=memory,
+            memory_mask=memory_mask,
+            beam_tokens=[[(int(token),) for token in row] for row in order],
+            beam_scores=top_scores.astype(np.float64),
+            num_beams=num_beams,
+            num_levels=self.num_levels,
+            tags=requests,
+        )
+
+    def step(self, state: TIGERDecodeState) -> None:
+        if state.num_rows == 0:
+            raise RuntimeError("cannot step an empty decode state")
+        if state.finished_rows():
+            raise RuntimeError("retire finished rows before stepping")
+        model = self.model
+        num_requests, num_beams = state.num_rows, state.num_beams
+        prefixes = [prefix for row in state.beam_tokens for prefix in row]
+        decoder_input = np.array(
+            [(self.bos_id,) + prefix for prefix in prefixes], dtype=np.int64
+        )  # (B*K, level+1)
+        with no_grad():
+            if state.memory_flat is None:
+                state.memory_flat = Tensor(np.repeat(state.memory.data, num_beams, axis=0))
+                state.memory_mask_flat = np.repeat(state.memory_mask, num_beams, axis=0)
+            logits = model.decode(
+                state.memory_flat, state.memory_mask_flat, decoder_input
+            ).data[:, -1, :]
+        vocab_size = logits.shape[-1]
+        step_logp = log_softmax_np(logits)  # (B*K, V)
+        mask = self.trie.allowed_token_mask(prefixes, vocab_size)
+        candidates = np.where(mask, step_logp.astype(np.float64), -np.inf)
+        candidates += state.beam_scores.reshape(-1, 1)
+        candidates = candidates.reshape(num_requests, num_beams * vocab_size)
+        order, state.beam_scores = topk_desc(candidates, num_beams)
+        origin = order // vocab_size
+        token = order % vocab_size
+        state.beam_tokens = [
+            [
+                state.beam_tokens[b][int(origin[b, k])] + (int(token[b, k]),)
+                for k in range(num_beams)
+            ]
+            for b in range(num_requests)
+        ]
+
+    def retire(
+        self, state: TIGERDecodeState, rows: Sequence[int]
+    ) -> list[list[BeamHypothesis]]:
+        rows = [int(row) for row in rows]
+        if len(set(rows)) != len(rows):
+            raise ValueError("duplicate rows in retirement")
+        results: list[list[BeamHypothesis]] = []
+        for row in rows:
+            if not 0 <= row < state.num_rows:
+                raise IndexError(f"row {row} out of range for {state.num_rows} rows")
+            if len(state.beam_tokens[row][0]) != state.num_levels:
+                raise ValueError(f"row {row} has not reached the final trie level")
+            hypotheses = [
+                BeamHypothesis(prefix, float(score), self.trie.item_at(prefix))
+                for prefix, score in zip(state.beam_tokens[row], state.beam_scores[row])
+                if np.isfinite(score)
+            ]
+            hypotheses.sort(key=lambda h: -h.score)
+            results.append(hypotheses)
+        if rows:
+            retired = set(rows)
+            keep = [b for b in range(state.num_rows) if b not in retired]
+            state.memory = Tensor(state.memory.data[keep])
+            state.memory_mask = state.memory_mask[keep]
+            state.memory_flat = None
+            state.memory_mask_flat = None
+            state.beam_tokens = [state.beam_tokens[b] for b in keep]
+            state.beam_scores = state.beam_scores[keep]
+            state.tags = [state.tags[b] for b in keep]
+        return results
+
+    def finalize(self, requests, all_hypotheses) -> list[list[int]]:
+        return widen_and_backfill(self, requests, all_hypotheses)

@@ -1,11 +1,13 @@
-"""The serving facade: queue in front, batched beam search behind.
+"""The serving facade: queue in front, a generative engine behind.
 
-:class:`RecommendationService` is the deployment-shaped entry point to a
-built LC-Rec model: callers ``submit`` recommendation requests (histories,
-free-form instructions, or intention queries) and read results from the
-returned :class:`PendingRecommendation`.  Two flush disciplines drain the
-queue through the micro-batcher into the batched trie-constrained beam
-search:
+:class:`RecommendationService` is the deployment-shaped entry point to any
+generative recommender wrapped in a :class:`repro.serving.GenerativeEngine`
+(LC-Rec, TIGER, P5-CID, or your own adapter): callers ``submit``
+recommendation requests (histories, free-form instructions, or intention
+queries — whichever the engine can encode) and read results from the
+returned :class:`PendingRecommendation`.  Three flush disciplines drain
+the queue through the micro-batcher into the engine's batched
+trie-constrained decode:
 
 * **Synchronous** — the caller invokes :meth:`RecommendationService.flush`
   (or lets ``result()`` trigger it).  Zero threads, deterministic batching;
@@ -15,24 +17,21 @@ search:
   that decodes as soon as a full micro-batch is waiting *or* the oldest
   request exceeds the ``deadline_ms`` latency budget, whichever comes
   first.  Callers block in ``PendingRecommendation.result(timeout=...)``;
-  :meth:`stop` drains in-flight work and joins the thread.  This is
-  deadline-based batching: under load, batches fill and flush at
-  ``max_batch_size``; at low traffic, no request ever waits more than one
-  latency budget.
-* **Asynchronous, continuous** (``mode="continuous"``) — the background
-  thread instead drives a :class:`ContinuousScheduler`: requests are
-  admitted into the in-flight decode at trie-level boundaries (no closed
-  batches, no deadline wait) and delivered the moment their own rows
-  finish, rather than at batch end.  Under load this trades the
-  deadline-flush queueing delay for at most one trie level of admission
-  latency; ``benchmarks/bench_continuous_batching.py`` measures the p50/
-  p95 gap under Poisson arrivals.
+  :meth:`stop` drains in-flight work and joins the thread.
+* **Asynchronous, continuous** (``mode="continuous"``, engines with
+  ``supports_continuous`` only) — the background thread instead drives a
+  :class:`ContinuousScheduler`: requests are admitted into the in-flight
+  decode at trie-level boundaries (no closed batches, no deadline wait)
+  and delivered the moment their own rows finish.  Under load this trades
+  the deadline-flush queueing delay for at most one trie level of
+  admission latency; ``benchmarks/bench_continuous_batching.py`` measures
+  the p50/p95 gap under Poisson arrivals.
 
-Results are identical to calling ``LCRec.recommend`` per request in every
-mode — batching, deadlines, and continuous admission change the cost,
-never the math.  A shared :class:`repro.llm.PrefixKVCache` (on by default)
-additionally skips re-running prompt prefixes the service has decoded
-before; see ``docs/serving.md`` for tuning and invalidation.
+Results are identical to the engine's single-request oracle in every mode
+— batching, deadlines, and continuous admission change the cost, never the
+math.  Engines with ``supports_prefix_cache`` additionally skip re-running
+prompt prefixes they have decoded before; see ``docs/serving.md`` for
+tuning and invalidation.
 
 Thread safety: ``submit*`` may be called from any number of threads in
 any mode, and ``flush`` may race the background loop (decoding is
@@ -45,18 +44,19 @@ callers); handles are safe to share between threads.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import Callable, Sequence
 
-from ..llm import PrefixKVCache, beam_search_items_batched, ranked_item_ids
+from ..llm import PrefixKVCache
 from .batcher import MicroBatcher, MicroBatcherConfig, padding_fraction
 from .continuous import ContinuousScheduler
+from .engine import GenerativeEngine
 from .queue import RecommendRequest, RequestQueue
 
-if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle at runtime
-    from ..core.lcrec import LCRec
-
 __all__ = ["PendingRecommendation", "ServingStats", "RecommendationService"]
+
+_UNSET = object()  # distinguishes "not passed" from an explicit prefix_cache
 
 
 class PendingRecommendation:
@@ -122,8 +122,8 @@ class ServingStats:
     decode rather than starting a fresh one.
 
     ``padding_fraction_sum`` accumulates per-batch padding fractions over
-    the *effective* (post-prefix-cache) prompt lengths when the cache is
-    active — the columns the decode actually forwards — so the mean
+    the engine's *effective* lengths (post-prefix-cache, for engines with
+    a cache) — the columns the decode actually forwards — so the mean
     reflects real decode cost, not raw prompt shapes.
     """
 
@@ -145,26 +145,34 @@ class ServingStats:
 
 
 class RecommendationService:
-    """Micro-batched recommendation serving over a built :class:`LCRec`.
+    """Micro-batched recommendation serving over a :class:`GenerativeEngine`.
 
     Synchronous use (explicit flush)::
 
-        service = RecommendationService(model)
+        service = RecommendationService(LCRecEngine(model))
         pending = [service.submit(h) for h in histories]
         service.flush()
         rankings = [p.result() for p in pending]
 
     Asynchronous use (deadline-batched background flushing)::
 
-        with RecommendationService(model, deadline_ms=25.0) as service:
+        with RecommendationService(LCRecEngine(model), deadline_ms=25.0) as service:
             pending = [service.submit(h) for h in histories]   # any thread
             rankings = [p.result(timeout=5.0) for p in pending]
         # __exit__ -> stop(): drains in-flight work, joins the thread
 
+    The service holds no model-specific code: request encoding, beam
+    policy, the decode itself, and ranking post-processing all live behind
+    the engine protocol, so TIGER and P5-CID (and any future backend)
+    serve through the exact same queue/batcher/scheduler machinery.
+
     Parameters
     ----------
-    model:
-        A built :class:`LCRec`.
+    engine:
+        A :class:`GenerativeEngine` adapter (``LCRecEngine(model)``,
+        ``TIGEREngine(model)``, ``P5CIDEngine(model)``, ...).  Passing a
+        built ``LCRec`` model directly is deprecated but still works: it
+        is wrapped in an ``LCRecEngine`` with a warning.
     batcher:
         Micro-batching policy; see :class:`MicroBatcherConfig`.
     deadline_ms:
@@ -176,44 +184,60 @@ class RecommendationService:
         closed deadline-batched flushes; ``"continuous"`` admits queued
         requests into the in-flight decode at trie-level boundaries and
         retires finished requests early, with ``max_batch_size`` acting as
-        the cap on the joined batch width.  Synchronous ``flush()`` and
+        the cap on the joined batch width.  Continuous mode requires an
+        engine with ``supports_continuous``.  Synchronous ``flush()`` and
         rankings are identical in both modes.
     prefix_cache:
-        ``True`` (default) builds a :class:`repro.llm.PrefixKVCache` so
-        prompt prefixes shared across requests (template heads, growing
-        session histories, repeated queries) are decoded once.  Pass a
-        preconfigured cache to share or size it, or ``False``/``None`` to
-        disable — rankings are identical either way.
+        Optional override forwarded to ``engine.set_prefix_cache`` —
+        ``True`` builds a fresh :class:`repro.llm.PrefixKVCache`, a cache
+        instance shares/sizes one, ``False``/``None`` disables.  Left
+        unset, the engine keeps whatever cache it was constructed with.
+        Rankings are identical either way.
 
     Thread safety: see the module docstring.  The decode path itself is
     serialized on one internal lock, so a concurrent ``flush()`` and
-    background loop never interleave inside the model.
+    background loop never interleave inside the engine.
     """
 
     def __init__(
         self,
-        model: "LCRec",
+        engine: GenerativeEngine,
         batcher: MicroBatcherConfig | None = None,
         deadline_ms: float = 25.0,
         mode: str = "deadline",
-        prefix_cache: PrefixKVCache | bool | None = True,
+        prefix_cache: PrefixKVCache | bool | None = _UNSET,
     ):
-        model._require_built()
+        if not isinstance(engine, GenerativeEngine):
+            # Deprecation shim: the pre-engine constructor took a built
+            # LCRec model.  Import lazily to keep serving importable
+            # without repro.core.
+            from .engine import LCRecEngine
+
+            warnings.warn(
+                "RecommendationService(model) is deprecated; pass an engine adapter "
+                "instead, e.g. RecommendationService(LCRecEngine(model)) or "
+                "model.service(...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            engine = LCRecEngine(engine, prefix_cache=True if prefix_cache is _UNSET else prefix_cache)
+        elif prefix_cache is not _UNSET:
+            engine.set_prefix_cache(prefix_cache)
         if deadline_ms <= 0:
             raise ValueError("deadline_ms must be positive")
         if mode not in ("deadline", "continuous"):
             raise ValueError(f"mode must be 'deadline' or 'continuous', got {mode!r}")
-        self.model = model
+        if mode == "continuous" and not engine.supports_continuous:
+            raise ValueError(
+                f"engine {engine.name!r} does not support continuous batching; "
+                "use mode='deadline'"
+            )
+        self.engine = engine
         self.batcher = MicroBatcher(batcher)
         self.queue = RequestQueue()
         self.stats = ServingStats()
         self.deadline_ms = float(deadline_ms)
         self.mode = mode
-        if prefix_cache is True:
-            prefix_cache = PrefixKVCache()
-        elif prefix_cache is False:
-            prefix_cache = None
-        self.prefix_cache = prefix_cache
         self._pending: dict[int, PendingRecommendation] = {}
         self._pending_lock = threading.Lock()
         self._decode_lock = threading.Lock()
@@ -221,6 +245,11 @@ class RecommendationService:
         self._stop = threading.Event()
         self._drain_on_stop = True
         self._worker: threading.Thread | None = None
+
+    @property
+    def prefix_cache(self) -> PrefixKVCache | None:
+        """The engine's cross-request prompt prefix cache, if any."""
+        return self.engine.prefix_cache
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -242,7 +271,7 @@ class RecommendationService:
                 raise RuntimeError("service is already running")
             self._stop.clear()
             target = self._continuous_loop if self.mode == "continuous" else self._flush_loop
-            self._worker = threading.Thread(target=target, name="lcrec-serving-flush", daemon=True)
+            self._worker = threading.Thread(target=target, name="serving-flush", daemon=True)
             self._worker.start()
         return self
 
@@ -292,16 +321,14 @@ class RecommendationService:
         """Continuous batching: the background thread's main loop.
 
         Each iteration is one trie-level boundary: admit whatever queued
-        requests fit the in-flight decode (width cap, beam compatibility),
-        advance every row one level, and deliver the rows that finished.
-        When idle it parks on the queue — no deadline wait: the first
-        request is admitted immediately and later ones join it mid-decode.
+        requests fit the in-flight decode (width cap, engine join
+        constraints), advance every row one level, and deliver the rows
+        that finished.  When idle it parks on the queue — no deadline
+        wait: the first request is admitted immediately and later ones
+        join it mid-decode.
         """
         scheduler = ContinuousScheduler(
-            self.model.lm,
-            self.model.trie,
-            max_width=self.batcher.config.max_batch_size,
-            prefix_cache=self.prefix_cache,
+            self.engine, max_width=self.batcher.config.max_batch_size
         )
         while not self._stop.is_set():
             if scheduler.idle and not self.queue.await_request(self._stop.is_set):
@@ -315,9 +342,12 @@ class RecommendationService:
 
     def _drive_scheduler(self, scheduler: ContinuousScheduler, admit: bool = True) -> None:
         """One level boundary: admit compatible queued work, step, deliver."""
+        ready: list[tuple[PendingRecommendation, list[int]]] = []
         with self._decode_lock:
             if admit:
-                requests = self.queue.pop_front(scheduler.free_width, scheduler.compatible)
+                requests = self.queue.pop_front(
+                    scheduler.free_width, scheduler.admission_predicate()
+                )
                 if requests:
                     joining = not scheduler.idle
                     # Probe effective lengths before admit(): prefill files
@@ -340,17 +370,26 @@ class RecommendationService:
             try:
                 delivered = scheduler.step()
             except Exception as exc:
-                # A broken step takes down every in-flight row (their K/V
-                # state is unrecoverable); fail those handles and keep the
-                # loop alive for the requests still queued.
+                # A broken step takes down every in-flight row (their
+                # decode state is unrecoverable); fail those handles and
+                # keep the loop alive for the requests still queued.
                 self._fail_requests(scheduler.abort(), exc)
                 return
             self.stats.requests += len(delivered)
-        for request, hypotheses in delivered:
-            with self._pending_lock:
-                handle = self._pending.pop(request.request_id, None)
-            if handle is not None:
-                handle._deliver(ranked_item_ids(hypotheses, request.top_k))
+            for request, hypotheses in delivered:
+                with self._pending_lock:
+                    handle = self._pending.pop(request.request_id, None)
+                if handle is not None:
+                    # finalize may re-decode (widen-and-backfill engines),
+                    # so it runs under the decode lock with delivery after.
+                    # A failing finalize must fail only its own handle, not
+                    # take down the loop (and with it every later request).
+                    try:
+                        ready.append((handle, self.engine.finalize([request], [hypotheses])[0]))
+                    except Exception as exc:
+                        handle._fail(exc)
+        for handle, ranking in ready:
+            handle._deliver(ranking)
 
     def _fail_requests(self, requests: list[RecommendRequest], error: Exception) -> None:
         for request in requests:
@@ -366,23 +405,24 @@ class RecommendationService:
         self, history: Sequence[int], top_k: int = 10, template_id: int = 0
     ) -> PendingRecommendation:
         """Queue a next-item recommendation for an interaction history."""
-        instruction = self.model.seq_instruction(list(history), template_id)
-        return self.submit_instruction(instruction, top_k=top_k)
+        return self._submit_prompt(self.engine.encode_history(list(history), template_id), top_k)
 
     def submit_intention(self, intention_text: str, top_k: int = 10) -> PendingRecommendation:
-        """Queue an intention-query retrieval (paper Fig. 3 task)."""
-        instruction = self.model.intention_instruction(intention_text)
-        return self.submit_instruction(instruction, top_k=top_k)
+        """Queue an intention-query retrieval (engines that encode intentions)."""
+        return self._submit_prompt(self.engine.encode_intention(intention_text), top_k)
 
     def submit_instruction(self, instruction: str, top_k: int = 10) -> PendingRecommendation:
-        """Queue an arbitrary already-rendered instruction."""
+        """Queue an already-rendered instruction (engines that encode text)."""
+        return self._submit_prompt(self.engine.encode_instruction(instruction), top_k)
+
+    def _submit_prompt(self, prompt_ids: list[int], top_k: int) -> PendingRecommendation:
         request = RecommendRequest(
-            prompt_ids=self.model.encode_instruction(instruction),
+            prompt_ids=prompt_ids,
             top_k=top_k,
             # The effective beam width is fixed per request at submit time
             # (never widened by co-batched requests) so results match the
             # per-request path regardless of batch composition.
-            beam_size=max(self.model.config.beam_size, top_k),
+            beam_size=self.engine.request_beam_size(top_k),
         )
         handle = PendingRecommendation(self, request.request_id)
         # Register before push: with the background loop running, the
@@ -401,24 +441,22 @@ class RecommendationService:
         self._decode_requests(requests)
         return len(requests)
 
-    def _effective_len(self) -> "Callable[[RecommendRequest], int] | None":
-        """Post-cache length prober for batch planning, memoized per request.
+    def _effective_len(self) -> "Callable[[RecommendRequest], int]":
+        """The engine's decode-cost model, memoized per request.
 
-        With the prefix cache on, a request's real prompt-forward cost is
-        its prompt length minus the cached prefix the decode will skip;
-        bucketing on that keeps near-full hits (1-token suffixes) out of
-        batches whose misses would dictate the padded width.
+        Memoization matters for prefix-cache engines: a request's real
+        prompt-forward cost must be probed *before* the decode files its
+        prompt into the cache (after which it would probe as a full hit),
+        and the padding stats must see the same numbers the batcher
+        bucketed on.
         """
-        if self.prefix_cache is None:
-            return None
-        cache = self.prefix_cache
+        engine = self.engine
         memo: dict[int, int] = {}
 
         def effective(request: RecommendRequest) -> int:
             length = memo.get(request.request_id)
             if length is None:
-                cached = cache.probe(request.prompt_ids, max_len=request.prompt_len - 1)
-                length = request.prompt_len - cached
+                length = engine.effective_len(request)
                 memo[request.request_id] = length
             return length
 
@@ -449,26 +487,21 @@ class RecommendationService:
     def _decode_batch(
         self,
         batch: list[RecommendRequest],
-        effective_len: "Callable[[RecommendRequest], int] | None" = None,
+        effective_len: "Callable[[RecommendRequest], int]",
     ) -> None:
-        all_hypotheses = beam_search_items_batched(
-            self.model.lm,
-            [request.prompt_ids for request in batch],
-            self.model.trie,
-            beam_size=batch[0].beam_size,  # the batcher keeps beams uniform
-            prefix_cache=self.prefix_cache,
-        )
-        for request, hypotheses in zip(batch, all_hypotheses):
+        all_hypotheses = self.engine.decode(batch)
+        rankings = self.engine.finalize(batch, all_hypotheses)
+        for request, ranking in zip(batch, rankings):
             with self._pending_lock:
                 handle = self._pending.pop(request.request_id, None)
             if handle is not None:
-                handle._deliver(ranked_item_ids(hypotheses, request.top_k))
+                handle._deliver(ranking)
         self.stats.requests += len(batch)
         self.stats.batches += 1
-        # Post-cache effective lengths (memoized at plan time, so this sees
-        # the same probe the batcher bucketed on): rows served from the
-        # prefix cache forward only their unseen suffix, and the padding
-        # stat must reflect that real decode width, not raw prompt shapes.
+        # Effective lengths (memoized at plan time, so this sees the same
+        # probe the batcher bucketed on): rows served from a prefix cache
+        # forward only their unseen suffix, and the padding stat must
+        # reflect that real decode width, not raw prompt shapes.
         self.stats.padding_fraction_sum += padding_fraction(batch, effective_len)
 
     # ------------------------------------------------------------------

@@ -173,6 +173,25 @@ class KVCache:
         self.keys = self._buf_keys[:, :, :used]
         self.values = self._buf_values[:, :, :used]
 
+    def take_columns(self, keep: np.ndarray) -> None:
+        """Keep only the given key *columns* (in order), drop the rest.
+
+        ``keep`` indexes the used columns.  Continuous batching uses this
+        to trim prompt columns that became all-pad once their last real row
+        retired: dropped columns were masked out of attention for every
+        remaining row, so removing them changes no output while shrinking
+        every later forward's key width.  The gathered buffers keep no
+        spare capacity; a later ``append`` reallocates (prompt regions
+        never append after prefill, so this costs nothing in practice).
+        """
+        if self.keys is None:
+            return
+        keep = np.asarray(keep, dtype=np.int64)
+        self._buf_keys = np.ascontiguousarray(self.keys[:, :, keep, :])
+        self._buf_values = np.ascontiguousarray(self.values[:, :, keep, :])
+        self.keys = self._buf_keys
+        self.values = self._buf_values
+
     def join(
         self, other: "KVCache", pad_self: int = 0, pad_other: int = 0, other_rows: int = 0
     ) -> None:

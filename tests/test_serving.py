@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.serving import (
+    LCRecEngine,
     MicroBatcherConfig,
     RecommendationService,
     RecommendRequest,
@@ -112,7 +113,7 @@ class TestRecommendationService:
     @pytest.fixture()
     def service(self, tiny_lcrec):
         return RecommendationService(
-            tiny_lcrec, batcher=MicroBatcherConfig(max_batch_size=4))
+            LCRecEngine(tiny_lcrec), batcher=MicroBatcherConfig(max_batch_size=4))
 
     def test_recommend_many_matches_per_request(self, service, tiny_lcrec,
                                                 tiny_dataset):
@@ -167,7 +168,7 @@ class TestRecommendationService:
         """A cached row forwards only its unseen suffix; the padding stat
         must be computed over those effective widths, not raw prompts."""
         service = RecommendationService(
-            tiny_lcrec,
+            LCRecEngine(tiny_lcrec),
             batcher=MicroBatcherConfig(max_batch_size=4, bucket_width=10_000))
         history = list(tiny_dataset.split.test_histories[0])
         grown = history + [tiny_dataset.split.test_targets[0]]
@@ -203,7 +204,7 @@ class TestRecommendationService:
         from repro.core import LCRec
 
         with pytest.raises(RuntimeError):
-            RecommendationService(LCRec(tiny_dataset, small_lcrec_config()))
+            LCRecEngine(LCRec(tiny_dataset, small_lcrec_config()))
 
 
 class TestLCRecBatchedPaths:

@@ -6,6 +6,7 @@ import time
 import pytest
 
 from repro.serving import (
+    LCRecEngine,
     MicroBatcherConfig,
     RecommendationService,
     RecommendRequest,
@@ -88,7 +89,7 @@ class TestAsyncService:
     @pytest.fixture()
     def service(self, tiny_lcrec):
         service = RecommendationService(
-            tiny_lcrec,
+            LCRecEngine(tiny_lcrec),
             batcher=MicroBatcherConfig(max_batch_size=4),
             deadline_ms=40.0,
         )
@@ -106,7 +107,7 @@ class TestAsyncService:
 
     def test_full_batch_flushes_before_deadline(self, tiny_lcrec, tiny_dataset):
         service = RecommendationService(
-            tiny_lcrec,
+            LCRecEngine(tiny_lcrec),
             batcher=MicroBatcherConfig(max_batch_size=4),
             deadline_ms=60_000.0,  # the deadline alone would take a minute
         )
@@ -129,7 +130,7 @@ class TestAsyncService:
 
     def test_stop_without_drain_leaves_queue(self, tiny_lcrec, tiny_dataset):
         service = RecommendationService(
-            tiny_lcrec,
+            LCRecEngine(tiny_lcrec),
             batcher=MicroBatcherConfig(max_batch_size=64),
             deadline_ms=60_000.0,
         )
@@ -169,7 +170,7 @@ class TestAsyncService:
 
     def test_result_timeout_raises(self, tiny_lcrec, tiny_dataset):
         service = RecommendationService(
-            tiny_lcrec,
+            LCRecEngine(tiny_lcrec),
             batcher=MicroBatcherConfig(max_batch_size=64),
             deadline_ms=60_000.0,
         )
@@ -241,18 +242,17 @@ class TestAsyncService:
 
     def test_validation(self, tiny_lcrec):
         with pytest.raises(ValueError):
-            RecommendationService(tiny_lcrec, deadline_ms=0.0)
+            RecommendationService(LCRecEngine(tiny_lcrec), deadline_ms=0.0)
 
     def test_failing_batch_does_not_strand_other_batches(
         self, tiny_lcrec, tiny_dataset, monkeypatch
     ):
         """One broken micro-batch fails its own waiters; the rest are served."""
-        from repro.serving import service as service_module
-
         service = RecommendationService(
-            tiny_lcrec, batcher=MicroBatcherConfig(max_batch_size=1), prefix_cache=False
+            LCRecEngine(tiny_lcrec, prefix_cache=False),
+            batcher=MicroBatcherConfig(max_batch_size=1),
         )
-        real_decode = service_module.beam_search_items_batched
+        real_decode = service.engine.decode
         calls = {"count": 0}
 
         def flaky(*args, **kwargs):
@@ -261,7 +261,7 @@ class TestAsyncService:
                 raise RuntimeError("decode blew up")
             return real_decode(*args, **kwargs)
 
-        monkeypatch.setattr(service_module, "beam_search_items_batched", flaky)
+        monkeypatch.setattr(service.engine, "decode", flaky)
         pending = [service.submit(h, top_k=3) for h in tiny_dataset.split.test_histories[:2]]
         with pytest.raises(RuntimeError, match="decode blew up"):
             service.flush()

@@ -28,10 +28,12 @@ from repro.llm import (
 from repro.quantization import IndexTrie
 from repro.serving import (
     ContinuousScheduler,
+    LCRecEngine,
     MicroBatcherConfig,
     RecommendationService,
     RecommendRequest,
     RequestQueue,
+    TrieDecoderEngine,
 )
 
 
@@ -41,6 +43,11 @@ def make_model(vocab=30, num_layers=2):
                                seed=7))
     model.eval()
     return model
+
+
+def make_scheduler(model, trie, max_width=8):
+    return ContinuousScheduler(TrieDecoderEngine(model, trie),
+                               max_width=max_width)
 
 
 def make_trie():
@@ -193,6 +200,61 @@ class TestStepperParity:
             assert [h.item_id for h in hyps] == [h.item_id for h in expected]
 
 
+class TestRetirementTrimming:
+    def test_retirement_trims_all_pad_prompt_columns(self):
+        """Retiring the only long-prompt row shrinks the KV/attention width.
+
+        After the long row leaves, the columns that were real tokens only
+        for it are all-pad for every survivor — decode_retire trims them,
+        so later forwards pay attention width for live prompts only, and
+        the survivor's rankings stay identical to decoding it alone.
+        """
+        model, trie = make_model(), make_trie()
+        long_p, short_p = [1, 2, 3, 4, 5, 6, 7, 8], [9, 9]
+        reference = beam_search_items_batched(model, [short_p], trie,
+                                              beam_size=5)[0]
+        state = decode_prefill(model, [long_p], trie, beam_size=5,
+                               tags=["long"])
+        decode_step(state)
+        decode_join(state, decode_prefill(model, [short_p], trie, beam_size=5,
+                                          tags=["short"]))
+        assert state.caches[0].prompt.length == len(long_p)
+        decode_step(state)  # the long row reaches the final level
+        assert state.finished_rows() == [0]
+        decode_retire(state, [0])
+        # The 6 columns only the retired row used are gone on every layer.
+        assert all(c.prompt.length == len(short_p) for c in state.caches)
+        assert state.prompt_pads.shape[1] == len(short_p)
+        assert not state.prompt_pads.any()
+        results, _ = run_to_completion(state)
+        hyps = results["short"]
+        assert [h.item_id for h in hyps] == [h.item_id for h in reference]
+        assert [h.token_ids for h in hyps] == [h.token_ids for h in reference]
+        np.testing.assert_allclose([h.score for h in hyps],
+                                   [h.score for h in reference],
+                                   rtol=1e-5, atol=1e-6)
+
+    def test_scheduler_parity_survives_trimming(self):
+        """Staggered mixed-length admissions still match decode-alone."""
+        model, trie = make_model(), make_trie()
+        prompts = [[1, 2, 3, 4, 5, 6, 7], [2, 4], [5, 5, 5, 5, 5], [6]]
+        reference = {
+            tuple(p): beam_search_items_batched(model, [p], trie, beam_size=5)[0]
+            for p in prompts
+        }
+        scheduler = make_scheduler(model, trie, max_width=4)
+        delivered = []
+        for prompt in prompts:
+            scheduler.admit([request(prompt)])
+            delivered.extend(scheduler.step())
+        while not scheduler.idle:
+            delivered.extend(scheduler.step())
+        assert len(delivered) == len(prompts)
+        for req, hyps in delivered:
+            expected = reference[tuple(req.prompt_ids)]
+            assert [h.item_id for h in hyps] == [h.item_id for h in expected]
+
+
 class TestJoinValidation:
     def test_beam_width_mismatch_rejected(self):
         model, trie = make_model(), make_trie()
@@ -254,7 +316,7 @@ class TestContinuousScheduler:
             tuple(p): beam_search_items_batched(model, [p], trie, beam_size=5)[0]
             for p in LIVE_PROMPTS + LATE_PROMPTS
         }
-        scheduler = ContinuousScheduler(model, trie, max_width=8)
+        scheduler = make_scheduler(model, trie, max_width=8)
         early = [request(p) for p in LIVE_PROMPTS]
         late = [request(p) for p in LATE_PROMPTS]
         scheduler.admit(early)
@@ -273,7 +335,7 @@ class TestContinuousScheduler:
 
     def test_width_cap_enforced(self):
         model, trie = make_model(), make_trie()
-        scheduler = ContinuousScheduler(model, trie, max_width=2)
+        scheduler = make_scheduler(model, trie, max_width=2)
         scheduler.admit([request(p) for p in LIVE_PROMPTS])
         assert scheduler.free_width == 0
         with pytest.raises(ValueError, match="free width"):
@@ -281,7 +343,7 @@ class TestContinuousScheduler:
 
     def test_beam_compatibility_gate(self):
         model, trie = make_model(), make_trie()
-        scheduler = ContinuousScheduler(model, trie, max_width=8)
+        scheduler = make_scheduler(model, trie, max_width=8)
         scheduler.admit([request([1, 2], beam_size=5)])
         assert not scheduler.compatible(request([3], beam_size=2))
         # Same *effective* width is compatible even if raw sizes differ:
@@ -295,7 +357,7 @@ class TestContinuousScheduler:
         """A width-1 in-flight decode rejects joiners; they drain-then-run."""
         model = make_model()
         trie = IndexTrie({0: (10, 12, 14)})
-        scheduler = ContinuousScheduler(model, trie, max_width=8)
+        scheduler = make_scheduler(model, trie, max_width=8)
         first, second = request([1, 2], beam_size=5), request([3], beam_size=5)
         scheduler.admit([first])
         assert not scheduler.compatible(second)
@@ -314,7 +376,7 @@ class TestContinuousScheduler:
 
     def test_abort_reports_in_flight_requests(self):
         model, trie = make_model(), make_trie()
-        scheduler = ContinuousScheduler(model, trie, max_width=8)
+        scheduler = make_scheduler(model, trie, max_width=8)
         reqs = [request(p) for p in LIVE_PROMPTS]
         scheduler.admit(reqs)
         aborted = scheduler.abort()
@@ -378,7 +440,7 @@ class TestContinuousService:
     @pytest.fixture()
     def service(self, tiny_lcrec):
         service = RecommendationService(
-            tiny_lcrec,
+            LCRecEngine(tiny_lcrec),
             batcher=MicroBatcherConfig(max_batch_size=4),
             mode="continuous",
         )
@@ -387,7 +449,7 @@ class TestContinuousService:
 
     def test_mode_validated(self, tiny_lcrec):
         with pytest.raises(ValueError, match="mode"):
-            RecommendationService(tiny_lcrec, mode="sometimes")
+            RecommendationService(LCRecEngine(tiny_lcrec), mode="sometimes")
 
     def test_results_match_sync_recommend(self, service, tiny_lcrec,
                                           tiny_dataset):
@@ -435,8 +497,8 @@ class TestContinuousService:
     def test_stop_without_drain_leaves_queue_served_synchronously(
             self, tiny_lcrec, tiny_dataset):
         service = RecommendationService(
-            tiny_lcrec, batcher=MicroBatcherConfig(max_batch_size=4),
-            mode="continuous")
+            LCRecEngine(tiny_lcrec),
+            batcher=MicroBatcherConfig(max_batch_size=4), mode="continuous")
         # Not started: nothing consumes the queue until stop/flush.
         pending = service.submit(tiny_dataset.split.test_histories[0], top_k=3)
         service.start()
@@ -456,13 +518,11 @@ class TestContinuousService:
     def test_failing_decode_fails_handles_but_not_loop(self, tiny_lcrec,
                                                        tiny_dataset,
                                                        monkeypatch):
-        from repro.serving import continuous as continuous_module
-
         service = RecommendationService(
-            tiny_lcrec, batcher=MicroBatcherConfig(max_batch_size=4),
-            mode="continuous", prefix_cache=False)
+            LCRecEngine(tiny_lcrec, prefix_cache=False),
+            batcher=MicroBatcherConfig(max_batch_size=4), mode="continuous")
         calls = {"count": 0}
-        real_prefill = continuous_module.decode_prefill
+        real_prefill = service.engine.prefill
 
         def flaky(*args, **kwargs):
             calls["count"] += 1
@@ -470,7 +530,7 @@ class TestContinuousService:
                 raise RuntimeError("decode blew up")
             return real_prefill(*args, **kwargs)
 
-        monkeypatch.setattr(continuous_module, "decode_prefill", flaky)
+        monkeypatch.setattr(service.engine, "prefill", flaky)
         service.start()
         first = service.submit(tiny_dataset.split.test_histories[0], top_k=3)
         with pytest.raises(RuntimeError, match="decode blew up"):
@@ -485,13 +545,11 @@ class TestContinuousService:
                                                          monkeypatch):
         """A prefill failure fails only the incoming requests: the live
         decode's K/V is untouched and its requests still deliver."""
-        from repro.serving import continuous as continuous_module
-
         service = RecommendationService(
-            tiny_lcrec, batcher=MicroBatcherConfig(max_batch_size=4),
-            mode="continuous", prefix_cache=False)
+            LCRecEngine(tiny_lcrec, prefix_cache=False),
+            batcher=MicroBatcherConfig(max_batch_size=4), mode="continuous")
         calls = {"count": 0}
-        real_prefill = continuous_module.decode_prefill
+        real_prefill = service.engine.prefill
 
         def flaky(*args, **kwargs):
             calls["count"] += 1
@@ -499,7 +557,7 @@ class TestContinuousService:
                 raise RuntimeError("admission blew up")
             return real_prefill(*args, **kwargs)
 
-        monkeypatch.setattr(continuous_module, "decode_prefill", flaky)
+        monkeypatch.setattr(service.engine, "prefill", flaky)
         service.start()
         first = service.submit(tiny_dataset.split.test_histories[0], top_k=3)
         while calls["count"] == 0:  # first request is admitted and live

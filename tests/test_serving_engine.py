@@ -1,0 +1,304 @@
+"""The GenerativeEngine boundary: protocol, adapters, and backend parity.
+
+Acceptance contracts pinned here:
+
+* the service is model-agnostic — LC-Rec, TIGER and P5-CID all serve
+  through the same ``RecommendationService`` via their adapters;
+* LCRec rankings through ``LCRecEngine`` are identical to the
+  single-request oracle in every mode (deadline and continuous) with the
+  prefix cache on and off;
+* TIGER rankings through ``TIGEREngine`` are identical to the
+  ``TIGER.recommend`` single loop for B ∈ {1, 4, 16}, including the
+  widen-to-catalog retry, top-k backfill, and single-item tries;
+* the deprecated ``RecommendationService(model)`` constructor still works,
+  with a warning.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import P5CID, P5CIDConfig, TIGER, TIGERConfig
+from repro.core.indexer import build_random_index_set
+from repro.llm import DecodeState, beam_search_items_single, ranked_item_ids
+from repro.serving import (
+    EngineState,
+    GenerativeEngine,
+    LCRecEngine,
+    MicroBatcherConfig,
+    P5CIDEngine,
+    PrefixKVCache,
+    RecommendationService,
+    RecommendRequest,
+    TIGEREngine,
+)
+
+
+def lcrec_oracle(model, histories, top_k):
+    """Per-request reference rankings via the single-request beam search."""
+    beam = max(model.config.beam_size, top_k)
+    rankings = []
+    for history in histories:
+        prompt = model.encode_instruction(model.seq_instruction(list(history)))
+        hypotheses = beam_search_items_single(model.lm, prompt, model.trie, beam_size=beam)
+        rankings.append(ranked_item_ids(hypotheses, top_k))
+    return rankings
+
+
+class TestEngineProtocol:
+    def test_capability_flags(self, tiny_lcrec):
+        engine = LCRecEngine(tiny_lcrec)
+        assert isinstance(engine, GenerativeEngine)
+        assert engine.supports_continuous
+        assert engine.supports_prefix_cache
+        assert engine.num_levels == tiny_lcrec.trie.num_levels
+        assert engine.num_items == tiny_lcrec.trie.num_items
+        assert engine.request_beam_size(3) == tiny_lcrec.config.beam_size
+        assert engine.request_beam_size(99) == 99
+
+    def test_decode_state_satisfies_engine_state(self, tiny_lcrec, tiny_dataset):
+        engine = LCRecEngine(tiny_lcrec, prefix_cache=False)
+        prompt = engine.encode_history(list(tiny_dataset.split.test_histories[0]))
+        request = RecommendRequest(prompt_ids=prompt, top_k=3, beam_size=5)
+        state = engine.prefill([request])
+        assert isinstance(state, DecodeState)
+        assert isinstance(state, EngineState)
+        assert state.num_rows == 1
+        assert state.tags == [request]
+        assert not state.done
+
+    def test_prefix_cache_override_through_service(self, tiny_lcrec):
+        service = RecommendationService(LCRecEngine(tiny_lcrec), prefix_cache=False)
+        assert service.prefix_cache is None
+        service = RecommendationService(LCRecEngine(tiny_lcrec, prefix_cache=False))
+        assert service.prefix_cache is None
+        service = RecommendationService(LCRecEngine(tiny_lcrec))
+        assert service.prefix_cache is not None
+
+    def test_unsupported_prefix_cache_rejected(self, tiny_dataset):
+        index_set = build_random_index_set(tiny_dataset.num_items, 3, 8,
+                                           np.random.default_rng(0))
+        engine = TIGEREngine(TIGER(index_set, TIGERConfig(epochs=1, dim=16)))
+        assert not engine.supports_prefix_cache
+        with pytest.raises(NotImplementedError):
+            engine.set_prefix_cache(True)
+        # An *empty* cache instance is falsy (PrefixKVCache has __len__)
+        # but still asks for caching: it must be rejected, not silently
+        # dropped.
+        with pytest.raises(NotImplementedError):
+            engine.set_prefix_cache(PrefixKVCache())
+        engine.set_prefix_cache(False)  # disabling is always fine
+        engine.set_prefix_cache(None)
+        assert engine.prefix_cache is None
+
+    def test_rebuilt_model_refreshes_cached_inference_engine(
+            self, tiny_lcrec, tiny_dataset):
+        """Swapping lm/trie (what a re-build does) must not serve stale
+        weights through the lazily cached oracle engine."""
+        import copy
+
+        history = list(tiny_dataset.split.test_histories[0])
+        tiny_lcrec.recommend(history, top_k=3)
+        stale = tiny_lcrec._inference_engine
+        original_lm = tiny_lcrec.lm
+        try:
+            tiny_lcrec.lm = copy.copy(original_lm)
+            tiny_lcrec.recommend(history, top_k=3)
+            assert tiny_lcrec._inference_engine is not stale
+            assert tiny_lcrec._inference_engine.lm is tiny_lcrec.lm
+        finally:
+            tiny_lcrec.lm = original_lm
+
+    def test_failing_finalize_fails_handle_but_not_continuous_loop(
+            self, tiny_lcrec, tiny_dataset):
+        """A finalize error (widen-and-backfill engines re-decode there)
+        must fail only its own request, never kill the background loop."""
+
+        class PoisonedFinalize(LCRecEngine):
+            def finalize(self, requests, all_hypotheses):
+                if any(request.top_k == 7 for request in requests):
+                    raise RuntimeError("finalize boom")
+                return super().finalize(requests, all_hypotheses)
+
+        histories = [list(h) for h in tiny_dataset.split.test_histories[:4]]
+        with RecommendationService(
+                PoisonedFinalize(tiny_lcrec, prefix_cache=False),
+                batcher=MicroBatcherConfig(max_batch_size=4),
+                mode="continuous") as service:
+            bad = service.submit(histories[0], top_k=7)
+            with pytest.raises(RuntimeError, match="finalize boom"):
+                bad.result(timeout=30.0)
+            # The loop is still alive and serving.
+            good = [service.submit(h, top_k=5) for h in histories[1:]]
+            results = [p.result(timeout=30.0) for p in good]
+        assert results == lcrec_oracle(tiny_lcrec, histories[1:], 5)
+
+    def test_deprecated_model_constructor_warns_and_works(self, tiny_lcrec,
+                                                          tiny_dataset):
+        histories = [list(h) for h in tiny_dataset.split.test_histories[:4]]
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            service = RecommendationService(
+                tiny_lcrec, batcher=MicroBatcherConfig(max_batch_size=4))
+        assert isinstance(service.engine, LCRecEngine)
+        assert service.prefix_cache is not None  # legacy default: cache on
+        assert service.recommend_many(histories, top_k=5) == lcrec_oracle(
+            tiny_lcrec, histories, 5)
+
+
+class TestLCRecEngineParity:
+    """LCRec through the engine: identical to the single-request oracle in
+    every mode, prefix cache on and off (the acceptance criterion)."""
+
+    @pytest.mark.parametrize("mode", ["deadline", "continuous"])
+    @pytest.mark.parametrize("cache", [True, False])
+    def test_all_modes_match_single_request_oracle(self, tiny_lcrec,
+                                                   tiny_dataset, mode, cache):
+        histories = [list(h) for h in tiny_dataset.split.test_histories[:6]]
+        oracle = lcrec_oracle(tiny_lcrec, histories, 5)
+        service = RecommendationService(
+            LCRecEngine(tiny_lcrec, prefix_cache=cache),
+            batcher=MicroBatcherConfig(max_batch_size=4), mode=mode)
+        with service:
+            pending = [service.submit(h, top_k=5) for h in histories]
+            results = [p.result(timeout=30.0) for p in pending]
+        assert results == oracle
+
+    def test_mixed_beam_widths_served_continuously(self, tiny_lcrec,
+                                                   tiny_dataset):
+        """Co-queued requests with different effective beam widths are
+        admitted FIFO in width-uniform groups (one prefill needs a uniform
+        width) — never popped together and failed by prefill validation."""
+        histories = [list(h) for h in tiny_dataset.split.test_histories[:6]]
+        top_ks = [3, 20, 3, 20, 3, 20]  # alternating effective widths 10/20
+        expected = [lcrec_oracle(tiny_lcrec, [h], k)[0]
+                    for h, k in zip(histories, top_ks)]
+        service = RecommendationService(
+            LCRecEngine(tiny_lcrec, prefix_cache=False),
+            batcher=MicroBatcherConfig(max_batch_size=4), mode="continuous")
+        # Queue everything before the loop starts, so the first admission
+        # pop sees the mixed-width queue all at once.
+        pending = [service.submit(h, top_k=k)
+                   for h, k in zip(histories, top_ks)]
+        with service:
+            results = [p.result(timeout=30.0) for p in pending]
+        assert results == expected
+
+    def test_sync_flush_matches_oracle(self, tiny_lcrec, tiny_dataset):
+        histories = [list(h) for h in tiny_dataset.split.test_histories[:5]]
+        service = RecommendationService(
+            LCRecEngine(tiny_lcrec), batcher=MicroBatcherConfig(max_batch_size=2))
+        assert service.recommend_many(histories, top_k=5) == lcrec_oracle(
+            tiny_lcrec, histories, 5)
+
+    def test_model_engine_factory(self, tiny_lcrec, tiny_dataset):
+        engine = tiny_lcrec.engine(prefix_cache=None)
+        histories = [list(h) for h in tiny_dataset.split.test_histories[:3]]
+        assert engine.recommend_many(histories, top_k=4) == lcrec_oracle(
+            tiny_lcrec, histories, 4)
+
+
+class TestTIGEREngine:
+    @pytest.fixture(scope="class")
+    def tiger(self, tiny_dataset):
+        index_set = build_random_index_set(tiny_dataset.num_items, 3, 8,
+                                           np.random.default_rng(0))
+        model = TIGER(index_set, TIGERConfig(epochs=3, dim=16, beam_size=10))
+        model.fit(tiny_dataset)
+        return model
+
+    def test_capability_flags(self, tiger):
+        engine = TIGEREngine(tiger)
+        assert not engine.supports_continuous
+        assert not engine.supports_prefix_cache
+        assert engine.num_levels == tiger.num_levels
+        assert engine.num_items == tiger.trie.num_items
+
+    @pytest.mark.parametrize("batch", [1, 4, 16])
+    def test_batched_matches_single_loop(self, tiger, tiny_dataset, batch):
+        """Rankings bit-identical to TIGER.recommend for B in {1, 4, 16}."""
+        pool = tiny_dataset.split.test_histories
+        histories = [list(pool[i % len(pool)]) for i in range(batch)]
+        batched = tiger.recommend_many(histories, top_k=10)
+        assert batched == [tiger.recommend(h, top_k=10) for h in histories]
+
+    def test_top_k_backfill_matches_single_loop(self, tiger, tiny_dataset):
+        """Widen-to-catalog retry + deterministic backfill, batched."""
+        num_items = tiny_dataset.num_items
+        histories = [list(h) for h in tiny_dataset.split.test_histories[:4]]
+        for top_k in (1, num_items, num_items + 7):
+            batched = tiger.recommend_many(histories, top_k=top_k)
+            assert batched == [tiger.recommend(h, top_k=top_k) for h in histories]
+            assert all(len(r) == min(top_k, num_items) for r in batched)
+        everything = tiger.recommend_many(histories[:1], top_k=num_items + 7)[0]
+        assert sorted(everything) == list(range(num_items))
+
+    def test_single_item_trie(self, tiny_dataset):
+        """A one-item catalog: effective width 1, fillers never surface."""
+        index_set = build_random_index_set(1, 3, 8, np.random.default_rng(3))
+        model = TIGER(index_set, TIGERConfig(epochs=1, dim=16, beam_size=5))
+        model.eval()  # untrained weights; eval mode keeps dropout off
+        histories = [[0], [0, 0], [0, 0, 0]]
+        batched = model.recommend_many(histories, top_k=3)
+        assert batched == [model.recommend(h, top_k=3) for h in histories]
+        assert all(r == [0] for r in batched)
+
+    def test_serves_through_shared_service(self, tiger, tiny_dataset):
+        """The same RecommendationService machinery serves TIGER."""
+        histories = [list(h) for h in tiny_dataset.split.test_histories[:5]]
+        expected = [tiger.recommend(h, top_k=5) for h in histories]
+        service = RecommendationService(
+            TIGEREngine(tiger), batcher=MicroBatcherConfig(max_batch_size=4))
+        assert service.recommend_many(histories, top_k=5) == expected
+        # Async deadline-batched mode too: the background loop is engine-
+        # agnostic.
+        with RecommendationService(
+                TIGEREngine(tiger), batcher=MicroBatcherConfig(max_batch_size=4),
+                deadline_ms=20.0) as async_service:
+            pending = [async_service.submit(h, top_k=5) for h in histories]
+            assert [p.result(timeout=30.0) for p in pending] == expected
+
+    def test_continuous_mode_rejected(self, tiger):
+        with pytest.raises(ValueError, match="continuous"):
+            RecommendationService(TIGEREngine(tiger), mode="continuous")
+
+    def test_instruction_submission_rejected(self, tiger):
+        service = RecommendationService(TIGEREngine(tiger))
+        with pytest.raises(NotImplementedError):
+            service.submit_instruction("free text has no meaning here")
+        with pytest.raises(NotImplementedError):
+            service.submit_intention("nor do intention queries")
+
+
+class TestP5CIDEngine:
+    @pytest.fixture(scope="class")
+    def p5cid(self, tiny_dataset):
+        model = P5CID(tiny_dataset, P5CIDConfig(epochs=3, dim=16,
+                                                cluster_levels=2, branch=4,
+                                                beam_size=10))
+        model.fit(tiny_dataset)
+        return model
+
+    def test_capability_flags(self, p5cid):
+        engine = P5CIDEngine(p5cid)
+        assert engine.supports_continuous  # decoder-only: shared stepper
+        assert engine.supports_prefix_cache
+        assert engine.prefix_cache is None  # off by default for P5-CID
+
+    def test_serves_through_shared_service_continuously(self, p5cid,
+                                                        tiny_dataset):
+        """P5-CID inherits continuous batching from the decoder engine."""
+        histories = [list(h) for h in tiny_dataset.split.test_histories[:6]]
+        expected = [p5cid.recommend(h, top_k=5) for h in histories]
+        with RecommendationService(
+                P5CIDEngine(p5cid), batcher=MicroBatcherConfig(max_batch_size=4),
+                mode="continuous") as service:
+            pending = [service.submit(h, top_k=5) for h in histories]
+            results = [p.result(timeout=30.0) for p in pending]
+        assert results == expected
+
+    def test_full_top_k_guarantee_preserved(self, p5cid, tiny_dataset):
+        num_items = tiny_dataset.num_items
+        histories = [list(h) for h in tiny_dataset.split.test_histories[:3]]
+        for top_k in (1, num_items, num_items + 3):
+            rankings = p5cid.recommend_many(histories, top_k=top_k)
+            assert all(len(r) == min(top_k, num_items) for r in rankings)
+            assert rankings == [p5cid.recommend(h, top_k=top_k) for h in histories]
