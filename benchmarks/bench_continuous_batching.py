@@ -26,7 +26,7 @@ import time
 
 import numpy as np
 
-from repro.bench import report, scaled_dataset
+from repro.bench import bench_scale, report, report_json, scaled_dataset
 from repro.bench.runners import build_lcrec_model
 from repro.llm import beam_search_items_single, ranked_item_ids
 from repro.serving import LCRecEngine, MicroBatcherConfig, RecommendationService
@@ -132,6 +132,18 @@ def run_continuous_batching_table():
         f"p50 {deadline['p50'] / max(continuous['p50'], 1e-9):.2f}x better",
     ]
     report("continuous_batching", "\n".join(rows))
+    report_json(
+        "continuous_batching",
+        config={"num_requests": NUM_REQUESTS, "mean_gap_ms": MEAN_GAP_MS,
+                "width_cap": BATCH_WIDTH, "deadline_ms": DEADLINE_MS,
+                "top_k": TOP_K, "scale": bench_scale().name},
+        results=[
+            {"name": mode, "requests_per_second": entry["rps"],
+             "p50_ms": 1000 * entry["p50"], "p95_ms": 1000 * entry["p95"],
+             "stage_seconds": entry["stats"].stage_seconds()}
+            for mode, entry in results.items()
+        ],
+    )
     return results
 
 

@@ -27,7 +27,7 @@ import time
 
 import numpy as np
 
-from repro.bench import bench_scale, report, scaled_dataset
+from repro.bench import bench_scale, report, report_json, scaled_dataset
 from repro.bench.runners import build_lcrec_model
 from repro.baselines import TIGER, TIGERConfig
 from repro.core.indexer import build_random_index_set
@@ -178,6 +178,18 @@ def run_engine_backend_table():
     mirror = destination.parents[2] / "benchmark_results"
     mirror.mkdir(parents=True, exist_ok=True)
     (mirror / "engine_backends.txt").write_text(table + "\n")
+    report_json(
+        "engine_backends",
+        config={"lcrec_width": BATCH_WIDTH, "tiger_batch": TIGER_BATCH,
+                "num_requests": NUM_REQUESTS, "mean_gap_ms": MEAN_GAP_MS,
+                "deadline_ms": DEADLINE_MS, "top_k": TOP_K,
+                "scale": scale.name},
+        results=[
+            {"name": name, "requests_per_second": entry["rps"],
+             "p50_ms": 1000 * entry["p50"], "p95_ms": 1000 * entry["p95"]}
+            for name, entry in results.items()
+        ],
+    )
     return results
 
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import time
 
-from repro.bench import report, scaled_dataset
+from repro.bench import bench_scale, report, report_json, scaled_dataset
 from repro.core import LCRec, LCRecConfig
 from repro.core import templates as T
 from repro.core.indexer import SemanticIndexerConfig
@@ -163,6 +163,20 @@ def run_prefix_cache_table():
         f"mean padding {service.stats.mean_padding_fraction:.1%}",
     ]
     report("prefix_cache", "\n".join(rows))
+    report_json(
+        "prefix_cache",
+        config={"batch_size": BATCH_SIZE, "num_users": NUM_USERS,
+                "growth_turns": GROWTH_TURNS, "refresh_waves": REFRESH_WAVES,
+                "num_requests": num_requests, "top_k": TOP_K,
+                "scale": bench_scale().name},
+        results=[
+            {"name": "batched B=16", "requests_per_second": baseline_rps},
+            {"name": "batched B=16 + prefix", "requests_per_second": cached_rps,
+             "speedup": cached_rps / baseline_rps,
+             "token_hit_rate": stats.token_hit_rate,
+             "stage_seconds": service.stats.stage_seconds()},
+        ],
+    )
     return baseline_rps, cached_rps, stats
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 
-from repro.bench import report, scaled_dataset
+from repro.bench import bench_scale, report, report_json, scaled_dataset
 from repro.bench.runners import build_lcrec_model
 from repro.llm import beam_search_items_single, ranked_item_ids
 from repro.serving import LCRecEngine, MicroBatcherConfig, RecommendationService
@@ -75,6 +75,18 @@ def run_throughput_table():
                     f"{rps / single_rps:>8.2f}")
 
     report("serving_throughput", "\n".join(rows))
+    records = [{"name": "single-loop", "requests_per_second": single_rps}]
+    records += [
+        {"name": f"batched B={batch_size}", "requests_per_second": rps,
+         "speedup_vs_single": rps / single_rps}
+        for batch_size, rps in results.items()
+    ]
+    report_json(
+        "serving_throughput",
+        config={"batch_sizes": list(BATCH_SIZES), "num_requests": NUM_REQUESTS,
+                "top_k": TOP_K, "scale": bench_scale().name},
+        results=records,
+    )
     return single_rps, results
 
 

@@ -1,0 +1,222 @@
+"""Trie-aware sparse decode: candidate-only head vs the dense baseline.
+
+The trie-constrained decode only ever *uses* the logits of the tokens the
+current trie level allows — at most one codebook of candidates out of a
+vocabulary one to two orders of magnitude larger — yet the dense decode
+step pays a full-vocabulary output-head GEMM plus a full-vocabulary
+log-softmax for every one of the ``B*K`` beam rows.  This benchmark
+measures what the sparse decode stack (candidate-only ``lm_head_gather``,
+constrained log-softmax over the candidate union, the forced-token fast
+path, and step-workspace reuse) buys on the same hardware and weights:
+
+* **LCRec, continuous serving** — a burst of requests replayed through
+  ``RecommendationService(mode="continuous")`` at widths B ∈ {1, 8, 16},
+  sparse head vs dense head;
+* **P5CID and TIGER, closed batches** — the same engine sweep through the
+  other two backends at B=16.
+
+Correctness is asserted, not assumed: the sparse and dense heads must
+return *identical* rankings for every request of every backend (the
+sparse head computes the same candidate logits and the same constrained
+renormalisation; only the amount of arithmetic differs).  Results are
+persisted to ``benchmark_results/sparse_decode.json`` with per-stage
+timing from :class:`repro.serving.ServingStats`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench import bench_scale, report, report_json, scaled_dataset
+from repro.bench.runners import build_lcrec_model
+from repro.baselines import P5CID, P5CIDConfig, TIGER, TIGERConfig
+from repro.core.indexer import build_random_index_set
+from repro.serving import (
+    LCRecEngine,
+    MicroBatcherConfig,
+    P5CIDEngine,
+    RecommendationService,
+    TIGEREngine,
+)
+
+LCREC_WIDTHS = (1, 8, 16)
+CLOSED_BATCH = 16
+NUM_REQUESTS = 32
+TOP_K = 10
+SEED = 23
+# The tier-1-scale tokenizer vocabulary is two orders of magnitude smaller
+# than the 32k-token LLaMA vocabulary the paper serves, which hides the
+# output head's true share of a decode step.  The head is padded to a
+# serving-realistic vocabulary (still 4x smaller than LLaMA's); under the
+# constrained log-softmax the extra rows never enter any allowed set, so
+# rankings are provably identical — only the dense head's cost is honest.
+SERVING_VOCAB = 8192
+TIGER_CODEBOOK = 256  # the TIGER paper's per-level codebook size
+
+
+def _histories(dataset, count):
+    pool = dataset.split.test_histories
+    return [list(pool[i % len(pool)]) for i in range(count)]
+
+
+def _percentiles(latencies):
+    arr = np.asarray(latencies)
+    return float(np.percentile(arr, 50)), float(np.percentile(arr, 95))
+
+
+def run_lcrec_continuous(model, histories, width, sparse):
+    """Burst workload through the continuous scheduler at one width."""
+    service = RecommendationService(
+        LCRecEngine(model, prefix_cache=False, sparse_head=sparse),
+        batcher=MicroBatcherConfig(max_batch_size=width),
+        mode="continuous",
+    )
+    with service:
+        start = time.perf_counter()
+        pending = [(service.submit(h, top_k=TOP_K), time.perf_counter()) for h in histories]
+        rankings, latencies = [], []
+        for handle, submitted in pending:
+            rankings.append(handle.result(timeout=300.0))
+            latencies.append(time.perf_counter() - submitted)
+        elapsed = time.perf_counter() - start
+    return rankings, latencies, len(histories) / elapsed, service.stats
+
+
+def run_closed_batches(engine, histories):
+    """Closed micro-batches of CLOSED_BATCH through one engine adapter."""
+    rankings, latencies = [], []
+    start = time.perf_counter()
+    for lo in range(0, len(histories), CLOSED_BATCH):
+        chunk = histories[lo : lo + CLOSED_BATCH]
+        tick = time.perf_counter()
+        rankings.extend(engine.recommend_many(chunk, top_k=TOP_K))
+        latencies.extend([time.perf_counter() - tick] * len(chunk))
+    elapsed = time.perf_counter() - start
+    return rankings, latencies, len(histories) / elapsed
+
+
+def run_sparse_decode_table():
+    scale = bench_scale()
+    dataset = scaled_dataset("instruments")
+    histories = _histories(dataset, NUM_REQUESTS)
+    records, rows = [], []
+    rows.append(f"{'backend / config':<28} {'req/s':>8} {'p50 ms':>9} {'p95 ms':>9} {'speedup':>8}")
+
+    # LCRec through the continuous scheduler, sparse vs dense per width.
+    lcrec = build_lcrec_model(dataset, tasks=("seq",))
+    if lcrec.lm.vocab_size < SERVING_VOCAB:
+        lcrec.lm.extend_vocab(SERVING_VOCAB - lcrec.lm.vocab_size)
+    run_lcrec_continuous(lcrec, histories[:8], 8, sparse=True)  # warm numpy/BLAS
+    lcrec_speedups = {}
+    for width in LCREC_WIDTHS:
+        measured = {}
+        for sparse in (False, True):
+            rankings, latencies, rps, stats = run_lcrec_continuous(
+                lcrec, histories, width, sparse
+            )
+            measured[sparse] = (rankings, latencies, rps, stats)
+        dense_rank = measured[False][0]
+        sparse_rank = measured[True][0]
+        assert sparse_rank == dense_rank, (
+            f"sparse head changed LCRec rankings at B={width}"
+        )
+        speedup = measured[True][2] / measured[False][2]
+        lcrec_speedups[width] = speedup
+        for sparse in (False, True):
+            _, latencies, rps, stats = measured[sparse]
+            p50, p95 = _percentiles(latencies)
+            head = "sparse" if sparse else "dense"
+            name = f"lcrec/continuous B={width} {head}"
+            rows.append(
+                f"{name:<28} {rps:>8.2f} {1000 * p50:>9.1f} {1000 * p95:>9.1f} "
+                f"{(speedup if sparse else 1.0):>8.2f}"
+            )
+            records.append(
+                {
+                    "name": name,
+                    "backend": "lcrec",
+                    "width": width,
+                    "head": head,
+                    "requests_per_second": rps,
+                    "p50_ms": 1000 * p50,
+                    "p95_ms": 1000 * p95,
+                    "stage_seconds": stats.stage_seconds(),
+                }
+            )
+
+    # P5CID and TIGER: the same sweep through closed engine batches.
+    p5cid = P5CID(dataset, P5CIDConfig(epochs=scale.epochs(6), seed=SEED))
+    p5cid.fit(dataset)
+    index_set = build_random_index_set(
+        dataset.num_items, 3, TIGER_CODEBOOK, np.random.default_rng(SEED)
+    )
+    tiger = TIGER(index_set, TIGERConfig(epochs=scale.epochs(6), seed=SEED))
+    tiger.fit(dataset)
+    backends = {
+        "p5cid": lambda sparse: P5CIDEngine(p5cid, sparse_head=sparse),
+        "tiger": lambda sparse: TIGEREngine(tiger, sparse_head=sparse),
+    }
+    for backend, make_engine in backends.items():
+        run_closed_batches(make_engine(True), histories[:CLOSED_BATCH])  # warm
+        measured = {}
+        for sparse in (False, True):
+            measured[sparse] = run_closed_batches(make_engine(sparse), histories)
+        assert measured[True][0] == measured[False][0], (
+            f"sparse head changed {backend} rankings"
+        )
+        speedup = measured[True][2] / measured[False][2]
+        for sparse in (False, True):
+            _, latencies, rps = measured[sparse]
+            p50, p95 = _percentiles(latencies)
+            head = "sparse" if sparse else "dense"
+            name = f"{backend}/batched B={CLOSED_BATCH} {head}"
+            rows.append(
+                f"{name:<28} {rps:>8.2f} {1000 * p50:>9.1f} {1000 * p95:>9.1f} "
+                f"{(speedup if sparse else 1.0):>8.2f}"
+            )
+            records.append(
+                {
+                    "name": name,
+                    "backend": backend,
+                    "width": CLOSED_BATCH,
+                    "head": head,
+                    "requests_per_second": rps,
+                    "p50_ms": 1000 * p50,
+                    "p95_ms": 1000 * p95,
+                }
+            )
+
+    rows += [
+        "",
+        f"workload: {NUM_REQUESTS} requests, top_k={TOP_K}, scale {scale.name}; "
+        f"LCRec burst through the continuous scheduler, P5CID/TIGER closed "
+        f"batches of {CLOSED_BATCH}",
+        "sparse rankings asserted identical to the dense head for every "
+        "backend and width",
+    ]
+    report("sparse_decode", "\n".join(rows))
+    report_json(
+        "sparse_decode",
+        config={"lcrec_widths": list(LCREC_WIDTHS), "closed_batch": CLOSED_BATCH,
+                "num_requests": NUM_REQUESTS, "top_k": TOP_K, "scale": scale.name,
+                "seed": SEED},
+        results=records,
+    )
+    return lcrec_speedups, records
+
+
+def test_sparse_decode(benchmark):
+    lcrec_speedups, records = benchmark.pedantic(
+        run_sparse_decode_table, rounds=1, iterations=1
+    )
+    # Headline acceptance: the sparse head delivers >= 1.3x req/s for LCRec
+    # continuous serving at B=16 on the same hardware and weights.  At tiny
+    # scale Python dispatch dominates the arithmetic and the ratio of two
+    # single wall-clock measurements is noisy, so the CI smoke only guards
+    # against a real regression (with a margin for scheduler jitter).
+    floor = 1.3 if bench_scale().name != "tiny" else 0.85
+    assert lcrec_speedups[16] >= floor, (
+        f"sparse decode speedup {lcrec_speedups[16]:.2f}x < {floor}x at B=16"
+    )

@@ -23,6 +23,7 @@ import numpy as np
 from ..data import SequentialDataset
 from ..data.batching import iterate_minibatches
 from ..llm import backfill_items
+from ..llm.generation import constrained_log_probs
 from ..quantization.indexing import ItemIndexSet
 from ..tensor import (
     Adam,
@@ -32,6 +33,7 @@ from ..tensor import (
     Module,
     ModuleList,
     Tensor,
+    WeightMemo,
     causal_mask,
     clip_grad_norm,
     no_grad,
@@ -98,6 +100,8 @@ class TIGER(Module):
         self.dropout = Dropout(cfg.dropout, rng=rng)
         self._max_src = max_src
         self._engine = None  # lazily built serving adapter (TIGEREngine)
+        # Cleared on every train()/eval() transition by Module.train.
+        self._head_gather_cache = WeightMemo()
 
     # ------------------------------------------------------------------
     def _pad_histories(self, histories: list[list[int]]) -> np.ndarray:
@@ -121,8 +125,15 @@ class TIGER(Module):
             x = layer(x, attn_mask=pad_mask)
         return self.encoder_norm(x), pad_mask
 
-    def decode(self, memory: Tensor, memory_mask: np.ndarray, decoder_input: np.ndarray) -> Tensor:
-        """Causal decoding with cross-attention; returns token logits."""
+    def decode_hidden(
+        self, memory: Tensor, memory_mask: np.ndarray, decoder_input: np.ndarray
+    ) -> Tensor:
+        """Causal decoding with cross-attention; returns hidden states.
+
+        The output head (tied to the token embeddings) is applied by the
+        caller — densely via :meth:`head_logits`, or for a candidate union
+        only via :meth:`head_gather` (the trie-aware sparse decode).
+        """
         seq_len = decoder_input.shape[1]
         positions = np.arange(seq_len)
         x = self.token_embeddings(decoder_input)
@@ -132,8 +143,34 @@ class TIGER(Module):
         cross_mask = memory_mask  # (B, 1, 1, S) broadcasts over query length
         for layer in self.decoder_layers:
             x = layer(x, attn_mask=self_mask, context=memory, context_mask=cross_mask)
-        hidden = self.decoder_norm(x)
+        return self.decoder_norm(x)
+
+    def decode(self, memory: Tensor, memory_mask: np.ndarray, decoder_input: np.ndarray) -> Tensor:
+        """Causal decoding with cross-attention; returns token logits."""
+        hidden = self.decode_hidden(memory, memory_mask, decoder_input)
         return hidden @ self.token_embeddings.weight.transpose(1, 0)
+
+    def head_logits(self, hidden: np.ndarray) -> np.ndarray:
+        """Dense output head over already-computed hidden states ``(R, dim)``."""
+        return np.matmul(hidden, self.token_embeddings.weight.data.T)
+
+    def head_gather(self, hidden: np.ndarray, token_ids: np.ndarray) -> np.ndarray:
+        """Logits for ``token_ids`` only: ``hidden @ W[token_ids].T``.
+
+        The sparse counterpart of :meth:`head_logits` for trie-constrained
+        decoding: each computed column is the same embedding dot product
+        the dense head performs, just restricted to the candidate union.
+        The gathered rows are memoized against the candidate array's
+        identity (the trie keeps one stable array per level); staleness
+        guards live in :class:`repro.tensor.WeightMemo`.
+        """
+        weight = self.token_embeddings.weight
+        sub = self._head_gather_cache.get(
+            (token_ids, weight.data),
+            (weight,),
+            lambda: np.ascontiguousarray(weight.data[np.asarray(token_ids, dtype=np.int64)].T),
+        )
+        return np.matmul(hidden, sub)
 
     def forward(self, source: np.ndarray, decoder_input: np.ndarray) -> Tensor:
         memory, mask = self.encode(source)
@@ -180,7 +217,13 @@ class TIGER(Module):
     def _beam_search(
         self, memory: Tensor, memory_mask: np.ndarray, beam_size: int
     ) -> list[tuple[tuple[int, ...], float]]:
-        """Trie-constrained beam expansion over one encoded history."""
+        """Trie-constrained beam expansion over one encoded history.
+
+        Scores are constrained log-probabilities: each level renormalises
+        over the tokens the trie allows for that beam (what a
+        ``prefix_allowed_tokens_fn`` logits processor computes), matching
+        the serving engine's sparse candidate-only log-softmax.
+        """
         beams: list[tuple[tuple[int, ...], float]] = [((), 0.0)]
         for _ in range(self.num_levels):
             # Re-decode the full (short) prefix for every beam.
@@ -191,13 +234,12 @@ class TIGER(Module):
             mask_b = np.repeat(memory_mask, batch, axis=0)
             logits = self.decode(memory_b, mask_b, decoder_input).data
             step_logits = logits[:, -1, :]
-            step_logp = step_logits - _logsumexp_rows(step_logits)
             candidates = []
             for beam_index, (prefix, score) in enumerate(beams):
-                for token in self.trie.allowed_tokens(prefix):
-                    candidates.append(
-                        (prefix + (int(token),), score + float(step_logp[beam_index, token]))
-                    )
+                allowed = self.trie.allowed_tokens(prefix)
+                step_logp = constrained_log_probs(step_logits[beam_index], allowed)
+                for token, token_logp in zip(allowed, step_logp):
+                    candidates.append((prefix + (int(token),), score + float(token_logp)))
             candidates.sort(key=lambda c: -c[1])
             beams = candidates[:beam_size]
         return beams
@@ -255,8 +297,3 @@ class TIGER(Module):
 
     def score_all(self, histories):  # pragma: no cover - guard
         raise NotImplementedError("TIGER is generative; use recommend()")
-
-
-def _logsumexp_rows(logits: np.ndarray) -> np.ndarray:
-    maxes = logits.max(axis=-1, keepdims=True)
-    return maxes + np.log(np.exp(logits - maxes).sum(axis=-1, keepdims=True))

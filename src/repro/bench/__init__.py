@@ -10,7 +10,7 @@ from .runners import (
     run_generative_baseline,
     run_traditional_baseline,
 )
-from .reporting import report
+from .reporting import report, report_json
 
 __all__ = [
     "BenchScale",
@@ -24,4 +24,5 @@ __all__ = [
     "evaluate_recommender",
     "evaluate_recommender_multi_template",
     "report",
+    "report_json",
 ]

@@ -1,27 +1,60 @@
-"""Benchmark result reporting: print and persist tables.
+"""Benchmark result reporting: print and persist tables and JSON.
 
 ``pytest`` captures stdout, so every experiment table is also written to
 ``benchmarks/results/<name>.txt``; run pytest with ``-s`` to watch tables
-stream live.
+stream live.  Serving benchmarks additionally persist a machine-readable
+record via :func:`report_json` into the repo-root ``benchmark_results/``
+directory — req/s, latency percentiles, the bench configuration and the
+git revision — so the performance trajectory is trackable PR-over-PR (CI
+parses the JSON and uploads it as an artifact).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import subprocess
 
-__all__ = ["report", "results_dir"]
+__all__ = ["report", "report_json", "results_dir", "benchmark_results_dir", "git_sha"]
 
 
-def results_dir() -> pathlib.Path:
+def _repo_root() -> pathlib.Path | None:
     path = pathlib.Path(__file__).resolve()
     for parent in path.parents:
         if (parent / "pyproject.toml").exists():
-            target = parent / "benchmarks" / "results"
-            target.mkdir(parents=True, exist_ok=True)
-            return target
-    target = pathlib.Path.cwd() / "benchmark_results"
+            return parent
+    return None
+
+
+def results_dir() -> pathlib.Path:
+    root = _repo_root()
+    target = (root / "benchmarks" / "results") if root else pathlib.Path.cwd() / "benchmark_results"
     target.mkdir(parents=True, exist_ok=True)
     return target
+
+
+def benchmark_results_dir() -> pathlib.Path:
+    """The repo-root ``benchmark_results/`` directory (tracked artifacts)."""
+    root = _repo_root()
+    target = (root / "benchmark_results") if root else pathlib.Path.cwd() / "benchmark_results"
+    target.mkdir(parents=True, exist_ok=True)
+    return target
+
+
+def git_sha() -> str:
+    """The current git revision, or ``"unknown"`` outside a checkout."""
+    root = _repo_root()
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root or pathlib.Path.cwd(),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
 
 
 def report(name: str, text: str) -> pathlib.Path:
@@ -29,4 +62,26 @@ def report(name: str, text: str) -> pathlib.Path:
     print(f"\n===== {name} =====\n{text}\n")
     destination = results_dir() / f"{name}.txt"
     destination.write_text(text + "\n")
+    return destination
+
+
+def report_json(name: str, config: dict, results) -> pathlib.Path:
+    """Persist a machine-readable bench record to ``benchmark_results/``.
+
+    The payload schema every serving bench shares::
+
+        {
+          "bench":   "<name>",
+          "git_sha": "<revision the numbers were measured at>",
+          "config":  {...workload knobs: widths, request counts, scale...},
+          "results": [...one entry per measured configuration, typically
+                      {"name", "requests_per_second", "p50_ms", "p95_ms"}
+                      plus bench-specific fields...]
+        }
+
+    ``docs/performance.md`` documents how to read these records.
+    """
+    payload = {"bench": name, "git_sha": git_sha(), "config": config, "results": results}
+    destination = benchmark_results_dir() / f"{name}.json"
+    destination.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return destination

@@ -67,8 +67,7 @@ class ChatSession:
         self.turns.append(ChatTurn(query=intention, recommendations=ranked))
         return ranked
 
-    def ask_many(self, intentions: list[str],
-                 top_k: int = 5) -> list[list[int]]:
+    def ask_many(self, intentions: list[str], top_k: int = 5) -> list[list[int]]:
         """Several intention queries in one batched decode.
 
         Each query still becomes its own :class:`ChatTurn`, but all of them
@@ -80,8 +79,7 @@ class ChatSession:
         results = []
         for intention, raw in zip(intentions, raw_lists):
             ranked = self._filter(raw, top_k)
-            self.turns.append(ChatTurn(query=intention,
-                                       recommendations=ranked))
+            self.turns.append(ChatTurn(query=intention, recommendations=ranked))
             results.append(ranked)
         return results
 

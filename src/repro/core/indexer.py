@@ -55,8 +55,7 @@ def build_semantic_index_set(
     model = RQVAE(rq_config)
     trainer = RQVAETrainer(model, config.trainer)
     history = trainer.fit(embeddings)
-    index_set = build_semantic_indices(model, embeddings,
-                                       strategy=config.strategy)
+    index_set = build_semantic_indices(model, embeddings, strategy=config.strategy)
     return index_set, model, history
 
 
@@ -68,9 +67,9 @@ def build_vanilla_index_set(num_items: int) -> ItemIndexSet:
     return ItemIndexSet(codes, [num_items])
 
 
-def build_random_index_set(num_items: int, num_levels: int,
-                           codebook_size: int,
-                           rng: np.random.Generator) -> ItemIndexSet:
+def build_random_index_set(
+    num_items: int, num_levels: int, codebook_size: int, rng: np.random.Generator
+) -> ItemIndexSet:
     """Random multi-level indices (Fig. 2 "Random Indices").
 
     Codewords are sampled uniformly; collisions are fixed by re-rolling the
@@ -78,8 +77,7 @@ def build_random_index_set(num_items: int, num_levels: int,
     """
     if codebook_size**num_levels < num_items:
         raise ValueError("index space too small for the item count")
-    codes = rng.integers(0, codebook_size,
-                         size=(num_items, num_levels)).astype(np.int64)
+    codes = rng.integers(0, codebook_size, size=(num_items, num_levels)).astype(np.int64)
     seen: set[tuple[int, ...]] = set()
     for item in range(num_items):
         row = tuple(codes[item])

@@ -117,8 +117,7 @@ class LCRec:
         lm_config.seed = self._seeds.child_seed("lm") % (2**31)
         self.lm = TinyLlama(lm_config)
         corpus = self.dataset.catalog.texts()
-        self.pretrain_losses = pretrain_lm(self.lm, self.tokenizer, corpus,
-                                           self.config.pretrain)
+        self.pretrain_losses = pretrain_lm(self.lm, self.tokenizer, corpus, self.config.pretrain)
         # Snapshot the language-only model: the Table V "LLaMA" comparator
         # (an LLM that has seen the item texts but no collaborative signal).
         import dataclasses
@@ -198,34 +197,29 @@ class LCRec:
     def encode_instruction(self, instruction: str) -> list[int]:
         """Inference-side prompt token ids for a rendered instruction."""
         self._require_built()
-        return prompt_ids(self.tokenizer, instruction,
-                          max_len=self.config.tuning.max_len)
+        return prompt_ids(self.tokenizer, instruction, max_len=self.config.tuning.max_len)
 
-    def recommend(self, history: list[int], top_k: int = 10,
-                  template_id: int = 0) -> list[int]:
+    def recommend(self, history: list[int], top_k: int = 10, template_id: int = 0) -> list[int]:
         """Full-ranking next-item recommendation via constrained beam search."""
         self._require_built()
         instruction = self.seq_instruction(history, template_id)
         return self.recommend_from_instruction(instruction, top_k=top_k)
 
-    def recommend_many(self, histories: Sequence[Sequence[int]],
-                       top_k: int = 10,
-                       template_id: int = 0) -> list[list[int]]:
+    def recommend_many(
+        self, histories: Sequence[Sequence[int]], top_k: int = 10, template_id: int = 0
+    ) -> list[list[int]]:
         """Batched :meth:`recommend`: all histories decoded together."""
         self._require_built()
-        instructions = [self.seq_instruction(list(h), template_id)
-                        for h in histories]
-        return self.recommend_many_from_instructions(instructions,
-                                                     top_k=top_k)
+        instructions = [self.seq_instruction(list(h), template_id) for h in histories]
+        return self.recommend_many_from_instructions(instructions, top_k=top_k)
 
-    def recommend_from_instruction(self, instruction: str,
-                                   top_k: int = 10) -> list[int]:
+    def recommend_from_instruction(self, instruction: str, top_k: int = 10) -> list[int]:
         """Generate item recommendations for an arbitrary instruction."""
-        return self.recommend_many_from_instructions([instruction],
-                                                     top_k=top_k)[0]
+        return self.recommend_many_from_instructions([instruction], top_k=top_k)[0]
 
-    def recommend_many_from_instructions(self, instructions: Sequence[str],
-                                         top_k: int = 10) -> list[list[int]]:
+    def recommend_many_from_instructions(
+        self, instructions: Sequence[str], top_k: int = 10
+    ) -> list[list[int]]:
         """Batched constrained decoding of arbitrary instructions.
 
         All prompts run through the :class:`repro.serving.LCRecEngine`
@@ -269,39 +263,35 @@ class LCRec:
         engine = self.engine(prefix_cache=kwargs.pop("prefix_cache", True))
         return RecommendationService(engine, batcher=batcher, **kwargs)
 
-    def intention_instruction(self, intention_text: str,
-                              template_id: int = 0) -> str:
-        return T.ITE_SEARCH_TEMPLATES[template_id].format(
-            intention=intention_text)
+    def intention_instruction(self, intention_text: str, template_id: int = 0) -> str:
+        return T.ITE_SEARCH_TEMPLATES[template_id].format(intention=intention_text)
 
-    def recommend_for_intention(self, intention_text: str,
-                                top_k: int = 10) -> list[int]:
+    def recommend_for_intention(self, intention_text: str, top_k: int = 10) -> list[int]:
         """Item retrieval from a natural-language intention (Fig. 3 task)."""
         return self.recommend_from_instruction(
-            self.intention_instruction(intention_text), top_k=top_k)
+            self.intention_instruction(intention_text), top_k=top_k
+        )
 
-    def recommend_for_intentions(self, intention_texts: Sequence[str],
-                                 top_k: int = 10) -> list[list[int]]:
+    def recommend_for_intentions(
+        self, intention_texts: Sequence[str], top_k: int = 10
+    ) -> list[list[int]]:
         """Batched intention retrieval: one decode for all queries."""
-        instructions = [self.intention_instruction(text)
-                        for text in intention_texts]
-        return self.recommend_many_from_instructions(instructions,
-                                                     top_k=top_k)
+        instructions = [self.intention_instruction(text) for text in intention_texts]
+        return self.recommend_many_from_instructions(instructions, top_k=top_k)
 
     def generate_text(self, instruction: str, max_new_tokens: int = 24) -> str:
         """Free-text generation (titles/descriptions, Fig. 5 case study)."""
         self._require_built()
-        ids = prompt_ids(self.tokenizer, instruction,
-                         max_len=self.config.tuning.max_len)
-        generated = greedy_generate(self.lm, ids, max_new_tokens,
-                                    eos_id=self.tokenizer.vocab.eos_id)
+        ids = prompt_ids(self.tokenizer, instruction, max_len=self.config.tuning.max_len)
+        generated = greedy_generate(
+            self.lm, ids, max_new_tokens, eos_id=self.tokenizer.vocab.eos_id
+        )
         return self.tokenizer.decode(generated)
 
     def response_logprob(self, instruction: str, response: str) -> float:
         """Length-normalised response log likelihood (Table V scoring)."""
         self._require_built()
-        ids = prompt_ids(self.tokenizer, instruction,
-                         max_len=self.config.tuning.max_len)
+        ids = prompt_ids(self.tokenizer, instruction, max_len=self.config.tuning.max_len)
         continuation = self.tokenizer.encode(response)
         if not continuation:
             raise ValueError("empty response")

@@ -25,8 +25,7 @@ from ..llm.instruction import InstructionExample
 from ..quantization.indexing import ItemIndexSet
 from . import templates as T
 
-__all__ = ["AlignmentTaskConfig", "AlignmentTaskBuilder", "ALL_TASKS",
-           "EXTENSION_TASKS"]
+__all__ = ["AlignmentTaskConfig", "AlignmentTaskBuilder", "ALL_TASKS", "EXTENSION_TASKS"]
 
 ALL_TASKS = ("seq", "mut", "asy", "ite", "per")
 # Optional extras the paper names as natural extensions (Sec. III-C3):
@@ -105,8 +104,9 @@ class AlignmentTaskBuilder:
     def _pick(rng: np.random.Generator, options: list[str]) -> str:
         return options[int(rng.integers(len(options)))]
 
-    def _sample_pairs(self, rng: np.random.Generator,
-                      per_user: int) -> list[tuple[int, list[int], int]]:
+    def _sample_pairs(
+        self, rng: np.random.Generator, per_user: int
+    ) -> list[tuple[int, list[int], int]]:
         """Sample up to ``per_user`` training pairs for every user."""
         by_user: dict[int, list[int]] = {}
         for idx, (user, _, _) in enumerate(self._seq_pairs):
@@ -138,12 +138,13 @@ class AlignmentTaskBuilder:
             item = self.dataset.catalog[item_id]
             description = self._short_description(item_id)
             forward = self._pick(rng, T.MUT_TEXT_TO_INDEX_TEMPLATES)
-            examples.append(InstructionExample(
-                instruction=forward.format(title=item.title,
-                                           description=description),
-                response=self._index_text(item_id),
-                task="mut",
-            ))
+            examples.append(
+                InstructionExample(
+                    instruction=forward.format(title=item.title, description=description),
+                    response=self._index_text(item_id),
+                    task="mut",
+                )
+            )
             backward = self._pick(rng, T.MUT_INDEX_TO_TEXT_TEMPLATES)
             examples.append(InstructionExample(
                 instruction=backward.format(index=self._index_text(item_id)),
@@ -211,8 +212,7 @@ class AlignmentTaskBuilder:
             if len(seq) < cfg.min_history or cfg.per_per_user < 1:
                 continue
             history = seq[-cfg.max_history:]
-            preference = generator.preference_for_history(user, history,
-                                                          rng=rng).text
+            preference = generator.preference_for_history(user, history, rng=rng).text
             template = self._pick(rng, T.PER_TEMPLATES)
             examples.append(InstructionExample(
                 instruction=template.format(history=self._history_text(history)),

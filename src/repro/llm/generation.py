@@ -31,17 +31,35 @@ the final level, and :func:`decode_finish` harvests everything.
 :func:`beam_search_items_batched` is the one-shot wrapper (prefill, step
 to depth, finish) and :func:`beam_search_items` keeps the old
 single-request signature on top of it.
+
+Scoring semantics: hypothesis scores are *constrained* log-probabilities —
+at every level the disallowed logits are set to ``-inf`` **before** the
+log-softmax, so each step's distribution renormalises over the tokens the
+trie allows (exactly what a ``prefix_allowed_tokens_fn`` logits processor
+does in the reference implementations).  This is what makes the decode
+*sparse*: only the logits of the current trie level's candidate union ever
+enter the math, so the engine computes just those columns via a gathered
+output-head GEMM (``TinyLlama.lm_head_gather``) and a candidate-only
+log-softmax — identical scores, a vocabulary-sized factor less work.  It
+also makes levels where every live beam has exactly one legal continuation
+*free*: a singleton allowed set renormalises to log-probability 0.0, so
+the **forced-token fast path** appends those tokens without any model
+forward and the consecutive forced levels are flushed through the
+transformer in one combined multi-token forward when (and if) a later
+level actually needs logits.  ``sparse=False`` keeps the dense full-vocab
+head as the measurable baseline; rankings and scores agree to float
+rounding (the reduction order over candidates differs).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
 from ..quantization.trie import IndexTrie
-from ..tensor import BeamKVCache, no_grad
+from ..tensor import BeamKVCache, StepWorkspace, no_grad
 from .model import TinyLlama
 from .prefix_cache import PrefixKVCache, PrefixMatch
 
@@ -53,6 +71,7 @@ __all__ = [
     "beam_search_items",
     "beam_search_items_batched",
     "beam_search_items_single",
+    "constrained_log_probs",
     "decode_finish",
     "decode_join",
     "decode_prefill",
@@ -60,7 +79,9 @@ __all__ = [
     "decode_step",
     "left_pad_prompts",
     "log_softmax_np",
+    "masked_log_softmax",
     "ranked_item_ids",
+    "select_beams",
     "topk_desc",
     "greedy_generate",
     "sequence_logprob",
@@ -71,6 +92,26 @@ def log_softmax_np(logits: np.ndarray) -> np.ndarray:
     """Row-wise log-softmax over the last axis (numerically stabilized)."""
     shifted = logits - logits.max(axis=-1, keepdims=True)
     return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def masked_log_softmax(logits: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Constrained log-softmax: ``-inf`` outside ``mask``, renormalised inside.
+
+    Row ``i``'s distribution is the softmax of ``logits[i]`` restricted to
+    the columns where ``mask[i]`` is True (``mask`` may broadcast over
+    rows).  This is the trie-constrained decoding rule: illegal tokens get
+    probability 0 and the remaining mass renormalises over the legal set.
+    A row with no True column comes back all ``-inf`` (a dead beam).  The
+    same function serves the dense (full-vocabulary) and sparse
+    (candidate-union) heads — only the number of columns differs.
+    """
+    masked = np.where(mask, logits, -np.inf)
+    peak = masked.max(axis=-1, keepdims=True)
+    peak = np.where(np.isfinite(peak), peak, 0.0)
+    shifted = masked - peak
+    with np.errstate(divide="ignore", invalid="ignore"):
+        normalizer = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        return np.where(mask, shifted - normalizer, -np.inf)
 
 
 def topk_desc(scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
@@ -87,6 +128,34 @@ def topk_desc(scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     order = np.lexsort((part, -part_scores), axis=1)
     top = np.take_along_axis(part, order, axis=1)
     return top, np.take_along_axis(part_scores, order, axis=1)
+
+
+def select_beams(
+    step_logp: np.ndarray,
+    beam_scores: np.ndarray,
+    num_beams: int,
+    width: int,
+    union: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Top-``K`` beam continuation selection, shared by every stepper.
+
+    ``step_logp`` is the per-hypothesis constrained log-softmax ``(B*K,
+    width)`` — over the full vocabulary (dense) or the candidate union
+    (sparse, with ``union`` mapping columns back to token ids); this one
+    place owns the score accumulation, the flattened per-request top-k,
+    and the origin/token decomposition, so the decoder-only stepper
+    (:func:`decode_step`) and the TIGER engine cannot drift apart.
+    Returns ``(origin, token, new_scores)``, each ``(B, K)``.
+    """
+    candidates = step_logp.astype(np.float64)
+    candidates += beam_scores.reshape(-1, 1)
+    candidates = candidates.reshape(-1, num_beams * width)
+    order, new_scores = topk_desc(candidates, num_beams)
+    origin = order // width
+    token = order % width
+    if union is not None:
+        token = union[token]
+    return origin, token, new_scores
 
 
 @dataclass
@@ -230,6 +299,7 @@ def _prefill_prompts(
     caches: list[BeamKVCache],
     pad_id: int,
     prefix_cache: PrefixKVCache | None,
+    workspace: StepWorkspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Run the prompt phase of a batched decode through ``caches``.
 
@@ -239,9 +309,11 @@ def _prefill_prompts(
     decoded prompts are stored back, so repeated templates, grown session
     histories, and duplicate queries hit on later batches.
 
-    Returns ``(last_logits, pad_columns)``: the next-token logits ``(B, V)``
-    and the boolean per-row pad-column map over all prompt columns, which
-    every subsequent decode step must pass back to ``model.forward``.
+    Returns ``(last_hidden, pad_columns)``: the final-norm hidden state of
+    every row's last prompt token ``(B, dim)`` — the output head (dense or
+    candidate-gathered) is the caller's choice — and the boolean per-row
+    pad-column map over all prompt columns, which every subsequent decode
+    step must pass back to the model.
     """
     matches: list[PrefixMatch | None] = [None] * len(prompts)
     if prefix_cache is not None:
@@ -255,12 +327,12 @@ def _prefill_prompts(
     prefix_pad = np.arange(prefix_width)[None, :] < (prefix_width - cached_lens)[:, None]
     suffix_pad = np.arange(tokens.shape[1])[None, :] < suffix_pads[:, None]
     pad_columns = np.concatenate([prefix_pad, suffix_pad], axis=1)
-    logits = model.forward(
-        tokens, caches=caches, pad_columns=pad_columns, last_only=True
+    hidden = model.hidden_states(
+        tokens, caches=caches, pad_columns=pad_columns, workspace=workspace
     ).data[:, -1, :]
     if prefix_cache is not None:
         _store_prompts(prompts, caches, cached_lens, prefix_width, suffix_pads, prefix_cache)
-    return logits, pad_columns
+    return hidden, pad_columns
 
 
 @dataclass
@@ -281,6 +353,16 @@ class DecodeState:
     ``tags`` carries one caller-opaque object per row (the serving layer
     stores its :class:`RecommendRequest` there) and follows rows through
     joins and retirements.
+
+    ``pending`` holds the tokens already appended to every beam but not
+    yet forwarded through the model: always the latest chosen token, plus
+    — after forced-token fast-path levels — the forced tokens accumulated
+    since the last real forward.  The next step that needs logits (or a
+    :func:`decode_join` flush) runs all pending columns through the
+    transformer in one combined forward.  ``sparse`` selects the
+    candidate-only output head and enables the forced fast path;
+    ``workspace`` is the step-scratch arena (cleared whenever the row
+    count changes).
     """
 
     model: TinyLlama
@@ -293,6 +375,9 @@ class DecodeState:
     prompt_pads: np.ndarray  # (B, W) bool: pad columns in the prompt region
     suffix_pads: np.ndarray  # (B,) int64: suffix columns predating each row
     tags: list[object]
+    pending: np.ndarray = field(default_factory=lambda: np.empty((0, 1), dtype=np.int64))
+    sparse: bool = True
+    workspace: StepWorkspace | None = None
 
     @property
     def num_rows(self) -> int:
@@ -340,6 +425,7 @@ def decode_prefill(
     pad_id: int = 0,
     prefix_cache: PrefixKVCache | None = None,
     tags: Sequence[object] | None = None,
+    sparse: bool = True,
 ) -> DecodeState:
     """Run the prompt phase and level-0 beam expansion for ``prompts``.
 
@@ -348,7 +434,10 @@ def decode_prefill(
     level per call.  ``prefix_cache`` enables cross-request prompt K/V
     reuse exactly as in :func:`beam_search_items_batched`.  ``tags``
     optionally attaches one opaque object per prompt (defaults to the
-    prompt's position).
+    prompt's position).  ``sparse`` (default) computes logits for the
+    trie's candidate union only — see the module docstring; ``False``
+    keeps the dense full-vocabulary head as the measurable baseline
+    (rankings identical, scores to float rounding).
     """
     if beam_size < 1:
         raise ValueError("beam_size must be positive")
@@ -364,20 +453,41 @@ def decode_prefill(
         raise ValueError("tags must match prompts one-to-one")
     vocab_size = model.vocab_size
     num_beams = min(beam_size, trie.num_items, vocab_size)
+    workspace = StepWorkspace() if sparse else None
     with no_grad():
         # Shared-prompt beam caches: prompt K/V stays at B rows for the
         # whole decode; only per-beam suffix tokens live on the B*K axis.
         caches = model.new_beam_caches()
-        logits, pad_columns = _prefill_prompts(model, prompts, caches, pad_id, prefix_cache)
-        log_probs = log_softmax_np(logits)  # (B, V)
+        hidden, pad_columns = _prefill_prompts(
+            model, prompts, caches, pad_id, prefix_cache, workspace
+        )
 
-        # Level 0: expand every prompt to its top-K legal first tokens.
-        root_mask = trie.allowed_token_mask([()], vocab_size)
-        scores = np.where(root_mask, log_probs, -np.inf)
+        # Level 0: expand every prompt to its top-K legal first tokens
+        # under the constrained (renormalised-over-legal) distribution.
+        if sparse:
+            root = trie.allowed_token_ids([()])
+            logits = model.lm_head_gather(hidden, root.union, workspace=workspace)
+            scores = masked_log_softmax(logits, root.mask)  # (B, U)
+            width = root.num_candidates
+            if num_beams > width:
+                # Fewer legal first tokens than beams: -inf filler columns
+                # keep every row carrying num_beams slots.
+                filler = np.full((scores.shape[0], num_beams - width), -np.inf, dtype=scores.dtype)
+                scores = np.concatenate([scores, filler], axis=1)
+        else:
+            logits = np.matmul(hidden, model.lm_head.weight.data)  # (B, V)
+            scores = masked_log_softmax(logits, trie.root_token_mask(vocab_size))
+            width = vocab_size
         order, top_scores = topk_desc(scores, num_beams)
         # Scores accumulate in float64, matching the reference path.
         beam_scores = top_scores.astype(np.float64)  # (B, K)
-        beam_tokens = [[(int(token),) for token in row] for row in order]
+        if sparse:
+            # Map union positions back to token ids; -inf filler slots get
+            # an arbitrary legal token (they are dropped at retirement).
+            token_ids = root.union[np.minimum(order, width - 1)]
+        else:
+            token_ids = order
+        beam_tokens = [[(int(token),) for token in row] for row in token_ids]
         model.fan_out_caches(caches, num_beams)
     return DecodeState(
         model=model,
@@ -390,17 +500,36 @@ def decode_prefill(
         prompt_pads=pad_columns,
         suffix_pads=np.zeros(len(prompts), dtype=np.int64),
         tags=list(tags),
+        pending=token_ids.reshape(-1, 1).astype(np.int64, copy=False),
+        sparse=sparse,
+        workspace=workspace,
     )
 
 
 def decode_step(state: DecodeState) -> DecodeState:
-    """Advance every in-flight row by one trie level (one ``model.forward``).
+    """Advance every in-flight row by one trie level.
 
-    Rows at different levels step together: the vectorized trie mask is
-    built from each hypothesis's own prefix, so depth never has to be
+    Rows at different levels step together: the vectorized trie constraint
+    is built from each hypothesis's own prefix, so depth never has to be
     uniform across the batch.  Rows already at the final level must be
     retired (:func:`decode_retire`) before stepping.  Returns ``state``
     (mutated in place) for chaining.
+
+    Two fast paths apply when ``state.sparse`` (the default):
+
+    * **Forced tokens** — when every live beam's allowed set is a
+      singleton (deduplication levels, thin trie branches), the forced
+      tokens are appended with *no model forward at all*: under the
+      constrained distribution a singleton renormalises to
+      log-probability exactly 0.0, so scores and rankings are untouched.
+      The skipped tokens accumulate in ``state.pending`` and run through
+      the transformer in one combined forward at the next level that
+      needs logits — or never, if the trie ends first.
+    * **Candidate-only head** — logits are computed for the trie level's
+      candidate union only (``TinyLlama.lm_head_gather``) and the
+      log-softmax renormalises over candidates, replacing the full
+      vocabulary GEMM + softmax with one a vocabulary-sized factor
+      smaller.
     """
     if state.num_rows == 0:
         raise RuntimeError("cannot step an empty decode state")
@@ -410,29 +539,49 @@ def decode_step(state: DecodeState) -> DecodeState:
     num_requests, num_beams = state.num_rows, state.num_beams
     vocab_size = model.vocab_size
     beam_tokens = state.beam_tokens
+    prefixes = [prefix for row in beam_tokens for prefix in row]
+    candidates_info = trie.allowed_token_ids(prefixes) if state.sparse else None
+    if state.sparse:
+        alive = np.isfinite(state.beam_scores).reshape(-1)
+        if candidates_info.is_forced(alive):
+            # Every live hypothesis is forced: append without a forward
+            # (log-probability 0.0 each), defer the KV update to the next
+            # level that needs logits.
+            forced = candidates_info.forced_tokens(state.pad_id)
+            state.beam_tokens = [
+                [prefix + (int(forced[b * num_beams + k]),) for k, prefix in enumerate(row)]
+                for b, row in enumerate(beam_tokens)
+            ]
+            state.pending = np.concatenate([state.pending, forced[:, None]], axis=1)
+            return state
     with no_grad():
-        last = np.array(
-            [prefix[-1] for row in beam_tokens for prefix in row],
-            dtype=np.int64,
-        )[:, None]
-        step_logits = model.forward(
-            last, caches=state.caches, pad_columns=state.flat_pad_columns()
+        hidden = model.hidden_states(
+            state.pending,
+            caches=state.caches,
+            pad_columns=state.flat_pad_columns(),
+            workspace=state.workspace,
         ).data[:, -1, :]
-        step_logp = log_softmax_np(step_logits)  # (B*K, V)
-        states = [prefix for row in beam_tokens for prefix in row]
-        mask = trie.allowed_token_mask(states, vocab_size)
-        candidates = np.where(mask, step_logp.astype(np.float64), -np.inf)
-        candidates += state.beam_scores.reshape(-1, 1)
-        candidates = candidates.reshape(num_requests, num_beams * vocab_size)
-        order, state.beam_scores = topk_desc(candidates, num_beams)
-        origin = order // vocab_size  # per-request beam index
-        token = order % vocab_size
+        if state.sparse:
+            union = candidates_info.union
+            width = candidates_info.num_candidates
+            logits = model.lm_head_gather(hidden, union, workspace=state.workspace)
+            step_logp = masked_log_softmax(logits, candidates_info.mask)  # (B*K, U)
+        else:
+            union = None
+            width = vocab_size
+            logits = np.matmul(hidden, model.lm_head.weight.data)  # (B*K, V)
+            mask = trie.allowed_token_mask(prefixes, vocab_size)
+            step_logp = masked_log_softmax(logits, mask)
+        origin, token, state.beam_scores = select_beams(
+            step_logp, state.beam_scores, num_beams, width, union
+        )
         state.beam_tokens = [
             [beam_tokens[b][int(origin[b, k])] + (int(token[b, k]),) for k in range(num_beams)]
             for b in range(num_requests)
         ]
         flat_origin = (np.arange(num_requests)[:, None] * num_beams + origin).reshape(-1)
         model.reorder_caches(state.caches, flat_origin)
+        state.pending = token.reshape(-1, 1).astype(np.int64, copy=False)
     return state
 
 
@@ -441,6 +590,27 @@ def _pad_left_columns(pads: np.ndarray, extra: int) -> np.ndarray:
     if not extra:
         return pads
     return np.pad(pads, ((0, 0), (extra, 0)), constant_values=True)
+
+
+def _flush_pending(state: DecodeState) -> None:
+    """Run all but the newest pending token through the model (KV only).
+
+    Forced-token levels append to ``state.pending`` without a forward;
+    before a join the accumulated columns (except the newest token, which
+    the next :func:`decode_step` forwards for its logits) must be flushed
+    into the KV caches so every row of the merged batch carries the same
+    pending width.  One combined multi-token forward, no output head.
+    """
+    if state.pending.shape[1] <= 1:
+        return
+    with no_grad():
+        state.model.hidden_states(
+            state.pending[:, :-1],
+            caches=state.caches,
+            pad_columns=state.flat_pad_columns(),
+            workspace=state.workspace,
+        )
+    state.pending = state.pending[:, -1:]
 
 
 def decode_join(state: DecodeState, incoming: DecodeState) -> DecodeState:
@@ -469,12 +639,17 @@ def decode_join(state: DecodeState, incoming: DecodeState) -> DecodeState:
         raise ValueError("cannot join width-1 beam decodes; decode them separately")
     if incoming.pad_id != state.pad_id:
         raise ValueError("joined decodes must share a pad id")
+    if incoming.sparse != state.sparse:
+        raise ValueError("joined decodes must share the sparse-head setting")
     if incoming.num_rows == 0:
         raise ValueError("incoming state has no rows")
-    if incoming.caches[0].suffix.length:
+    if incoming.caches[0].suffix.length or incoming.pending.shape[1] != 1:
         raise ValueError("incoming state must be freshly prefilled (no steps yet)")
     if state.num_rows == 0:
         raise RuntimeError("cannot join into an empty decode state")
+    # Forced levels may have left unforwarded tokens on the live rows; the
+    # merged batch must share one pending width, so catch the KV up first.
+    _flush_pending(state)
     suffix_len = state.caches[0].suffix.length
     pad_state, pad_incoming = state.model.join_caches(state.caches, incoming.caches)
     state.prompt_pads = np.concatenate(
@@ -490,6 +665,9 @@ def decode_join(state: DecodeState, incoming: DecodeState) -> DecodeState:
     state.beam_tokens.extend(incoming.beam_tokens)
     state.beam_scores = np.concatenate([state.beam_scores, incoming.beam_scores], axis=0)
     state.tags.extend(incoming.tags)
+    state.pending = np.concatenate([state.pending, incoming.pending], axis=0)
+    if state.workspace is not None:
+        state.workspace.clear()  # row count changed: step scratch resizes
     # Consume the incoming state so a stray step/retire on it cannot
     # corrupt the caches it no longer owns.
     incoming.caches = []
@@ -498,6 +676,7 @@ def decode_join(state: DecodeState, incoming: DecodeState) -> DecodeState:
     incoming.prompt_pads = incoming.prompt_pads[:0]
     incoming.suffix_pads = incoming.suffix_pads[:0]
     incoming.tags = []
+    incoming.pending = incoming.pending[:0]
     return state
 
 
@@ -530,12 +709,21 @@ def decode_retire(state: DecodeState, rows: Sequence[int]) -> list[list[BeamHypo
     if rows:
         retired = set(rows)
         keep = [b for b in range(state.num_rows) if b not in retired]
-        state.model.evict_cache_rows(state.caches, np.asarray(keep, dtype=np.int64))
+        keep_array = np.asarray(keep, dtype=np.int64)
+        state.model.evict_cache_rows(state.caches, keep_array)
         state.beam_tokens = [state.beam_tokens[b] for b in keep]
         state.beam_scores = state.beam_scores[keep]
         state.prompt_pads = state.prompt_pads[keep]
         state.suffix_pads = state.suffix_pads[keep]
         state.tags = [state.tags[b] for b in keep]
+        flat_keep = (
+            keep_array[:, None] * state.num_beams + np.arange(state.num_beams)
+        ).reshape(-1)
+        state.pending = state.pending[flat_keep]
+        if state.workspace is not None:
+            # Trim the step scratch: surviving rows re-size it next step,
+            # so retired requests never pin peak-width buffers.
+            state.workspace.clear()
         _trim_all_pad_prompt_columns(state)
     return results
 
@@ -575,6 +763,7 @@ def beam_search_items_batched(
     beam_size: int = 20,
     pad_id: int = 0,
     prefix_cache: PrefixKVCache | None = None,
+    sparse: bool = True,
 ) -> list[list[BeamHypothesis]]:
     """Batched trie-constrained beam search (the serving engine).
 
@@ -607,7 +796,13 @@ def beam_search_items_batched(
     if not list(prompts):
         return []
     state = decode_prefill(
-        model, prompts, trie, beam_size=beam_size, pad_id=pad_id, prefix_cache=prefix_cache
+        model,
+        prompts,
+        trie,
+        beam_size=beam_size,
+        pad_id=pad_id,
+        prefix_cache=prefix_cache,
+        sparse=sparse,
     )
     for _ in range(1, trie.num_levels):
         decode_step(state)
@@ -627,13 +822,30 @@ def beam_search_items(
     return beam_search_items_batched(model, [prompt_ids], trie, beam_size=beam_size)[0]
 
 
+def constrained_log_probs(logits_row: np.ndarray, allowed: np.ndarray) -> np.ndarray:
+    """Per-beam constrained log-softmax over the allowed token ids only.
+
+    The scalar (one-beam) form of :func:`masked_log_softmax`, shared by
+    the single-request oracles (here and in ``TIGER._beam_search``) so a
+    numerics change to the constrained-scoring semantics cannot diverge
+    between them.
+    """
+    raw = logits_row[allowed]
+    shifted = raw - raw.max()
+    return shifted - np.log(np.exp(shifted).sum())
+
+
 def beam_search_items_single(
     model: TinyLlama, prompt_ids: list[int], trie: IndexTrie, beam_size: int = 20
 ) -> list[BeamHypothesis]:
     """Reference single-request beam search (pre-batching implementation).
 
-    Kept verbatim as the parity oracle for the batched engine and as the
-    baseline for ``benchmarks/bench_serving_throughput.py``.
+    Kept as the parity oracle for the batched engine and as the baseline
+    for ``benchmarks/bench_serving_throughput.py``.  Scores follow the
+    constrained-log-softmax semantics of the module docstring: each level
+    renormalises over the tokens the trie allows for that beam, which is
+    what a ``prefix_allowed_tokens_fn`` logits processor computes in the
+    reference implementations.
     """
     if beam_size < 1:
         raise ValueError("beam_size must be positive")
@@ -644,9 +856,8 @@ def beam_search_items_single(
         logits = model.forward(prompt, caches=caches).data[:, -1, :]
 
         # Level 0 expansion from the single prompt beam.
-        log_probs = log_softmax_np(logits)[0]
         allowed = trie.allowed_tokens(())
-        scores = log_probs[allowed]
+        scores = constrained_log_probs(logits[0], allowed)
         k = min(beam_size, len(allowed))
         top = np.argsort(-scores)[:k]
         beam_tokens = [(int(allowed[i]),) for i in top]
@@ -656,15 +867,15 @@ def beam_search_items_single(
         for _ in range(1, num_levels):
             last = np.array([t[-1] for t in beam_tokens], dtype=np.int64)[:, None]
             step_logits = model.forward(last, caches=caches).data[:, -1, :]
-            step_logp = log_softmax_np(step_logits)
 
             candidate_scores: list[float] = []
             candidate_origin: list[int] = []
             candidate_token: list[int] = []
             for beam_index, prefix in enumerate(beam_tokens):
                 allowed = trie.allowed_tokens(prefix)
-                for token in allowed:
-                    candidate_scores.append(beam_scores[beam_index] + step_logp[beam_index, token])
+                step_logp = constrained_log_probs(step_logits[beam_index], allowed)
+                for token, token_logp in zip(allowed, step_logp):
+                    candidate_scores.append(beam_scores[beam_index] + token_logp)
                     candidate_origin.append(beam_index)
                     candidate_token.append(int(token))
             order = np.argsort(-np.asarray(candidate_scores))[:beam_size]

@@ -22,7 +22,9 @@ from ..tensor import (
     MultiHeadAttention,
     RMSNorm,
     RotaryEmbedding,
+    StepWorkspace,
     Tensor,
+    WeightMemo,
     causal_mask,
 )
 from .config import LMConfig
@@ -66,10 +68,15 @@ class TransformerBlock(Module):
         attn_mask: np.ndarray | None,
         cache: KVCache | None = None,
         rope_offset: int | np.ndarray | None = None,
+        workspace: StepWorkspace | None = None,
     ) -> Tensor:
         x = x + self.dropout(
             self.attention(
-                self.attn_norm(x), attn_mask=attn_mask, cache=cache, rope_offset=rope_offset
+                self.attn_norm(x),
+                attn_mask=attn_mask,
+                cache=cache,
+                rope_offset=rope_offset,
+                workspace=workspace,
             )
         )
         x = x + self.dropout(self.feed_forward(self.ffn_norm(x)))
@@ -99,6 +106,8 @@ class TinyLlama(Module):
         )
         self.final_norm = RMSNorm(config.dim, eps=config.norm_eps)
         self.lm_head = Linear(config.dim, config.vocab_size, bias=False, rng=rng)
+        # Cleared on every train()/eval() transition by Module.train.
+        self._head_gather_cache = WeightMemo()
 
     # ------------------------------------------------------------------
     @property
@@ -115,6 +124,7 @@ class TinyLlama(Module):
         self.lm_head.weight.data = np.concatenate([self.lm_head.weight.data, new_cols], axis=1)
         self.lm_head.weight.grad = None
         self.lm_head.out_features += extra_tokens
+        self._head_gather_cache.clear()
 
     # ------------------------------------------------------------------
     def hidden_states(
@@ -123,6 +133,7 @@ class TinyLlama(Module):
         caches: list[KVCache] | None = None,
         pad_lengths: np.ndarray | None = None,
         pad_columns: np.ndarray | None = None,
+        workspace: StepWorkspace | None = None,
     ) -> Tensor:
         """Final-norm hidden states ``(B, T, dim)`` for ``tokens``.
 
@@ -165,7 +176,7 @@ class TinyLlama(Module):
         x = self.tok_embeddings(tokens)
         for layer_index, block in enumerate(self.blocks):
             cache = caches[layer_index] if caches else None
-            x = block(x, attn_mask=mask, cache=cache, rope_offset=rope_offset)
+            x = block(x, attn_mask=mask, cache=cache, rope_offset=rope_offset, workspace=workspace)
         return self.final_norm(x)
 
     def forward(
@@ -175,6 +186,7 @@ class TinyLlama(Module):
         pad_lengths: np.ndarray | None = None,
         pad_columns: np.ndarray | None = None,
         last_only: bool = False,
+        workspace: StepWorkspace | None = None,
     ) -> Tensor:
         """Next-token logits ``(B, T, vocab)``.
 
@@ -184,11 +196,60 @@ class TinyLlama(Module):
         otherwise the single largest wasted cost of a batched decode.
         """
         hidden = self.hidden_states(
-            tokens, caches=caches, pad_lengths=pad_lengths, pad_columns=pad_columns
+            tokens,
+            caches=caches,
+            pad_lengths=pad_lengths,
+            pad_columns=pad_columns,
+            workspace=workspace,
         )
         if last_only:
             hidden = hidden[:, -1:, :]
         return self.lm_head(hidden)
+
+    # ------------------------------------------------------------------
+    # Sparse (candidate-only) output head
+    # ------------------------------------------------------------------
+    def lm_head_gather(
+        self,
+        hidden: np.ndarray,
+        token_ids: np.ndarray,
+        workspace: StepWorkspace | None = None,
+    ) -> np.ndarray:
+        """Logits for ``token_ids`` only: ``hidden @ W[:, token_ids]``.
+
+        The trie-constrained decode only ever *reads* the logits of tokens
+        the current trie level allows — a few dozen candidates out of the
+        whole vocabulary — so the full-vocabulary head GEMM computes mostly
+        discarded columns.  This gathers the candidate columns once
+        (memoized against the candidate array's identity, which the trie
+        keeps stable per level) and runs the GEMM over them alone.  Each
+        computed column is the same dot product the dense head performs,
+        so candidate logits match the dense head's columns exactly.
+
+        ``hidden`` is ``(rows, dim)`` float32; returns ``(rows,
+        len(token_ids))``.
+        """
+        sub = self._gathered_head_weight(token_ids)
+        out = (
+            workspace.take("sparse_logits", (hidden.shape[0], sub.shape[1]))
+            if workspace is not None
+            else None
+        )
+        return np.matmul(hidden, sub, out=out)
+
+    def _gathered_head_weight(self, token_ids: np.ndarray) -> np.ndarray:
+        """Memoized contiguous column gather ``W[:, token_ids]``.
+
+        Keyed on the identity of ``token_ids`` (the trie memoizes one array
+        per level union, so a decode hits this cache every step); staleness
+        guards live in :class:`repro.tensor.WeightMemo`.
+        """
+        weight = self.lm_head.weight.data
+        return self._head_gather_cache.get(
+            (token_ids, weight),
+            (self.lm_head.weight,),
+            lambda: np.ascontiguousarray(weight[:, np.asarray(token_ids, dtype=np.int64)]),
+        )
 
     def new_caches(self) -> list[KVCache]:
         """Fresh per-layer KV caches for incremental decoding."""

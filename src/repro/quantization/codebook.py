@@ -22,8 +22,7 @@ def nearest_code(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
     return pairwise_sq_distances(x, centers).argmin(axis=1)
 
 
-def kmeans(x: np.ndarray, k: int, rng: np.random.Generator,
-           num_iters: int = 20) -> np.ndarray:
+def kmeans(x: np.ndarray, k: int, rng: np.random.Generator, num_iters: int = 20) -> np.ndarray:
     """Lloyd's k-means returning ``(k, dim)`` centers.
 
     Used to initialise each RQ-VAE codebook level from the first batch of

@@ -38,8 +38,7 @@ class LevelUsage:
         return self.entropy / np.log(self.codebook_size)
 
 
-def codebook_usage(codes: np.ndarray,
-                   level_sizes: list[int]) -> list[LevelUsage]:
+def codebook_usage(codes: np.ndarray, level_sizes: list[int]) -> list[LevelUsage]:
     """Per-level usage statistics of an index assignment.
 
     Parameters

@@ -29,9 +29,14 @@ from .rqvae import RQVAE
 from .sinkhorn import uniform_assign
 from .trie import IndexTrie
 
-__all__ = ["IndexConflictError", "ItemIndexSet", "build_semantic_indices",
-           "resolve_conflicts_usm", "resolve_conflicts_extra_level",
-           "count_conflicts"]
+__all__ = [
+    "IndexConflictError",
+    "ItemIndexSet",
+    "build_semantic_indices",
+    "resolve_conflicts_usm",
+    "resolve_conflicts_extra_level",
+    "count_conflicts",
+]
 
 _LEVEL_LETTERS = "abcdefgh"
 
@@ -109,8 +114,7 @@ class ItemIndexSet:
         tokenizer.register_index_tokens(self.all_token_strings())
 
     def token_ids(self, item_id: int, tokenizer: WordTokenizer) -> tuple[int, ...]:
-        return tuple(tokenizer.vocab.token_to_id(t)
-                     for t in self.token_strings(item_id))
+        return tuple(tokenizer.vocab.token_to_id(t) for t in self.token_strings(item_id))
 
     def build_trie(self, tokenizer: WordTokenizer) -> IndexTrie:
         """Decoding trie over token ids (requires unique indices)."""
@@ -130,10 +134,13 @@ def count_conflicts(codes: np.ndarray) -> int:
     return sum(count for count in groups.values() if count > 1)
 
 
-def resolve_conflicts_usm(codes: np.ndarray, level_residuals: np.ndarray,
-                          codebooks: list[np.ndarray],
-                          epsilon: float = 0.05,
-                          max_passes: int = 10) -> np.ndarray:
+def resolve_conflicts_usm(
+    codes: np.ndarray,
+    level_residuals: np.ndarray,
+    codebooks: list[np.ndarray],
+    epsilon: float = 0.05,
+    max_passes: int = 10,
+) -> np.ndarray:
     """Uniform-semantic-mapping conflict resolution (Eq. 6, stage two).
 
     For every prefix bucket (identical codes at levels ``0..H-2``) whose
@@ -190,8 +197,7 @@ def resolve_conflicts_usm(codes: np.ndarray, level_residuals: np.ndarray,
                 overflow = [movers[i] for i in order[len(free_codes):]]
                 movers = fitted
             if movers:
-                cost = pairwise_sq_distances(last_residuals[movers],
-                                             last_codebook[free_codes])
+                cost = pairwise_sq_distances(last_residuals[movers], last_codebook[free_codes])
                 assignment = uniform_assign(cost, capacity=1, epsilon=epsilon)
                 for mover, col in zip(movers, assignment):
                     codes[mover, -1] = free_codes[col]
@@ -251,9 +257,9 @@ def resolve_conflicts_extra_level(codes: np.ndarray) -> tuple[np.ndarray, int]:
     return np.concatenate([codes, extra[:, None]], axis=1), extra_size
 
 
-def build_semantic_indices(rqvae: RQVAE, embeddings: np.ndarray,
-                           strategy: str = "usm",
-                           epsilon: float = 0.05) -> ItemIndexSet:
+def build_semantic_indices(
+    rqvae: RQVAE, embeddings: np.ndarray, strategy: str = "usm", epsilon: float = 0.05
+) -> ItemIndexSet:
     """Quantise ``embeddings`` and resolve conflicts with ``strategy``."""
     result = rqvae.quantize(embeddings)
     codebook_size = rqvae.config.codebook_size

@@ -97,9 +97,12 @@ class RQVAE(Module):
         ])
 
     # ------------------------------------------------------------------
-    def init_codebooks_kmeans(self, embeddings: np.ndarray,
-                              rng: np.random.Generator | None = None,
-                              num_iters: int = 20) -> None:
+    def init_codebooks_kmeans(
+        self,
+        embeddings: np.ndarray,
+        rng: np.random.Generator | None = None,
+        num_iters: int = 20,
+    ) -> None:
         """K-means-initialise every level from the data's residuals."""
         rng = rng or np.random.default_rng(self.config.seed + 7)
         with no_grad():
@@ -111,15 +114,17 @@ class RQVAE(Module):
             residual = residual - centers[codes]
 
     # ------------------------------------------------------------------
-    def _assign_level(self, residual_data: np.ndarray, level: int,
-                      training_usm: bool) -> np.ndarray:
+    def _assign_level(
+        self, residual_data: np.ndarray, level: int, training_usm: bool
+    ) -> np.ndarray:
         """Codeword selection for one level (Eq. 1, or Eq. 6 on the last)."""
         book = self.codebooks[level].vectors.data
         dist = pairwise_sq_distances(residual_data, book)
         is_last = level == self.config.num_levels - 1
         if training_usm and is_last and residual_data.shape[0] > 1:
-            plan = sinkhorn_knopp(dist, epsilon=self.config.sinkhorn_epsilon,
-                                  num_iters=self.config.sinkhorn_iters)
+            plan = sinkhorn_knopp(
+                dist, epsilon=self.config.sinkhorn_epsilon, num_iters=self.config.sinkhorn_iters
+            )
             return plan.argmax(axis=1)
         return dist.argmin(axis=1)
 
@@ -132,8 +137,9 @@ class RQVAE(Module):
         rq_loss: Tensor | None = None
         codes = []
         for level in range(self.config.num_levels):
-            code = self._assign_level(residual.data, level,
-                                      training_usm=self.config.usm_last_level)
+            code = self._assign_level(
+                residual.data, level, training_usm=self.config.usm_last_level
+            )
             codes.append(code)
             vectors = F.embedding(self.codebooks[level].vectors, code)
             # ||sg[r] - v||^2: moves codebook vectors toward residuals.
@@ -156,8 +162,7 @@ class RQVAE(Module):
     def quantize(self, embeddings: np.ndarray) -> QuantizationResult:
         """Inference-time greedy quantisation (stage one of Sec. III-B2)."""
         with no_grad():
-            residual = self.encoder(Tensor(np.asarray(embeddings,
-                                                      dtype=np.float32))).data
+            residual = self.encoder(Tensor(np.asarray(embeddings, dtype=np.float32))).data
         residual = residual.copy()
         quantized = np.zeros_like(residual)
         codes = []

@@ -15,8 +15,9 @@ import numpy as np
 __all__ = ["sinkhorn_knopp", "uniform_assign"]
 
 
-def sinkhorn_knopp(cost: np.ndarray, epsilon: float = 0.05,
-                   num_iters: int = 100, tol: float = 1e-6) -> np.ndarray:
+def sinkhorn_knopp(
+    cost: np.ndarray, epsilon: float = 0.05, num_iters: int = 100, tol: float = 1e-6
+) -> np.ndarray:
     """Solve the entropic OT problem with uniform marginals.
 
     Parameters
@@ -62,8 +63,9 @@ def _logsumexp(a: np.ndarray, axis: int) -> np.ndarray:
     return out
 
 
-def uniform_assign(cost: np.ndarray, capacity: int | None = None,
-                   epsilon: float = 0.05, num_iters: int = 100) -> np.ndarray:
+def uniform_assign(
+    cost: np.ndarray, capacity: int | None = None, epsilon: float = 0.05, num_iters: int = 100
+) -> np.ndarray:
     """Hard assignment of each row to one column with per-column capacity.
 
     Runs Sinkhorn to get soft transport probabilities, then rounds greedily

@@ -47,15 +47,16 @@ class RQVAETrainer:
         rng = np.random.default_rng(self.config.seed)
         if self.config.kmeans_init:
             self.model.init_codebooks_kmeans(embeddings, rng=rng)
-        optimizer = AdamW(self.model.parameters(), lr=self.config.lr,
-                          weight_decay=self.config.weight_decay)
+        optimizer = AdamW(
+            self.model.parameters(), lr=self.config.lr, weight_decay=self.config.weight_decay
+        )
         history: list[dict[str, float]] = []
         for epoch in range(self.config.epochs):
             epoch_losses = {"recon": 0.0, "rq": 0.0, "total": 0.0}
             batches = 0
-            for batch_idx in iterate_minibatches(len(embeddings),
-                                                 self.config.batch_size,
-                                                 rng=rng):
+            for batch_idx in iterate_minibatches(
+                len(embeddings), self.config.batch_size, rng=rng
+            ):
                 batch = Tensor(embeddings[batch_idx])
                 optimizer.zero_grad()
                 total, parts, _ = self.model(batch)
@@ -64,8 +65,7 @@ class RQVAETrainer:
                 for key in epoch_losses:
                     epoch_losses[key] += parts[key].item()
                 batches += 1
-            record = {key: value / max(batches, 1)
-                      for key, value in epoch_losses.items()}
+            record = {key: value / max(batches, 1) for key, value in epoch_losses.items()}
             history.append(record)
             if (epoch + 1) % self.config.log_every == 0:
                 logger.info("rqvae epoch %d: total=%.4f recon=%.4f rq=%.4f",

@@ -4,13 +4,74 @@ Built from the learned item indices, the trie drives constrained beam
 search: at each decoding level only tokens that extend some *real* item's
 index are allowed (paper Sec. III-D2), so generation can never produce an
 out-of-catalog item.
+
+Beyond membership queries, the trie is the *sparsity oracle* of the decode
+hot path: a trie level has at most ``codebook_size`` distinct continuations
+out of a vocabulary that is one to two orders of magnitude larger, and
+:meth:`IndexTrie.allowed_token_ids` exposes exactly that structure — the
+per-row legal continuations plus a memoized per-level *candidate union* —
+so the language model can compute logits for the candidate tokens only
+(see ``TinyLlama.lm_head_gather``) instead of the full vocabulary.
+
+All derived lookups (dense masks, level unions, union-space rows, the root
+mask) are cached; :meth:`IndexTrie.add_item` is the only mutation and
+invalidates every derived cache.  The memoized arrays are returned
+read-only and with a stable identity, which downstream weight-gather
+caches key on.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-__all__ = ["IndexTrie"]
+__all__ = ["IndexTrie", "SparseCandidates"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY.setflags(write=False)
+
+
+@dataclass(frozen=True)
+class SparseCandidates:
+    """Legal continuations of a batch of prefixes, in candidate space.
+
+    ``union`` is the memoized, sorted union of every candidate token id for
+    the trie levels the prefixes sit at (a stable, read-only array — its
+    identity is a valid cache key for gathered weight slices).  ``mask``
+    restricts the union per row: ``mask[i, j]`` is True iff ``union[j]``
+    legally extends ``prefixes[i]``.  ``per_row[i]`` is the same set as a
+    sorted id array (empty for illegal prefixes).
+    """
+
+    per_row: list[np.ndarray]  # row -> sorted legal token ids
+    union: np.ndarray  # sorted union over the rows' trie levels
+    mask: np.ndarray  # (rows, len(union)) bool
+
+    @property
+    def num_candidates(self) -> int:
+        return int(self.union.shape[0])
+
+    def is_forced(self, alive: np.ndarray | None = None) -> bool:
+        """Whether every (alive) row has exactly one legal continuation.
+
+        ``alive`` optionally marks rows that still matter (beam rows with a
+        finite score); dead filler rows may have any number of legal
+        continuations — including zero — without breaking forcedness.
+        """
+        if alive is None:
+            return all(ids.size == 1 for ids in self.per_row)
+        return all(
+            ids.size == 1 or not bool(alive[row]) for row, ids in enumerate(self.per_row)
+        )
+
+    def forced_tokens(self, pad_id: int = 0) -> np.ndarray:
+        """The single legal continuation per row (``pad_id`` for dead rows)."""
+        return np.fromiter(
+            (ids[0] if ids.size else pad_id for ids in self.per_row),
+            dtype=np.int64,
+            count=len(self.per_row),
+        )
 
 
 class IndexTrie:
@@ -34,35 +95,86 @@ class IndexTrie:
         self._children: dict[tuple[int, ...], set[int]] = {}
         self._leaf_to_item: dict[tuple[int, ...], int] = {}
         for item_id, seq in sequences.items():
-            seq = tuple(int(t) for t in seq)
-            if seq in self._leaf_to_item:
-                other = self._leaf_to_item[seq]
-                raise ValueError(
-                    f"duplicate index sequence {seq} for items {other} and {item_id}"
-                )
-            self._leaf_to_item[seq] = item_id
-            for depth in range(self.num_levels):
-                prefix = seq[:depth]
-                self._children.setdefault(prefix, set()).add(seq[depth])
+            self._insert(item_id, seq)
+        self._invalidate_derived()
 
-        self._allowed_cache: dict[tuple[int, ...], np.ndarray] = {
-            prefix: np.array(sorted(children), dtype=np.int64)
-            for prefix, children in self._children.items()
-        }
+    def _insert(self, item_id: int, seq: tuple[int, ...]) -> None:
+        seq = tuple(int(t) for t in seq)
+        if seq in self._leaf_to_item:
+            other = self._leaf_to_item[seq]
+            raise ValueError(f"duplicate index sequence {seq} for items {other} and {item_id}")
+        self._leaf_to_item[seq] = item_id
+        for depth in range(self.num_levels):
+            prefix = seq[:depth]
+            self._children.setdefault(prefix, set()).add(seq[depth])
+
+    def _invalidate_derived(self) -> None:
+        """Rebuild every cache derived from the trie's structure.
+
+        Called on construction and after every mutation
+        (:meth:`add_item`): the per-prefix allowed arrays are rebuilt and
+        all memoized masks, level unions, union-space rows and the root
+        mask are dropped, so no caller can observe a stale constraint.
+        """
+        self._allowed_cache: dict[tuple[int, ...], np.ndarray] = {}
+        for prefix, children in self._children.items():
+            allowed = np.array(sorted(children), dtype=np.int64)
+            allowed.setflags(write=False)
+            self._allowed_cache[prefix] = allowed
         self._mask_cache: dict[tuple[int, ...], np.ndarray] = {}
         self._mask_vocab_size = 0
+        self._level_unions: dict[tuple[int, ...], np.ndarray] = {}
+        self._union_rows: dict[tuple[tuple[int, ...], tuple[int, ...]], np.ndarray] = {}
+        self._root_mask: np.ndarray | None = None
         self.max_token_id = max(
             token for children in self._children.values() for token in children
         )
 
     # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_item(self, item_id: int, sequence: tuple[int, ...]) -> None:
+        """Insert one more item's index sequence (catalog growth).
+
+        The sequence must have the trie's depth and be unused.  Every
+        derived cache the insertion can stale — the allowed arrays and
+        dense mask rows of the prefixes along the inserted path, plus the
+        cross-prefix memos (level unions, union-space rows, the cached
+        root mask) — is refreshed or dropped, so in-flight callers that
+        re-query the trie see the new item immediately.  The update is
+        incremental (``O(levels)`` prefix rebuilds, not a whole-trie
+        rebuild), so growing a catalog item by item stays linear.
+        """
+        sequence = tuple(int(t) for t in sequence)
+        if len(sequence) != self.num_levels:
+            raise ValueError(
+                f"sequence depth {len(sequence)} does not match trie depth {self.num_levels}"
+            )
+        self._insert(item_id, sequence)
+        for depth in range(self.num_levels):
+            prefix = sequence[:depth]
+            allowed = np.array(sorted(self._children[prefix]), dtype=np.int64)
+            allowed.setflags(write=False)
+            self._allowed_cache[prefix] = allowed
+            self._mask_cache.pop(prefix, None)
+        self.max_token_id = max(self.max_token_id, max(sequence))
+        # Cross-prefix memos cannot be patched in place: their identities
+        # key downstream gathered-weight caches, so they must change.
+        self._level_unions = {}
+        self._union_rows = {}
+        self._root_mask = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     def allowed_tokens(self, prefix: tuple[int, ...]) -> np.ndarray:
         """Token ids that legally extend ``prefix`` (empty array if none)."""
         prefix = tuple(int(t) for t in prefix)
-        return self._allowed_cache.get(prefix, np.empty(0, dtype=np.int64))
+        return self._allowed_cache.get(prefix, _EMPTY)
 
-    def allowed_token_mask(self, prefixes: list[tuple[int, ...]],
-                           vocab_size: int) -> np.ndarray:
+    def allowed_token_mask(
+        self, prefixes: list[tuple[int, ...]], vocab_size: int
+    ) -> np.ndarray:
         """Boolean ``(len(prefixes), vocab_size)`` constraint mask.
 
         Row ``i`` is True exactly at the token ids that legally extend
@@ -77,6 +189,7 @@ class IndexTrie:
             )
         if vocab_size != self._mask_vocab_size:
             self._mask_cache = {}
+            self._root_mask = None
             self._mask_vocab_size = vocab_size
         rows = []
         for prefix in prefixes:
@@ -90,6 +203,82 @@ class IndexTrie:
                 self._mask_cache[prefix] = row
             rows.append(row)
         return np.stack(rows, axis=0)
+
+    def root_token_mask(self, vocab_size: int) -> np.ndarray:
+        """Cached ``(1, vocab_size)`` mask of the legal *first* index tokens.
+
+        Every prefill of every request starts from the root, so this mask
+        is the hottest trie lookup in the serving path; it is built once
+        per vocabulary size, returned read-only (callers must not mutate
+        it), and invalidated on trie mutation (:meth:`add_item`).
+        """
+        if self._root_mask is not None and self._root_mask.shape[1] == vocab_size:
+            return self._root_mask
+        mask = self.allowed_token_mask([()], vocab_size).copy()
+        mask.setflags(write=False)
+        self._root_mask = mask
+        return mask
+
+    def level_union(self, level: int) -> np.ndarray:
+        """Sorted union of every token id appearing at trie depth ``level``.
+
+        This is the *candidate set* of a decode step whose beams all sit at
+        ``level``: at most ``codebook_size`` ids out of the whole
+        vocabulary.  Memoized with a stable identity (and returned
+        read-only) so gathered output-head weights can be cached against
+        the array object itself; invalidated on :meth:`add_item`.
+        """
+        if not 0 <= level < self.num_levels:
+            raise ValueError(f"level {level} out of range for depth {self.num_levels}")
+        return self._union_for_levels((level,))
+
+    def _union_for_levels(self, levels: tuple[int, ...]) -> np.ndarray:
+        union = self._level_unions.get(levels)
+        if union is None:
+            if len(levels) == 1:
+                tokens: set[int] = set()
+                for prefix, children in self._children.items():
+                    if len(prefix) == levels[0]:
+                        tokens.update(children)
+                union = np.array(sorted(tokens), dtype=np.int64)
+            else:
+                parts = [self._union_for_levels((level,)) for level in levels]
+                union = parts[0]
+                for part in parts[1:]:
+                    union = np.union1d(union, part)
+            union.setflags(write=False)
+            self._level_unions[levels] = union
+        return union
+
+    def allowed_token_ids(self, prefixes: list[tuple[int, ...]]) -> SparseCandidates:
+        """Per-row legal continuations plus the memoized candidate union.
+
+        The sparse counterpart of :meth:`allowed_token_mask`: instead of a
+        ``(rows, vocab_size)`` mask it returns the (tiny) union of
+        candidate ids for the trie levels the prefixes sit at, and a
+        ``(rows, len(union))`` mask in union space.  Per-(levels, prefix)
+        rows are cached, so a steady-state decode step pays dictionary
+        lookups and one stack — no vocabulary-sized work at all.
+        """
+        prefixes = [tuple(int(t) for t in p) for p in prefixes]
+        levels = tuple(sorted({len(p) for p in prefixes}))
+        union = self._union_for_levels(levels)
+        per_row: list[np.ndarray] = []
+        rows: list[np.ndarray] = []
+        for prefix in prefixes:
+            allowed = self._allowed_cache.get(prefix, _EMPTY)
+            per_row.append(allowed)
+            key = (levels, prefix)
+            row = self._union_rows.get(key)
+            if row is None:
+                row = np.zeros(union.shape[0], dtype=bool)
+                if allowed.size:
+                    row[np.searchsorted(union, allowed)] = True
+                row.setflags(write=False)
+                self._union_rows[key] = row
+            rows.append(row)
+        mask = np.stack(rows, axis=0)
+        return SparseCandidates(per_row=per_row, union=union, mask=mask)
 
     def item_at(self, sequence: tuple[int, ...]) -> int:
         """The item id stored at a complete index sequence."""
@@ -109,8 +298,7 @@ class IndexTrie:
         """All item ids whose index starts with ``prefix``."""
         prefix = tuple(int(t) for t in prefix)
         return [
-            item for seq, item in self._leaf_to_item.items()
-            if seq[:len(prefix)] == prefix
+            item for seq, item in self._leaf_to_item.items() if seq[: len(prefix)] == prefix
         ]
 
     @property

@@ -16,20 +16,21 @@ contract the batched trie-constrained beam search exposes —
   the final level, and :meth:`GenerativeEngine.finish` harvests everything
 
 — plus capability flags (``supports_continuous``, ``supports_prefix_cache``,
-``num_levels``) the service uses to pick a scheduling discipline, and the
-request-shaping hooks (``encode_history``, ``request_beam_size``,
-``effective_len``, ``finalize``) that keep model-specific text rendering,
-beam policy and ranking post-processing out of the service.
+``supports_sparse_head``, ``num_levels``) the service uses to pick a
+scheduling discipline, and the request-shaping hooks (``encode_history``,
+``request_beam_size``, ``effective_len``, ``finalize``) that keep
+model-specific text rendering, beam policy and ranking post-processing out
+of the service.
 
 Three adapters ship with the repo:
 
-=================  ==========================================  ==========
-adapter            decode path                                 continuous
-=================  ==========================================  ==========
-:class:`LCRecEngine`   shared :class:`repro.llm.DecodeState` stepper   yes
-:class:`P5CIDEngine`   same stepper (decoder-only TinyLlama)           yes
-:class:`TIGEREngine`   batched encoder-decoder beam expansion          no
-=================  ==========================================  ==========
+=================  ==========================================  ==========  ===========
+adapter            decode path                                 continuous  sparse head
+=================  ==========================================  ==========  ===========
+:class:`LCRecEngine`   shared :class:`repro.llm.DecodeState` stepper   yes         yes
+:class:`P5CIDEngine`   same stepper (decoder-only TinyLlama)           yes         yes
+:class:`TIGEREngine`   batched encoder-decoder beam expansion          no          yes
+=================  ==========================================  ==========  ===========
 
 Every adapter is ranking-preserving: batching is a cost optimisation, never
 an approximation, and the parity suites pin each adapter to its
@@ -67,7 +68,7 @@ from ..llm import (
     ranked_item_ids,
 )
 from ..data.batching import pad_sequences
-from ..llm.generation import log_softmax_np, topk_desc
+from ..llm.generation import masked_log_softmax, select_beams, topk_desc
 from ..quantization.trie import IndexTrie
 from ..tensor import Tensor, no_grad
 from .queue import RecommendRequest
@@ -134,6 +135,14 @@ class GenerativeEngine(abc.ABC):
         Whether the engine can seed prompt K/V from a shared
         :class:`repro.llm.PrefixKVCache` (``prefix_cache`` is then not
         ``None`` when enabled).
+    ``supports_sparse_head``
+        Whether the engine can decode with a trie-aware *sparse* output
+        head: logits computed for the current trie level's candidate
+        union only, log-softmax renormalised over candidates, and forced
+        (singleton-continuation) levels appended without a model forward.
+        Rankings are identical to the dense head; only the cost changes.
+        Engines that support it take a ``sparse_head`` constructor flag
+        (default on) so benchmarks can measure the dense baseline.
     ``num_levels``
         Trie depth — :meth:`prefill` performs the level-0 expansion, so a
         freshly prefilled request needs ``num_levels - 1`` further
@@ -144,6 +153,7 @@ class GenerativeEngine(abc.ABC):
     name: str = "engine"
     supports_continuous: bool = False
     supports_prefix_cache: bool = False
+    supports_sparse_head: bool = False
     prefix_cache: PrefixKVCache | None = None
     default_beam_size: int = 20
 
@@ -349,6 +359,7 @@ class TrieDecoderEngine(GenerativeEngine):
 
     supports_continuous = True
     supports_prefix_cache = True
+    supports_sparse_head = True
 
     def __init__(
         self,
@@ -357,11 +368,13 @@ class TrieDecoderEngine(GenerativeEngine):
         pad_id: int = 0,
         prefix_cache: PrefixKVCache | bool | None = None,
         default_beam_size: int = 20,
+        sparse_head: bool = True,
     ):
         self.lm = lm
         self.trie = trie
         self.pad_id = pad_id
         self.default_beam_size = default_beam_size
+        self.sparse_head = sparse_head
         self.set_prefix_cache(prefix_cache)
 
     @property
@@ -412,6 +425,7 @@ class TrieDecoderEngine(GenerativeEngine):
             pad_id=self.pad_id,
             prefix_cache=self.prefix_cache,
             tags=requests,
+            sparse=self.sparse_head,
         )
 
     def step(self, state: EngineState) -> None:
@@ -447,7 +461,12 @@ class LCRecEngine(TrieDecoderEngine):
 
     name = "lcrec"
 
-    def __init__(self, model: "LCRec", prefix_cache: PrefixKVCache | bool | None = True):
+    def __init__(
+        self,
+        model: "LCRec",
+        prefix_cache: PrefixKVCache | bool | None = True,
+        sparse_head: bool = True,
+    ):
         model._require_built()
         super().__init__(
             model.lm,
@@ -455,6 +474,7 @@ class LCRecEngine(TrieDecoderEngine):
             pad_id=0,
             prefix_cache=prefix_cache,
             default_beam_size=model.config.beam_size,
+            sparse_head=sparse_head,
         )
         self.model = model
 
@@ -479,7 +499,12 @@ class P5CIDEngine(TrieDecoderEngine):
 
     name = "p5cid"
 
-    def __init__(self, model: "P5CID", prefix_cache: PrefixKVCache | bool | None = None):
+    def __init__(
+        self,
+        model: "P5CID",
+        prefix_cache: PrefixKVCache | bool | None = None,
+        sparse_head: bool = True,
+    ):
         # Lazy import: repro.baselines must stay importable without pulling
         # the serving package in (and vice versa).
         from ..baselines.generative import PAD_ID
@@ -490,6 +515,7 @@ class P5CIDEngine(TrieDecoderEngine):
             pad_id=PAD_ID,
             prefix_cache=prefix_cache,
             default_beam_size=model.config.beam_size,
+            sparse_head=sparse_head,
         )
         self.model = model
 
@@ -562,8 +588,9 @@ class TIGEREngine(GenerativeEngine):
     name = "tiger"
     supports_continuous = False
     supports_prefix_cache = False
+    supports_sparse_head = True
 
-    def __init__(self, model: "TIGER"):
+    def __init__(self, model: "TIGER", sparse_head: bool = True):
         # Lazy import keeps repro.serving importable without the baselines
         # package (and avoids an import cycle with baselines.tiger).
         from ..baselines.generative import BOS_ID, PAD_ID
@@ -573,6 +600,7 @@ class TIGEREngine(GenerativeEngine):
         self.pad_id = PAD_ID
         self.bos_id = BOS_ID
         self.default_beam_size = model.config.beam_size
+        self.sparse_head = sparse_head
 
     @property
     def num_levels(self) -> int:
@@ -610,21 +638,31 @@ class TIGEREngine(GenerativeEngine):
             )
             memory, memory_mask = model.encode(source)
             bos = np.full((len(requests), 1), self.bos_id, dtype=np.int64)
-            logits = model.decode(memory, memory_mask, bos).data[:, -1, :]
-        log_probs = log_softmax_np(logits)  # (B, V)
-        root_mask = self.trie.allowed_token_mask([()], logits.shape[-1])
-        scores = np.where(root_mask, log_probs, -np.inf)
+            hidden = model.decode_hidden(memory, memory_mask, bos).data[:, -1, :]
+        if self.sparse_head:
+            root = self.trie.allowed_token_ids([()])
+            logits = model.head_gather(hidden, root.union)  # (B, U)
+            scores = masked_log_softmax(logits, root.mask)
+            width = root.num_candidates
+        else:
+            logits = model.head_logits(hidden)  # (B, V)
+            scores = masked_log_softmax(
+                logits, self.trie.root_token_mask(logits.shape[-1])
+            )
+            width = logits.shape[-1]
         if num_beams > scores.shape[1]:
-            # The beam can be wider than the token vocabulary (deep tries
-            # fan out at later levels): pad with -inf filler columns so
-            # every row still carries num_beams slots.
+            # The beam can be wider than the candidate set (deep tries fan
+            # out at later levels): pad with -inf filler columns so every
+            # row still carries num_beams slots.
             filler = np.full((scores.shape[0], num_beams - scores.shape[1]), -np.inf)
             scores = np.concatenate([scores, filler], axis=1)
         order, top_scores = topk_desc(scores, num_beams)
-        # Filler beams (-inf) may carry out-of-vocabulary slot indices;
-        # clamp them to the pad token so later decoder forwards can embed
-        # them (their candidates stay -inf: a pad prefix is never in the
-        # trie, so the mask never resurrects them).
+        if self.sparse_head:
+            order = root.union[np.minimum(order, width - 1)]
+        # Filler beams (-inf) may carry arbitrary slot indices; clamp them
+        # to the pad token so later decoder forwards can embed them (their
+        # candidates stay -inf: a pad prefix is never in the trie, so the
+        # constraint never resurrects them).
         order = np.where(np.isfinite(top_scores), order, self.pad_id)
         return TIGERDecodeState(
             memory=memory,
@@ -644,6 +682,23 @@ class TIGEREngine(GenerativeEngine):
         model = self.model
         num_requests, num_beams = state.num_rows, state.num_beams
         prefixes = [prefix for row in state.beam_tokens for prefix in row]
+        candidates_info = self.trie.allowed_token_ids(prefixes) if self.sparse_head else None
+        if self.sparse_head:
+            alive = np.isfinite(state.beam_scores).reshape(-1)
+            if candidates_info.is_forced(alive):
+                # Forced level: a singleton allowed set renormalises to
+                # log-probability 0.0, so append with no decoder forward
+                # at all (TIGER re-decodes the full prefix each level —
+                # there is no KV cache to catch up later).
+                forced = candidates_info.forced_tokens(self.pad_id)
+                state.beam_tokens = [
+                    [
+                        prefix + (int(forced[b * num_beams + k]),)
+                        for k, prefix in enumerate(row)
+                    ]
+                    for b, row in enumerate(state.beam_tokens)
+                ]
+                return
         decoder_input = np.array(
             [(self.bos_id,) + prefix for prefix in prefixes], dtype=np.int64
         )  # (B*K, level+1)
@@ -651,18 +706,23 @@ class TIGEREngine(GenerativeEngine):
             if state.memory_flat is None:
                 state.memory_flat = Tensor(np.repeat(state.memory.data, num_beams, axis=0))
                 state.memory_mask_flat = np.repeat(state.memory_mask, num_beams, axis=0)
-            logits = model.decode(
+            hidden = model.decode_hidden(
                 state.memory_flat, state.memory_mask_flat, decoder_input
             ).data[:, -1, :]
-        vocab_size = logits.shape[-1]
-        step_logp = log_softmax_np(logits)  # (B*K, V)
-        mask = self.trie.allowed_token_mask(prefixes, vocab_size)
-        candidates = np.where(mask, step_logp.astype(np.float64), -np.inf)
-        candidates += state.beam_scores.reshape(-1, 1)
-        candidates = candidates.reshape(num_requests, num_beams * vocab_size)
-        order, state.beam_scores = topk_desc(candidates, num_beams)
-        origin = order // vocab_size
-        token = order % vocab_size
+        if self.sparse_head:
+            union = candidates_info.union
+            width = candidates_info.num_candidates
+            logits = model.head_gather(hidden, union)  # (B*K, U)
+            step_logp = masked_log_softmax(logits, candidates_info.mask)
+        else:
+            union = None
+            logits = model.head_logits(hidden)  # (B*K, V)
+            width = logits.shape[-1]
+            mask = self.trie.allowed_token_mask(prefixes, width)
+            step_logp = masked_log_softmax(logits, mask)
+        origin, token, state.beam_scores = select_beams(
+            step_logp, state.beam_scores, num_beams, width, union
+        )
         state.beam_tokens = [
             [
                 state.beam_tokens[b][int(origin[b, k])] + (int(token[b, k]),)

@@ -44,6 +44,7 @@ callers); handles are safe to share between threads.
 from __future__ import annotations
 
 import threading
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -125,6 +126,16 @@ class ServingStats:
     the engine's *effective* lengths (post-prefix-cache, for engines with
     a cache) — the columns the decode actually forwards — so the mean
     reflects real decode cost, not raw prompt shapes.
+
+    ``prefill_seconds`` / ``step_seconds`` / ``finalize_seconds`` attribute
+    decode-path wall time to its stages: the prompt phase (including
+    prefix-cache matching and level-0 expansion), the per-level stepping
+    loop (including retirements), and ranking post-processing (which may
+    re-decode for widen-and-backfill engines).  The benchmark JSON reports
+    read these through :meth:`stage_seconds`, so a perf regression can be
+    attributed to a stage instead of showing up only in end-to-end
+    latency.  Queue wait and thread handoff are deliberately excluded —
+    these are engine-cost counters.
     """
 
     requests: int = 0
@@ -134,6 +145,9 @@ class ServingStats:
     deadline_flushes: int = 0
     admissions: int = 0
     joins: int = 0
+    prefill_seconds: float = 0.0
+    step_seconds: float = 0.0
+    finalize_seconds: float = 0.0
 
     @property
     def mean_batch_size(self) -> float:
@@ -142,6 +156,14 @@ class ServingStats:
     @property
     def mean_padding_fraction(self) -> float:
         return self.padding_fraction_sum / self.batches if self.batches else 0.0
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage decode time: ``{"prefill": .., "step": .., "finalize": ..}``."""
+        return {
+            "prefill": self.prefill_seconds,
+            "step": self.step_seconds,
+            "finalize": self.finalize_seconds,
+        }
 
 
 class RecommendationService:
@@ -354,6 +376,7 @@ class RecommendationService:
                     # the prompts into the prefix cache, after which they
                     # would all probe as full hits.
                     padding = padding_fraction(requests, self._effective_len())
+                    tick = time.perf_counter()
                     try:
                         scheduler.admit(requests)
                     except Exception as exc:
@@ -362,19 +385,25 @@ class RecommendationService:
                         # requests, keep serving the in-flight ones.
                         self._fail_requests(requests, exc)
                         requests = []
+                    finally:
+                        # Admission is an engine prefill (plus the join).
+                        self.stats.prefill_seconds += time.perf_counter() - tick
                     if requests:
                         self.stats.admissions += 1
                         self.stats.joins += int(joining)
                         self.stats.batches += 1
                         self.stats.padding_fraction_sum += padding
+            tick = time.perf_counter()
             try:
                 delivered = scheduler.step()
             except Exception as exc:
                 # A broken step takes down every in-flight row (their
                 # decode state is unrecoverable); fail those handles and
                 # keep the loop alive for the requests still queued.
+                self.stats.step_seconds += time.perf_counter() - tick
                 self._fail_requests(scheduler.abort(), exc)
                 return
+            self.stats.step_seconds += time.perf_counter() - tick
             self.stats.requests += len(delivered)
             for request, hypotheses in delivered:
                 with self._pending_lock:
@@ -384,10 +413,13 @@ class RecommendationService:
                     # so it runs under the decode lock with delivery after.
                     # A failing finalize must fail only its own handle, not
                     # take down the loop (and with it every later request).
+                    tick = time.perf_counter()
                     try:
                         ready.append((handle, self.engine.finalize([request], [hypotheses])[0]))
                     except Exception as exc:
                         handle._fail(exc)
+                    finally:
+                        self.stats.finalize_seconds += time.perf_counter() - tick
         for handle, ranking in ready:
             handle._deliver(ranking)
 
@@ -489,8 +521,19 @@ class RecommendationService:
         batch: list[RecommendRequest],
         effective_len: "Callable[[RecommendRequest], int]",
     ) -> None:
-        all_hypotheses = self.engine.decode(batch)
+        # Drive the engine contract directly (exactly what engine.decode
+        # does) so wall time can be attributed per stage in the stats.
+        tick = time.perf_counter()
+        state = self.engine.prefill(batch)
+        self.stats.prefill_seconds += time.perf_counter() - tick
+        tick = time.perf_counter()
+        while not state.done:
+            self.engine.step(state)
+        all_hypotheses = self.engine.finish(state)
+        self.stats.step_seconds += time.perf_counter() - tick
+        tick = time.perf_counter()
         rankings = self.engine.finalize(batch, all_hypotheses)
+        self.stats.finalize_seconds += time.perf_counter() - tick
         for request, ranking in zip(batch, rankings):
             with self._pending_lock:
                 handle = self._pending.pop(request.request_id, None)

@@ -28,6 +28,7 @@ from .tensor import (
     stack,
     where,
 )
+from .workspace import StepWorkspace, WeightMemo
 
 __all__ = [
     "Tensor",
@@ -52,6 +53,8 @@ __all__ = [
     "RotaryEmbedding",
     "KVCache",
     "BeamKVCache",
+    "StepWorkspace",
+    "WeightMemo",
     "causal_mask",
     "GRU",
     "GRUCell",

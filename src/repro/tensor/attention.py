@@ -13,7 +13,8 @@ import numpy as np
 
 from . import functional as F
 from .nn import Dropout, Linear, Module
-from .tensor import Tensor, concat
+from .tensor import Tensor, concat, is_grad_enabled
+from .workspace import StepWorkspace, WeightMemo
 
 __all__ = ["RotaryEmbedding", "KVCache", "BeamKVCache", "MultiHeadAttention", "causal_mask"]
 
@@ -383,6 +384,21 @@ class MultiHeadAttention(Module):
         self.v_proj = Linear(dim, dim, bias=False, rng=rng)
         self.out_proj = Linear(dim, dim, bias=False, rng=rng)
         self.attn_dropout = Dropout(dropout, rng=rng)
+        # Cleared on every train()/eval() transition by Module.train.
+        self._fused_qkv = WeightMemo(max_entries=1)
+
+    def _fused_qkv_weight(self) -> np.ndarray:
+        """Concatenated ``(dim, 3*dim)`` weight for a single QKV GEMM.
+
+        Inference-only: one fused matmul replaces three per-projection BLAS
+        calls on the decode hot path.  Staleness guards live in
+        :class:`repro.tensor.WeightMemo`.
+        """
+        params = (self.q_proj.weight, self.k_proj.weight, self.v_proj.weight)
+        sources = tuple(param.data for param in params)
+        return self._fused_qkv.get(
+            sources, params, lambda: np.concatenate(sources, axis=1)
+        )
 
     def _split_heads(self, x: Tensor) -> Tensor:
         batch, seq, _ = x.shape
@@ -399,6 +415,7 @@ class MultiHeadAttention(Module):
         attn_mask: np.ndarray | None = None,
         cache: KVCache | None = None,
         rope_offset: int | np.ndarray | None = None,
+        workspace: StepWorkspace | None = None,
     ) -> Tensor:
         """Attend from ``x`` to ``context`` (defaults to self-attention).
 
@@ -407,12 +424,34 @@ class MultiHeadAttention(Module):
         When ``cache`` is given, newly computed keys/values are appended and
         attention spans the full cached sequence.  ``rope_offset`` overrides
         the RoPE position offset (default: the cache length); batched
-        left-padded decoding passes a per-row ``(B,)`` array.
+        left-padded decoding passes a per-row ``(B,)`` array.  ``workspace``
+        optionally provides reusable scratch buffers for the cached decode
+        path (see :class:`repro.tensor.StepWorkspace`).
         """
         source = context if context is not None else x
-        q = self._split_heads(self.q_proj(x))
-        k = self._split_heads(self.k_proj(source))
-        v = self._split_heads(self.v_proj(source))
+        if cache is not None and context is None and not is_grad_enabled():
+            # Cached self-attention decode: one fused QKV GEMM instead of
+            # three projection matmuls, written into workspace scratch.
+            x_data = x.data
+            out_buf = (
+                workspace.take("qkv", x_data.shape[:-1] + (3 * self.dim,))
+                if workspace is not None
+                else None
+            )
+            # Folded GEMM: collapse (B, T) so the projection is one BLAS
+            # call regardless of batch shape (matches Tensor.__matmul__).
+            flat_x = x_data.reshape(-1, x_data.shape[-1])
+            flat_out = None if out_buf is None else out_buf.reshape(-1, 3 * self.dim)
+            qkv = np.matmul(flat_x, self._fused_qkv_weight(), out=flat_out).reshape(
+                x_data.shape[:-1] + (3 * self.dim,)
+            )
+            q = self._split_heads(Tensor(qkv[..., : self.dim]))
+            k = self._split_heads(Tensor(qkv[..., self.dim : 2 * self.dim]))
+            v = self._split_heads(Tensor(qkv[..., 2 * self.dim :]))
+        else:
+            q = self._split_heads(self.q_proj(x))
+            k = self._split_heads(self.k_proj(source))
+            v = self._split_heads(self.v_proj(source))
 
         if rope_offset is None:
             rope_offset = cache.length if cache is not None else 0
@@ -423,7 +462,7 @@ class MultiHeadAttention(Module):
         if cache is not None:
             k_data, v_data = cache.append(k.data, v.data)
             if isinstance(cache, BeamKVCache) and cache.fanned:
-                out = self._beam_cached_attention(q.data, cache, attn_mask)
+                out = self._beam_cached_attention(q.data, cache, attn_mask, workspace)
                 return self.out_proj(Tensor(out))
             k, v = Tensor(k_data), Tensor(v_data)
 
@@ -437,48 +476,77 @@ class MultiHeadAttention(Module):
         return self.out_proj(self._merge_heads(out))
 
     def _beam_cached_attention(
-        self, q: np.ndarray, cache: BeamKVCache, attn_mask: np.ndarray | None
+        self,
+        q: np.ndarray,
+        cache: BeamKVCache,
+        attn_mask: np.ndarray | None,
+        workspace: StepWorkspace | None = None,
     ) -> np.ndarray:
-        """Single-token decode attention over a shared-prompt beam cache.
+        """Decode attention over a shared-prompt beam cache (``T >= 1``).
 
-        ``q`` is ``(B*K, H, 1, Dh)`` (the new token per hypothesis, RoPE
-        already applied; its keys/values are already in ``cache.suffix``).
-        Prompt keys/values stay at ``B`` rows and are attended through one
-        broadcast matmul per request instead of ``K`` duplicated copies;
-        only the per-beam suffix lives on the flat ``B*K`` axis.  Returns
-        merged-head outputs ``(B*K, 1, dim)``.
+        ``q`` is ``(B*K, H, T, Dh)`` — the new token(s) per hypothesis, RoPE
+        already applied; their keys/values are already in ``cache.suffix``.
+        ``T`` is 1 on an ordinary decode step; the forced-token fast path
+        flushes several pending trie levels in one combined forward, so any
+        ``T`` is supported (queries carry the model's causal mask).  Prompt
+        keys/values stay at ``B`` rows and are attended through broadcast
+        matmuls per request instead of ``K`` duplicated copies; only the
+        per-beam suffix lives on the flat ``B*K`` axis.  With a
+        :class:`repro.tensor.StepWorkspace`, every score/output scratch
+        array is reused across steps (zero step-scoped allocations at
+        steady state).  Returns merged-head outputs ``(B*K, T, dim)``.
         """
         kp, vp = cache.prompt.keys, cache.prompt.values  # (B, H, Tp, Dh)
         ks, vs = cache.suffix.keys, cache.suffix.values  # (B*K, H, S, Dh)
         beams = cache.beams
         num_requests, heads, prompt_len, head_dim = kp.shape
-        flat, suffix_len = q.shape[0], ks.shape[2]
-        scale = 1.0 / np.sqrt(head_dim)
+        flat, _, q_len, _ = q.shape
+        suffix_len = ks.shape[2]
+        key_len = prompt_len + suffix_len
+        scale = np.float32(1.0 / np.sqrt(head_dim))
 
-        q_bhkd = q.reshape(num_requests, beams, heads, head_dim).transpose(0, 2, 1, 3)
-        scores_p = (q_bhkd @ kp.transpose(0, 1, 3, 2)) * scale  # (B,H,K,Tp)
-        scores_s = (q @ ks.transpose(0, 1, 3, 2)) * scale  # (B*K,H,1,S)
-        scores_s = scores_s.reshape(num_requests, beams, heads, suffix_len).transpose(0, 2, 1, 3)
-        scores = np.concatenate([scores_p, scores_s], axis=3)
+        def scratch(name: str, shape: tuple[int, ...]) -> np.ndarray:
+            if workspace is not None:
+                return workspace.take(name, shape)
+            return np.empty(shape, dtype=np.float32)
+
+        # (B, H, K, T, Dh) view of the flat queries: the prompt matmul
+        # broadcasts each request's K/V over the K (and T) axes.
+        q5 = q.reshape(num_requests, beams, heads, q_len, head_dim).transpose(0, 2, 1, 3, 4)
+        scores = scratch("attn_scores", (num_requests, heads, beams, q_len, key_len))
+        np.matmul(q5, kp.transpose(0, 1, 3, 2)[:, :, None], out=scores[..., :prompt_len])
+        ks5 = ks.reshape(num_requests, beams, heads, suffix_len, head_dim)
+        np.matmul(q5, ks5.transpose(0, 2, 1, 4, 3), out=scores[..., prompt_len:])
+        scores *= scale
 
         if attn_mask is not None and np.any(attn_mask):
             mask = np.asarray(attn_mask)
-            key_len = prompt_len + suffix_len
             if mask.ndim == 2:
-                mask = mask[None, None]
-            if mask.shape[0] == flat:
-                # (B*K, 1, 1, key_len) -> (B, 1, K, key_len)
-                mask = mask.reshape(num_requests, beams, 1, key_len).transpose(0, 2, 1, 3)
-            scores = np.where(mask, np.float32(-1e9), scores)
+                # (T, key_len) causal mask shared by every hypothesis.
+                mask = mask[None, None, None, :, :]
+            elif mask.shape[0] == flat:
+                # (B*K, 1, T, key_len) -> (B, 1, K, T, key_len)
+                mask = mask.reshape(num_requests, beams, 1, q_len, key_len).transpose(
+                    0, 2, 1, 3, 4
+                )
+            else:
+                raise ValueError(f"unsupported beam attention mask shape {mask.shape}")
+            np.copyto(scores, np.float32(-1e9), where=mask)
 
         scores -= scores.max(axis=-1, keepdims=True)
         np.exp(scores, out=scores)
         scores /= scores.sum(axis=-1, keepdims=True)
         probs = self.attn_dropout(Tensor(scores)).data
 
-        out_p = probs[..., :prompt_len] @ vp  # (B, H, K, Dh)
-        out_p = out_p.transpose(0, 2, 1, 3).reshape(flat, heads, 1, head_dim)
-        probs_s = probs[..., prompt_len:].transpose(0, 2, 1, 3)
-        out_s = probs_s.reshape(flat, heads, 1, suffix_len) @ vs
-        out = out_p + out_s
-        return out.transpose(0, 2, 1, 3).reshape(flat, 1, self.dim)
+        ctx = scratch("attn_ctx", (num_requests, heads, beams, q_len, head_dim))
+        np.matmul(probs[..., :prompt_len], vp[:, :, None], out=ctx)
+        ctx_s = scratch("attn_ctx_suffix", (num_requests, heads, beams, q_len, head_dim))
+        vs5 = vs.reshape(num_requests, beams, heads, suffix_len, head_dim)
+        np.matmul(probs[..., prompt_len:], vs5.transpose(0, 2, 1, 3, 4), out=ctx_s)
+        ctx += ctx_s
+        merged = scratch("attn_merged", (flat, q_len, self.dim))
+        np.copyto(
+            merged.reshape(num_requests, beams, q_len, heads, head_dim),
+            ctx.transpose(0, 2, 3, 1, 4),
+        )
+        return merged

@@ -16,6 +16,7 @@ import numpy as np
 from . import functional as F
 from .init import kaiming_uniform, normal_, uniform_
 from .tensor import Parameter, Tensor
+from .workspace import WeightMemo
 
 __all__ = [
     "Module",
@@ -69,6 +70,13 @@ class Module:
     def train(self, mode: bool = True) -> "Module":
         for module in self.modules():
             module.training = mode
+            # Mode transitions bracket every training loop in this repo,
+            # so they are the invalidation point for caches derived from
+            # weights: the optimizers update parameter arrays in place,
+            # which identity checks alone cannot see (see WeightMemo).
+            for value in vars(module).values():
+                if isinstance(value, WeightMemo):
+                    value.clear()
         return self
 
     def eval(self) -> "Module":

@@ -60,15 +60,27 @@ class TestBeamSearch:
         with pytest.raises(ValueError):
             beam_search_items(make_model(), [1], make_trie(), beam_size=0)
 
-    def test_scores_are_true_log_probabilities(self):
-        """Beam score must equal the summed token log-prob of the sequence."""
+    def test_scores_are_constrained_log_probabilities(self):
+        """Beam score must equal the summed *constrained* token log-probs.
+
+        Constrained decoding masks illegal tokens to -inf before the
+        log-softmax (what a prefix_allowed_tokens_fn logits processor
+        does), so each level's distribution renormalises over the tokens
+        the trie allows for that prefix.
+        """
         model = make_model()
         trie = make_trie()
         prompt = [1, 2]
         hypotheses = beam_search_items(model, prompt, trie, beam_size=50)
         best = hypotheses[0]
-        expected = sequence_logprob(model, prompt, list(best.token_ids),
-                                    length_normalize=False)
+        full = np.asarray(prompt + list(best.token_ids), dtype=np.int64)[None, :]
+        logits = model.forward(full).data[0]
+        expected = 0.0
+        for level, token in enumerate(best.token_ids):
+            allowed = trie.allowed_tokens(best.token_ids[:level])
+            raw = logits[len(prompt) - 1 + level, allowed]
+            level_logp = raw - (raw.max() + np.log(np.exp(raw - raw.max()).sum()))
+            expected += float(level_logp[list(allowed).index(token)])
         assert best.score == pytest.approx(expected, abs=1e-3)
 
 

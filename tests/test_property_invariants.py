@@ -19,11 +19,24 @@ def make_model(vocab=24):
 class TestBeamSearchExactness:
     """A wide-enough beam must match exhaustive enumeration exactly."""
 
+    def constrained_sequence_logprob(self, model, prompt, sequence, trie):
+        """Summed per-level log-probs renormalised over the trie's allowed
+        sets — the constrained-decoding semantics of beam_search_items."""
+        full = np.asarray(list(prompt) + list(sequence), dtype=np.int64)[None, :]
+        logits = model.forward(full).data[0]
+        total = 0.0
+        for level, token in enumerate(sequence):
+            allowed = trie.allowed_tokens(tuple(sequence[:level]))
+            raw = logits[len(prompt) - 1 + level, allowed]
+            logp = raw - (raw.max() + np.log(np.exp(raw - raw.max()).sum()))
+            total += float(logp[list(allowed).index(token)])
+        return total
+
     def exhaustive_ranking(self, model, prompt, trie):
         scored = []
         for item, sequence in trie.all_sequences().items():
-            logprob = sequence_logprob(model, prompt, list(sequence),
-                                       length_normalize=False)
+            logprob = self.constrained_sequence_logprob(model, prompt,
+                                                        list(sequence), trie)
             scored.append((logprob, item))
         scored.sort(key=lambda pair: -pair[0])
         return [item for _, item in scored], [s for s, _ in scored]

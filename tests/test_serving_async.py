@@ -252,16 +252,16 @@ class TestAsyncService:
             LCRecEngine(tiny_lcrec, prefix_cache=False),
             batcher=MicroBatcherConfig(max_batch_size=1),
         )
-        real_decode = service.engine.decode
+        real_prefill = service.engine.prefill
         calls = {"count": 0}
 
         def flaky(*args, **kwargs):
             calls["count"] += 1
             if calls["count"] == 1:
                 raise RuntimeError("decode blew up")
-            return real_decode(*args, **kwargs)
+            return real_prefill(*args, **kwargs)
 
-        monkeypatch.setattr(service.engine, "decode", flaky)
+        monkeypatch.setattr(service.engine, "prefill", flaky)
         pending = [service.submit(h, top_k=3) for h in tiny_dataset.split.test_histories[:2]]
         with pytest.raises(RuntimeError, match="decode blew up"):
             service.flush()

@@ -1,0 +1,473 @@
+"""Trie-aware sparse decode: candidate head, forced fast path, workspaces.
+
+Parity contracts pinned here:
+
+* ``IndexTrie.allowed_token_ids`` exposes exactly the same constraint as
+  the dense ``allowed_token_mask`` (union + mask in candidate space),
+  with memoized identities and invalidation on trie mutation;
+* the sparse (candidate-only) decode returns rankings identical to the
+  dense full-vocabulary head — and scores equal to float rounding — for
+  the raw stepper and for every engine adapter (LCRec, P5CID, TIGER) at
+  B ∈ {1, 4, 16}, with and without the prefix cache;
+* the forced-token fast path skips model forwards without changing any
+  score (a singleton allowed set renormalises to log-probability 0.0),
+  across one-shot decodes, mid-decode retirement, and continuous joins;
+* the fused-QKV / gathered-head caches never serve stale weights across
+  train()/eval() cycles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import P5CID, P5CIDConfig, TIGER, TIGERConfig
+from repro.core.indexer import build_random_index_set
+from repro.llm import (
+    LMConfig,
+    PrefixKVCache,
+    TinyLlama,
+    beam_search_items_batched,
+    beam_search_items_single,
+    decode_finish,
+    decode_join,
+    decode_prefill,
+    decode_retire,
+    decode_step,
+    masked_log_softmax,
+)
+from repro.llm.generation import log_softmax_np
+from repro.quantization import IndexTrie
+from repro.serving import (
+    LCRecEngine,
+    MicroBatcherConfig,
+    P5CIDEngine,
+    RecommendationService,
+    TIGEREngine,
+)
+from repro.tensor import StepWorkspace
+
+
+def make_model(vocab=60, seed=7):
+    model = TinyLlama(LMConfig(vocab_size=vocab, dim=16, num_layers=1,
+                               num_heads=2, ffn_hidden=24, max_seq_len=64,
+                               seed=seed))
+    model.eval()
+    return model
+
+
+def make_trie():
+    return IndexTrie({
+        0: (10, 12, 14),
+        1: (10, 12, 15),
+        2: (10, 13, 14),
+        3: (11, 12, 14),
+        4: (11, 13, 15),
+    })
+
+
+def make_forced_trie():
+    """Level 2 is forced: every (L0, L1) prefix has exactly one child."""
+    items = {}
+    for a in (10, 11):
+        for b in (20, 21):
+            for d in (40, 41):
+                items[len(items)] = (a, b, 30 + (b - 20), d)
+    return IndexTrie(items)
+
+
+MIXED_PROMPTS = [[1, 2, 3], [4, 5], [1], [2, 2, 6, 7], [3, 3, 3]]
+
+
+def assert_same_hypotheses(got, expected, rtol=1e-5, atol=1e-6):
+    assert [h.item_id for h in got] == [h.item_id for h in expected]
+    assert [h.token_ids for h in got] == [h.token_ids for h in expected]
+    np.testing.assert_allclose([h.score for h in got],
+                               [h.score for h in expected],
+                               rtol=rtol, atol=atol)
+
+
+# ----------------------------------------------------------------------
+# Trie: candidate unions, masks, memoization, mutation
+# ----------------------------------------------------------------------
+class TestAllowedTokenIds:
+    def test_union_and_mask_match_dense_mask(self):
+        trie = make_trie()
+        prefixes = [(), (10,), (11,), (10, 12), (11, 13), (9,)]
+        for batch in ([prefixes[0]], prefixes[1:3], prefixes[3:]):
+            cand = trie.allowed_token_ids(batch)
+            dense = trie.allowed_token_mask(batch, vocab_size=30)
+            for row, prefix in enumerate(batch):
+                np.testing.assert_array_equal(cand.union[cand.mask[row]],
+                                              np.flatnonzero(dense[row]))
+                np.testing.assert_array_equal(cand.per_row[row],
+                                              np.flatnonzero(dense[row]))
+
+    def test_union_covers_mixed_levels(self):
+        trie = make_trie()
+        cand = trie.allowed_token_ids([(), (10,), (10, 12)])
+        assert set(trie.allowed_tokens(())) <= set(cand.union)
+        assert set(trie.allowed_tokens((10,))) <= set(cand.union)
+        assert set(trie.allowed_tokens((10, 12))) <= set(cand.union)
+
+    def test_level_union_is_memoized_and_readonly(self):
+        trie = make_trie()
+        first = trie.level_union(1)
+        assert trie.level_union(1) is first
+        assert not first.flags.writeable
+        assert set(first) == {12, 13}
+        with pytest.raises(ValueError):
+            trie.level_union(3)
+
+    def test_root_token_mask_is_cached(self):
+        trie = make_trie()
+        first = trie.root_token_mask(30)
+        assert trie.root_token_mask(30) is first
+        assert first.shape == (1, 30)
+        np.testing.assert_array_equal(np.flatnonzero(first[0]), [10, 11])
+        # A different vocab size rebuilds rather than serving a stale row.
+        assert trie.root_token_mask(40).shape == (1, 40)
+
+    def test_add_item_invalidates_derived_caches(self):
+        trie = make_trie()
+        root_before = trie.root_token_mask(30)
+        union_before = trie.level_union(0)
+        trie.add_item(5, (20, 21, 22))
+        assert trie.num_items == 6
+        assert trie.item_at((20, 21, 22)) == 5
+        assert 20 in set(trie.level_union(0))
+        assert trie.level_union(0) is not union_before
+        root_after = trie.root_token_mask(30)
+        assert root_after is not root_before
+        assert root_after[0, 20]
+
+    def test_add_item_validates_depth_and_duplicates(self):
+        trie = make_trie()
+        with pytest.raises(ValueError):
+            trie.add_item(9, (10, 12))
+        with pytest.raises(ValueError):
+            trie.add_item(9, (10, 12, 14))
+
+    def test_forcedness_helpers(self):
+        trie = make_forced_trie()
+        cand = trie.allowed_token_ids([(10, 20), (11, 21)])
+        assert cand.is_forced()
+        np.testing.assert_array_equal(cand.forced_tokens(), [30, 31])
+        mixed = trie.allowed_token_ids([(10,), (10, 20)])
+        assert not mixed.is_forced()
+        # Dead rows (alive=False) may have any fan-out without breaking it.
+        assert mixed.is_forced(alive=np.array([False, True]))
+
+
+class TestMaskedLogSoftmax:
+    def test_matches_full_log_softmax_when_unmasked(self):
+        logits = np.random.default_rng(0).standard_normal((4, 9)).astype(np.float32)
+        np.testing.assert_allclose(
+            masked_log_softmax(logits, np.ones((1, 9), dtype=bool)),
+            log_softmax_np(logits), rtol=1e-6)
+
+    def test_renormalises_over_the_masked_set(self):
+        logits = np.array([[0.5, 1.0, -2.0, 3.0]], dtype=np.float32)
+        mask = np.array([[True, False, True, False]])
+        out = masked_log_softmax(logits, mask)
+        assert out[0, 1] == -np.inf and out[0, 3] == -np.inf
+        np.testing.assert_allclose(np.exp(out[0, [0, 2]]).sum(), 1.0, rtol=1e-6)
+
+    def test_empty_row_is_all_neg_inf(self):
+        logits = np.zeros((2, 3), dtype=np.float32)
+        mask = np.array([[True, True, True], [False, False, False]])
+        out = masked_log_softmax(logits, mask)
+        assert np.isfinite(out[0]).all()
+        assert (out[1] == -np.inf).all()
+
+
+class TestStepWorkspace:
+    def test_same_key_returns_same_buffer(self):
+        ws = StepWorkspace()
+        a = ws.take("x", (3, 4))
+        assert ws.take("x", (3, 4)) is a
+        assert ws.take("x", (3, 5)) is not a
+        assert ws.take("y", (3, 4)) is not a
+        assert ws.num_buffers == 3
+        assert ws.nbytes == (12 + 15 + 12) * 4
+
+    def test_clear_drops_buffers(self):
+        ws = StepWorkspace()
+        a = ws.take("x", (2, 2))
+        ws.clear()
+        assert ws.num_buffers == 0
+        assert ws.take("x", (2, 2)) is not a
+
+
+# ----------------------------------------------------------------------
+# Sparse vs dense stepper parity
+# ----------------------------------------------------------------------
+class TestSparseDenseParity:
+    @pytest.mark.parametrize("beam_size", [1, 4, 16])
+    def test_rankings_and_scores_match_dense(self, beam_size):
+        model, trie = make_model(), make_trie()
+        sparse = beam_search_items_batched(model, MIXED_PROMPTS, trie,
+                                           beam_size=beam_size, sparse=True)
+        dense = beam_search_items_batched(model, MIXED_PROMPTS, trie,
+                                          beam_size=beam_size, sparse=False)
+        for got, expected in zip(sparse, dense):
+            assert_same_hypotheses(got, expected)
+
+    def test_matches_single_request_oracle(self):
+        model, trie = make_model(), make_trie()
+        batched = beam_search_items_batched(model, MIXED_PROMPTS, trie, beam_size=10)
+        for prompt, hypotheses in zip(MIXED_PROMPTS, batched):
+            reference = beam_search_items_single(model, prompt, trie, beam_size=10)
+            assert_same_hypotheses(hypotheses, reference)
+
+    @pytest.mark.parametrize("sparse", [True, False])
+    def test_prefix_cache_parity(self, sparse):
+        model, trie = make_model(), make_trie()
+        cache = PrefixKVCache()
+        cold = beam_search_items_batched(model, MIXED_PROMPTS, trie, beam_size=6,
+                                         prefix_cache=cache, sparse=sparse)
+        warm = beam_search_items_batched(model, MIXED_PROMPTS, trie, beam_size=6,
+                                         prefix_cache=cache, sparse=sparse)
+        plain = beam_search_items_batched(model, MIXED_PROMPTS, trie, beam_size=6,
+                                          sparse=sparse)
+        for a, b, c in zip(cold, warm, plain):
+            assert_same_hypotheses(a, c, rtol=1e-4, atol=1e-5)
+            assert_same_hypotheses(b, c, rtol=1e-4, atol=1e-5)
+
+    def test_lm_head_gather_matches_dense_columns(self):
+        model = make_model()
+        hidden = np.random.default_rng(3).standard_normal((5, 16)).astype(np.float32)
+        ids = np.array([2, 11, 30, 59], dtype=np.int64)
+        full = np.matmul(hidden, model.lm_head.weight.data)
+        np.testing.assert_allclose(model.lm_head_gather(hidden, ids),
+                                   full[:, ids], rtol=1e-6)
+
+    def test_lm_head_gather_memoizes_per_identity(self):
+        model = make_model()
+        ids = np.array([1, 2, 3], dtype=np.int64)
+        first = model._gathered_head_weight(ids)
+        assert model._gathered_head_weight(ids) is first
+        # extend_vocab rebinds the head weight: the cache must not go stale.
+        model.extend_vocab(4)
+        assert model._gathered_head_weight(ids) is not first
+
+
+class TestForcedFastPath:
+    def _count_forwards(self, model):
+        calls = {"n": 0}
+        original = model.hidden_states
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        model.hidden_states = counting
+        return calls
+
+    def test_forced_level_skips_forwards_and_keeps_parity(self):
+        trie = make_forced_trie()
+        model, dense_model = make_model(seed=11), make_model(seed=11)
+        counts = self._count_forwards(model)
+        sparse = beam_search_items_batched(model, MIXED_PROMPTS, trie,
+                                           beam_size=4, sparse=True)
+        sparse_forwards = counts["n"]
+        counts_dense = self._count_forwards(dense_model)
+        dense = beam_search_items_batched(dense_model, MIXED_PROMPTS, trie,
+                                          beam_size=4, sparse=False)
+        dense_forwards = counts_dense["n"]
+        # Dense: prefill + 3 steps.  Sparse: level 2 is forced (no forward)
+        # and its token is flushed inside level 3's combined forward.
+        assert dense_forwards == 4
+        assert sparse_forwards == 3
+        for got, expected in zip(sparse, dense):
+            assert_same_hypotheses(got, expected)
+
+    def test_trailing_forced_levels_never_forward(self):
+        # A single-item trie is forced at every level after the root.
+        trie = IndexTrie({0: (10, 12, 14, 16)})
+        model = make_model(seed=5)
+        counts = self._count_forwards(model)
+        hypotheses = beam_search_items_batched(model, [[1, 2]], trie,
+                                               beam_size=8, sparse=True)
+        assert counts["n"] == 1  # prefill only: levels 1..3 are all forced
+        assert [h.item_id for h in hypotheses[0]] == [0]
+        assert hypotheses[0][0].score == pytest.approx(
+            beam_search_items_single(model, [1, 2], trie, beam_size=8)[0].score,
+            abs=1e-6)
+
+    def test_mid_decode_retire_with_pending_tokens(self):
+        trie = make_forced_trie()
+        model = make_model(seed=9)
+        prompts = [[1, 2, 3], [4, 5]]
+        state = decode_prefill(model, prompts, trie, beam_size=4, sparse=True)
+        decode_step(state)  # level 1
+        decode_step(state)  # level 2: forced, appended without a forward
+        decode_step(state)  # level 3: combined forward flushes the pending
+        assert state.done
+        first = decode_retire(state, [0])[0]
+        rest = decode_finish(state)[0]
+        alone = beam_search_items_batched(model, [prompts[0]], trie,
+                                          beam_size=4, sparse=True)[0]
+        alone_rest = beam_search_items_batched(model, [prompts[1]], trie,
+                                               beam_size=4, sparse=True)[0]
+        assert_same_hypotheses(first, alone)
+        assert_same_hypotheses(rest, alone_rest)
+
+    def test_join_flushes_pending_tokens(self):
+        trie = make_forced_trie()
+        model = make_model(seed=13)
+        live = decode_prefill(model, [[1, 2, 3]], trie, beam_size=4,
+                              sparse=True, tags=["first"])
+        decode_step(live)  # level 1
+        decode_step(live)  # level 2: forced -> two pending columns
+        assert live.pending.shape[1] == 2
+        incoming = decode_prefill(model, [[4, 5]], trie, beam_size=4,
+                                  sparse=True, tags=["second"])
+        decode_join(live, incoming)
+        assert live.pending.shape[1] == 1  # flushed before the join
+        # Mixed-level decode: retire rows the moment they finish, exactly
+        # as the continuous scheduler drives the stepper.
+        merged = {}
+        while live.num_rows:
+            finished = live.finished_rows()
+            if finished:
+                tags = [live.tags[row] for row in finished]
+                for tag, hypotheses in zip(tags, decode_retire(live, finished)):
+                    merged[tag] = hypotheses
+                continue
+            decode_step(live)
+        for tag, prompt in (("first", [1, 2, 3]), ("second", [4, 5])):
+            alone = beam_search_items_batched(model, [prompt], trie,
+                                              beam_size=4, sparse=True)[0]
+            assert_same_hypotheses(merged[tag], alone)
+
+    def test_join_rejects_mixed_sparse_settings(self):
+        trie = make_trie()
+        model = make_model()
+        live = decode_prefill(model, [[1, 2]], trie, beam_size=4, sparse=True)
+        incoming = decode_prefill(model, [[3]], trie, beam_size=4, sparse=False)
+        with pytest.raises(ValueError, match="sparse"):
+            decode_join(live, incoming)
+
+
+class TestStaleWeightGuards:
+    def test_fused_qkv_sees_weight_updates_across_training(self):
+        from repro.tensor import Adam
+        from repro.tensor import functional as F
+
+        model, trie = make_model(seed=21), make_trie()
+        before = beam_search_items_batched(model, [[1, 2]], trie, beam_size=5)
+        optimizer = Adam(model.parameters(), lr=0.05)
+        sequence = np.array([[1, 10, 12, 14]])
+        model.train()
+        for _ in range(30):
+            optimizer.zero_grad()
+            loss = F.cross_entropy(model(sequence[:, :-1]), sequence[:, 1:])
+            loss.backward()
+            optimizer.step()
+        model.eval()
+        after = beam_search_items_batched(model, [[1, 2]], trie, beam_size=5)
+        fresh = TinyLlama(model.config)
+        fresh.load_state_dict(model.state_dict())
+        fresh.eval()
+        expected = beam_search_items_batched(fresh, [[1, 2]], trie, beam_size=5)
+        assert_same_hypotheses(after[0], expected[0])
+        assert [h.score for h in after[0]] != [h.score for h in before[0]]
+
+
+# ----------------------------------------------------------------------
+# Engine adapters: sparse vs dense across backends
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_p5cid(tiny_dataset):
+    model = P5CID(tiny_dataset, P5CIDConfig(epochs=2, seed=3))
+    model.fit(tiny_dataset)
+    return model
+
+
+@pytest.fixture(scope="module")
+def tiny_tiger(tiny_dataset):
+    index_set = build_random_index_set(tiny_dataset.num_items, 3, 8,
+                                       np.random.default_rng(3))
+    model = TIGER(index_set, TIGERConfig(epochs=2, seed=3))
+    model.fit(tiny_dataset)
+    return model
+
+
+class TestEngineSparseParity:
+    @pytest.mark.parametrize("batch", [1, 4, 16])
+    def test_lcrec_engine_parity(self, tiny_lcrec, tiny_dataset, batch):
+        pool = tiny_dataset.split.test_histories
+        histories = [list(pool[i % len(pool)]) for i in range(batch)]
+        sparse = LCRecEngine(tiny_lcrec, prefix_cache=False, sparse_head=True)
+        dense = LCRecEngine(tiny_lcrec, prefix_cache=False, sparse_head=False)
+        assert sparse.supports_sparse_head
+        assert sparse.recommend_many(histories, top_k=5) == \
+            dense.recommend_many(histories, top_k=5)
+
+    def test_lcrec_engine_parity_with_prefix_cache(self, tiny_lcrec, tiny_dataset):
+        pool = tiny_dataset.split.test_histories
+        histories = [list(pool[i % len(pool)]) for i in range(4)]
+        sparse = LCRecEngine(tiny_lcrec, prefix_cache=True, sparse_head=True)
+        dense = LCRecEngine(tiny_lcrec, prefix_cache=False, sparse_head=False)
+        cold = sparse.recommend_many(histories, top_k=5)
+        warm = sparse.recommend_many(histories, top_k=5)
+        expected = dense.recommend_many(histories, top_k=5)
+        assert cold == expected
+        assert warm == expected
+
+    def test_lcrec_continuous_service_parity(self, tiny_lcrec, tiny_dataset):
+        pool = tiny_dataset.split.test_histories
+        histories = [list(pool[i % len(pool)]) for i in range(6)]
+        rankings = {}
+        for sparse_head in (True, False):
+            engine = LCRecEngine(tiny_lcrec, prefix_cache=False,
+                                 sparse_head=sparse_head)
+            with RecommendationService(
+                engine, batcher=MicroBatcherConfig(max_batch_size=3),
+                mode="continuous",
+            ) as service:
+                pending = [service.submit(h, top_k=5) for h in histories]
+                rankings[sparse_head] = [p.result(timeout=60.0) for p in pending]
+        assert rankings[True] == rankings[False]
+
+    @pytest.mark.parametrize("batch", [1, 4, 16])
+    def test_p5cid_engine_parity(self, tiny_p5cid, tiny_dataset, batch):
+        pool = tiny_dataset.split.test_histories
+        histories = [list(pool[i % len(pool)]) for i in range(batch)]
+        sparse = P5CIDEngine(tiny_p5cid, sparse_head=True)
+        dense = P5CIDEngine(tiny_p5cid, sparse_head=False)
+        assert sparse.recommend_many(histories, top_k=5) == \
+            dense.recommend_many(histories, top_k=5)
+
+    @pytest.mark.parametrize("batch", [1, 4, 16])
+    def test_tiger_engine_parity(self, tiny_tiger, tiny_dataset, batch):
+        pool = tiny_dataset.split.test_histories
+        histories = [list(pool[i % len(pool)]) for i in range(batch)]
+        sparse = TIGEREngine(tiny_tiger, sparse_head=True)
+        dense = TIGEREngine(tiny_tiger, sparse_head=False)
+        ranked = sparse.recommend_many(histories, top_k=5)
+        assert ranked == dense.recommend_many(histories, top_k=5)
+        # And both match the single-request oracle loop.
+        assert ranked == [tiny_tiger.recommend(h, top_k=5) for h in histories]
+
+
+class TestStageTimings:
+    def test_sync_flush_populates_stage_seconds(self, tiny_lcrec, tiny_dataset):
+        history = list(tiny_dataset.split.test_histories[0])
+        service = RecommendationService(LCRecEngine(tiny_lcrec, prefix_cache=False))
+        pending = service.submit(history, top_k=3)
+        service.flush()
+        assert pending.result()
+        stages = service.stats.stage_seconds()
+        assert set(stages) == {"prefill", "step", "finalize"}
+        assert stages["prefill"] > 0
+        assert stages["step"] > 0
+        assert stages["finalize"] >= 0
+
+    def test_continuous_loop_populates_stage_seconds(self, tiny_lcrec, tiny_dataset):
+        history = list(tiny_dataset.split.test_histories[0])
+        with RecommendationService(
+            LCRecEngine(tiny_lcrec, prefix_cache=False), mode="continuous"
+        ) as service:
+            assert service.submit(history, top_k=3).result(timeout=60.0)
+            assert service.stats.prefill_seconds > 0
+            assert service.stats.step_seconds > 0
