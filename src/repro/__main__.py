@@ -19,14 +19,15 @@ def _cmd_info(_args) -> int:
 
     print(f"repro {repro.__version__} — LC-Rec (ICDE 2024) reproduction")
     print("presets:", ", ".join(sorted(PRESETS)))
-    print("subpackages: tensor, text, data, llm, quantization, core, "
-          "baselines, eval, analysis, bench")
+    print(
+        "subpackages: tensor, text, data, llm, quantization, core, "
+        "baselines, eval, analysis, bench"
+    )
     return 0
 
 
 def _cmd_stats(args) -> int:
-    from repro.data import (build_dataset, dataset_statistics,
-                            format_table2_row, preset_config)
+    from repro.data import build_dataset, dataset_statistics, format_table2_row, preset_config
 
     dataset = build_dataset(preset_config(args.preset, scale=args.scale))
     print(format_table2_row(dataset_statistics(dataset)))
@@ -45,8 +46,7 @@ def _cmd_demo(args) -> int:
     config = LCRecConfig(
         pretrain=PretrainConfig(steps=120, batch_size=8),
         indexer=SemanticIndexerConfig(
-            rqvae=RQVAEConfig(latent_dim=16, hidden_dims=(48,),
-                              codebook_size=12),
+            rqvae=RQVAEConfig(latent_dim=16, hidden_dims=(48,), codebook_size=12),
             trainer=RQVAETrainerConfig(epochs=80, batch_size=256),
         ),
         tasks=AlignmentTaskConfig(seq_per_user=2, max_history=6),
@@ -57,8 +57,7 @@ def _cmd_demo(args) -> int:
     history = dataset.split.test_histories[0]
     print("history:")
     for item_id in history[-4:]:
-        print("  -", dataset.catalog[item_id].title,
-              model.index_set.index_text(item_id))
+        print("  -", dataset.catalog[item_id].title, model.index_set.index_text(item_id))
     print("recommendations:")
     for item_id in model.recommend(history, top_k=5):
         print("  *", dataset.catalog[item_id].title)
@@ -66,19 +65,17 @@ def _cmd_demo(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro", description="LC-Rec reproduction command line")
+    parser = argparse.ArgumentParser(prog="repro", description="LC-Rec reproduction command line")
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("info", help="package overview").set_defaults(
-        func=_cmd_info)
+    sub.add_parser("info", help="package overview").set_defaults(func=_cmd_info)
     stats = sub.add_parser("stats", help="dataset statistics (Table II)")
-    stats.add_argument("preset", choices=["instruments", "arts", "games",
-                                          "tiny"])
+    stats.add_argument("preset", choices=["instruments", "arts", "games", "tiny"])
     stats.add_argument("--scale", type=float, default=1.0)
     stats.set_defaults(func=_cmd_stats)
     demo = sub.add_parser("demo", help="tiny end-to-end demonstration")
-    demo.add_argument("preset", nargs="?", default="tiny",
-                      choices=["instruments", "arts", "games", "tiny"])
+    demo.add_argument(
+        "preset", nargs="?", default="tiny", choices=["instruments", "arts", "games", "tiny"]
+    )
     demo.set_defaults(func=_cmd_demo)
     args = parser.parse_args(argv)
     return args.func(args)

@@ -13,11 +13,12 @@ from dataclasses import dataclass
 
 from ..core.lcrec import LCRec
 
-__all__ = ["PrefixGeneration", "generate_from_prefixes", "LevelChangeReport",
-           "count_level_changes"]
+__all__ = ["PrefixGeneration", "generate_from_prefixes", "LevelChangeReport", "count_level_changes"]
 
-_PREFIX_PROMPT = ("please tell me what item {index} is called , along with a "
-                  "brief description of it .")
+_PREFIX_PROMPT = (
+    "please tell me what item {index} is called , along with a "
+    "brief description of it ."
+)
 
 
 @dataclass
@@ -29,16 +30,16 @@ class PrefixGeneration:
     generations: list[str]  # index 0 = one-level prefix, etc.
 
 
-def generate_from_prefixes(model: LCRec, item_id: int,
-                           max_new_tokens: int = 16) -> PrefixGeneration:
+def generate_from_prefixes(
+    model: LCRec, item_id: int, max_new_tokens: int = 16
+) -> PrefixGeneration:
     """Generate item text from each index prefix of the item (Fig. 5a)."""
     tokens = model.index_set.token_strings(item_id)
     generations = []
     for depth in range(1, len(tokens) + 1):
         prefix = "".join(tokens[:depth])
         instruction = _PREFIX_PROMPT.format(index=prefix)
-        generations.append(model.generate_text(instruction,
-                                               max_new_tokens=max_new_tokens))
+        generations.append(model.generate_text(instruction, max_new_tokens=max_new_tokens))
     return PrefixGeneration(
         item_id=item_id,
         true_title=model.dataset.catalog[item_id].title,

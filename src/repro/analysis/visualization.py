@@ -32,8 +32,9 @@ class SeparationReport:
         return self.centroid_distance / max(self.within_spread, 1e-12)
 
 
-def embedding_separation(group_a: np.ndarray, group_b: np.ndarray,
-                         n_components: int = 2) -> SeparationReport:
+def embedding_separation(
+    group_a: np.ndarray, group_b: np.ndarray, n_components: int = 2
+) -> SeparationReport:
     """PCA-project both groups jointly and measure their separation."""
     stacked = np.concatenate([group_a, group_b], axis=0)
     pca = fit_pca(stacked, n_components=n_components)
@@ -50,8 +51,7 @@ def embedding_separation(group_a: np.ndarray, group_b: np.ndarray,
     )
 
 
-def ascii_scatter(groups: dict[str, np.ndarray], width: int = 60,
-                  height: int = 20) -> str:
+def ascii_scatter(groups: dict[str, np.ndarray], width: int = 60, height: int = 20) -> str:
     """Render 2-D point groups as a text scatter plot.
 
     Each group gets the first letter of its name as the marker; overlapping

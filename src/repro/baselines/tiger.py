@@ -16,6 +16,7 @@ serving stack's :class:`repro.serving.TIGEREngine` (encode once per batch,
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -102,6 +103,20 @@ class TIGER(Module):
         self._engine = None  # lazily built serving adapter (TIGEREngine)
         # Cleared on every train()/eval() transition by Module.train.
         self._head_gather_cache = WeightMemo()
+
+    def serving_replica(self) -> "TIGER":
+        """A shallow copy for concurrent serving: shared weights, private memo.
+
+        Same contract as :meth:`repro.llm.TinyLlama.serving_replica` —
+        the module graph (and so every parameter array) is shared, while
+        the gathered-head :class:`~repro.tensor.WeightMemo` and the lazy
+        engine slot are private to the replica, so cluster workers can
+        decode concurrently without racing each other's caches.
+        """
+        replica = copy.copy(self)
+        replica._head_gather_cache = WeightMemo()
+        replica._engine = None
+        return replica
 
     # ------------------------------------------------------------------
     def _pad_histories(self, histories: list[list[int]]) -> np.ndarray:

@@ -34,12 +34,9 @@ class BenchScale:
 
 
 _SCALES = {
-    "tiny": BenchScale("tiny", dataset_scale=0.15, epoch_scale=0.4,
-                       max_eval_users=60),
-    "small": BenchScale("small", dataset_scale=0.3, epoch_scale=0.6,
-                        max_eval_users=100),
-    "full": BenchScale("full", dataset_scale=1.0, epoch_scale=1.0,
-                       max_eval_users=100000),
+    "tiny": BenchScale("tiny", dataset_scale=0.15, epoch_scale=0.4, max_eval_users=60),
+    "small": BenchScale("small", dataset_scale=0.3, epoch_scale=0.6, max_eval_users=100),
+    "full": BenchScale("full", dataset_scale=1.0, epoch_scale=1.0, max_eval_users=100000),
 }
 
 
@@ -51,8 +48,9 @@ def bench_scale() -> BenchScale:
     return _SCALES[name]
 
 
-def scaled_dataset(preset: str, scale: BenchScale | None = None,
-                   seed: int | None = None) -> SequentialDataset:
+def scaled_dataset(
+    preset: str, scale: BenchScale | None = None, seed: int | None = None
+) -> SequentialDataset:
     """Build a preset dataset at the active benchmark scale."""
     scale = scale or bench_scale()
     config = preset_config(preset, seed=seed, scale=scale.dataset_scale)

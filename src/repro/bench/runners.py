@@ -36,13 +36,27 @@ from ..llm import LMConfig, PretrainConfig, TuningConfig
 from ..quantization import RQVAEConfig, RQVAETrainerConfig
 from .config import BenchScale, bench_scale
 
-__all__ = ["baseline_model", "run_traditional_baseline",
-           "run_generative_baseline", "lcrec_config_for",
-           "build_lcrec_model", "evaluate_recommender",
-           "TRADITIONAL_BASELINES", "GENERATIVE_BASELINES"]
+__all__ = [
+    "baseline_model",
+    "run_traditional_baseline",
+    "run_generative_baseline",
+    "lcrec_config_for",
+    "build_lcrec_model",
+    "evaluate_recommender",
+    "TRADITIONAL_BASELINES",
+    "GENERATIVE_BASELINES",
+]
 
-TRADITIONAL_BASELINES = ("Caser", "HGN", "GRU4Rec", "BERT4Rec", "SASRec",
-                         "FMLP-Rec", "FDSA", "S3-Rec")
+TRADITIONAL_BASELINES = (
+    "Caser",
+    "HGN",
+    "GRU4Rec",
+    "BERT4Rec",
+    "SASRec",
+    "FMLP-Rec",
+    "FDSA",
+    "S3-Rec",
+)
 GENERATIVE_BASELINES = ("P5-CID", "TIGER")
 
 _DIM = 48
@@ -61,10 +75,8 @@ def baseline_model(name: str, dataset: SequentialDataset, seed: int = 0):
         "BERT4Rec": lambda: BERT4Rec(n, dim=_DIM, max_len=max_len, seed=seed),
         "SASRec": lambda: SASRec(n, dim=_DIM, max_len=max_len, seed=seed),
         "FMLP-Rec": lambda: FMLP(n, dim=_DIM, max_len=max_len, seed=seed),
-        "FDSA": lambda: FDSA(n, subs, num_subs, dim=_DIM, max_len=max_len,
-                             seed=seed),
-        "S3-Rec": lambda: S3Rec(n, subs, num_subs, dim=_DIM, max_len=max_len,
-                                seed=seed),
+        "FDSA": lambda: FDSA(n, subs, num_subs, dim=_DIM, max_len=max_len, seed=seed),
+        "S3-Rec": lambda: S3Rec(n, subs, num_subs, dim=_DIM, max_len=max_len, seed=seed),
     }
     if name not in factories:
         raise KeyError(f"unknown baseline {name!r}")
@@ -73,18 +85,18 @@ def baseline_model(name: str, dataset: SequentialDataset, seed: int = 0):
 
 def _eval_slice(dataset: SequentialDataset, scale: BenchScale):
     limit = scale.max_eval_users
-    return (dataset.split.test_histories[:limit],
-            dataset.split.test_targets[:limit])
+    return (dataset.split.test_histories[:limit], dataset.split.test_targets[:limit])
 
 
-def run_traditional_baseline(name: str, dataset: SequentialDataset,
-                             scale: BenchScale | None = None,
-                             seed: int = 0) -> MetricReport:
+def run_traditional_baseline(
+    name: str, dataset: SequentialDataset, scale: BenchScale | None = None, seed: int = 0
+) -> MetricReport:
     """Train one ID-based baseline and evaluate it with full ranking."""
     scale = scale or bench_scale()
     model = baseline_model(name, dataset, seed=seed)
-    trainer = BaselineTrainer(BaselineTrainerConfig(
-        epochs=scale.epochs(30), batch_size=64, seed=seed))
+    trainer = BaselineTrainer(
+        BaselineTrainerConfig(epochs=scale.epochs(30), batch_size=64, seed=seed)
+    )
     if name == "S3-Rec":
         model.pretrain(dataset)
     trainer.fit(model, dataset)
@@ -92,9 +104,9 @@ def run_traditional_baseline(name: str, dataset: SequentialDataset,
     return evaluate_score_model(model, histories, targets)
 
 
-def run_generative_baseline(name: str, dataset: SequentialDataset,
-                            scale: BenchScale | None = None,
-                            seed: int = 0) -> MetricReport:
+def run_generative_baseline(
+    name: str, dataset: SequentialDataset, scale: BenchScale | None = None, seed: int = 0
+) -> MetricReport:
     """Train TIGER or P5-CID and evaluate with constrained beam search."""
     scale = scale or bench_scale()
     if name == "TIGER":
@@ -109,14 +121,11 @@ def run_generative_baseline(name: str, dataset: SequentialDataset,
         config.rqvae.input_dim = lcrec.item_embeddings.shape[1]
         from ..core.indexer import build_semantic_index_set
 
-        index_set, _, _ = build_semantic_index_set(lcrec.item_embeddings,
-                                                   config)
-        model = TIGER(index_set, TIGERConfig(
-            dim=_DIM, epochs=scale.epochs(30), seed=seed))
+        index_set, _, _ = build_semantic_index_set(lcrec.item_embeddings, config)
+        model = TIGER(index_set, TIGERConfig(dim=_DIM, epochs=scale.epochs(30), seed=seed))
         model.fit(dataset)
     elif name == "P5-CID":
-        model = P5CID(dataset, P5CIDConfig(
-            dim=_DIM, epochs=scale.epochs(30), seed=seed))
+        model = P5CID(dataset, P5CIDConfig(dim=_DIM, epochs=scale.epochs(30), seed=seed))
         model.fit(dataset)
     else:
         raise KeyError(f"unknown generative baseline {name!r}")
@@ -127,8 +136,8 @@ def run_generative_baseline(name: str, dataset: SequentialDataset,
         # adapters (TIGEREngine / P5CIDEngine): whole evaluation chunks
         # share one beam-expansion forward per trie level.
         return evaluate_generative_model_batched(
-            lambda chunk: model.recommend_many(chunk, top_k=10),
-            histories, targets)
+            lambda chunk: model.recommend_many(chunk, top_k=10), histories, targets
+        )
 
     def recommend(history):
         return model.recommend(history, top_k=10)
@@ -136,55 +145,68 @@ def run_generative_baseline(name: str, dataset: SequentialDataset,
     return evaluate_generative_model(recommend, histories, targets)
 
 
-def lcrec_config_for(dataset: SequentialDataset,
-                     scale: BenchScale | None = None,
-                     tasks: tuple[str, ...] = ALL_TASKS,
-                     index_source: str = "semantic",
-                     indexing_strategy: str = "usm",
-                     seed: int = 0) -> LCRecConfig:
+def lcrec_config_for(
+    dataset: SequentialDataset,
+    scale: BenchScale | None = None,
+    tasks: tuple[str, ...] = ALL_TASKS,
+    index_source: str = "semantic",
+    indexing_strategy: str = "usm",
+    seed: int = 0,
+) -> LCRecConfig:
     """The benchmark LC-Rec configuration (scaled to the dataset size)."""
     scale = scale or bench_scale()
     codebook = 24 if dataset.num_items <= 300 else 32
     return LCRecConfig(
-        lm=LMConfig(dim=64, num_layers=2, num_heads=4, ffn_hidden=176,
-                    max_seq_len=256),
-        pretrain=PretrainConfig(steps=scale.epochs(400, minimum=100),
-                                batch_size=16, seq_len=64, seed=seed),
+        lm=LMConfig(dim=64, num_layers=2, num_heads=4, ffn_hidden=176, max_seq_len=256),
+        pretrain=PretrainConfig(
+            steps=scale.epochs(400, minimum=100), batch_size=16, seq_len=64, seed=seed
+        ),
         indexer=SemanticIndexerConfig(
-            rqvae=RQVAEConfig(latent_dim=32, hidden_dims=(96, 48),
-                              num_levels=4, codebook_size=codebook,
-                              seed=seed),
-            trainer=RQVAETrainerConfig(epochs=scale.epochs(150, minimum=50),
-                                       batch_size=512, seed=seed),
+            rqvae=RQVAEConfig(
+                latent_dim=32, hidden_dims=(96, 48), num_levels=4, codebook_size=codebook, seed=seed
+            ),
+            trainer=RQVAETrainerConfig(
+                epochs=scale.epochs(150, minimum=50), batch_size=512, seed=seed
+            ),
             strategy=indexing_strategy,
         ),
-        tasks=AlignmentTaskConfig(tasks=tasks, max_history=10, seq_per_user=8,
-                                  seed=seed),
-        tuning=TuningConfig(epochs=scale.epochs(20, minimum=3), batch_size=16,
-                            lr=3e-3, max_len=220, seed=seed),
+        tasks=AlignmentTaskConfig(tasks=tasks, max_history=10, seq_per_user=8, seed=seed),
+        tuning=TuningConfig(
+            epochs=scale.epochs(20, minimum=3), batch_size=16, lr=3e-3, max_len=220, seed=seed
+        ),
         index_source=index_source,
         beam_size=20,
         seed=seed,
     )
 
 
-def build_lcrec_model(dataset: SequentialDataset,
-                      scale: BenchScale | None = None,
-                      tasks: tuple[str, ...] = ALL_TASKS,
-                      index_source: str = "semantic",
-                      indexing_strategy: str = "usm",
-                      seed: int = 0) -> LCRec:
+def build_lcrec_model(
+    dataset: SequentialDataset,
+    scale: BenchScale | None = None,
+    tasks: tuple[str, ...] = ALL_TASKS,
+    index_source: str = "semantic",
+    indexing_strategy: str = "usm",
+    seed: int = 0,
+) -> LCRec:
     """Build (pretrain + index + tune) an LC-Rec variant."""
-    config = lcrec_config_for(dataset, scale, tasks=tasks,
-                              index_source=index_source,
-                              indexing_strategy=indexing_strategy, seed=seed)
+    config = lcrec_config_for(
+        dataset,
+        scale,
+        tasks=tasks,
+        index_source=index_source,
+        indexing_strategy=indexing_strategy,
+        seed=seed,
+    )
     return LCRec(dataset, config).build()
 
 
-def evaluate_recommender(model: LCRec, dataset: SequentialDataset,
-                         scale: BenchScale | None = None,
-                         template_id: int = 0,
-                         batch_size: int = 16) -> MetricReport:
+def evaluate_recommender(
+    model: LCRec,
+    dataset: SequentialDataset,
+    scale: BenchScale | None = None,
+    template_id: int = 0,
+    batch_size: int = 16,
+) -> MetricReport:
     """Full-ranking leave-one-out evaluation of an LC-Rec model.
 
     Users are decoded through the batched serving engine ``batch_size`` at
@@ -196,12 +218,14 @@ def evaluate_recommender(model: LCRec, dataset: SequentialDataset,
     def recommend_batch(batch):
         return model.recommend_many(batch, top_k=10, template_id=template_id)
 
-    return evaluate_generative_model_batched(recommend_batch, histories,
-                                             targets, batch_size=batch_size)
+    return evaluate_generative_model_batched(
+        recommend_batch, histories, targets, batch_size=batch_size
+    )
 
 
 def evaluate_recommender_multi_template(
-    model: LCRec, dataset: SequentialDataset,
+    model: LCRec,
+    dataset: SequentialDataset,
     scale: BenchScale | None = None,
     template_ids: tuple[int, ...] = (0, 1, 2),
 ) -> MetricReport:
@@ -214,11 +238,7 @@ def evaluate_recommender_multi_template(
     """
     if not template_ids:
         raise ValueError("need at least one template id")
-    reports = [evaluate_recommender(model, dataset, scale, template_id=t)
-               for t in template_ids]
+    reports = [evaluate_recommender(model, dataset, scale, template_id=t) for t in template_ids]
     keys = reports[0].values.keys()
-    averaged = {
-        key: float(np.mean([report[key] for report in reports]))
-        for key in keys
-    }
+    averaged = {key: float(np.mean([report[key] for report in reports])) for key in keys}
     return MetricReport(averaged)

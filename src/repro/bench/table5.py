@@ -21,13 +21,16 @@ from ..data import ItemCatalog
 from ..llm import TinyLlama, sequence_logprob
 from ..text import WordTokenizer
 
-__all__ = ["score_model_chooser", "lcrec_index_chooser",
-           "lcrec_title_chooser", "pretrained_lm_chooser"]
+__all__ = [
+    "score_model_chooser", "lcrec_index_chooser", "lcrec_title_chooser", "pretrained_lm_chooser"
+]
 
 Chooser = Callable[[Sequence[int], int, int], int]
 
-_TITLE_PROMPT = ("the user bought the following items in order : {history} . "
-                 "the next item the user needs is called answer :")
+_TITLE_PROMPT = (
+    "the user bought the following items in order : {history} . "
+    "the next item the user needs is called answer :"
+)
 
 
 def score_model_chooser(model) -> Chooser:
@@ -62,8 +65,7 @@ def lcrec_title_chooser(model: LCRec) -> Chooser:
 
     def choose(history, candidate_a, candidate_b):
         history = list(history)[-model.config.tasks.max_history:]
-        history_text = " , ".join(model.index_set.index_text(i)
-                                  for i in history)
+        history_text = " , ".join(model.index_set.index_text(i) for i in history)
         instruction = T.ASY_INDEX_TO_TITLE_TEMPLATES[0].format(
             history=history_text)
         score_a = model.response_logprob(
@@ -75,9 +77,9 @@ def lcrec_title_chooser(model: LCRec) -> Chooser:
     return choose
 
 
-def pretrained_lm_chooser(lm: TinyLlama, tokenizer: WordTokenizer,
-                          catalog: ItemCatalog,
-                          max_history: int = 8) -> Chooser:
+def pretrained_lm_chooser(
+    lm: TinyLlama, tokenizer: WordTokenizer, catalog: ItemCatalog, max_history: int = 8
+) -> Chooser:
     """A language-only LM prompted with the title history.
 
     Mirrors zero-shot LLaMA / ChatGPT usage: user behaviour is verbalised

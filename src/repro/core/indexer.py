@@ -23,8 +23,12 @@ from ..quantization import (
     build_semantic_indices,
 )
 
-__all__ = ["SemanticIndexerConfig", "build_semantic_index_set",
-           "build_vanilla_index_set", "build_random_index_set"]
+__all__ = [
+    "SemanticIndexerConfig",
+    "build_semantic_index_set",
+    "build_vanilla_index_set",
+    "build_random_index_set",
+]
 
 
 @dataclass

@@ -191,8 +191,16 @@ _ALL_TEMPLATE_GROUPS = [
     [EXP_RESPONSE],
 ]
 
-_PLACEHOLDERS = ("{history}", "{title_history}", "{title}", "{description}",
-                 "{index}", "{intention}", "{cat}", "{keywords}")
+_PLACEHOLDERS = (
+    "{history}",
+    "{title_history}",
+    "{title}",
+    "{description}",
+    "{index}",
+    "{intention}",
+    "{cat}",
+    "{keywords}",
+)
 
 
 def all_template_texts() -> list[str]:

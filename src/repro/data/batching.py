@@ -9,8 +9,12 @@ import numpy as np
 __all__ = ["pad_sequences", "iterate_minibatches", "left_truncate"]
 
 
-def pad_sequences(sequences: Sequence[Sequence[int]], pad_value: int = 0,
-                  max_len: int | None = None, align: str = "left") -> np.ndarray:
+def pad_sequences(
+    sequences: Sequence[Sequence[int]],
+    pad_value: int = 0,
+    max_len: int | None = None,
+    align: str = "left",
+) -> np.ndarray:
     """Pad integer sequences into a dense ``(batch, max_len)`` array.
 
     ``align='left'`` places each sequence at the *end* of the row (padding

@@ -39,8 +39,7 @@ _COMMON_WORDS = (
 ).split()
 
 
-def _make_word(rng: np.random.Generator, min_syllables: int = 2,
-               max_syllables: int = 3) -> str:
+def _make_word(rng: np.random.Generator, min_syllables: int = 2, max_syllables: int = 3) -> str:
     """Generate a pronounceable pseudo-word."""
     syllables = rng.integers(min_syllables, max_syllables + 1)
     parts = []
@@ -51,8 +50,7 @@ def _make_word(rng: np.random.Generator, min_syllables: int = 2,
     return "".join(parts)
 
 
-def _make_unique_words(rng: np.random.Generator, count: int,
-                       taken: set[str]) -> list[str]:
+def _make_unique_words(rng: np.random.Generator, count: int, taken: set[str]) -> list[str]:
     words: list[str] = []
     while len(words) < count:
         word = _make_word(rng)
@@ -196,8 +194,14 @@ def _build_lexicon(config: CatalogConfig, rng: np.random.Generator) -> Lexicon:
     )
 
 
-def _compose_title(item_cat: int, item_sub: int, brand: str, lexicon: Lexicon,
-                   config: CatalogConfig, rng: np.random.Generator) -> tuple[str, list[str]]:
+def _compose_title(
+    item_cat: int,
+    item_sub: int,
+    brand: str,
+    lexicon: Lexicon,
+    config: CatalogConfig,
+    rng: np.random.Generator,
+) -> tuple[str, list[str]]:
     low, high = config.title_keywords
     n_keywords = int(rng.integers(low, high + 1))
     cat_pool = lexicon.category_words[item_cat]
@@ -213,9 +217,14 @@ def _compose_title(item_cat: int, item_sub: int, brand: str, lexicon: Lexicon,
     return title.strip(), keywords
 
 
-def _compose_description(item_cat: int, item_sub: int, keywords: list[str],
-                         lexicon: Lexicon, config: CatalogConfig,
-                         rng: np.random.Generator) -> str:
+def _compose_description(
+    item_cat: int,
+    item_sub: int,
+    keywords: list[str],
+    lexicon: Lexicon,
+    config: CatalogConfig,
+    rng: np.random.Generator,
+) -> str:
     low, high = config.description_words
     length = int(rng.integers(low, high + 1))
     cat_pool = lexicon.category_words[item_cat]
@@ -247,10 +256,8 @@ def generate_catalog(config: CatalogConfig, rng: np.random.Generator) -> ItemCat
             rng.integers(config.subcategories_per_category)
         )
         brand = lexicon.brand_words[int(rng.integers(len(lexicon.brand_words)))]
-        title, keywords = _compose_title(category, subcategory, brand, lexicon,
-                                         config, rng)
-        description = _compose_description(category, subcategory, keywords,
-                                           lexicon, config, rng)
+        title, keywords = _compose_title(category, subcategory, brand, lexicon, config, rng)
+        description = _compose_description(category, subcategory, keywords, lexicon, config, rng)
         items.append(Item(
             item_id=item_id,
             category=category,

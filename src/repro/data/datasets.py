@@ -25,8 +25,7 @@ from .preprocess import (
     reindex_log,
 )
 
-__all__ = ["DatasetConfig", "SequentialDataset", "build_dataset",
-           "PRESETS", "preset_config"]
+__all__ = ["DatasetConfig", "SequentialDataset", "build_dataset", "PRESETS", "preset_config"]
 
 
 @dataclass
@@ -75,10 +74,8 @@ def build_dataset(config: DatasetConfig) -> SequentialDataset:
     """Generate, filter, reindex and split one dataset."""
     seeds = SeedSequenceFactory(config.seed)
     catalog = generate_catalog(config.catalog, seeds.rng("catalog"))
-    log, behavior = simulate_interactions(catalog, config.behavior,
-                                          seeds.rng("behavior"))
-    filtered = k_core_filter(log, config.min_interactions,
-                             config.min_interactions)
+    log, behavior = simulate_interactions(catalog, config.behavior, seeds.rng("behavior"))
+    filtered = k_core_filter(log, config.min_interactions, config.min_interactions)
     if not filtered:
         raise ValueError(
             f"dataset {config.name!r}: k-core filter removed everything; "
@@ -121,44 +118,48 @@ PRESETS: dict[str, DatasetConfig] = {
     # starve while semantic indices generalise across similar items.
     "instruments": _preset(
         "instruments",
-        catalog=dict(num_items=460, num_categories=6,
-                     subcategories_per_category=3),
-        behavior=dict(num_users=500, mean_length=8.3, complement_prob=0.10,
-                      user_noise=0.5),
+        catalog=dict(num_items=460, num_categories=6, subcategories_per_category=3),
+        behavior=dict(num_users=500, mean_length=8.3, complement_prob=0.10, user_noise=0.5),
         seed=10,
     ),
     # "Arts, Crafts and Sewing": more users/items, slightly longer sequences.
     "arts": _preset(
         "arts",
-        catalog=dict(num_items=800, num_categories=8,
-                     subcategories_per_category=4),
-        behavior=dict(num_users=900, mean_length=8.7, complement_prob=0.12,
-                      user_noise=0.5),
+        catalog=dict(num_items=800, num_categories=8, subcategories_per_category=4),
+        behavior=dict(num_users=900, mean_length=8.7, complement_prob=0.12, user_noise=0.5),
         seed=11,
     ),
     # "Video Games": strongest complement structure (console <-> game).
     "games": _preset(
         "games",
-        catalog=dict(num_items=850, num_categories=8,
-                     subcategories_per_category=4),
-        behavior=dict(num_users=1000, mean_length=9.0, complement_prob=0.2,
-                      stay_subcategory_prob=0.4, user_noise=0.5),
+        catalog=dict(num_items=850, num_categories=8, subcategories_per_category=4),
+        behavior=dict(
+            num_users=1000,
+            mean_length=9.0,
+            complement_prob=0.2,
+            stay_subcategory_prob=0.4,
+            user_noise=0.5,
+        ),
         seed=12,
     ),
     # Minimal dataset for unit tests.
     "tiny": _preset(
         "tiny",
-        catalog=dict(num_items=40, num_categories=4,
-                     subcategories_per_category=2, category_pool_size=8,
-                     subcategory_pool_size=5, num_brands=6),
+        catalog=dict(
+            num_items=40,
+            num_categories=4,
+            subcategories_per_category=2,
+            category_pool_size=8,
+            subcategory_pool_size=5,
+            num_brands=6,
+        ),
         behavior=dict(num_users=80, mean_length=7.0),
         seed=13,
     ),
 }
 
 
-def preset_config(name: str, seed: int | None = None,
-                  scale: float = 1.0) -> DatasetConfig:
+def preset_config(name: str, seed: int | None = None, scale: float = 1.0) -> DatasetConfig:
     """Return a (copied) preset config, optionally reseeded or rescaled.
 
     ``scale`` multiplies user and item counts, allowing benchmarks to trade

@@ -24,8 +24,9 @@ import numpy as np
 from .catalog import Item, ItemCatalog
 from .datasets import SequentialDataset
 
-__all__ = ["IntentionGenerator", "IntentionExample", "PreferenceExample",
-           "intention_template_texts"]
+__all__ = [
+    "IntentionGenerator", "IntentionExample", "PreferenceExample", "intention_template_texts"
+]
 
 _INTENT_OPENERS = [
     "looking for {cat} with",
@@ -68,18 +69,22 @@ class PreferenceExample:
 class IntentionGenerator:
     """Deterministic stand-in for the GPT-3.5 extraction pipeline."""
 
-    def __init__(self, catalog: ItemCatalog, rng: np.random.Generator,
-                 keyword_count: tuple[int, int] = (3, 5),
-                 noise_words: int = 2):
+    def __init__(
+        self,
+        catalog: ItemCatalog,
+        rng: np.random.Generator,
+        keyword_count: tuple[int, int] = (3, 5),
+        noise_words: int = 2,
+    ):
         self.catalog = catalog
         self.rng = rng
         self.keyword_count = keyword_count
         self.noise_words = noise_words
 
     # ------------------------------------------------------------------
-    def intention_for_item(self, item: Item, user_id: int = -1,
-                           rng: np.random.Generator | None = None
-                           ) -> IntentionExample:
+    def intention_for_item(
+        self, item: Item, user_id: int = -1, rng: np.random.Generator | None = None
+    ) -> IntentionExample:
         """Paraphrase ``item`` as a user search intention.
 
         ``rng`` overrides the generator's own stream (callers that need
@@ -94,19 +99,16 @@ class IntentionGenerator:
         low, high = self.keyword_count
         n_kw = int(rng.integers(low, high + 1))
         candidates = list(dict.fromkeys(list(item.keywords) + sub_pool + cat_pool))
-        picks = list(rng.choice(candidates,
-                                     size=min(n_kw, len(candidates)),
-                                     replace=False))
+        picks = list(rng.choice(candidates, size=min(n_kw, len(candidates)), replace=False))
         common = lexicon.common_words
-        noise = [common[int(rng.integers(len(common)))]
-                 for _ in range(self.noise_words)]
+        noise = [common[int(rng.integers(len(common)))] for _ in range(self.noise_words)]
         opener = _INTENT_OPENERS[int(rng.integers(len(_INTENT_OPENERS)))]
         text = opener.format(cat=cat_name) + " " + " ".join(picks + noise)
         return IntentionExample(user_id=user_id, item_id=item.item_id, text=text)
 
-    def preference_for_history(self, user_id: int, history: list[int],
-                               rng: np.random.Generator | None = None
-                               ) -> PreferenceExample:
+    def preference_for_history(
+        self, user_id: int, history: list[int], rng: np.random.Generator | None = None
+    ) -> PreferenceExample:
         """Summarise a user's dominant categories from their history."""
         rng = rng if rng is not None else self.rng
         if not history:

@@ -51,8 +51,7 @@ class BehaviorConfig:
             raise ValueError("num_users must be positive")
         if self.min_length < 2:
             raise ValueError("min_length must be at least 2")
-        total = (self.stay_subcategory_prob + self.stay_category_prob
-                 + self.complement_prob)
+        total = self.stay_subcategory_prob + self.stay_category_prob + self.complement_prob
         if total > 1.0:
             raise ValueError("transition probabilities exceed 1")
 
@@ -70,8 +69,7 @@ class BehaviorModel:
         Per-item Zipf weight.
     """
 
-    def __init__(self, catalog: ItemCatalog, config: BehaviorConfig,
-                 rng: np.random.Generator):
+    def __init__(self, catalog: ItemCatalog, config: BehaviorConfig, rng: np.random.Generator):
         config.validate()
         self.catalog = catalog
         self.config = config
@@ -87,8 +85,7 @@ class BehaviorModel:
         self.items_by_sub: list[np.ndarray] = [
             np.flatnonzero(subs == s) for s in range(num_subs)
         ]
-        self.nonempty_subs = [s for s in range(num_subs)
-                              if len(self.items_by_sub[s]) > 0]
+        self.nonempty_subs = [s for s in range(num_subs) if len(self.items_by_sub[s]) > 0]
 
         # Fixed derangement-ish complement map between non-empty subcategories.
         shuffled = list(self.nonempty_subs)
@@ -106,8 +103,9 @@ class BehaviorModel:
             self.user_preferences[user, chosen] = weights
 
     # ------------------------------------------------------------------
-    def _sample_item(self, subcategory: int, rng: np.random.Generator,
-                     exclude: int | None = None) -> int:
+    def _sample_item(
+        self, subcategory: int, rng: np.random.Generator, exclude: int | None = None
+    ) -> int:
         candidates = self.items_by_sub[subcategory]
         if exclude is not None and len(candidates) > 1:
             candidates = candidates[candidates != exclude]
@@ -117,8 +115,7 @@ class BehaviorModel:
         weights = weights / weights.sum()
         return int(rng.choice(candidates, p=weights))
 
-    def _sample_subcategory_for_category(self, category: int,
-                                         rng: np.random.Generator) -> int:
+    def _sample_subcategory_for_category(self, category: int, rng: np.random.Generator) -> int:
         per = self.catalog.num_subcategories // self.catalog.num_categories
         options = [category * per + i for i in range(per)]
         options = [s for s in options if len(self.items_by_sub[s]) > 0]
@@ -131,8 +128,7 @@ class BehaviorModel:
         category = int(rng.choice(len(prefs), p=prefs / prefs.sum()))
         return self._sample_subcategory_for_category(category, rng)
 
-    def _next_subcategory(self, user: int, current_sub: int,
-                          rng: np.random.Generator) -> int:
+    def _next_subcategory(self, user: int, current_sub: int, rng: np.random.Generator) -> int:
         cfg = self.config
         roll = rng.random()
         if roll < cfg.stay_subcategory_prob:
@@ -151,8 +147,7 @@ class BehaviorModel:
         """One chronological item-id sequence for ``user``."""
         cfg = self.config
         extra = rng.poisson(max(cfg.mean_length - cfg.min_length, 0.1))
-        length = int(np.clip(cfg.min_length + extra, cfg.min_length,
-                             cfg.max_length))
+        length = int(np.clip(cfg.min_length + extra, cfg.min_length, cfg.max_length))
         sub = self._start_subcategory(user, rng)
         sequence: list[int] = []
         previous = None
@@ -164,8 +159,9 @@ class BehaviorModel:
         return sequence
 
 
-def simulate_interactions(catalog: ItemCatalog, config: BehaviorConfig,
-                          rng: np.random.Generator) -> tuple[list[Interaction], BehaviorModel]:
+def simulate_interactions(
+    catalog: ItemCatalog, config: BehaviorConfig, rng: np.random.Generator
+) -> tuple[list[Interaction], BehaviorModel]:
     """Simulate the full interaction log; returns it with the latent model."""
     model = BehaviorModel(catalog, config, rng)
     log: list[Interaction] = []

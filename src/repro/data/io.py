@@ -87,9 +87,12 @@ def load_dataset(path: str | pathlib.Path) -> SequentialDataset:
     )
     sequences = [list(seq) for seq in payload["sequences"]]
     split = leave_one_out_split(sequences, max_len=payload["max_seq_len"])
-    config = DatasetConfig(name=payload["name"], catalog=CatalogConfig(),
-                           behavior=BehaviorConfig(),
-                           max_seq_len=payload["max_seq_len"])
+    config = DatasetConfig(
+        name=payload["name"],
+        catalog=CatalogConfig(),
+        behavior=BehaviorConfig(),
+        max_seq_len=payload["max_seq_len"],
+    )
     return SequentialDataset(
         name=payload["name"],
         catalog=catalog,

@@ -13,13 +13,21 @@ from dataclasses import dataclass
 
 from .interactions import Interaction
 
-__all__ = ["k_core_filter", "build_user_sequences", "LeaveOneOutSplit",
-           "leave_one_out_split", "reindex_log"]
+__all__ = [
+    "k_core_filter",
+    "build_user_sequences",
+    "LeaveOneOutSplit",
+    "leave_one_out_split",
+    "reindex_log",
+]
 
 
-def k_core_filter(log: list[Interaction], min_user_interactions: int = 5,
-                  min_item_interactions: int = 5,
-                  max_rounds: int = 50) -> list[Interaction]:
+def k_core_filter(
+    log: list[Interaction],
+    min_user_interactions: int = 5,
+    min_item_interactions: int = 5,
+    max_rounds: int = 50,
+) -> list[Interaction]:
     """Iteratively drop users/items with too few interactions (k-core)."""
     current = list(log)
     for _ in range(max_rounds):

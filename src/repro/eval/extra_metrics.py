@@ -15,8 +15,7 @@ import numpy as np
 __all__ = ["mrr_at_k", "catalog_coverage", "intra_list_diversity"]
 
 
-def mrr_at_k(ranked_lists: Sequence[Sequence[int]], targets: Sequence[int],
-             k: int) -> float:
+def mrr_at_k(ranked_lists: Sequence[Sequence[int]], targets: Sequence[int], k: int) -> float:
     """Mean reciprocal rank truncated at ``k``."""
     if k < 1:
         raise ValueError("k must be positive")
@@ -30,8 +29,7 @@ def mrr_at_k(ranked_lists: Sequence[Sequence[int]], targets: Sequence[int],
     return total / len(targets)
 
 
-def catalog_coverage(ranked_lists: Sequence[Sequence[int]],
-                     num_items: int, k: int = 10) -> float:
+def catalog_coverage(ranked_lists: Sequence[Sequence[int]], num_items: int, k: int = 10) -> float:
     """Fraction of the catalog appearing in at least one top-``k`` list.
 
     Low coverage with decent HR signals popularity-collapsed beams.
@@ -44,8 +42,9 @@ def catalog_coverage(ranked_lists: Sequence[Sequence[int]],
     return len(seen) / num_items
 
 
-def intra_list_diversity(ranked_lists: Sequence[Sequence[int]],
-                         item_categories: np.ndarray, k: int = 10) -> float:
+def intra_list_diversity(
+    ranked_lists: Sequence[Sequence[int]], item_categories: np.ndarray, k: int = 10
+) -> float:
     """Mean pairwise category disagreement inside each top-``k`` list.
 
     1.0 = every recommended pair comes from different categories;

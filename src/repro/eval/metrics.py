@@ -22,8 +22,7 @@ def rank_of_target(ranked_items: list[int], target: int) -> int | None:
         return None
 
 
-def hit_ratio_at_k(ranked_lists: list[list[int]], targets: list[int],
-                   k: int) -> float:
+def hit_ratio_at_k(ranked_lists: list[list[int]], targets: list[int], k: int) -> float:
     """Fraction of users whose target appears in the top ``k``."""
     _validate(ranked_lists, targets, k)
     hits = sum(
@@ -33,8 +32,7 @@ def hit_ratio_at_k(ranked_lists: list[list[int]], targets: list[int],
     return hits / len(targets)
 
 
-def ndcg_at_k(ranked_lists: list[list[int]], targets: list[int],
-              k: int) -> float:
+def ndcg_at_k(ranked_lists: list[list[int]], targets: list[int], k: int) -> float:
     """Mean NDCG@k with a single relevant item per user."""
     _validate(ranked_lists, targets, k)
     total = 0.0
@@ -63,8 +61,9 @@ class MetricReport:
     METRIC_ORDER = ("HR@1", "HR@5", "HR@10", "NDCG@5", "NDCG@10")
 
     @classmethod
-    def from_rankings(cls, ranked_lists: list[list[int]], targets: list[int],
-                      ks: tuple[int, ...] = (1, 5, 10)) -> "MetricReport":
+    def from_rankings(
+        cls, ranked_lists: list[list[int]], targets: list[int], ks: tuple[int, ...] = (1, 5, 10)
+    ) -> "MetricReport":
         values: dict[str, float] = {}
         for k in ks:
             values[f"HR@{k}"] = hit_ratio_at_k(ranked_lists, targets, k)

@@ -14,8 +14,9 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["NegativeSample", "mine_similar_negatives", "mine_random_negatives",
-           "pairwise_choice_accuracy"]
+__all__ = [
+    "NegativeSample", "mine_similar_negatives", "mine_random_negatives", "pairwise_choice_accuracy"
+]
 
 
 @dataclass(frozen=True)
@@ -33,8 +34,7 @@ def _cosine_matrix(embeddings: np.ndarray) -> np.ndarray:
     return normalised @ normalised.T
 
 
-def mine_similar_negatives(embeddings: np.ndarray,
-                           targets: Sequence[int]) -> list[NegativeSample]:
+def mine_similar_negatives(embeddings: np.ndarray, targets: Sequence[int]) -> list[NegativeSample]:
     """Most-cosine-similar other item per target, one triple per user."""
     embeddings = np.asarray(embeddings, dtype=np.float64)
     similarity = _cosine_matrix(embeddings)
@@ -42,13 +42,13 @@ def mine_similar_negatives(embeddings: np.ndarray,
     samples = []
     for user_id, target in enumerate(targets):
         negative = int(similarity[target].argmax())
-        samples.append(NegativeSample(user_id=user_id, target=int(target),
-                                      negative=negative))
+        samples.append(NegativeSample(user_id=user_id, target=int(target), negative=negative))
     return samples
 
 
-def mine_random_negatives(num_items: int, targets: Sequence[int],
-                          rng: np.random.Generator) -> list[NegativeSample]:
+def mine_random_negatives(
+    num_items: int, targets: Sequence[int], rng: np.random.Generator
+) -> list[NegativeSample]:
     """Uniform random negative per user (never equal to the target)."""
     if num_items < 2:
         raise ValueError("need at least two items")
@@ -57,8 +57,7 @@ def mine_random_negatives(num_items: int, targets: Sequence[int],
         negative = int(rng.integers(num_items))
         while negative == target:
             negative = int(rng.integers(num_items))
-        samples.append(NegativeSample(user_id=user_id, target=int(target),
-                                      negative=negative))
+        samples.append(NegativeSample(user_id=user_id, target=int(target), negative=negative))
     return samples
 
 

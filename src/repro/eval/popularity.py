@@ -17,8 +17,7 @@ import numpy as np
 
 from .metrics import hit_ratio_at_k
 
-__all__ = ["PopularityBucketReport", "item_popularity",
-           "evaluate_by_popularity"]
+__all__ = ["PopularityBucketReport", "item_popularity", "evaluate_by_popularity"]
 
 
 def item_popularity(train_sequences: Sequence[Sequence[int]],
@@ -42,17 +41,18 @@ class PopularityBucketReport:
 
     def rows(self) -> list[str]:
         lines = [f"{'bucket':<12} {'users':>6} {'HR@' + str(self.k):>8}"]
-        for label, size, hr in zip(self.bucket_labels, self.bucket_sizes,
-                                   self.hr_at_k):
+        for label, size, hr in zip(self.bucket_labels, self.bucket_sizes, self.hr_at_k):
             lines.append(f"{label:<12} {size:>6} {hr:>8.4f}")
         return lines
 
 
-def evaluate_by_popularity(ranked_lists: Sequence[Sequence[int]],
-                           targets: Sequence[int],
-                           popularity: np.ndarray,
-                           num_buckets: int = 3,
-                           k: int = 10) -> PopularityBucketReport:
+def evaluate_by_popularity(
+    ranked_lists: Sequence[Sequence[int]],
+    targets: Sequence[int],
+    popularity: np.ndarray,
+    num_buckets: int = 3,
+    k: int = 10,
+) -> PopularityBucketReport:
     """Split users by target popularity quantile and compute HR per bucket."""
     if len(ranked_lists) != len(targets) or not targets:
         raise ValueError("ranked_lists and targets must align and be non-empty")
@@ -68,13 +68,12 @@ def evaluate_by_popularity(ranked_lists: Sequence[Sequence[int]],
         else:
             mask = (target_pop >= low) & (target_pop < high)
         indices = np.flatnonzero(mask)
-        labels.append("tail" if b == 0 else
-                      "head" if b == num_buckets - 1 else f"mid-{b}")
+        labels.append("tail" if b == 0 else "head" if b == num_buckets - 1 else f"mid-{b}")
         sizes.append(len(indices))
         if len(indices) == 0:
             hrs.append(float("nan"))
             continue
-        hrs.append(hit_ratio_at_k([ranked_lists[i] for i in indices],
-                                  [targets[i] for i in indices], k))
-    return PopularityBucketReport(bucket_labels=labels, bucket_sizes=sizes,
-                                  hr_at_k=hrs, k=k)
+        hrs.append(
+            hit_ratio_at_k([ranked_lists[i] for i in indices], [targets[i] for i in indices], k)
+        )
+    return PopularityBucketReport(bucket_labels=labels, bucket_sizes=sizes, hr_at_k=hrs, k=k)

@@ -19,8 +19,13 @@ import numpy as np
 
 from .metrics import MetricReport
 
-__all__ = ["ScoreModel", "evaluate_score_model", "evaluate_generative_model",
-           "evaluate_generative_model_batched", "rankings_from_scores"]
+__all__ = [
+    "ScoreModel",
+    "evaluate_score_model",
+    "evaluate_generative_model",
+    "evaluate_generative_model_batched",
+    "rankings_from_scores",
+]
 
 
 class ScoreModel(Protocol):
@@ -43,11 +48,13 @@ def rankings_from_scores(scores: np.ndarray, top_k: int) -> list[list[int]]:
     return rows
 
 
-def evaluate_score_model(model: ScoreModel,
-                         histories: Sequence[Sequence[int]],
-                         targets: Sequence[int],
-                         ks: tuple[int, ...] = (1, 5, 10),
-                         batch_size: int = 256) -> MetricReport:
+def evaluate_score_model(
+    model: ScoreModel,
+    histories: Sequence[Sequence[int]],
+    targets: Sequence[int],
+    ks: tuple[int, ...] = (1, 5, 10),
+    batch_size: int = 256,
+) -> MetricReport:
     """Rank all items by model score and compute HR/NDCG."""
     top_k = max(ks)
     rankings: list[list[int]] = []
@@ -58,11 +65,12 @@ def evaluate_score_model(model: ScoreModel,
     return MetricReport.from_rankings(rankings, list(targets), ks=ks)
 
 
-def evaluate_generative_model(recommend: Callable[[Sequence[int]], list[int]],
-                              histories: Sequence[Sequence[int]],
-                              targets: Sequence[int],
-                              ks: tuple[int, ...] = (1, 5, 10),
-                              ) -> MetricReport:
+def evaluate_generative_model(
+    recommend: Callable[[Sequence[int]], list[int]],
+    histories: Sequence[Sequence[int]],
+    targets: Sequence[int],
+    ks: tuple[int, ...] = (1, 5, 10),
+) -> MetricReport:
     """Evaluate a beam-search recommender (one call per user)."""
     rankings = [list(recommend(list(history))) for history in histories]
     return MetricReport.from_rankings(rankings, list(targets), ks=ks)

@@ -33,8 +33,9 @@ class BootstrapResult:
         return self.win_rate >= 0.95
 
 
-def _per_user_scores(ranked_lists: Sequence[Sequence[int]],
-                     targets: Sequence[int], metric: str, k: int) -> np.ndarray:
+def _per_user_scores(
+    ranked_lists: Sequence[Sequence[int]], targets: Sequence[int], metric: str, k: int
+) -> np.ndarray:
     scores = np.zeros(len(targets))
     for i, (ranked, target) in enumerate(zip(ranked_lists, targets)):
         window = list(ranked[:k])
@@ -48,11 +49,15 @@ def _per_user_scores(ranked_lists: Sequence[Sequence[int]],
     return scores
 
 
-def paired_bootstrap(ranked_a: Sequence[Sequence[int]],
-                     ranked_b: Sequence[Sequence[int]],
-                     targets: Sequence[int], metric: str = "hr", k: int = 10,
-                     num_resamples: int = 2000,
-                     rng: np.random.Generator | None = None) -> BootstrapResult:
+def paired_bootstrap(
+    ranked_a: Sequence[Sequence[int]],
+    ranked_b: Sequence[Sequence[int]],
+    targets: Sequence[int],
+    metric: str = "hr",
+    k: int = 10,
+    num_resamples: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> BootstrapResult:
     """Compare two models' rankings over the same users.
 
     Parameters

@@ -9,6 +9,8 @@ reproduction exercises — see DESIGN.md).
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from ..tensor import (
@@ -113,6 +115,22 @@ class TinyLlama(Module):
     @property
     def vocab_size(self) -> int:
         return self.tok_embeddings.num_embeddings
+
+    def serving_replica(self) -> "TinyLlama":
+        """A shallow copy for concurrent serving: shared weights, private memo.
+
+        Multi-worker serving runs one decode thread per engine replica
+        over the *same* parameter arrays (reads only — serving decodes
+        run under ``no_grad``), but the gathered-head
+        :class:`~repro.tensor.WeightMemo` is a mutable per-decode cache
+        and must not be shared across threads; each replica gets a fresh
+        one.  Everything else (blocks, embeddings, rope tables) is the
+        identical module graph, so a replica costs no weight memory and
+        its outputs are bit-identical to the original's.
+        """
+        replica = copy.copy(self)
+        replica._head_gather_cache = WeightMemo()
+        return replica
 
     def extend_vocab(self, extra_tokens: int, rng: np.random.Generator | None = None) -> None:
         """Grow the embedding table and output head by ``extra_tokens`` rows."""

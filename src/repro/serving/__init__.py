@@ -19,18 +19,34 @@ finished requests the moment their own rows complete.  A cross-request
 prompt prefixes shared between requests, for engines advertising
 ``supports_prefix_cache``.
 
+Scaling past one decode thread, :class:`ServingCluster` runs N workers —
+each a ``RecommendationService`` over a private engine replica — behind a
+rendezvous-hash :class:`AffinityRouter` (session traffic sticks to the
+worker holding its prompt K/V) with bounded per-worker backlogs,
+least-loaded spillover and deadline-based load shedding (typed
+:class:`Overloaded` rejections).  Every mode, single-process or cluster,
+speaks the one :class:`RecommendationClient` surface:
+``submit(...) -> RecommendationHandle`` / ``handle.result(timeout)``.
+
 See ``docs/serving.md`` for the architecture, tuning guidance, and the
 prefix-cache invalidation contract, and ``examples/serving_async.py`` for
 a runnable walkthrough.
 """
 
 from ..llm import PrefixCacheStats, PrefixKVCache
+from .api import (
+    Overloaded,
+    RecommendationClient,
+    RecommendationHandle,
+    RejectedRecommendation,
+)
 from .batcher import (
     MicroBatcher,
     MicroBatcherConfig,
     padding_fraction,
     plan_batches,
 )
+from .cluster import ClusterStats, ServingCluster
 from .continuous import ContinuousScheduler
 from .engine import (
     EngineState,
@@ -41,6 +57,7 @@ from .engine import (
     TrieDecoderEngine,
 )
 from .queue import RecommendRequest, RequestQueue
+from .router import AffinityRouter, rendezvous_weight
 from .service import PendingRecommendation, RecommendationService, ServingStats
 
 __all__ = [
@@ -57,9 +74,17 @@ __all__ = [
     "LCRecEngine",
     "P5CIDEngine",
     "TIGEREngine",
+    "Overloaded",
+    "RecommendationClient",
+    "RecommendationHandle",
+    "RejectedRecommendation",
     "PendingRecommendation",
     "RecommendationService",
     "ServingStats",
+    "AffinityRouter",
+    "rendezvous_weight",
+    "ClusterStats",
+    "ServingCluster",
     "PrefixKVCache",
     "PrefixCacheStats",
 ]

@@ -51,6 +51,7 @@ guarantees.
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
@@ -143,6 +144,13 @@ class GenerativeEngine(abc.ABC):
         Rankings are identical to the dense head; only the cost changes.
         Engines that support it take a ``sparse_head`` constructor flag
         (default on) so benchmarks can measure the dense baseline.
+    ``supports_replication``
+        Whether :meth:`replicate` can stamp out worker-private copies of
+        this engine — shared (read-only at serving time) model weights,
+        but private mutable serving state: prefix K/V cache, gathered
+        output-head :class:`repro.tensor.WeightMemo`, step workspaces.
+        What :class:`repro.serving.ServingCluster` calls to provision one
+        engine per worker thread without cloning the weights.
     ``num_levels``
         Trie depth — :meth:`prefill` performs the level-0 expansion, so a
         freshly prefilled request needs ``num_levels - 1`` further
@@ -154,6 +162,7 @@ class GenerativeEngine(abc.ABC):
     supports_continuous: bool = False
     supports_prefix_cache: bool = False
     supports_sparse_head: bool = False
+    supports_replication: bool = False
     prefix_cache: PrefixKVCache | None = None
     default_beam_size: int = 20
 
@@ -201,6 +210,19 @@ class GenerativeEngine(abc.ABC):
         if prefix_cache is not None and prefix_cache is not False:
             raise NotImplementedError(f"{type(self).__name__} does not support a prefix cache")
         self.prefix_cache = None
+
+    def replicate(self) -> "GenerativeEngine":
+        """A worker-private copy of this engine (cluster provisioning).
+
+        The copy must share the model *weights* (no memory blow-up per
+        worker) but own every piece of mutable serving state the decode
+        path touches — prefix K/V cache, gathered-weight memos, scratch
+        workspaces — so N workers can decode concurrently without their
+        caches racing.  Rankings from a replica are identical to the
+        original's.  Only engines with ``supports_replication`` implement
+        this.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support replication")
 
     # ------------------------------------------------------------------
     # Request encoding
@@ -360,6 +382,7 @@ class TrieDecoderEngine(GenerativeEngine):
     supports_continuous = True
     supports_prefix_cache = True
     supports_sparse_head = True
+    supports_replication = True
 
     def __init__(
         self,
@@ -400,6 +423,30 @@ class TrieDecoderEngine(GenerativeEngine):
             return request.prompt_len
         cached = self.prefix_cache.probe(request.prompt_ids, max_len=request.prompt_len - 1)
         return request.prompt_len - cached
+
+    def replicate(self) -> "TrieDecoderEngine":
+        """A worker-private engine: shared weights, private caches.
+
+        The language model is replaced by a serving replica (same
+        parameter arrays, fresh gathered-head :class:`WeightMemo`), and
+        the prefix K/V cache — if the original has one — by a fresh,
+        equally-sized private instance: cross-worker K/V sharing would
+        need locking on the decode hot path, and the cluster's affinity
+        router exists precisely so one session's refreshes keep hitting
+        the same worker's cache.  The trie is shared: its derived-array
+        memos are get-or-build dict fills of identical values, safe for
+        concurrent readers.  Works for subclasses too (``copy.copy``
+        keeps their extra attributes, e.g. the model reference the
+        encoders use).
+        """
+        clone = copy.copy(self)
+        clone.lm = self.lm.serving_replica()
+        if self.prefix_cache is not None:
+            clone.prefix_cache = PrefixKVCache(
+                max_entries=self.prefix_cache.max_entries,
+                min_prefix_len=self.prefix_cache.min_prefix_len,
+            )
+        return clone
 
     def encode_history(self, history: Sequence[int], template_id: int = 0) -> list[int]:
         """A bare trie-decoder engine serves pre-encoded prompts only.
@@ -589,6 +636,7 @@ class TIGEREngine(GenerativeEngine):
     supports_continuous = False
     supports_prefix_cache = False
     supports_sparse_head = True
+    supports_replication = True
 
     def __init__(self, model: "TIGER", sparse_head: bool = True):
         # Lazy import keeps repro.serving importable without the baselines
@@ -614,6 +662,17 @@ class TIGEREngine(GenerativeEngine):
         # A trie with uniform-depth leaves has at most num_items distinct
         # prefixes at every level, so wider beams only add -inf fillers.
         return min(beam_size, self.num_items)
+
+    def replicate(self) -> "TIGEREngine":
+        """A worker-private engine over a serving replica of the model.
+
+        TIGER keeps all its decode state per :class:`TIGERDecodeState`;
+        the only cross-decode mutable state is the model's gathered-head
+        memo, which the serving replica privatizes (weights stay shared).
+        """
+        clone = copy.copy(self)
+        clone.model = self.model.serving_replica()
+        return clone
 
     def encode_history(self, history: Sequence[int], template_id: int = 0) -> list[int]:
         if template_id != 0:

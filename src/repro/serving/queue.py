@@ -37,11 +37,23 @@ class RecommendRequest:
     requests must get exactly the results they would get decoded alone.
     ``enqueued_at`` (monotonic seconds) is what deadline-based flushing
     measures request age against.
+
+    ``session_key`` is an opaque caller-supplied affinity key (user or
+    session id); the cluster router hashes it so a session's refresh
+    traffic lands on the worker already holding its prompt K/V.  It never
+    affects rankings.  ``deadline`` is an absolute ``time.monotonic()``
+    instant after which the request would rather be shed (failed with a
+    typed :class:`repro.serving.Overloaded`) than decoded late; ``None``
+    means wait forever.  The shed check runs when a decode *starts* — a
+    request already being decoded when its deadline passes completes
+    normally (completion wins the race).
     """
 
     prompt_ids: list[int]
     top_k: int = 10
     beam_size: int = 0
+    session_key: str | None = None
+    deadline: float | None = None
     request_id: int = field(default_factory=lambda: next(_request_counter))
     enqueued_at: float = field(default_factory=time.monotonic)
 
@@ -49,18 +61,44 @@ class RecommendRequest:
     def prompt_len(self) -> int:
         return len(self.prompt_ids)
 
+    @property
+    def expired(self) -> bool:
+        """Whether the request's shed deadline (if any) has passed."""
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
 
 class RequestQueue:
-    """Thread-safe FIFO of :class:`RecommendRequest` with deadline waits."""
+    """Thread-safe FIFO of :class:`RecommendRequest` with deadline waits.
 
-    def __init__(self) -> None:
+    ``max_depth`` bounds how many requests may wait at once (admission
+    control): :meth:`try_push` refuses the overflow instead of queueing
+    unboundedly, which is what keeps latency bounded under overload —
+    callers turn a refusal into a typed :class:`repro.serving.Overloaded`
+    rejection.  ``None`` (the default) keeps the queue unbounded, the
+    pre-cluster behaviour.
+    """
+
+    def __init__(self, max_depth: int | None = None) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be positive (or None for unbounded)")
         self._items: deque[RecommendRequest] = deque()
         self._cond = threading.Condition()
+        self.max_depth = max_depth
 
     def push(self, request: RecommendRequest) -> None:
+        """Enqueue unconditionally (even past ``max_depth``); see try_push."""
         with self._cond:
             self._items.append(request)
             self._cond.notify_all()
+
+    def try_push(self, request: RecommendRequest) -> bool:
+        """Enqueue unless the depth bound is reached; False means refused."""
+        with self._cond:
+            if self.max_depth is not None and len(self._items) >= self.max_depth:
+                return False
+            self._items.append(request)
+            self._cond.notify_all()
+            return True
 
     def drain(self, limit: int | None = None) -> list[RecommendRequest]:
         """Pop up to ``limit`` requests (all, if ``limit`` is None), FIFO."""

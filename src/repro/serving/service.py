@@ -45,11 +45,11 @@ from __future__ import annotations
 
 import threading
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..llm import PrefixKVCache
+from .api import Overloaded, RecommendationClient
 from .batcher import MicroBatcher, MicroBatcherConfig, padding_fraction
 from .continuous import ContinuousScheduler
 from .engine import GenerativeEngine
@@ -127,6 +127,12 @@ class ServingStats:
     a cache) — the columns the decode actually forwards — so the mean
     reflects real decode cost, not raw prompt shapes.
 
+    ``shed_queue_full`` / ``shed_deadline`` count admission-control
+    rejections (typed :class:`repro.serving.Overloaded` deliveries): a
+    bounded queue refusing a submit, and a queued request dropped because
+    its shed deadline passed before its decode started.  Shed requests
+    count in neither ``requests`` nor ``batches``.
+
     ``prefill_seconds`` / ``step_seconds`` / ``finalize_seconds`` attribute
     decode-path wall time to its stages: the prompt phase (including
     prefix-cache matching and level-0 expansion), the per-level stepping
@@ -145,6 +151,8 @@ class ServingStats:
     deadline_flushes: int = 0
     admissions: int = 0
     joins: int = 0
+    shed_queue_full: int = 0
+    shed_deadline: int = 0
     prefill_seconds: float = 0.0
     step_seconds: float = 0.0
     finalize_seconds: float = 0.0
@@ -166,7 +174,7 @@ class ServingStats:
         }
 
 
-class RecommendationService:
+class RecommendationService(RecommendationClient):
     """Micro-batched recommendation serving over a :class:`GenerativeEngine`.
 
     Synchronous use (explicit flush)::
@@ -193,14 +201,21 @@ class RecommendationService:
     engine:
         A :class:`GenerativeEngine` adapter (``LCRecEngine(model)``,
         ``TIGEREngine(model)``, ``P5CIDEngine(model)``, ...).  Passing a
-        built ``LCRec`` model directly is deprecated but still works: it
-        is wrapped in an ``LCRecEngine`` with a warning.
+        bare model raises ``TypeError`` — wrap it first (the pre-PR-4
+        ``RecommendationService(model)`` shim is gone).
     batcher:
         Micro-batching policy; see :class:`MicroBatcherConfig`.
     deadline_ms:
         Async latency budget: the background loop flushes once the oldest
         queued request has waited this long (a full batch flushes sooner).
         Ignored by the continuous loop, which admits immediately.
+    queue_depth:
+        Admission-control bound on how many requests may wait in the
+        queue at once (``None`` = unbounded, the default).  A submit that
+        finds the queue full is refused with a handle already failed with
+        a typed :class:`repro.serving.Overloaded` (reason
+        ``"queue_full"``) instead of queueing unboundedly — what keeps
+        worst-case latency bounded under overload.
     mode:
         Background-loop discipline: ``"deadline"`` (default) decodes in
         closed deadline-batched flushes; ``"continuous"`` admits queued
@@ -228,22 +243,17 @@ class RecommendationService:
         deadline_ms: float = 25.0,
         mode: str = "deadline",
         prefix_cache: PrefixKVCache | bool | None = _UNSET,
+        queue_depth: int | None = None,
     ):
         if not isinstance(engine, GenerativeEngine):
-            # Deprecation shim: the pre-engine constructor took a built
-            # LCRec model.  Import lazily to keep serving importable
-            # without repro.core.
-            from .engine import LCRecEngine
-
-            warnings.warn(
-                "RecommendationService(model) is deprecated; pass an engine adapter "
-                "instead, e.g. RecommendationService(LCRecEngine(model)) or "
-                "model.service(...)",
-                DeprecationWarning,
-                stacklevel=2,
+            # The pre-PR-4 constructor took a built LCRec model; the shim
+            # that silently wrapped it was removed in PR 6.
+            raise TypeError(
+                "RecommendationService requires a GenerativeEngine adapter, got "
+                f"{type(engine).__name__}; wrap the model first, e.g. "
+                "RecommendationService(LCRecEngine(model)) or model.service(...)"
             )
-            engine = LCRecEngine(engine, prefix_cache=True if prefix_cache is _UNSET else prefix_cache)
-        elif prefix_cache is not _UNSET:
+        if prefix_cache is not _UNSET:
             engine.set_prefix_cache(prefix_cache)
         if deadline_ms <= 0:
             raise ValueError("deadline_ms must be positive")
@@ -256,7 +266,7 @@ class RecommendationService:
             )
         self.engine = engine
         self.batcher = MicroBatcher(batcher)
-        self.queue = RequestQueue()
+        self.queue = RequestQueue(max_depth=queue_depth)
         self.stats = ServingStats()
         self.deadline_ms = float(deadline_ms)
         self.mode = mode
@@ -272,6 +282,17 @@ class RecommendationService:
     def prefix_cache(self) -> PrefixKVCache | None:
         """The engine's cross-request prompt prefix cache, if any."""
         return self.engine.prefix_cache
+
+    @property
+    def backlog(self) -> int:
+        """Undelivered requests: queued plus in-decode.
+
+        What the cluster's least-loaded spillover and per-worker admission
+        bound measure — a worker mid-decode with an empty queue is not
+        idle, and its in-flight work must count against its load.
+        """
+        with self._pending_lock:
+            return len(self._pending)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -317,11 +338,9 @@ class RecommendationService:
             self._worker.join()
             self._worker = None
 
-    def __enter__(self) -> "RecommendationService":
-        return self.start()
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.stop()
+    # __enter__/__exit__ and recommend_many come from RecommendationClient:
+    # the context manager starts/stops the background loop, and
+    # recommend_many is submit-all + flush-or-await.
 
     def _flush_loop(self) -> None:
         """Deadline-batched flushing: the background thread's main loop."""
@@ -370,6 +389,9 @@ class RecommendationService:
                 requests = self.queue.pop_front(
                     scheduler.free_width, scheduler.admission_predicate()
                 )
+                # Shed-at-admission: a deadline that expired while queued
+                # fails here, the last instant before decode cost is paid.
+                requests = self._shed_expired(requests)
                 if requests:
                     joining = not scheduler.idle
                     # Probe effective lengths before admit(): prefill files
@@ -434,20 +456,71 @@ class RecommendationService:
     # Submission
     # ------------------------------------------------------------------
     def submit(
-        self, history: Sequence[int], top_k: int = 10, template_id: int = 0
+        self,
+        history: Sequence[int],
+        top_k: int = 10,
+        template_id: int = 0,
+        *,
+        session_key: str | None = None,
+        deadline_ms: float | None = None,
     ) -> PendingRecommendation:
-        """Queue a next-item recommendation for an interaction history."""
-        return self._submit_prompt(self.engine.encode_history(list(history), template_id), top_k)
+        """Queue a next-item recommendation for an interaction history.
 
-    def submit_intention(self, intention_text: str, top_k: int = 10) -> PendingRecommendation:
+        ``session_key`` is accepted for client-API uniformity (the cluster
+        routes on it; a single service has nowhere to route) and recorded
+        on the request.  ``deadline_ms`` is the shed budget: if the
+        request is still queued that many milliseconds from now, it is
+        dropped with a typed :class:`repro.serving.Overloaded` instead of
+        decoded late.
+        """
+        return self._submit_prompt(
+            self.engine.encode_history(list(history), template_id),
+            top_k,
+            session_key=session_key,
+            deadline_ms=deadline_ms,
+        )
+
+    def submit_intention(
+        self,
+        intention_text: str,
+        top_k: int = 10,
+        *,
+        session_key: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> PendingRecommendation:
         """Queue an intention-query retrieval (engines that encode intentions)."""
-        return self._submit_prompt(self.engine.encode_intention(intention_text), top_k)
+        return self._submit_prompt(
+            self.engine.encode_intention(intention_text),
+            top_k,
+            session_key=session_key,
+            deadline_ms=deadline_ms,
+        )
 
-    def submit_instruction(self, instruction: str, top_k: int = 10) -> PendingRecommendation:
+    def submit_instruction(
+        self,
+        instruction: str,
+        top_k: int = 10,
+        *,
+        session_key: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> PendingRecommendation:
         """Queue an already-rendered instruction (engines that encode text)."""
-        return self._submit_prompt(self.engine.encode_instruction(instruction), top_k)
+        return self._submit_prompt(
+            self.engine.encode_instruction(instruction),
+            top_k,
+            session_key=session_key,
+            deadline_ms=deadline_ms,
+        )
 
-    def _submit_prompt(self, prompt_ids: list[int], top_k: int) -> PendingRecommendation:
+    def _submit_prompt(
+        self,
+        prompt_ids: list[int],
+        top_k: int,
+        session_key: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> PendingRecommendation:
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive (or None for no deadline)")
         request = RecommendRequest(
             prompt_ids=prompt_ids,
             top_k=top_k,
@@ -455,23 +528,63 @@ class RecommendationService:
             # (never widened by co-batched requests) so results match the
             # per-request path regardless of batch composition.
             beam_size=self.engine.request_beam_size(top_k),
+            session_key=session_key,
+            deadline=None if deadline_ms is None else time.monotonic() + deadline_ms / 1000.0,
         )
         handle = PendingRecommendation(self, request.request_id)
         # Register before push: with the background loop running, the
         # request may be decoded the instant it becomes visible.
         with self._pending_lock:
             self._pending[request.request_id] = handle
-        self.queue.push(request)
+        if not self.queue.try_push(request):
+            # Admission control: the bounded queue refused the request.
+            # The handle comes back already failed (never enqueued), so
+            # submit itself stays exception-free under overload.
+            with self._pending_lock:
+                self._pending.pop(request.request_id, None)
+            self.stats.shed_queue_full += 1
+            handle._fail(
+                Overloaded(
+                    f"request queue full (depth bound {self.queue.max_depth})",
+                    reason="queue_full",
+                )
+            )
         return handle
 
     # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------
     def flush(self) -> int:
-        """Decode everything queued; returns the number of requests served."""
-        requests = self.queue.drain()
-        self._decode_requests(requests)
-        return len(requests)
+        """Decode everything queued; returns the number of requests served.
+
+        Requests whose shed deadline has already passed are dropped (their
+        handles fail with :class:`repro.serving.Overloaded`) and do not
+        count as served.
+        """
+        return self._decode_requests(self.queue.drain())
+
+    def _shed_expired(self, requests: list[RecommendRequest]) -> list[RecommendRequest]:
+        """Drop deadline-expired requests, failing their handles; keep the rest.
+
+        This is the shed side of the deadline-vs-completion race, and it
+        runs exactly once per request, at the moment its decode would
+        start: a request that made it into a decode batch completes
+        normally even if its deadline passes mid-decode.
+        """
+        live: list[RecommendRequest] = []
+        for request in requests:
+            if request.expired:
+                self.stats.shed_deadline += 1
+                self._fail_requests(
+                    [request],
+                    Overloaded(
+                        f"request {request.request_id} missed its deadline while queued",
+                        reason="deadline",
+                    ),
+                )
+            else:
+                live.append(request)
+        return live
 
     def _effective_len(self) -> "Callable[[RecommendRequest], int]":
         """The engine's decode-cost model, memoized per request.
@@ -494,17 +607,33 @@ class RecommendationService:
 
         return effective
 
-    def _decode_requests(self, requests: list[RecommendRequest], raise_errors: bool = True) -> None:
+    def _decode_requests(
+        self,
+        requests: list[RecommendRequest],
+        raise_errors: bool = True,
+        shed: bool = True,
+    ) -> int:
         # A failing batch must neither hang its own waiters nor strand the
         # other planned batches (their requests are already drained from the
         # queue): fail the broken batch's handles, keep decoding the rest,
         # and re-raise the first error at the end.
+        #
+        # Deadline shedding runs per micro-batch, at the moment that
+        # batch's decode would start — not once for the whole plan — so
+        # ``deadline_ms`` caps queueing delay even when a deep backlog
+        # drains across many sequential batches.
         first_error: Exception | None = None
+        served = 0
         effective_len = self._effective_len()
         with self._decode_lock:
             for batch in self.batcher.plan(requests, effective_len):
+                if shed:
+                    batch = self._shed_expired(batch)
+                    if not batch:
+                        continue
                 try:
                     self._decode_batch(batch, effective_len)
+                    served += len(batch)
                 except Exception as exc:
                     for request in batch:
                         with self._pending_lock:
@@ -515,6 +644,7 @@ class RecommendationService:
                         first_error = exc
         if first_error is not None and raise_errors:
             raise first_error
+        return served
 
     def _decode_batch(
         self,
@@ -547,21 +677,3 @@ class RecommendationService:
         # reflect that real decode width, not raw prompt shapes.
         self.stats.padding_fraction_sum += padding_fraction(batch, effective_len)
 
-    # ------------------------------------------------------------------
-    # Synchronous convenience
-    # ------------------------------------------------------------------
-    def recommend_many(
-        self, histories: Sequence[Sequence[int]], top_k: int = 10, template_id: int = 0
-    ) -> list[list[int]]:
-        """Submit + await a whole batch of histories, preserving order.
-
-        Works in both modes: without the background loop this is exactly
-        submit-all + one ``flush()``; with it, the loop's size trigger does
-        the flushing and ``result()`` blocks until delivery.
-        """
-        pending = [
-            self.submit(history, top_k=top_k, template_id=template_id) for history in histories
-        ]
-        if not self.is_running:
-            self.flush()
-        return [p.result() for p in pending]

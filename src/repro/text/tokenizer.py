@@ -50,12 +50,10 @@ class WordTokenizer:
         counts: Counter = Counter()
         for text in texts:
             counts.update(cls.text_to_tokens(text))
-        return Vocabulary.from_counter(counts, min_count=min_count,
-                                       max_size=max_size)
+        return Vocabulary.from_counter(counts, min_count=min_count, max_size=max_size)
 
     # ------------------------------------------------------------------
-    def encode(self, text: str, add_bos: bool = False,
-               add_eos: bool = False) -> list[int]:
+    def encode(self, text: str, add_bos: bool = False, add_eos: bool = False) -> list[int]:
         ids = [self.vocab.token_to_id(t) for t in self.text_to_tokens(text)]
         if add_bos:
             ids.insert(0, self.vocab.bos_id)

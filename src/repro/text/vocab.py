@@ -50,8 +50,9 @@ class Vocabulary:
         return [self.add_token(token) for token in tokens]
 
     @classmethod
-    def from_counter(cls, counts: Counter, min_count: int = 1,
-                     max_size: int | None = None) -> "Vocabulary":
+    def from_counter(
+        cls, counts: Counter, min_count: int = 1, max_size: int | None = None
+    ) -> "Vocabulary":
         """Build a base vocabulary from token counts (most frequent first)."""
         vocab = cls()
         ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))

@@ -10,8 +10,8 @@ Acceptance contracts pinned here:
 * TIGER rankings through ``TIGEREngine`` are identical to the
   ``TIGER.recommend`` single loop for B ∈ {1, 4, 16}, including the
   widen-to-catalog retry, top-k backfill, and single-item tries;
-* the deprecated ``RecommendationService(model)`` constructor still works,
-  with a warning.
+* the pre-PR-4 ``RecommendationService(model)`` shim is gone: a bare
+  model raises ``TypeError`` naming ``LCRecEngine(model)`` as the fix.
 """
 
 import numpy as np
@@ -132,16 +132,13 @@ class TestEngineProtocol:
             results = [p.result(timeout=30.0) for p in good]
         assert results == lcrec_oracle(tiny_lcrec, histories[1:], 5)
 
-    def test_deprecated_model_constructor_warns_and_works(self, tiny_lcrec,
-                                                          tiny_dataset):
-        histories = [list(h) for h in tiny_dataset.split.test_histories[:4]]
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            service = RecommendationService(
-                tiny_lcrec, batcher=MicroBatcherConfig(max_batch_size=4))
-        assert isinstance(service.engine, LCRecEngine)
-        assert service.prefix_cache is not None  # legacy default: cache on
-        assert service.recommend_many(histories, top_k=5) == lcrec_oracle(
-            tiny_lcrec, histories, 5)
+    def test_bare_model_constructor_raises_with_fix(self, tiny_lcrec):
+        # The PR-4 deprecation shim is gone: the error must say what to
+        # wrap the model in, not silently adapt it.
+        with pytest.raises(TypeError, match=r"LCRecEngine\(model\)"):
+            RecommendationService(tiny_lcrec)
+        with pytest.raises(TypeError, match="GenerativeEngine"):
+            RecommendationService(None)
 
 
 class TestLCRecEngineParity:
