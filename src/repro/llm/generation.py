@@ -58,7 +58,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..quantization.trie import IndexTrie
+from ..quantization.trie import IndexTrie, SparseCandidates
 from ..tensor import BeamKVCache, StepWorkspace, no_grad
 from .model import TinyLlama
 from .prefix_cache import PrefixKVCache, PrefixMatch
@@ -335,6 +335,60 @@ def _prefill_prompts(
     return hidden, pad_columns
 
 
+def _narrow_positions(union: np.ndarray, allowed: np.ndarray) -> np.ndarray:
+    """Positions of ``allowed`` inside the sorted ``union`` (validated).
+
+    Raises if the narrowing trie allows a token the full trie's candidate
+    union does not — the narrow trie must be a subtrie of the decode trie
+    (:meth:`IndexTrie.subtrie`), otherwise selection and renormalisation
+    would disagree about the legal token set.
+    """
+    positions = np.searchsorted(union, allowed)
+    if allowed.size and (
+        int(positions[-1]) >= union.shape[0]
+        or not np.array_equal(union[positions], allowed)
+    ):
+        raise ValueError("narrow trie allows tokens the full trie does not")
+    return positions
+
+
+def _narrowed_step_candidates(
+    candidates_info: SparseCandidates,
+    narrow: IndexTrie,
+    prefixes: list[tuple[int, ...]],
+    alive: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Candidate union, normalisation mask, selection mask of a narrowed step.
+
+    A narrowed decode only ever keeps candidate-path beams alive, so the
+    gathered-head union can shrink from the whole trie level's union to the
+    union of the *alive* rows' full-trie allowed sets.  The normalisation
+    mask stays the full trie's per-row allowed sets — scores renormalise
+    exactly as an unnarrowed decode would — while the selection mask
+    restricts the beam argmax to the narrow trie's continuations.  Dead and
+    filler rows get all-False rows in both masks (they stay ``-inf``).
+    """
+    rows = len(prefixes)
+    live: list[np.ndarray | None] = [
+        ids if alive[row] and ids.size else None
+        for row, ids in enumerate(candidates_info.per_row)
+    ]
+    parts = [ids for ids in live if ids is not None]
+    if not parts:
+        raise RuntimeError("no live hypotheses to step in a narrowed decode")
+    union = np.unique(np.concatenate(parts))
+    norm_mask = np.zeros((rows, union.shape[0]), dtype=bool)
+    keep = np.zeros_like(norm_mask)
+    for row, ids in enumerate(live):
+        if ids is None:
+            continue
+        norm_mask[row, np.searchsorted(union, ids)] = True
+        narrowed = narrow.allowed_tokens(prefixes[row])
+        if narrowed.size:
+            keep[row, _narrow_positions(union, narrowed)] = True
+    return union, norm_mask, keep
+
+
 @dataclass
 class DecodeState:
     """Resumable state of a batched trie-constrained beam decode.
@@ -363,6 +417,15 @@ class DecodeState:
     candidate-only output head and enables the forced fast path;
     ``workspace`` is the step-scratch arena (cleared whenever the row
     count changes).
+
+    ``narrow`` optionally restricts beam *selection* to a candidate
+    subtrie (:meth:`IndexTrie.subtrie`) while scores keep renormalising
+    over the full trie: tokens outside the narrow trie are set to ``-inf``
+    *after* the constrained log-softmax, so the surviving hypotheses carry
+    exactly the scores a full decode would give them and the ranking over
+    the candidate set is identical to a full decode filtered post hoc.
+    With the sparse head, narrowing also shrinks the gathered candidate
+    union to the alive rows' allowed sets — fewer output-head columns.
     """
 
     model: TinyLlama
@@ -378,6 +441,7 @@ class DecodeState:
     pending: np.ndarray = field(default_factory=lambda: np.empty((0, 1), dtype=np.int64))
     sparse: bool = True
     workspace: StepWorkspace | None = None
+    narrow: IndexTrie | None = None
 
     @property
     def num_rows(self) -> int:
@@ -426,6 +490,7 @@ def decode_prefill(
     prefix_cache: PrefixKVCache | None = None,
     tags: Sequence[object] | None = None,
     sparse: bool = True,
+    narrow: IndexTrie | None = None,
 ) -> DecodeState:
     """Run the prompt phase and level-0 beam expansion for ``prompts``.
 
@@ -437,10 +502,18 @@ def decode_prefill(
     prompt's position).  ``sparse`` (default) computes logits for the
     trie's candidate union only — see the module docstring; ``False``
     keeps the dense full-vocabulary head as the measurable baseline
-    (rankings identical, scores to float rounding).
+    (rankings identical, scores to float rounding).  ``narrow``
+    optionally restricts beam selection to a candidate subtrie of
+    ``trie`` (see :class:`DecodeState`): ranking over the candidate set
+    matches a full decode filtered post hoc.
     """
     if beam_size < 1:
         raise ValueError("beam_size must be positive")
+    if narrow is not None and narrow.num_levels != trie.num_levels:
+        raise ValueError(
+            f"narrow trie depth {narrow.num_levels} does not match "
+            f"decode trie depth {trie.num_levels}"
+        )
     prompts = [list(map(int, p)) for p in prompts]
     if not prompts:
         raise ValueError("need at least one prompt")
@@ -468,6 +541,13 @@ def decode_prefill(
             root = trie.allowed_token_ids([()])
             logits = model.lm_head_gather(hidden, root.union, workspace=workspace)
             scores = masked_log_softmax(logits, root.mask)  # (B, U)
+            if narrow is not None:
+                # Selection restricted to the narrow trie's first tokens;
+                # the renormalisation above stays over the full root union,
+                # so narrowing filters candidates without re-scoring them.
+                keep = np.zeros(root.num_candidates, dtype=bool)
+                keep[_narrow_positions(root.union, narrow.allowed_tokens(()))] = True
+                scores = np.where(keep[None, :], scores, -np.inf)
             width = root.num_candidates
             if num_beams > width:
                 # Fewer legal first tokens than beams: -inf filler columns
@@ -477,6 +557,8 @@ def decode_prefill(
         else:
             logits = np.matmul(hidden, model.lm_head.weight.data)  # (B, V)
             scores = masked_log_softmax(logits, trie.root_token_mask(vocab_size))
+            if narrow is not None:
+                scores = np.where(narrow.root_token_mask(vocab_size), scores, -np.inf)
             width = vocab_size
         order, top_scores = topk_desc(scores, num_beams)
         # Scores accumulate in float64, matching the reference path.
@@ -503,6 +585,7 @@ def decode_prefill(
         pending=token_ids.reshape(-1, 1).astype(np.int64, copy=False),
         sparse=sparse,
         workspace=workspace,
+        narrow=narrow,
     )
 
 
@@ -562,16 +645,27 @@ def decode_step(state: DecodeState) -> DecodeState:
             workspace=state.workspace,
         ).data[:, -1, :]
         if state.sparse:
-            union = candidates_info.union
-            width = candidates_info.num_candidates
-            logits = model.lm_head_gather(hidden, union, workspace=state.workspace)
-            step_logp = masked_log_softmax(logits, candidates_info.mask)  # (B*K, U)
+            if state.narrow is None:
+                union = candidates_info.union
+                width = candidates_info.num_candidates
+                logits = model.lm_head_gather(hidden, union, workspace=state.workspace)
+                step_logp = masked_log_softmax(logits, candidates_info.mask)  # (B*K, U)
+            else:
+                union, norm_mask, keep = _narrowed_step_candidates(
+                    candidates_info, state.narrow, prefixes, alive
+                )
+                width = int(union.shape[0])
+                logits = model.lm_head_gather(hidden, union, workspace=state.workspace)
+                step_logp = np.where(keep, masked_log_softmax(logits, norm_mask), -np.inf)
         else:
             union = None
             width = vocab_size
             logits = np.matmul(hidden, model.lm_head.weight.data)  # (B*K, V)
             mask = trie.allowed_token_mask(prefixes, vocab_size)
             step_logp = masked_log_softmax(logits, mask)
+            if state.narrow is not None:
+                keep = state.narrow.allowed_token_mask(prefixes, vocab_size)
+                step_logp = np.where(keep, step_logp, -np.inf)
         origin, token, state.beam_scores = select_beams(
             step_logp, state.beam_scores, num_beams, width, union
         )
@@ -641,6 +735,8 @@ def decode_join(state: DecodeState, incoming: DecodeState) -> DecodeState:
         raise ValueError("joined decodes must share a pad id")
     if incoming.sparse != state.sparse:
         raise ValueError("joined decodes must share the sparse-head setting")
+    if incoming.narrow is not state.narrow:
+        raise ValueError("joined decodes must share one narrowing trie")
     if incoming.num_rows == 0:
         raise ValueError("incoming state has no rows")
     if incoming.caches[0].suffix.length or incoming.pending.shape[1] != 1:
@@ -764,6 +860,7 @@ def beam_search_items_batched(
     pad_id: int = 0,
     prefix_cache: PrefixKVCache | None = None,
     sparse: bool = True,
+    narrow: IndexTrie | None = None,
 ) -> list[list[BeamHypothesis]]:
     """Batched trie-constrained beam search (the serving engine).
 
@@ -803,6 +900,7 @@ def beam_search_items_batched(
         pad_id=pad_id,
         prefix_cache=prefix_cache,
         sparse=sparse,
+        narrow=narrow,
     )
     for _ in range(1, trie.num_levels):
         decode_step(state)

@@ -23,6 +23,7 @@ caches key on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -308,3 +309,29 @@ class IndexTrie:
     def all_sequences(self) -> dict[int, tuple[int, ...]]:
         """item_id -> token sequence (a copy)."""
         return {item: seq for seq, item in self._leaf_to_item.items()}
+
+    def subtrie(self, item_ids: "Sequence[int]") -> "IndexTrie":
+        """A new trie over the given items' sequences only (candidate narrowing).
+
+        The retrieval tier hands the decoder a candidate set; a subtrie
+        built from exactly those items is the *selection* constraint of a
+        narrowed decode (see ``repro.llm.decode_prefill``'s ``narrow``
+        parameter — scoring still renormalises over this full trie, so
+        narrowing never changes how the surviving candidates rank).  The
+        subtrie is independent of its parent: mutating either afterwards
+        does not affect the other.  Raises ``KeyError`` for ids not in the
+        trie and ``ValueError`` for an empty candidate set.
+        """
+        sequences: dict[int, tuple[int, ...]] = {}
+        item_to_seq = {item: seq for seq, item in self._leaf_to_item.items()}
+        for item_id in item_ids:
+            item_id = int(item_id)
+            if item_id in sequences:
+                continue
+            try:
+                sequences[item_id] = item_to_seq[item_id]
+            except KeyError:
+                raise KeyError(f"item {item_id} has no index sequence in this trie") from None
+        if not sequences:
+            raise ValueError("cannot build a subtrie from no items")
+        return IndexTrie(sequences)

@@ -1,0 +1,22 @@
+"""The retrieval tier: clustered-KNN candidates over item vectors.
+
+The collaborative-embedding lane of the hybrid serving stack (see
+``docs/retrieval.md``): a numpy-only, microsecond-latency recommender
+that serves as (a) the graceful-degradation fast lane when the LLM lane
+sheds load, (b) the cold-start path for histories the trie-constrained
+decoder cannot rank, and (c) the candidate generator that *narrows* the
+trie before constrained decode.
+"""
+
+from .knn import ClusteredKNNConfig, ClusteredKNNIndex, brute_force_topk, rank_by_score
+from .recommender import RetrievalRecommender
+from .hybrid import HybridRecommender
+
+__all__ = [
+    "ClusteredKNNConfig",
+    "ClusteredKNNIndex",
+    "HybridRecommender",
+    "RetrievalRecommender",
+    "brute_force_topk",
+    "rank_by_score",
+]

@@ -1,0 +1,120 @@
+"""Hybrid recommendation: retrieval narrows, constrained decode re-ranks.
+
+The two lanes of the serving stack meet here.  For each history the
+retrieval tier proposes ``num_candidates`` items in microseconds; the
+generative engine then decodes over a *narrowed* trie built from exactly
+those candidates (:meth:`GenerativeEngine.narrowed`), so the sparse
+output head gathers only candidate-path token unions — a smaller GEMM
+per step — while the constrained log-softmax keeps renormalising over
+the full trie.  The decode therefore ranks the candidate set exactly as
+a full decode would (the parity the test battery and the hybrid bench
+both assert); what changes is only the work.
+
+Cold-start histories — empty, or containing no item the retrieval index
+knows — skip the LLM entirely and return the retrieval tier's
+deterministic popularity ranking, because the trie-constrained decoder
+has no signal for them either.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from .recommender import RetrievalRecommender
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serving.engine import GenerativeEngine
+
+__all__ = ["HybridRecommender"]
+
+
+class HybridRecommender:
+    """Retrieval-narrowed constrained decoding over a generative engine."""
+
+    def __init__(
+        self,
+        engine: "GenerativeEngine",
+        retriever: RetrievalRecommender,
+        num_candidates: int = 32,
+    ):
+        if not engine.supports_narrowing:
+            raise ValueError(
+                f"{type(engine).__name__} does not support candidate narrowing"
+            )
+        if num_candidates < 1:
+            raise ValueError("num_candidates must be positive")
+        self.engine = engine
+        self.retriever = retriever
+        self.num_candidates = num_candidates
+        # Only items the trie can decode may narrow it; snapshot the
+        # decodable set once (an online catalog swap rebuilds the hybrid).
+        self._decodable = frozenset(engine_items(engine))
+
+    def candidates(self, history: Sequence[int], top_k: int) -> list[int]:
+        """The decodable retrieval candidates for one history."""
+        pool = self.retriever.recommend(history, max(self.num_candidates, top_k))
+        return [item for item in pool if item in self._decodable]
+
+    def recommend(self, history: Sequence[int], top_k: int = 10) -> list[int]:
+        return self.recommend_many([history], top_k=top_k)[0]
+
+    def recommend_many(
+        self, histories: Sequence[Sequence[int]], top_k: int = 10
+    ) -> list[list[int]]:
+        """Ranked item ids per history: decode-ranked candidates, backfilled.
+
+        Histories sharing one candidate set decode together in one
+        narrowed batch; candidates beyond what the decode surfaces (and,
+        after them, the retrieval ranking) backfill to ``top_k``.
+        """
+        if top_k < 1:
+            raise ValueError("top_k must be positive")
+        results: list[list[int] | None] = [None] * len(histories)
+        groups: dict[tuple[int, ...], list[int]] = {}
+        row_candidates: list[list[int]] = []
+        for row, history in enumerate(histories):
+            if self.retriever.profile(history) is None:
+                # Cold start: the decoder has no history signal either.
+                results[row] = self.retriever.recommend(history, top_k)
+                row_candidates.append([])
+                continue
+            candidates = self.candidates(history, top_k)
+            row_candidates.append(candidates)
+            if not candidates:
+                results[row] = self.retriever.recommend(history, top_k)
+                continue
+            groups.setdefault(tuple(candidates), []).append(row)
+        for candidate_key, rows in groups.items():
+            narrowed = self.engine.narrowed(candidate_key)
+            ranked_lists = narrowed.recommend_many(
+                [histories[row] for row in rows],
+                top_k=min(top_k, len(candidate_key)),
+            )
+            for row, ranked in zip(rows, ranked_lists):
+                results[row] = self._backfill(ranked, row_candidates[row], top_k)
+        return [result if result is not None else [] for result in results]
+
+    def _backfill(self, ranked: list[int], candidates: list[int], top_k: int) -> list[int]:
+        """Extend a short decode ranking from the retrieval order."""
+        target = min(top_k, self.retriever.num_items)
+        if len(ranked) >= target:
+            return ranked[:top_k]
+        seen = set(ranked)
+        for item in candidates:
+            if len(ranked) >= target:
+                break
+            if item not in seen:
+                ranked.append(item)
+                seen.add(item)
+        for item in self.retriever.popularity_order:
+            if len(ranked) >= target:
+                break
+            if int(item) not in seen:
+                ranked.append(int(item))
+                seen.add(int(item))
+        return ranked
+
+
+def engine_items(engine: "GenerativeEngine") -> list[int]:
+    """The item ids an engine's trie can decode."""
+    return list(engine.trie.all_sequences().keys())

@@ -24,8 +24,12 @@ each a ``RecommendationService`` over a private engine replica — behind a
 rendezvous-hash :class:`AffinityRouter` (session traffic sticks to the
 worker holding its prompt K/V) with bounded per-worker backlogs,
 least-loaded spillover and deadline-based load shedding (typed
-:class:`Overloaded` rejections).  Every mode, single-process or cluster,
-speaks the one :class:`RecommendationClient` surface:
+:class:`Overloaded` rejections).  A configured
+:class:`FallbackRecommender` (the retrieval fast lane of
+``repro.retrieval``) upgrades shedding to graceful degradation: requests
+that would be rejected are served from retrieval instead, on handles
+flagged ``degraded``.  Every mode, single-process or cluster, speaks the
+one :class:`RecommendationClient` surface:
 ``submit(...) -> RecommendationHandle`` / ``handle.result(timeout)``.
 
 See ``docs/serving.md`` for the architecture, tuning guidance, and the
@@ -35,6 +39,8 @@ a runnable walkthrough.
 
 from ..llm import PrefixCacheStats, PrefixKVCache
 from .api import (
+    DegradedRecommendation,
+    FallbackRecommender,
     Overloaded,
     RecommendationClient,
     RecommendationHandle,
@@ -78,6 +84,8 @@ __all__ = [
     "RecommendationClient",
     "RecommendationHandle",
     "RejectedRecommendation",
+    "DegradedRecommendation",
+    "FallbackRecommender",
     "PendingRecommendation",
     "RecommendationService",
     "ServingStats",

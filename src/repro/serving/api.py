@@ -12,16 +12,27 @@ all share, so callers are *mode-agnostic*:
   thread) and :class:`repro.serving.ServingCluster` (N workers behind an
   affinity router); swapping one for the other changes no caller code.
 * :class:`RecommendationHandle` — the future-style result protocol
-  (``request_id``, ``done``, ``result(timeout)``).  The service's
-  :class:`repro.serving.PendingRecommendation` satisfies it, as does
-  :class:`RejectedRecommendation`, the pre-failed handle admission
-  control returns instead of raising at the submit site.
+  (``request_id``, ``done``, ``result(timeout)``, ``degraded``).  The
+  service's :class:`repro.serving.PendingRecommendation` satisfies it, as
+  do :class:`RejectedRecommendation`, the pre-failed handle admission
+  control returns instead of raising at the submit site, and
+  :class:`DegradedRecommendation`, the pre-served handle the retrieval
+  fast lane returns.
 * :class:`Overloaded` — the typed rejection.  Under overload a client
   *sheds* work instead of queueing unboundedly: a full bounded queue or a
   missed per-request deadline fails the handle with an ``Overloaded``
   carrying a machine-readable ``reason`` (``"queue_full"`` /
   ``"deadline"``), so callers can tell "the system protected itself" from
   "the decode broke" and fall back accordingly.
+* :class:`FallbackRecommender` — the duck type of the retrieval fast
+  lane.  A client configured with a fallback *serves* would-be-shed
+  requests from it instead of rejecting them: the handle resolves with
+  the fallback's ranking and ``degraded`` is True, so callers always
+  know when a result is retrieval-quality rather than LLM-quality —
+  degradation is typed, never silent.
+  :class:`repro.retrieval.RetrievalRecommender` is the shipped
+  implementation; the protocol keeps ``repro.serving`` free of any
+  import on it.
 
 Thread safety: handles may be shared and awaited from any thread; the
 client implementations document their own submit/lifecycle guarantees.
@@ -33,11 +44,25 @@ import abc
 from typing import Protocol, Sequence, runtime_checkable
 
 __all__ = [
+    "DegradedRecommendation",
+    "FallbackRecommender",
     "Overloaded",
     "RecommendationHandle",
     "RejectedRecommendation",
     "RecommendationClient",
 ]
+
+
+@runtime_checkable
+class FallbackRecommender(Protocol):
+    """What the serving layer needs from a retrieval fast lane.
+
+    Any object answering ``recommend(history, top_k) -> list[int]``
+    cheaply (no model forward — it runs inline on submit and shed paths)
+    and from any thread (concurrent reads, no mutation) qualifies.
+    """
+
+    def recommend(self, history: Sequence[int], top_k: int = 10) -> list[int]: ...
 
 
 class Overloaded(RuntimeError):
@@ -69,6 +94,12 @@ class RecommendationHandle(Protocol):
     item ids or raising the request's failure — an :class:`Overloaded`
     if admission control shed it, the decode's exception if its batch
     broke.  Exactly one outcome is ever delivered per handle.
+
+    ``degraded`` is True when the result came from the retrieval
+    fallback lane instead of the LLM decode (load shedding or cold
+    start); it never flips after the handle resolves.  Degraded results
+    are always flagged — a caller can rely on ``degraded`` being False
+    to mean "this ranking came out of the constrained decoder".
     """
 
     @property
@@ -76,6 +107,9 @@ class RecommendationHandle(Protocol):
 
     @property
     def done(self) -> bool: ...
+
+    @property
+    def degraded(self) -> bool: ...
 
     def result(self, timeout: float | None = None) -> list[int]: ...
 
@@ -101,8 +135,47 @@ class RejectedRecommendation:
     def done(self) -> bool:
         return True
 
+    @property
+    def degraded(self) -> bool:
+        """A rejection serves nothing, degraded or otherwise."""
+        return False
+
     def result(self, timeout: float | None = None) -> list[int]:
         raise self._error
+
+
+class DegradedRecommendation:
+    """A handle born served — by the retrieval fast lane, not the LLM.
+
+    Returned when admission control would have shed the request but a
+    :class:`FallbackRecommender` is configured: the front door answers
+    from retrieval immediately instead of queueing (or rejecting), and
+    the handle is already resolved.  ``degraded`` is True and ``reason``
+    says why the fast lane fired (``"queue_full"`` — every admissible
+    backlog was at its bound; ``"cold_start"`` — the history carries no
+    signal the LLM lane could use), so degraded results can never
+    masquerade as LLM-quality ones.
+    """
+
+    def __init__(self, items: Sequence[int], reason: str, request_id: int = -1):
+        self._items = [int(item) for item in items]
+        self.reason = reason
+        self._request_id = request_id
+
+    @property
+    def request_id(self) -> int:
+        return self._request_id
+
+    @property
+    def done(self) -> bool:
+        return True
+
+    @property
+    def degraded(self) -> bool:
+        return True
+
+    def result(self, timeout: float | None = None) -> list[int]:
+        return list(self._items)
 
 
 class RecommendationClient(abc.ABC):

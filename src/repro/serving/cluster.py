@@ -24,6 +24,13 @@ fronts them with three policies:
   latency bounded past the saturation knee: under overload the cluster
   degrades by shedding a fraction of load, never by an unbounded p95
   cliff.  ``benchmarks/bench_cluster_serving.py`` records the curves.
+  With a ``fallback`` (:class:`repro.serving.FallbackRecommender`, e.g.
+  :class:`repro.retrieval.RetrievalRecommender`), would-be-shed history
+  requests are *served* from the retrieval fast lane instead — handles
+  resolve with ``degraded=True`` rather than failing — and empty
+  histories short-circuit to the fallback at the front door
+  (``reason="cold_start"``) without costing a decode slot.
+  ``benchmarks/bench_hybrid_retrieval.py`` measures the fast lane.
 
 The cluster speaks the same :class:`repro.serving.RecommendationClient`
 surface as the single-process service — ``submit(...) -> handle`` /
@@ -47,7 +54,14 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from .api import Overloaded, RecommendationClient, RecommendationHandle, RejectedRecommendation
+from .api import (
+    DegradedRecommendation,
+    FallbackRecommender,
+    Overloaded,
+    RecommendationClient,
+    RecommendationHandle,
+    RejectedRecommendation,
+)
 from .batcher import MicroBatcherConfig
 from .engine import GenerativeEngine
 from .router import AffinityRouter
@@ -68,6 +82,15 @@ class ClusterStats:
     the front door because every worker was at its backlog bound.  The
     affinity hit rate — what the prefix-cache story depends on — is
     ``affine / (affine + spilled)``.
+
+    ``degraded`` counts submits the front door served from the retrieval
+    fallback instead of a worker (every-worker saturation with a
+    fallback configured, plus the cold-start lane); ``cold_start`` is
+    the subset served because the history was empty.  Degraded serves
+    count in ``submitted`` but not in ``rejected`` (served is not shed)
+    and never touch ``per_worker`` — no worker saw them.  Worker-level
+    fallback serves (deadline expiry, per-worker queue overflow) live on
+    each worker's :class:`repro.serving.ServingStats` instead.
     """
 
     submitted: int = 0
@@ -75,6 +98,8 @@ class ClusterStats:
     spilled: int = 0
     keyless: int = 0
     rejected: int = 0
+    degraded: int = 0
+    cold_start: int = 0
     per_worker: dict[int, int] = field(default_factory=dict)
 
     @property
@@ -146,6 +171,17 @@ class ServingCluster(RecommendationClient):
         is shed instead of diverted — strict cache-locality mode.
     seed:
         Seeds the ``"random"`` routing policy (determinism in benches).
+    fallback:
+        Optional :class:`repro.serving.FallbackRecommender` — the
+        retrieval fast lane, shared by the front door and every worker.
+        History submits that would otherwise be shed (fleet-wide
+        saturation at the front door, per-worker queue overflow, or
+        deadline expiry) are served from it with ``degraded=True``
+        handles, and empty histories are answered from it immediately
+        (``reason="cold_start"``) without consuming a decode slot.
+        Intention/instruction submits keep plain rejections.  The object
+        must be thread-safe for concurrent reads —
+        :class:`repro.retrieval.RetrievalRecommender` is.
     """
 
     def __init__(
@@ -159,6 +195,7 @@ class ServingCluster(RecommendationClient):
         routing: str = "affinity",
         spillover: bool = True,
         seed: int = 0,
+        fallback: FallbackRecommender | None = None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be positive")
@@ -173,7 +210,11 @@ class ServingCluster(RecommendationClient):
             _Worker(
                 index,
                 RecommendationService(
-                    worker_engine, batcher=batcher, deadline_ms=deadline_ms, mode=mode
+                    worker_engine,
+                    batcher=batcher,
+                    deadline_ms=deadline_ms,
+                    mode=mode,
+                    fallback=fallback,
                 ),
             )
             for index, worker_engine in enumerate(engines)
@@ -182,6 +223,7 @@ class ServingCluster(RecommendationClient):
         self.max_backlog = max_backlog
         self.routing = routing
         self.spillover = spillover
+        self.fallback = fallback
         self.stats = ClusterStats()
         self._stats_lock = threading.Lock()
         self._rng = random.Random(seed)
@@ -231,6 +273,19 @@ class ServingCluster(RecommendationClient):
         """Total requests shed anywhere: front door, full queues, deadlines."""
         return self.stats.rejected + sum(
             stats.shed_queue_full + stats.shed_deadline for stats in self.worker_stats()
+        )
+
+    @property
+    def degraded_requests(self) -> int:
+        """Total requests the retrieval fast lane served, fleet-wide.
+
+        Front-door degraded serves (saturation and cold start) plus every
+        worker's queue-overflow and deadline fallback serves.  Disjoint
+        from :attr:`shed_requests` — degraded requests got a ranking.
+        """
+        return self.stats.degraded + sum(
+            stats.degraded_queue_full + stats.degraded_deadline
+            for stats in self.worker_stats()
         )
 
     # ------------------------------------------------------------------
@@ -310,8 +365,30 @@ class ServingCluster(RecommendationClient):
         self,
         submit: Callable[[RecommendationService], RecommendationHandle],
         session_key: str | None,
+        history: list[int] | None = None,
+        top_k: int = 10,
     ) -> RecommendationHandle:
+        if self.fallback is not None and history is not None and not history:
+            # Cold-start lane: an empty history gives the constrained
+            # decoder nothing to condition on — answer from retrieval
+            # immediately rather than spending a decode slot on it.
+            with self._stats_lock:
+                self.stats.submitted += 1
+                self.stats.degraded += 1
+                self.stats.cold_start += 1
+            return DegradedRecommendation(
+                self.fallback.recommend(history, top_k), "cold_start"
+            )
         worker, kind = self._admit(session_key)
+        if worker is None and self.fallback is not None and history is not None:
+            # Fleet-wide saturation with a retrieval fast lane: serve
+            # degraded instead of rejecting at the front door.
+            with self._stats_lock:
+                self.stats.submitted += 1
+                self.stats.degraded += 1
+            return DegradedRecommendation(
+                self.fallback.recommend(history, top_k), "queue_full"
+            )
         with self._stats_lock:
             if worker is None:
                 self.stats.submitted += 1
@@ -344,6 +421,7 @@ class ServingCluster(RecommendationClient):
         ``session_key`` (user or session id) drives affinity placement;
         ``deadline_ms`` is the request's shed budget at its worker.
         """
+        history = list(history)
         return self._route(
             lambda service: service.submit(
                 history,
@@ -353,6 +431,8 @@ class ServingCluster(RecommendationClient):
                 deadline_ms=deadline_ms,
             ),
             session_key,
+            history=history,
+            top_k=top_k,
         )
 
     def submit_intention(

@@ -69,7 +69,13 @@ from ..llm import (
     ranked_item_ids,
 )
 from ..data.batching import pad_sequences
-from ..llm.generation import masked_log_softmax, select_beams, topk_desc
+from ..llm.generation import (
+    _narrow_positions,
+    _narrowed_step_candidates,
+    masked_log_softmax,
+    select_beams,
+    topk_desc,
+)
 from ..quantization.trie import IndexTrie
 from ..tensor import Tensor, no_grad
 from .queue import RecommendRequest
@@ -151,6 +157,12 @@ class GenerativeEngine(abc.ABC):
         output-head :class:`repro.tensor.WeightMemo`, step workspaces.
         What :class:`repro.serving.ServingCluster` calls to provision one
         engine per worker thread without cloning the weights.
+    ``supports_narrowing``
+        Whether :meth:`narrowed` can restrict decoding to a candidate
+        item set (retrieval-narrowed decode): beam *selection* is limited
+        to the candidates' index sequences while scores keep renormalising
+        over the full trie, so the ranking over the candidate set is
+        identical to a full decode filtered post hoc.
     ``num_levels``
         Trie depth — :meth:`prefill` performs the level-0 expansion, so a
         freshly prefilled request needs ``num_levels - 1`` further
@@ -163,6 +175,8 @@ class GenerativeEngine(abc.ABC):
     supports_prefix_cache: bool = False
     supports_sparse_head: bool = False
     supports_replication: bool = False
+    supports_narrowing: bool = False
+    narrow: IndexTrie | None = None
     prefix_cache: PrefixKVCache | None = None
     default_beam_size: int = 20
 
@@ -223,6 +237,21 @@ class GenerativeEngine(abc.ABC):
         this.
         """
         raise NotImplementedError(f"{type(self).__name__} does not support replication")
+
+    def narrowed(self, item_ids: Sequence[int]) -> "GenerativeEngine":
+        """An engine copy whose decode is restricted to ``item_ids``.
+
+        The hybrid retrieval tier calls this with the retrieved candidate
+        set before constrained decode: the copy shares weights, trie and
+        prefix cache with the original but carries a candidate subtrie
+        (:meth:`repro.quantization.IndexTrie.subtrie`) as its beam
+        *selection* constraint.  Scoring still renormalises over the full
+        trie, so the candidates rank exactly as they would in a full
+        decode — narrowing only skips the work (and the beam slots) of
+        non-candidate paths.  Only engines with ``supports_narrowing``
+        implement this.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support candidate narrowing")
 
     # ------------------------------------------------------------------
     # Request encoding
@@ -383,6 +412,7 @@ class TrieDecoderEngine(GenerativeEngine):
     supports_prefix_cache = True
     supports_sparse_head = True
     supports_replication = True
+    supports_narrowing = True
 
     def __init__(
         self,
@@ -398,6 +428,7 @@ class TrieDecoderEngine(GenerativeEngine):
         self.pad_id = pad_id
         self.default_beam_size = default_beam_size
         self.sparse_head = sparse_head
+        self.narrow = None
         self.set_prefix_cache(prefix_cache)
 
     @property
@@ -448,6 +479,17 @@ class TrieDecoderEngine(GenerativeEngine):
             )
         return clone
 
+    def narrowed(self, item_ids: Sequence[int]) -> "TrieDecoderEngine":
+        """See :meth:`GenerativeEngine.narrowed`.
+
+        The copy shares the prefix cache on purpose: prompt K/V does not
+        depend on the trie, so a narrowed decode both hits and warms the
+        same cache as full decodes of the same session.
+        """
+        clone = copy.copy(self)
+        clone.narrow = self.trie.subtrie(item_ids)
+        return clone
+
     def encode_history(self, history: Sequence[int], template_id: int = 0) -> list[int]:
         """A bare trie-decoder engine serves pre-encoded prompts only.
 
@@ -473,6 +515,7 @@ class TrieDecoderEngine(GenerativeEngine):
             prefix_cache=self.prefix_cache,
             tags=requests,
             sparse=self.sparse_head,
+            narrow=self.narrow,
         )
 
     def step(self, state: EngineState) -> None:
@@ -637,6 +680,7 @@ class TIGEREngine(GenerativeEngine):
     supports_prefix_cache = False
     supports_sparse_head = True
     supports_replication = True
+    supports_narrowing = True
 
     def __init__(self, model: "TIGER", sparse_head: bool = True):
         # Lazy import keeps repro.serving importable without the baselines
@@ -649,6 +693,7 @@ class TIGEREngine(GenerativeEngine):
         self.bos_id = BOS_ID
         self.default_beam_size = model.config.beam_size
         self.sparse_head = sparse_head
+        self.narrow = None
 
     @property
     def num_levels(self) -> int:
@@ -672,6 +717,12 @@ class TIGEREngine(GenerativeEngine):
         """
         clone = copy.copy(self)
         clone.model = self.model.serving_replica()
+        return clone
+
+    def narrowed(self, item_ids: Sequence[int]) -> "TIGEREngine":
+        """See :meth:`GenerativeEngine.narrowed`."""
+        clone = copy.copy(self)
+        clone.narrow = self.trie.subtrie(item_ids)
         return clone
 
     def encode_history(self, history: Sequence[int], template_id: int = 0) -> list[int]:
@@ -702,12 +753,22 @@ class TIGEREngine(GenerativeEngine):
             root = self.trie.allowed_token_ids([()])
             logits = model.head_gather(hidden, root.union)  # (B, U)
             scores = masked_log_softmax(logits, root.mask)
+            if self.narrow is not None:
+                # Selection restricted to the narrow trie's first tokens;
+                # renormalisation stays over the full root union.
+                keep = np.zeros(root.num_candidates, dtype=bool)
+                keep[_narrow_positions(root.union, self.narrow.allowed_tokens(()))] = True
+                scores = np.where(keep[None, :], scores, -np.inf)
             width = root.num_candidates
         else:
             logits = model.head_logits(hidden)  # (B, V)
             scores = masked_log_softmax(
                 logits, self.trie.root_token_mask(logits.shape[-1])
             )
+            if self.narrow is not None:
+                scores = np.where(
+                    self.narrow.root_token_mask(logits.shape[-1]), scores, -np.inf
+                )
             width = logits.shape[-1]
         if num_beams > scores.shape[1]:
             # The beam can be wider than the candidate set (deep tries fan
@@ -769,16 +830,27 @@ class TIGEREngine(GenerativeEngine):
                 state.memory_flat, state.memory_mask_flat, decoder_input
             ).data[:, -1, :]
         if self.sparse_head:
-            union = candidates_info.union
-            width = candidates_info.num_candidates
-            logits = model.head_gather(hidden, union)  # (B*K, U)
-            step_logp = masked_log_softmax(logits, candidates_info.mask)
+            if self.narrow is None:
+                union = candidates_info.union
+                width = candidates_info.num_candidates
+                logits = model.head_gather(hidden, union)  # (B*K, U)
+                step_logp = masked_log_softmax(logits, candidates_info.mask)
+            else:
+                union, norm_mask, keep = _narrowed_step_candidates(
+                    candidates_info, self.narrow, prefixes, alive
+                )
+                width = int(union.shape[0])
+                logits = model.head_gather(hidden, union)  # (B*K, U')
+                step_logp = np.where(keep, masked_log_softmax(logits, norm_mask), -np.inf)
         else:
             union = None
             logits = model.head_logits(hidden)  # (B*K, V)
             width = logits.shape[-1]
             mask = self.trie.allowed_token_mask(prefixes, width)
             step_logp = masked_log_softmax(logits, mask)
+            if self.narrow is not None:
+                keep = self.narrow.allowed_token_mask(prefixes, width)
+                step_logp = np.where(keep, step_logp, -np.inf)
         origin, token, state.beam_scores = select_beams(
             step_logp, state.beam_scores, num_beams, width, union
         )

@@ -47,6 +47,12 @@ class RecommendRequest:
     means wait forever.  The shed check runs when a decode *starts* — a
     request already being decoded when its deadline passes completes
     normally (completion wins the race).
+
+    ``history`` is the raw interaction history behind a ``submit`` call
+    (``None`` for instruction/intention submits, which have no item
+    history).  The decode never reads it; it exists so a configured
+    retrieval fallback can serve the request at shed time — after
+    encoding, the prompt ids alone cannot be mapped back to items.
     """
 
     prompt_ids: list[int]
@@ -56,6 +62,7 @@ class RecommendRequest:
     deadline: float | None = None
     request_id: int = field(default_factory=lambda: next(_request_counter))
     enqueued_at: float = field(default_factory=time.monotonic)
+    history: list[int] | None = None
 
     @property
     def prompt_len(self) -> int:

@@ -49,7 +49,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..llm import PrefixKVCache
-from .api import Overloaded, RecommendationClient
+from .api import FallbackRecommender, Overloaded, RecommendationClient
 from .batcher import MicroBatcher, MicroBatcherConfig, padding_fraction
 from .continuous import ContinuousScheduler
 from .engine import GenerativeEngine
@@ -75,6 +75,7 @@ class PendingRecommendation:
         self._event = threading.Event()
         self._result: list[int] | None = None
         self._error: BaseException | None = None
+        self._degraded_reason: str | None = None
 
     @property
     def request_id(self) -> int:
@@ -83,6 +84,19 @@ class PendingRecommendation:
     @property
     def done(self) -> bool:
         return self._event.is_set()
+
+    @property
+    def degraded(self) -> bool:
+        """True when the retrieval fallback lane served this request.
+
+        Meaningful once ``done``; a degraded handle also records why in
+        ``degraded_reason`` (``"queue_full"`` or ``"deadline"``).
+        """
+        return self._degraded_reason is not None
+
+    @property
+    def degraded_reason(self) -> str | None:
+        return self._degraded_reason
 
     def result(self, timeout: float | None = None) -> list[int]:
         """The ranked item ids, blocking until the request is served.
@@ -102,6 +116,11 @@ class PendingRecommendation:
         return self._result
 
     def _deliver(self, result: list[int]) -> None:
+        self._result = result
+        self._event.set()
+
+    def _deliver_degraded(self, result: list[int], reason: str) -> None:
+        self._degraded_reason = reason
         self._result = result
         self._event.set()
 
@@ -133,6 +152,12 @@ class ServingStats:
     its shed deadline passed before its decode started.  Shed requests
     count in neither ``requests`` nor ``batches``.
 
+    ``degraded_queue_full`` / ``degraded_deadline`` count would-be-shed
+    requests the retrieval fallback *served* instead (the service was
+    constructed with a ``fallback``): those handles resolve with a
+    ranking and ``degraded=True``, and they are deliberately **not**
+    counted as shed — served and shed are disjoint outcomes.
+
     ``prefill_seconds`` / ``step_seconds`` / ``finalize_seconds`` attribute
     decode-path wall time to its stages: the prompt phase (including
     prefix-cache matching and level-0 expansion), the per-level stepping
@@ -153,6 +178,8 @@ class ServingStats:
     joins: int = 0
     shed_queue_full: int = 0
     shed_deadline: int = 0
+    degraded_queue_full: int = 0
+    degraded_deadline: int = 0
     prefill_seconds: float = 0.0
     step_seconds: float = 0.0
     finalize_seconds: float = 0.0
@@ -230,6 +257,16 @@ class RecommendationService(RecommendationClient):
         instance shares/sizes one, ``False``/``None`` disables.  Left
         unset, the engine keeps whatever cache it was constructed with.
         Rankings are identical either way.
+    fallback:
+        Optional :class:`repro.serving.FallbackRecommender` — the
+        retrieval fast lane.  When set, a ``submit`` (history) request
+        that admission control would shed (full queue at submit, or shed
+        deadline passed while queued) is *served* from the fallback
+        instead of rejected: its handle resolves with the fallback
+        ranking and ``degraded=True``.  Intention/instruction submits
+        carry no item history the fallback could use and keep the plain
+        ``Overloaded`` rejection.  ``None`` (default) keeps pre-fallback
+        shedding exactly as it was.
 
     Thread safety: see the module docstring.  The decode path itself is
     serialized on one internal lock, so a concurrent ``flush()`` and
@@ -244,6 +281,7 @@ class RecommendationService(RecommendationClient):
         mode: str = "deadline",
         prefix_cache: PrefixKVCache | bool | None = _UNSET,
         queue_depth: int | None = None,
+        fallback: FallbackRecommender | None = None,
     ):
         if not isinstance(engine, GenerativeEngine):
             # The pre-PR-4 constructor took a built LCRec model; the shim
@@ -265,6 +303,7 @@ class RecommendationService(RecommendationClient):
                 "use mode='deadline'"
             )
         self.engine = engine
+        self.fallback = fallback
         self.batcher = MicroBatcher(batcher)
         self.queue = RequestQueue(max_depth=queue_depth)
         self.stats = ServingStats()
@@ -473,11 +512,13 @@ class RecommendationService(RecommendationClient):
         dropped with a typed :class:`repro.serving.Overloaded` instead of
         decoded late.
         """
+        history = list(history)
         return self._submit_prompt(
-            self.engine.encode_history(list(history), template_id),
+            self.engine.encode_history(history, template_id),
             top_k,
             session_key=session_key,
             deadline_ms=deadline_ms,
+            history=history,
         )
 
     def submit_intention(
@@ -518,6 +559,7 @@ class RecommendationService(RecommendationClient):
         top_k: int,
         session_key: str | None = None,
         deadline_ms: float | None = None,
+        history: list[int] | None = None,
     ) -> PendingRecommendation:
         if deadline_ms is not None and deadline_ms <= 0:
             raise ValueError("deadline_ms must be positive (or None for no deadline)")
@@ -530,6 +572,7 @@ class RecommendationService(RecommendationClient):
             beam_size=self.engine.request_beam_size(top_k),
             session_key=session_key,
             deadline=None if deadline_ms is None else time.monotonic() + deadline_ms / 1000.0,
+            history=history,
         )
         handle = PendingRecommendation(self, request.request_id)
         # Register before push: with the background loop running, the
@@ -538,17 +581,25 @@ class RecommendationService(RecommendationClient):
             self._pending[request.request_id] = handle
         if not self.queue.try_push(request):
             # Admission control: the bounded queue refused the request.
-            # The handle comes back already failed (never enqueued), so
+            # Nothing was enqueued either way; with a retrieval fallback
+            # and a history to retrieve for, the request is served
+            # degraded, otherwise the handle comes back already failed —
             # submit itself stays exception-free under overload.
             with self._pending_lock:
                 self._pending.pop(request.request_id, None)
-            self.stats.shed_queue_full += 1
-            handle._fail(
-                Overloaded(
-                    f"request queue full (depth bound {self.queue.max_depth})",
-                    reason="queue_full",
+            if self.fallback is not None and history is not None:
+                self.stats.degraded_queue_full += 1
+                handle._deliver_degraded(
+                    self.fallback.recommend(history, request.top_k), "queue_full"
                 )
-            )
+            else:
+                self.stats.shed_queue_full += 1
+                handle._fail(
+                    Overloaded(
+                        f"request queue full (depth bound {self.queue.max_depth})",
+                        reason="queue_full",
+                    )
+                )
         return handle
 
     # ------------------------------------------------------------------
@@ -573,7 +624,20 @@ class RecommendationService(RecommendationClient):
         """
         live: list[RecommendRequest] = []
         for request in requests:
-            if request.expired:
+            if not request.expired:
+                live.append(request)
+            elif self.fallback is not None and request.history is not None:
+                # Degrade instead of shed: answer from the retrieval fast
+                # lane, flagged, rather than failing the caller outright.
+                with self._pending_lock:
+                    handle = self._pending.pop(request.request_id, None)
+                if handle is not None:
+                    self.stats.degraded_deadline += 1
+                    handle._deliver_degraded(
+                        self.fallback.recommend(request.history, request.top_k),
+                        "deadline",
+                    )
+            else:
                 self.stats.shed_deadline += 1
                 self._fail_requests(
                     [request],
@@ -582,8 +646,6 @@ class RecommendationService(RecommendationClient):
                         reason="deadline",
                     ),
                 )
-            else:
-                live.append(request)
         return live
 
     def _effective_len(self) -> "Callable[[RecommendRequest], int]":

@@ -139,3 +139,58 @@ class TestLogprobConsistency:
         second = sequence_logprob(model, prompt + [5], [6],
                                   length_normalize=False)
         assert joint == pytest.approx(first + second, abs=1e-4)
+
+
+# ----------------------------------------------------------------------
+# Retrieval tier: the serving result contract, property-tested
+# ----------------------------------------------------------------------
+from repro.retrieval import (  # noqa: E402
+    ClusteredKNNConfig,
+    ClusteredKNNIndex,
+    RetrievalRecommender,
+    brute_force_topk,
+)
+
+_RETRIEVAL_VECTORS = np.random.default_rng(2024).standard_normal((48, 10)).astype(np.float32)
+_RETRIEVAL_COUNTS = np.random.default_rng(7).integers(0, 12, 48)
+RETRIEVER = RetrievalRecommender(
+    ClusteredKNNIndex(_RETRIEVAL_VECTORS, ClusteredKNNConfig(n_clusters=6, n_probe=2)),
+    popularity=_RETRIEVAL_COUNTS,
+)
+
+
+class TestRetrievalInvariants:
+    """The contract that lets retrieval serve as the degradation lane:
+    whatever the history (garbage ids included), every call returns
+    exactly ``min(top_k, num_items)`` distinct in-catalog ids,
+    deterministically."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(history=st.lists(st.integers(min_value=-3, max_value=60), max_size=16),
+           top_k=st.integers(min_value=1, max_value=60))
+    def test_result_contract(self, history, top_k):
+        ranked = RETRIEVER.recommend(history, top_k)
+        assert len(ranked) == min(top_k, RETRIEVER.num_items)
+        assert len(set(ranked)) == len(ranked)  # no duplicate item ids
+        assert all(0 <= item < RETRIEVER.num_items for item in ranked)
+        assert ranked == RETRIEVER.recommend(history, top_k)  # deterministic
+
+    @settings(max_examples=40, deadline=None)
+    @given(top_k=st.integers(min_value=1, max_value=48))
+    def test_cold_start_is_the_popularity_ranking(self, top_k):
+        """Empty histories rank by descending training count, ties by
+        smaller item id — fixed at construction, never data-dependent."""
+        ranked = RETRIEVER.recommend([], top_k)
+        assert ranked == [int(item) for item in RETRIEVER.popularity_order[:top_k]]
+        counts = _RETRIEVAL_COUNTS
+        for a, b in zip(ranked, ranked[1:]):
+            assert counts[a] > counts[b] or (counts[a] == counts[b] and a < b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           top_k=st.integers(min_value=1, max_value=48))
+    def test_full_probe_always_matches_brute_force(self, seed, top_k):
+        query = np.random.default_rng(seed).standard_normal(10).astype(np.float32)
+        exact = brute_force_topk(RETRIEVER.index.vectors, query, top_k)
+        got = RETRIEVER.index.search(query, top_k, n_probe=RETRIEVER.index.num_clusters)
+        assert got.tolist() == exact.tolist()

@@ -10,6 +10,10 @@ Acceptance contracts pinned here:
 * admission control sheds with typed ``Overloaded`` results — bounded
   backlogs at the front door, deadline expiry at the workers — and the
   deadline-vs-completion race resolves to exactly one outcome per handle;
+* with a configured retrieval fallback, would-be-shed history requests
+  are *served* degraded instead (flagged handles, counted separately
+  from shedding), empty histories short-circuit to the cold-start lane,
+  and intention/instruction submits keep their plain rejections;
 * ``stop()`` drains every worker: all handles submitted before the call
   are resolved;
 * engine replicas share weights but own their mutable serving state.
@@ -26,6 +30,8 @@ from repro.core.indexer import build_random_index_set
 from repro.serving import (
     AffinityRouter,
     ClusterStats,
+    DegradedRecommendation,
+    FallbackRecommender,
     GenerativeEngine,
     LCRecEngine,
     MicroBatcherConfig,
@@ -444,3 +450,167 @@ class TestPendingHandleSurface:
     def test_overloaded_reason_defaults(self):
         assert Overloaded("x").reason == "queue_full"
         assert Overloaded("x", reason="deadline").reason == "deadline"
+
+
+class StubFallback:
+    """A deterministic, call-counting retrieval fast lane for tests."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def recommend(self, history, top_k=10):
+        self.calls += 1
+        return list(range(top_k))
+
+
+class TestDegradedFallback:
+    """Shed-to-degraded: a configured fallback serves instead of rejecting."""
+
+    def test_fallback_satisfies_the_protocol(self):
+        assert isinstance(StubFallback(), FallbackRecommender)
+        assert isinstance(
+            DegradedRecommendation([1, 2], "queue_full"), RecommendationHandle
+        )
+
+    def test_degraded_handle_surface(self):
+        handle = DegradedRecommendation([3, 1, 4], "cold_start", request_id=9)
+        assert handle.done and handle.degraded
+        assert handle.reason == "cold_start"
+        assert handle.request_id == 9
+        assert handle.result() == [3, 1, 4]
+        handle.result().append(99)  # results are defensive copies
+        assert handle.result() == [3, 1, 4]
+
+    def test_queue_full_served_degraded(self, tiny_lcrec, tiny_dataset):
+        history = list(tiny_dataset.split.test_histories[0])
+        fallback = StubFallback()
+        service = RecommendationService(
+            LCRecEngine(tiny_lcrec), batcher=BATCHER, queue_depth=1, fallback=fallback
+        )
+        kept = service.submit(history, top_k=3)
+        degraded = service.submit(history, top_k=3)
+        assert degraded.done and degraded.degraded
+        assert degraded.result() == [0, 1, 2]
+        assert fallback.calls == 1
+        # Served is not shed: the degraded counter moves, the shed one
+        # does not.
+        assert service.stats.degraded_queue_full == 1
+        assert service.stats.shed_queue_full == 0
+        service.flush()
+        assert len(kept.result()) == 3 and not kept.degraded
+
+    def test_deadline_expiry_served_degraded(self, tiny_lcrec, tiny_dataset):
+        history = list(tiny_dataset.split.test_histories[0])
+        fallback = StubFallback()
+        service = RecommendationService(
+            LCRecEngine(tiny_lcrec), batcher=BATCHER, fallback=fallback
+        )
+        handle = service.submit(history, top_k=4, deadline_ms=1.0)
+        time.sleep(0.01)
+        assert service.flush() == 0  # nothing decoded: served by fallback
+        assert handle.result(timeout=1.0) == [0, 1, 2, 3]
+        assert handle.degraded and handle.degraded_reason == "deadline"
+        assert service.stats.degraded_deadline == 1
+        assert service.stats.shed_deadline == 0
+
+    def test_exactly_one_outcome_per_degraded_handle(self, tiny_lcrec, tiny_dataset):
+        history = list(tiny_dataset.split.test_histories[0])
+        service = RecommendationService(
+            LCRecEngine(tiny_lcrec), batcher=BATCHER, fallback=StubFallback()
+        )
+        handle = service.submit(history, top_k=3, deadline_ms=1.0)
+        time.sleep(0.01)
+        service.flush()
+        first = handle.result()
+        service.flush()  # a later flush must not re-deliver or overwrite
+        assert handle.result() == first
+        assert service.stats.degraded_deadline == 1
+
+    def test_intention_submits_keep_plain_rejection(self, tiny_lcrec, tiny_dataset):
+        """No history, nothing to retrieve for: typed Overloaded as before."""
+        history = list(tiny_dataset.split.test_histories[0])
+        fallback = StubFallback()
+        service = RecommendationService(
+            LCRecEngine(tiny_lcrec), batcher=BATCHER, queue_depth=1, fallback=fallback
+        )
+        service.submit(history, top_k=3)
+        shed = service.submit_intention("something comfortable")
+        with pytest.raises(Overloaded):
+            shed.result()
+        assert not shed.degraded
+        assert fallback.calls == 0
+        assert service.stats.shed_queue_full == 1
+        service.flush()
+
+    def test_cluster_front_door_serves_degraded(self, tiny_lcrec, tiny_dataset):
+        history = list(tiny_dataset.split.test_histories[0])
+        fallback = StubFallback()
+        cluster = ServingCluster(
+            LCRecEngine(tiny_lcrec),
+            num_workers=1,
+            batcher=BATCHER,
+            max_backlog=1,
+            fallback=fallback,
+        )
+        kept = cluster.submit(history, top_k=3)
+        degraded = cluster.submit(history, top_k=3)
+        assert isinstance(degraded, DegradedRecommendation)
+        assert degraded.reason == "queue_full"
+        assert degraded.result() == [0, 1, 2]
+        assert cluster.stats.degraded == 1
+        assert cluster.stats.rejected == 0
+        assert cluster.shed_requests == 0
+        assert cluster.degraded_requests == 1
+        cluster.flush()
+        assert len(kept.result()) == 3
+
+    def test_cluster_cold_start_lane(self, tiny_lcrec):
+        fallback = StubFallback()
+        cluster = ServingCluster(
+            LCRecEngine(tiny_lcrec), num_workers=2, batcher=BATCHER, fallback=fallback
+        )
+        handle = cluster.submit([], top_k=5, session_key="user:new")
+        assert isinstance(handle, DegradedRecommendation)
+        assert handle.reason == "cold_start"
+        assert handle.result() == [0, 1, 2, 3, 4]
+        assert cluster.stats.cold_start == 1 and cluster.stats.degraded == 1
+        # No worker saw the request.
+        assert cluster.stats.per_worker == {}
+        assert cluster.backlog == 0
+
+    def test_retrieval_recommender_is_a_working_fallback(self, tiny_lcrec, tiny_dataset):
+        """End-to-end with the shipped fast lane, not a stub."""
+        from repro.retrieval import ClusteredKNNConfig, RetrievalRecommender
+
+        retriever = RetrievalRecommender.from_lcrec(
+            tiny_lcrec, ClusteredKNNConfig(n_clusters=4, n_probe=2)
+        )
+        history = list(tiny_dataset.split.test_histories[0])
+        cluster = ServingCluster(
+            LCRecEngine(tiny_lcrec),
+            num_workers=1,
+            batcher=BATCHER,
+            max_backlog=1,
+            fallback=retriever,
+        )
+        kept = cluster.submit(history, top_k=5)
+        degraded = cluster.submit(history, top_k=5)
+        assert degraded.degraded
+        assert degraded.result() == retriever.recommend(history, 5)
+        cluster.flush()
+        assert len(kept.result()) == 5
+
+    def test_no_fallback_means_pre_existing_shedding(self, tiny_lcrec, tiny_dataset):
+        """fallback=None keeps the typed-rejection behaviour bit-for-bit."""
+        history = list(tiny_dataset.split.test_histories[0])
+        service = RecommendationService(
+            LCRecEngine(tiny_lcrec), batcher=BATCHER, queue_depth=1
+        )
+        service.submit(history, top_k=3)
+        shed = service.submit(history, top_k=3)
+        with pytest.raises(Overloaded):
+            shed.result()
+        assert not shed.degraded
+        assert service.stats.shed_queue_full == 1
+        assert service.stats.degraded_queue_full == 0
+        service.flush()
