@@ -1,0 +1,223 @@
+"""Live-catalog churn: serving latency under sustained online ingestion.
+
+The live catalog (``repro.core.LiveCatalog``) promises that item
+ingestion is a *non-event* for the serving path: each ``ingest`` builds a
+copy-on-write trie snapshot off the hot path and publishes it with one
+atomic version swap, so decodes never wait on a catalog rebuild and
+in-flight work finishes against its pinned version.  This benchmark holds
+the tentpole to that promise:
+
+1. **No p95 cliff.**  The same request stream is served twice — once
+   against a frozen catalog, once with items ingested between requests at
+   a sustained rate of at least 5% of the catalog per minute.  Above tiny
+   scale, the churn p95 must stay within 1.25x of the frozen baseline.
+2. **Pinned decodes are bit-identical.**  A decode is prefilled, a swap
+   lands mid-decode, and the finished hypotheses (items, token paths,
+   *and scores*) must equal a from-scratch decode against the pinned
+   version — asserted at every possible swap step, at every scale.
+3. **New items are recommendable within one swap.**  The very next
+   exhaustive ranking after ``ingest`` returns must be able to surface
+   the new item id, at every scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench import bench_scale, report, report_json, scaled_dataset
+from repro.bench.runners import build_lcrec_model
+from repro.llm import PrefixKVCache
+from repro.serving import LCRecEngine, RecommendationService, RecommendRequest
+
+REQUESTS = 24  # requests per serving phase
+INGEST_EVERY = 3  # churn phase: one ingest between every N requests
+TOP_K = 10
+BEAM_SIZE = 10
+PIN_PROBES = 4  # histories checked for mid-decode bit-identity
+P95_BUDGET = 1.25  # churn p95 / frozen p95, asserted above tiny scale
+MIN_CHURN_RATE = 0.05  # catalog fraction ingested per minute, ditto
+SEED = 31
+
+
+def _request_stream(dataset):
+    pool = [list(h) for h in dataset.split.test_histories if len(h) > 0]
+    return [pool[i % len(pool)] for i in range(REQUESTS)]
+
+
+def _serve(service, histories, ingest=None):
+    """Per-request submit+flush wall times; ``ingest()`` runs between
+    requests so swap publication overlaps the serving stream the way a
+    live deployment interleaves them."""
+    samples = []
+    inserted = 0
+    start = time.perf_counter()
+    for i, history in enumerate(histories):
+        if ingest is not None and i % INGEST_EVERY == 0:
+            ingest()
+            inserted += 1
+        tick = time.perf_counter()
+        handle = service.submit(history, top_k=TOP_K)
+        service.flush()
+        ranking = handle.result()
+        samples.append(time.perf_counter() - tick)
+        assert len(ranking) == TOP_K
+    elapsed = time.perf_counter() - start
+    return {
+        "requests": len(histories),
+        "inserted": inserted,
+        "elapsed_s": elapsed,
+        "p50_ms": 1000 * float(np.percentile(samples, 50)),
+        "p95_ms": 1000 * float(np.percentile(samples, 95)),
+    }
+
+
+def _decode_pinned(engine, prompt, swap_after=None, ingest=None):
+    """Run one decode to completion, optionally firing ``ingest`` after
+    ``swap_after`` steps, and return the full scored hypothesis list."""
+    request = RecommendRequest(prompt_ids=list(prompt), top_k=TOP_K, beam_size=BEAM_SIZE)
+    state = engine.prefill([request])
+    steps = 0
+    while not state.finished_rows():
+        if swap_after is not None and steps == swap_after:
+            ingest()
+        engine.step(state)
+        steps += 1
+    hypotheses = engine.retire(state, [0])[0]
+    return [(h.item_id, h.token_ids, h.score) for h in hypotheses], steps
+
+
+def run_pinned_identity(model, catalog, histories, rng):
+    """Swap at every decode step of every probe history: finished
+    hypotheses must be bit-identical to a decode against the pinned trie."""
+    dim = model.item_embeddings.shape[1]
+    compared = 0
+    for history in histories[:PIN_PROBES]:
+        prompt = model.engine(prefix_cache=None).encode_history(history)
+        probe_engine = model.engine(prefix_cache=None)
+        probe_engine.attach_catalog(catalog)
+        _, num_steps = _decode_pinned(probe_engine, prompt)
+        for swap_after in range(num_steps):
+            pinned_trie = catalog.trie
+            engine = model.engine(prefix_cache=None)
+            engine.attach_catalog(catalog)
+            got, _ = _decode_pinned(
+                engine,
+                prompt,
+                swap_after=swap_after,
+                ingest=lambda: catalog.ingest(embedding=rng.normal(size=dim)),
+            )
+            oracle = model.engine(prefix_cache=None)
+            oracle.trie = pinned_trie
+            want, _ = _decode_pinned(oracle, prompt)
+            assert got == want, (
+                f"swap after step {swap_after} changed an in-flight decode: "
+                f"{got[:3]} vs {want[:3]}"
+            )
+            compared += 1
+    return {"decodes": compared, "histories": min(PIN_PROBES, len(histories))}
+
+
+def run_ingest_visibility(model, catalog, history, rng):
+    """The next ranking after ``ingest`` returns can surface the new item."""
+    dim = model.item_embeddings.shape[1]
+    engine = model.engine(prefix_cache=None)
+    engine.attach_catalog(catalog)
+    result = catalog.ingest(embedding=rng.normal(size=dim))
+    assert catalog.version.version == result.version.version
+    prompt = engine.encode_history(history)
+    ranking = engine.rank_prompts([prompt], top_k=catalog.num_items)[0]
+    assert result.item_id in ranking, (
+        f"item {result.item_id} ingested at version {result.version.version} "
+        "missing from the next exhaustive ranking"
+    )
+    return {"item_id": result.item_id, "version": result.version.version}
+
+
+def run_catalog_churn_table():
+    scale = bench_scale()
+    dataset = scaled_dataset("instruments")
+    model = build_lcrec_model(dataset, tasks=("seq",))
+    rng = np.random.default_rng(SEED)
+    histories = _request_stream(dataset)
+    dim = model.item_embeddings.shape[1]
+
+    # Frozen baseline: same engine shape, no catalog attached.
+    frozen_engine = LCRecEngine(model, prefix_cache=PrefixKVCache(max_entries=64))
+    frozen = _serve(RecommendationService(frozen_engine), histories)
+
+    # Churn phase: live catalog attached, one ingest every INGEST_EVERY
+    # requests — version swaps interleave with decodes.
+    catalog = model.live_catalog(retrieval=False)
+    initial_items = catalog.num_items
+    churn_engine = LCRecEngine(model, prefix_cache=PrefixKVCache(max_entries=64))
+    churn_engine.attach_catalog(catalog)
+    service = RecommendationService(churn_engine)
+    churn = _serve(
+        service,
+        histories,
+        ingest=lambda: service.ingest_item(embedding=rng.normal(size=dim)),
+    )
+    churn["rate_per_min"] = churn["inserted"] / initial_items / (churn["elapsed_s"] / 60)
+    churn["p95_ratio"] = churn["p95_ms"] / frozen["p95_ms"]
+    assert catalog.num_items == initial_items + churn["inserted"]
+    assert catalog.index_set.is_unique()
+
+    pinned = run_pinned_identity(model, catalog, histories, rng)
+    visibility = run_ingest_visibility(model, catalog, histories[0], rng)
+
+    rows = [
+        f"frozen catalog: p50 {frozen['p50_ms']:.1f} ms, "
+        f"p95 {frozen['p95_ms']:.1f} ms over {frozen['requests']} requests "
+        f"({initial_items} items)",
+        f"under churn: p50 {churn['p50_ms']:.1f} ms, p95 {churn['p95_ms']:.1f} ms "
+        f"({churn['p95_ratio']:.2f}x frozen) with {churn['inserted']} ingests "
+        f"interleaved ({100 * churn['rate_per_min']:.0f}% of catalog/min)",
+        f"pinned decodes: {pinned['decodes']} mid-decode swaps across "
+        f"{pinned['histories']} histories, all bit-identical to the pinned "
+        "version",
+        f"visibility: item {visibility['item_id']} recommendable at version "
+        f"{visibility['version']}, one swap after ingest",
+    ]
+    report("catalog_churn", "\n".join(rows))
+    report_json(
+        "catalog_churn",
+        config={
+            "requests": REQUESTS, "ingest_every": INGEST_EVERY,
+            "top_k": TOP_K, "beam_size": BEAM_SIZE,
+            "initial_items": initial_items, "p95_budget": P95_BUDGET,
+            "min_churn_rate_per_min": MIN_CHURN_RATE, "scale": scale.name,
+        },
+        results=[
+            {"name": "frozen", **frozen},
+            {"name": "churn", **churn},
+            {"name": "pinned_identity", **pinned},
+            {"name": "ingest_visibility", **visibility},
+        ],
+    )
+    return {"frozen": frozen, "churn": churn, "pinned": pinned}
+
+
+def test_catalog_churn(benchmark):
+    results = benchmark.pedantic(run_catalog_churn_table, rounds=1, iterations=1)
+    frozen, churn, pinned = results["frozen"], results["churn"], results["pinned"]
+    strict = bench_scale().name != "tiny"
+
+    # Correctness gates hold at every scale: the run itself asserted
+    # bit-identity for every mid-decode swap and one-swap visibility.
+    assert pinned["decodes"] > 0
+    assert churn["inserted"] > 0
+
+    # Latency gates above tiny scale: the churn stream must sustain at
+    # least MIN_CHURN_RATE of the catalog per minute (otherwise the p95
+    # comparison is vacuous) and stay inside the P95_BUDGET cliff bound.
+    if strict:
+        assert churn["rate_per_min"] >= MIN_CHURN_RATE, (
+            f"churn phase only sustained {100 * churn['rate_per_min']:.1f}% "
+            "of the catalog per minute"
+        )
+        assert churn["p95_ms"] <= P95_BUDGET * frozen["p95_ms"], (
+            f"p95 cliff under churn: {churn['p95_ms']:.1f} ms vs frozen "
+            f"{frozen['p95_ms']:.1f} ms"
+        )

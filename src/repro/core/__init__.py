@@ -1,11 +1,13 @@
 """LC-Rec core: indexing pipelines, alignment tasks and the full model."""
 
+from .catalog import CatalogVersion, IngestedItem, LiveCatalog
 from .chat import ChatSession, ChatTurn
 from .indexer import (
     SemanticIndexerConfig,
     build_random_index_set,
     build_semantic_index_set,
     build_vanilla_index_set,
+    encode_new_item,
 )
 from .lcrec import LCRec, LCRecConfig
 from .tasks import (
@@ -18,8 +20,12 @@ from .tasks import (
 __all__ = [
     "LCRec",
     "LCRecConfig",
+    "CatalogVersion",
+    "IngestedItem",
+    "LiveCatalog",
     "ChatSession",
     "ChatTurn",
+    "encode_new_item",
     "AlignmentTaskBuilder",
     "AlignmentTaskConfig",
     "ALL_TASKS",

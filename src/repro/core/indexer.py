@@ -16,11 +16,13 @@ import numpy as np
 
 from ..quantization import (
     RQVAE,
+    IndexConflictError,
     RQVAEConfig,
     RQVAETrainer,
     RQVAETrainerConfig,
     ItemIndexSet,
     build_semantic_indices,
+    pairwise_sq_distances,
 )
 
 __all__ = [
@@ -28,6 +30,7 @@ __all__ = [
     "build_semantic_index_set",
     "build_vanilla_index_set",
     "build_random_index_set",
+    "encode_new_item",
 ]
 
 
@@ -61,6 +64,72 @@ def build_semantic_index_set(
     history = trainer.fit(embeddings)
     index_set = build_semantic_indices(model, embeddings, strategy=config.strategy)
     return index_set, model, history
+
+
+def encode_new_item(
+    rqvae: RQVAE,
+    embedding: np.ndarray,
+    taken: set[tuple[int, ...]],
+) -> np.ndarray:
+    """Encode one *new* item's semantic codes through a trained RQ-VAE.
+
+    The online counterpart of :func:`build_semantic_index_set`'s batch
+    pipeline: the (already text-embedded) item is quantized greedily per
+    level, and if the greedy tuple collides with an index in ``taken``
+    (the catalog's existing code tuples), a deterministic single-item
+    variant of the USM spill resolves it — first the free last-level codes
+    nearest the item's last residual, then progressively farther parent
+    centers with the last level re-quantized under each (mirroring
+    ``resolve_conflicts_usm``'s spill).  Ties are broken by code index, so
+    the same embedding against the same catalog always produces the same
+    sequence.  Raises :class:`IndexConflictError` when every reachable
+    code tuple is taken.
+    """
+    embedding = np.asarray(embedding, dtype=np.float32)
+    if embedding.ndim != 1:
+        raise ValueError(f"expected one embedding vector, got shape {embedding.shape}")
+    result = rqvae.quantize(embedding[None, :])
+    codes = result.codes[0].astype(np.int64)
+    num_levels = codes.shape[0]
+    codebooks = [book.vectors.data for book in rqvae.codebooks]
+
+    def nearest_order(residual: np.ndarray, book: np.ndarray) -> np.ndarray:
+        distances = pairwise_sq_distances(residual[None, :], book)[0]
+        return np.argsort(distances, kind="stable")
+
+    def free(candidate: np.ndarray) -> bool:
+        return tuple(int(c) for c in candidate) not in taken
+
+    if free(codes):
+        return codes
+    last_book = codebooks[-1]
+    for code in nearest_order(result.level_residuals[0, -1], last_book):
+        candidate = codes.copy()
+        candidate[-1] = int(code)
+        if free(candidate):
+            return candidate
+    if num_levels < 2:
+        raise IndexConflictError(
+            "every last-level code is taken and there is no higher level to "
+            "spill to; increase codebook_size"
+        )
+    parent_level = num_levels - 2
+    parent_book = codebooks[parent_level]
+    parent_residual = result.level_residuals[0, parent_level]
+    for parent in nearest_order(parent_residual, parent_book):
+        if int(parent) == int(codes[parent_level]):
+            continue  # the greedy parent's last-level codes were tried above
+        new_last_residual = parent_residual - parent_book[int(parent)]
+        for code in nearest_order(new_last_residual, last_book):
+            candidate = codes.copy()
+            candidate[parent_level] = int(parent)
+            candidate[-1] = int(code)
+            if free(candidate):
+                return candidate
+    raise IndexConflictError(
+        "index space exhausted around the new item's prefix; "
+        "increase codebook_size or num_levels"
+    )
 
 
 def build_vanilla_index_set(num_items: int) -> ItemIndexSet:

@@ -263,6 +263,22 @@ class LCRec:
         engine = self.engine(prefix_cache=kwargs.pop("prefix_cache", True))
         return RecommendationService(engine, batcher=batcher, **kwargs)
 
+    def live_catalog(self, retrieval: bool = True, knn_config=None,
+                     recluster_every: int = 64):
+        """A :class:`repro.core.LiveCatalog` over this model's built catalog.
+
+        Version 0 is the build-time trie/index set; ``catalog.ingest``
+        then publishes new versions online.  Attach the result to a
+        serving engine (:meth:`repro.serving.TrieDecoderEngine.attach_catalog`)
+        so new prefills pick up swaps while in-flight decodes stay pinned.
+        """
+        from .catalog import LiveCatalog
+
+        return LiveCatalog.from_lcrec(
+            self, retrieval=retrieval, knn_config=knn_config,
+            recluster_every=recluster_every,
+        )
+
     def intention_instruction(self, intention_text: str, template_id: int = 0) -> str:
         return T.ITE_SEARCH_TEMPLATES[template_id].format(intention=intention_text)
 

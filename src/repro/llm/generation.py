@@ -548,25 +548,35 @@ def decode_prefill(
                 keep = np.zeros(root.num_candidates, dtype=bool)
                 keep[_narrow_positions(root.union, narrow.allowed_tokens(()))] = True
                 scores = np.where(keep[None, :], scores, -np.inf)
+            # Candidate-aware top-k: rank only the real union columns and
+            # pad the remaining beam slots afterwards, instead of
+            # argpartitioning over -inf filler columns.  Equivalent to the
+            # old filler-concat path bit for bit: the fillers scored -inf
+            # and mapped to ``union[width - 1]``, exactly what the pad
+            # slots carry, and -inf ties order real columns before fillers
+            # in both formulations.
             width = root.num_candidates
+            order, top_scores = topk_desc(scores, min(num_beams, width))
             if num_beams > width:
-                # Fewer legal first tokens than beams: -inf filler columns
-                # keep every row carrying num_beams slots.
-                filler = np.full((scores.shape[0], num_beams - width), -np.inf, dtype=scores.dtype)
-                scores = np.concatenate([scores, filler], axis=1)
+                # Fewer legal first tokens than beams: -inf pad slots keep
+                # every row carrying num_beams slots.
+                rows = scores.shape[0]
+                pad_order = np.full((rows, num_beams - width), width - 1, dtype=order.dtype)
+                pad_scores = np.full((rows, num_beams - width), -np.inf, dtype=top_scores.dtype)
+                order = np.concatenate([order, pad_order], axis=1)
+                top_scores = np.concatenate([top_scores, pad_scores], axis=1)
         else:
             logits = np.matmul(hidden, model.lm_head.weight.data)  # (B, V)
             scores = masked_log_softmax(logits, trie.root_token_mask(vocab_size))
             if narrow is not None:
                 scores = np.where(narrow.root_token_mask(vocab_size), scores, -np.inf)
-            width = vocab_size
-        order, top_scores = topk_desc(scores, num_beams)
+            order, top_scores = topk_desc(scores, num_beams)
         # Scores accumulate in float64, matching the reference path.
         beam_scores = top_scores.astype(np.float64)  # (B, K)
         if sparse:
-            # Map union positions back to token ids; -inf filler slots get
+            # Map union positions back to token ids; -inf pad slots carry
             # an arbitrary legal token (they are dropped at retirement).
-            token_ids = root.union[np.minimum(order, width - 1)]
+            token_ids = root.union[order]
         else:
             token_ids = order
         beam_tokens = [[(int(token),) for token in row] for row in token_ids]

@@ -34,6 +34,15 @@ another thread's insert or eviction.  Invalidation: entries are keyed by
 token ids under *fixed* model weights — call :meth:`clear` after any
 weight update (further tuning, vocabulary extension) or when switching
 models.
+
+Catalog versioning: prompt K/V depends on the token sequence and the
+weights only — *not* on the decoding trie — so a pure item ingestion
+(new trie leaves, no vocabulary or weight change) stales **nothing**
+here.  That is the whole point of the version-scoped contract: the cache
+carries a catalog-version stamp (:meth:`sync_catalog`), and a version
+swap drops only entries containing the swap's *stale tokens* (re-encoded
+items, remapped ids — empty for plain ingestion), via
+:meth:`invalidate_tokens`, instead of flushing a warm cache.
 """
 
 from __future__ import annotations
@@ -135,6 +144,8 @@ class PrefixKVCache:
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple[int, ...], _Entry] = OrderedDict()
         self._root = _TrieNode()
+        # Catalog version this cache was last synced to (None = unversioned).
+        self.catalog_version: int | None = None
 
     # ------------------------------------------------------------------
     # Lookup
@@ -256,6 +267,42 @@ class PrefixKVCache:
         with self._lock:
             self._entries.clear()
             self._root = _TrieNode()
+
+    def invalidate_tokens(self, tokens: Sequence[int]) -> int:
+        """Drop every entry whose key contains any of ``tokens``.
+
+        The scoped invalidation of a catalog version swap: only prompts
+        that *mention* a stale token (a re-encoded item's old index
+        tokens, say) can serve wrong K/V — everything else stays warm.
+        Returns the number of entries dropped.
+        """
+        stale = {int(t) for t in tokens}
+        if not stale:
+            return 0
+        with self._lock:
+            doomed = [key for key in self._entries if stale.intersection(key)]
+            for key in doomed:
+                del self._entries[key]
+                self.stats.evictions += 1
+            if doomed:
+                self._rebuild_trie()
+            return len(doomed)
+
+    def sync_catalog(self, version: int, stale_tokens: Sequence[int] = ()) -> int:
+        """Advance the cache to catalog ``version``, scoped-invalidation only.
+
+        Idempotent per version: the first call after a swap drops the
+        entries containing ``stale_tokens`` (none, for a pure item
+        ingestion — prompt K/V does not depend on the trie) and stamps
+        the cache; repeat calls with the same version are no-ops, so the
+        serving engine can sync on every prefill for free.  Returns the
+        number of entries dropped.
+        """
+        with self._lock:
+            if self.catalog_version is not None and version <= self.catalog_version:
+                return 0
+            self.catalog_version = version
+        return self.invalidate_tokens(stale_tokens)
 
     def __contains__(self, prompt_ids: Sequence[int]) -> bool:
         """Whether the *exact* prompt is stored (not merely matchable)."""

@@ -6,6 +6,7 @@ from .indexing import (
     IndexConflictError,
     ItemIndexSet,
     build_semantic_indices,
+    code_token_strings,
     count_conflicts,
     resolve_conflicts_extra_level,
     resolve_conflicts_usm,
@@ -30,6 +31,7 @@ __all__ = [
     "ItemIndexSet",
     "IndexConflictError",
     "build_semantic_indices",
+    "code_token_strings",
     "count_conflicts",
     "resolve_conflicts_usm",
     "resolve_conflicts_extra_level",

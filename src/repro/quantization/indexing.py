@@ -33,6 +33,7 @@ __all__ = [
     "IndexConflictError",
     "ItemIndexSet",
     "build_semantic_indices",
+    "code_token_strings",
     "resolve_conflicts_usm",
     "resolve_conflicts_extra_level",
     "count_conflicts",
@@ -43,6 +44,16 @@ _LEVEL_LETTERS = "abcdefgh"
 
 class IndexConflictError(RuntimeError):
     """Raised when conflicts cannot be resolved under the chosen strategy."""
+
+
+def code_token_strings(codes) -> tuple[str, ...]:
+    """Index-token strings for one code tuple, e.g. ``('<a_5>', '<b_2>', ...)``.
+
+    The rendering :class:`ItemIndexSet` uses per item, exposed for codes
+    that are not (yet) in an index set — the live catalog renders a newly
+    ingested item's codes with it before the token ids enter the trie.
+    """
+    return tuple(f"<{_LEVEL_LETTERS[level]}_{int(code)}>" for level, code in enumerate(codes))
 
 
 @dataclass
@@ -91,10 +102,7 @@ class ItemIndexSet:
     # ------------------------------------------------------------------
     def token_strings(self, item_id: int) -> tuple[str, ...]:
         """Index tokens for one item, e.g. ``('<a_5>', '<b_2>', ...)``."""
-        return tuple(
-            f"<{_LEVEL_LETTERS[level]}_{code}>"
-            for level, code in enumerate(self.codes[item_id])
-        )
+        return code_token_strings(self.codes[item_id])
 
     def index_text(self, item_id: int) -> str:
         """The concatenated token string used inside instructions."""

@@ -14,10 +14,17 @@ so the language model can compute logits for the candidate tokens only
 (see ``TinyLlama.lm_head_gather``) instead of the full vocabulary.
 
 All derived lookups (dense masks, level unions, union-space rows, the root
-mask) are cached; :meth:`IndexTrie.add_item` is the only mutation and
-invalidates every derived cache.  The memoized arrays are returned
-read-only and with a stable identity, which downstream weight-gather
-caches key on.
+mask) are cached; :meth:`IndexTrie.add_item` mutates in place and
+:meth:`IndexTrie.with_item` produces a copy-on-write snapshot — both
+refresh only the caches the insertion can actually stale.  The memoized
+arrays are returned read-only and with a stable identity, which downstream
+weight-gather caches key on: an insertion that does not change a level's
+candidate union keeps that union's identity, so those caches stay warm.
+
+Snapshots share per-prefix child sets and memoized arrays with their
+parent, so shared structures are never mutated after publication: an
+insertion *replaces* a changed prefix's child set and allowed array
+instead of updating them in place.
 """
 
 from __future__ import annotations
@@ -134,36 +141,127 @@ class IndexTrie:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def add_item(self, item_id: int, sequence: tuple[int, ...]) -> None:
-        """Insert one more item's index sequence (catalog growth).
-
-        The sequence must have the trie's depth and be unused.  Every
-        derived cache the insertion can stale — the allowed arrays and
-        dense mask rows of the prefixes along the inserted path, plus the
-        cross-prefix memos (level unions, union-space rows, the cached
-        root mask) — is refreshed or dropped, so in-flight callers that
-        re-query the trie see the new item immediately.  The update is
-        incremental (``O(levels)`` prefix rebuilds, not a whole-trie
-        rebuild), so growing a catalog item by item stays linear.
-        """
+    def _validated_new_sequence(self, item_id: int, sequence: tuple[int, ...]) -> tuple[int, ...]:
         sequence = tuple(int(t) for t in sequence)
         if len(sequence) != self.num_levels:
             raise ValueError(
                 f"sequence depth {len(sequence)} does not match trie depth {self.num_levels}"
             )
-        self._insert(item_id, sequence)
+        if sequence in self._leaf_to_item:
+            other = self._leaf_to_item[sequence]
+            raise ValueError(
+                f"duplicate index sequence {sequence} for items {other} and {item_id}"
+            )
+        return sequence
+
+    def _insert_path(self, sequence: tuple[int, ...]) -> set[tuple[int, ...]]:
+        """Insert ``sequence``'s path, replacing (never mutating) child sets.
+
+        A snapshot (:meth:`with_item`) shares set objects and allowed
+        arrays with its parent, so a changed prefix's set is replaced with
+        a copy; unchanged prefixes keep their set *and* allowed-array
+        identity.  Returns the prefixes whose child set actually changed.
+        """
+        changed: set[tuple[int, ...]] = set()
         for depth in range(self.num_levels):
             prefix = sequence[:depth]
-            allowed = np.array(sorted(self._children[prefix]), dtype=np.int64)
+            token = sequence[depth]
+            children = self._children.get(prefix)
+            if children is not None and token in children:
+                continue
+            children = set(children) if children is not None else set()
+            children.add(token)
+            self._children[prefix] = children
+            allowed = np.array(sorted(children), dtype=np.int64)
             allowed.setflags(write=False)
             self._allowed_cache[prefix] = allowed
             self._mask_cache.pop(prefix, None)
+            changed.add(prefix)
+        return changed
+
+    def _scoped_invalidate(
+        self, sequence: tuple[int, ...], changed_prefixes: set[tuple[int, ...]]
+    ) -> None:
+        """Drop only the cross-prefix memos the insertion can stale.
+
+        A level whose path prefix is unchanged — or whose memoized union
+        already contains the inserted token — keeps its union array
+        identity, so gathered-weight caches keyed on that identity stay
+        warm.  Union-space rows survive iff neither their prefix nor any
+        of their levels changed.
+        """
+        changed_levels: set[int] = set()
+        for depth, token in enumerate(sequence):
+            if sequence[:depth] not in changed_prefixes:
+                continue
+            union = self._level_unions.get((depth,))
+            if union is not None:
+                pos = int(np.searchsorted(union, token))
+                if pos < union.shape[0] and int(union[pos]) == token:
+                    continue
+            changed_levels.add(depth)
+        self._level_unions = {
+            levels: union
+            for levels, union in self._level_unions.items()
+            if not changed_levels.intersection(levels)
+        }
+        self._union_rows = {
+            key: row
+            for key, row in self._union_rows.items()
+            if key[1] not in changed_prefixes and not changed_levels.intersection(key[0])
+        }
+        if () in changed_prefixes:
+            self._root_mask = None
         self.max_token_id = max(self.max_token_id, max(sequence))
-        # Cross-prefix memos cannot be patched in place: their identities
-        # key downstream gathered-weight caches, so they must change.
-        self._level_unions = {}
-        self._union_rows = {}
-        self._root_mask = None
+
+    def add_item(self, item_id: int, sequence: tuple[int, ...]) -> None:
+        """Insert one more item's index sequence (catalog growth), in place.
+
+        The sequence must have the trie's depth and be unused.  Every
+        derived cache the insertion can stale — the allowed arrays and
+        dense mask rows of the prefixes along the inserted path, plus the
+        cross-prefix memos (level unions, union-space rows, the cached
+        root mask) that the new tokens actually extend — is refreshed or
+        dropped, so in-flight callers that re-query the trie see the new
+        item immediately.  The update is incremental (``O(levels)`` prefix
+        rebuilds, not a whole-trie rebuild), so growing a catalog item by
+        item stays linear.  For a publication-safe variant that leaves
+        ``self`` untouched, see :meth:`with_item`.
+        """
+        sequence = self._validated_new_sequence(item_id, sequence)
+        self._leaf_to_item[sequence] = item_id
+        changed = self._insert_path(sequence)
+        self._scoped_invalidate(sequence, changed)
+
+    def with_item(self, item_id: int, sequence: tuple[int, ...]) -> "IndexTrie":
+        """A copy-on-write snapshot of this trie containing one more item.
+
+        ``self`` is left completely untouched — in-flight decodes pinned
+        to it keep decoding against exactly the catalog they started with
+        — while the snapshot shares every unchanged structure and derived
+        memo with its parent, *including identities*: allowed arrays and
+        level unions the insertion does not change are the same array
+        objects, so downstream gathered-weight caches keyed on them stay
+        warm across a catalog version swap.  Only the ``O(levels)``
+        prefixes along the inserted path (and the memos the new tokens
+        actually extend) are rebuilt.
+        """
+        sequence = self._validated_new_sequence(item_id, sequence)
+        clone = IndexTrie.__new__(IndexTrie)
+        clone.num_levels = self.num_levels
+        clone._children = dict(self._children)
+        clone._leaf_to_item = dict(self._leaf_to_item)
+        clone._allowed_cache = dict(self._allowed_cache)
+        clone._mask_cache = dict(self._mask_cache)
+        clone._mask_vocab_size = self._mask_vocab_size
+        clone._level_unions = dict(self._level_unions)
+        clone._union_rows = dict(self._union_rows)
+        clone._root_mask = self._root_mask
+        clone.max_token_id = self.max_token_id
+        clone._leaf_to_item[sequence] = item_id
+        changed = clone._insert_path(sequence)
+        clone._scoped_invalidate(sequence, changed)
+        return clone
 
     # ------------------------------------------------------------------
     # Queries

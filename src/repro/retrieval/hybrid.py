@@ -46,14 +46,31 @@ class HybridRecommender:
         self.engine = engine
         self.retriever = retriever
         self.num_candidates = num_candidates
-        # Only items the trie can decode may narrow it; snapshot the
-        # decodable set once (an online catalog swap rebuilds the hybrid).
+        # Only items the trie can decode may narrow it.  The decodable set
+        # is snapshotted per trie *identity*: an online catalog swap gives
+        # the engine a new trie object, and the next candidates() call
+        # rebuilds the set against it — the hybrid tracks the live catalog
+        # without being rebuilt.  (``retriever`` may likewise be a
+        # ``LiveCatalog``, which proxies the current version's retrieval
+        # recommender, keeping both lanes on the same catalog version.)
         self._decodable = frozenset(engine_items(engine))
+        self._decodable_trie = engine.trie
+
+    def _decodable_items(self) -> frozenset:
+        trie = self.engine.trie
+        if trie is not self._decodable_trie:
+            # Racing rebuilds are idempotent; set the payload before the
+            # marker so a concurrent reader never pairs a new marker with
+            # the old set.
+            self._decodable = frozenset(engine_items(self.engine))
+            self._decodable_trie = trie
+        return self._decodable
 
     def candidates(self, history: Sequence[int], top_k: int) -> list[int]:
         """The decodable retrieval candidates for one history."""
+        decodable = self._decodable_items()
         pool = self.retriever.recommend(history, max(self.num_candidates, top_k))
-        return [item for item in pool if item in self._decodable]
+        return [item for item in pool if item in decodable]
 
     def recommend(self, history: Sequence[int], top_k: int = 10) -> list[int]:
         return self.recommend_many([history], top_k=top_k)[0]
@@ -91,11 +108,17 @@ class HybridRecommender:
                 top_k=min(top_k, len(candidate_key)),
             )
             for row, ranked in zip(rows, ranked_lists):
-                results[row] = self._backfill(ranked, row_candidates[row], top_k)
+                results[row] = self.backfill(ranked, row_candidates[row], top_k)
         return [result if result is not None else [] for result in results]
 
-    def _backfill(self, ranked: list[int], candidates: list[int], top_k: int) -> list[int]:
-        """Extend a short decode ranking from the retrieval order."""
+    def backfill(self, ranked: list[int], candidates: list[int], top_k: int) -> list[int]:
+        """Extend a short decode ranking from the retrieval order.
+
+        Public because the serving lane (``RecommendationService`` with a
+        ``hybrid=``) finalizes narrowed decodes through the same rule, so
+        a client-submitted request and a library :meth:`recommend` call
+        return identical lists.
+        """
         target = min(top_k, self.retriever.num_items)
         if len(ranked) >= target:
             return ranked[:top_k]

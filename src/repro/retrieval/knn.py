@@ -99,6 +99,43 @@ class ClusteredKNNIndex:
             member_ids = np.flatnonzero(assignments == cluster).astype(np.int64)
             member_ids.setflags(write=False)
             self.members.append(member_ids)
+        # Inserts absorbed since the last full k-means run (see with_vector).
+        self.pending_inserts = 0
+
+    def with_vector(self, vector: np.ndarray) -> "ClusteredKNNIndex":
+        """A new index containing one more item, sharing this clustering.
+
+        The incremental insert of the live-catalog path: the new row (item
+        id ``num_items``) is assigned to its nearest *existing* center —
+        no k-means re-run — so the cost is one ``(k, D)`` scoring plus one
+        member-array extension, and every other cluster's member array is
+        shared by identity.  ``self`` is untouched (frozen arrays, new
+        wrapper), so concurrent readers of the old index are safe.
+
+        ``pending_inserts`` counts inserts absorbed since the last full
+        clustering; the caller (``LiveCatalog``) re-clusters periodically
+        — a fresh :class:`ClusteredKNNIndex` over ``vectors`` — so probe
+        quality cannot degrade without bound under sustained churn.
+        """
+        vector = np.asarray(vector, dtype=np.float32)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"vector must have shape ({self.dim},), got {vector.shape}")
+        vectors = np.concatenate([self.vectors, vector[None, :]], axis=0)
+        vectors.setflags(write=False)
+        clone = ClusteredKNNIndex.__new__(ClusteredKNNIndex)
+        clone.vectors = vectors
+        clone.config = self.config
+        clone.centers = self.centers
+        cluster = int(nearest_code(vector[None, :], self.centers)[0])
+        members = list(self.members)
+        extended = np.concatenate(
+            [members[cluster], np.array([self.num_items], dtype=np.int64)]
+        )
+        extended.setflags(write=False)
+        members[cluster] = extended
+        clone.members = members
+        clone.pending_inserts = self.pending_inserts + 1
+        return clone
 
     @property
     def num_items(self) -> int:

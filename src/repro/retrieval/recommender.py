@@ -52,15 +52,47 @@ class RetrievalRecommender:
         if popularity is None:
             counts = np.zeros(num_items, dtype=np.int64)
         else:
-            counts = np.asarray(popularity, dtype=np.int64)
+            counts = np.array(popularity, dtype=np.int64, copy=True)
             if counts.shape != (num_items,):
                 raise ValueError(
                     f"popularity must have shape ({num_items},), got {counts.shape}"
                 )
+        # Raw counts are retained (frozen) so a live catalog can extend
+        # them with a new item's count when it versions the recommender.
+        counts.setflags(write=False)
+        self.popularity_counts = counts
         # Descending count, ties by smaller item id: the cold-start
         # ranking and the backfill order, fixed at construction.
         self.popularity_order = np.lexsort((np.arange(num_items), -counts))
         self.popularity_order.setflags(write=False)
+
+    def with_item(self, vector: np.ndarray, popularity_count: int = 0) -> "RetrievalRecommender":
+        """A new recommender whose index contains one more item.
+
+        The incremental lane of the live catalog: the item's vector joins
+        the KNN index through :meth:`ClusteredKNNIndex.with_vector`
+        (shared clustering, nearest-center assignment) and enters the
+        popularity order with ``popularity_count`` training interactions —
+        0 for a brand-new item, which ranks it after every seen item in
+        the cold-start/backfill order (ties by id).  ``self`` is left
+        untouched for readers pinned to the old catalog version.
+        """
+        index = self.index.with_vector(vector)
+        counts = np.concatenate(
+            [self.popularity_counts, np.array([int(popularity_count)], dtype=np.int64)]
+        )
+        return RetrievalRecommender(index, popularity=counts)
+
+    def reclustered(self) -> "RetrievalRecommender":
+        """This recommender with a fresh k-means run over its vectors.
+
+        Incremental inserts (:meth:`with_item`) keep the original centers;
+        after enough of them the clustering drifts from the data.  The
+        live catalog calls this periodically so probe quality under churn
+        tracks a from-scratch build.
+        """
+        index = ClusteredKNNIndex(self.index.vectors, self.index.config)
+        return RetrievalRecommender(index, popularity=self.popularity_counts)
 
     @classmethod
     def from_lcrec(

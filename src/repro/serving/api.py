@@ -227,6 +227,27 @@ class RecommendationClient(abc.ABC):
     def flush(self) -> int:
         """Decode everything queued synchronously; returns requests served."""
 
+    def ingest_item(
+        self,
+        *,
+        text: str | None = None,
+        embedding=None,
+        popularity_count: int = 0,
+    ):
+        """Add one item to the live catalog behind this client.
+
+        Implemented by clients whose engine serves from a
+        :class:`repro.core.LiveCatalog`: the item's semantic indices are
+        encoded online, a new catalog version is published atomically,
+        and the next submitted request can be recommended the new item —
+        in-flight decodes finish against their pinned version.  Returns
+        the catalog's :class:`repro.core.IngestedItem`.  Clients without
+        a live catalog raise ``NotImplementedError``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no live catalog to ingest into"
+        )
+
     @abc.abstractmethod
     def start(self) -> "RecommendationClient":
         """Launch background serving; returns self for chaining."""

@@ -182,6 +182,16 @@ class ServingCluster(RecommendationClient):
         Intention/instruction submits keep plain rejections.  The object
         must be thread-safe for concurrent reads —
         :class:`repro.retrieval.RetrievalRecommender` is.
+    hybrid:
+        Optional :class:`repro.retrieval.HybridRecommender`, forwarded to
+        every worker service: history submits decode over a
+        retrieval-narrowed candidate subtrie (or are answered from
+        retrieval outright on cold start), with rankings identical to
+        :meth:`HybridRecommender.recommend`.  One shared object serves
+        the whole fleet — workers use only its retrieval tier and
+        backfill rule, never its engine — so its candidate sets stay
+        consistent across workers (and, with a live catalog, across
+        catalog versions).
     """
 
     def __init__(
@@ -196,6 +206,7 @@ class ServingCluster(RecommendationClient):
         spillover: bool = True,
         seed: int = 0,
         fallback: FallbackRecommender | None = None,
+        hybrid=None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be positive")
@@ -215,6 +226,7 @@ class ServingCluster(RecommendationClient):
                     deadline_ms=deadline_ms,
                     mode=mode,
                     fallback=fallback,
+                    hybrid=hybrid,
                 ),
             )
             for index, worker_engine in enumerate(engines)
@@ -224,6 +236,7 @@ class ServingCluster(RecommendationClient):
         self.routing = routing
         self.spillover = spillover
         self.fallback = fallback
+        self.hybrid = hybrid
         self.stats = ClusterStats()
         self._stats_lock = threading.Lock()
         self._rng = random.Random(seed)
@@ -470,3 +483,42 @@ class ServingCluster(RecommendationClient):
     def flush(self) -> int:
         """Synchronously decode every worker's queue; returns requests served."""
         return sum(worker.service.flush() for worker in self._workers)
+
+    def ingest_item(
+        self,
+        *,
+        text: str | None = None,
+        embedding=None,
+        popularity_count: int = 0,
+    ):
+        """Add one item to the fleet's shared live catalog.
+
+        Replicated engines share their :class:`repro.core.LiveCatalog`
+        *reference* (:meth:`TrieDecoderEngine.replicate` copies the
+        attribute, not the object), so one ingestion here publishes one
+        new catalog version that every worker's next prefill observes —
+        there is no per-worker propagation step, and workers mid-decode
+        finish against their pinned versions.  Returns the catalog's
+        :class:`repro.core.IngestedItem`.
+        """
+        catalogs = {
+            id(catalog): catalog
+            for worker in self._workers
+            if (catalog := getattr(worker.service.engine, "catalog", None)) is not None
+        }
+        if not catalogs:
+            raise RuntimeError(
+                "no worker engine has a live catalog attached; attach one to the "
+                "seed engine before building the cluster"
+            )
+        if len(catalogs) > 1:
+            # Factory-provisioned fleets may attach distinct catalogs;
+            # ingesting through the cluster would silently diverge them.
+            raise RuntimeError(
+                "workers serve from different live catalogs; ingest into the "
+                "intended catalog object directly"
+            )
+        (catalog,) = catalogs.values()
+        return catalog.ingest(
+            text=text, embedding=embedding, popularity_count=popularity_count
+        )

@@ -104,21 +104,22 @@ class ContinuousScheduler:
         """A fresh FIFO pop predicate for one admission round.
 
         With a live decode this is :meth:`compatible`.  Idle, it latches
-        the first candidate's effective beam width and admits only
-        width-matching followers: one admission is one engine prefill,
-        which requires a uniform effective width — a mixed-width queue
-        must be split across admission rounds (FIFO prefix by prefix),
-        not popped wholesale and failed by prefill's validation.
+        the first candidate's effective beam width and narrow candidate
+        set and admits only matching followers: one admission is one
+        engine prefill, which requires a uniform effective width and a
+        single narrow set — a mixed queue must be split across admission
+        rounds (FIFO prefix by prefix), not popped wholesale and failed
+        by prefill's validation.
         """
         if self._state is not None:
             return self.compatible
-        latched: list[int] = []
+        latched: list[tuple] = []
 
         def admit(request: RecommendRequest) -> bool:
-            width = self.engine.effective_beams(request.beam_size)
+            key = (self.engine.effective_beams(request.beam_size), request.narrow_items)
             if not latched:
-                latched.append(width)
-            return width == latched[0]
+                latched.append(key)
+            return key == latched[0]
 
         return admit
 

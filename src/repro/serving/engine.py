@@ -424,12 +424,45 @@ class TrieDecoderEngine(GenerativeEngine):
         sparse_head: bool = True,
     ):
         self.lm = lm
+        self.catalog = None
+        self._narrow_memo: dict[tuple, IndexTrie] = {}
         self.trie = trie
         self.pad_id = pad_id
         self.default_beam_size = default_beam_size
         self.sparse_head = sparse_head
         self.narrow = None
         self.set_prefix_cache(prefix_cache)
+
+    @property
+    def trie(self) -> IndexTrie:
+        """The active decoding trie.
+
+        With a live catalog attached (:meth:`attach_catalog`) this reads
+        the *current catalog version's* trie — one read is the version
+        pin: a decode state built from it keeps that trie object for its
+        whole life (``DecodeState.trie``), while later reads observe
+        swaps.  Without a catalog it is the static trie the engine was
+        constructed with.
+        """
+        if self.catalog is not None:
+            return self.catalog.version.trie
+        return self._trie
+
+    @trie.setter
+    def trie(self, value: IndexTrie) -> None:
+        self._trie = value
+
+    def attach_catalog(self, catalog) -> None:
+        """Serve from a :class:`repro.core.LiveCatalog` (or detach with None).
+
+        Every read of :attr:`trie` then follows the catalog's atomic
+        version swaps: the first prefill after an ingestion decodes over
+        the new item's trie, while decodes already in flight finish
+        against the trie object they prefilled with.  ``replicate()``
+        copies share the catalog reference, so one cluster-wide ingestion
+        propagates to every worker for free.
+        """
+        self.catalog = catalog
 
     @property
     def num_levels(self) -> int:
@@ -472,6 +505,7 @@ class TrieDecoderEngine(GenerativeEngine):
         """
         clone = copy.copy(self)
         clone.lm = self.lm.serving_replica()
+        clone._narrow_memo = {}
         if self.prefix_cache is not None:
             clone.prefix_cache = PrefixKVCache(
                 max_entries=self.prefix_cache.max_entries,
@@ -502,20 +536,64 @@ class TrieDecoderEngine(GenerativeEngine):
             "TrieDecoderEngine has no history rendering; use rank_prompts or a model adapter"
         )
 
+    # -- narrowing per request (the serving hybrid lane) ----------------
+    def _request_narrow(
+        self, narrow_items: tuple[int, ...] | None, trie: IndexTrie
+    ) -> IndexTrie | None:
+        """The narrow subtrie a request's ``narrow_items`` asks for.
+
+        Candidate subtries are memoized per ``(trie, candidate tuple)``
+        so repeated submissions with one retrieval candidate set share a
+        subtrie *object* — the identity :meth:`can_join` (and the decode
+        stepper's join check) compares, which is what lets narrowed
+        requests join an in-flight narrowed decode.
+        """
+        if narrow_items is None:
+            return self.narrow
+        if self.narrow is not None:
+            raise ValueError(
+                "cannot apply per-request narrow_items to an already-narrowed engine"
+            )
+        key = (trie, tuple(int(item) for item in narrow_items))
+        narrow = self._narrow_memo.get(key)
+        if narrow is None:
+            if len(self._narrow_memo) >= 256:
+                # Bounded: stale (old-trie or cold-candidate) entries die
+                # here; rebuilding a hot subtrie is cheap.
+                self._narrow_memo.clear()
+            narrow = trie.subtrie(key[1])
+            self._narrow_memo[key] = narrow
+        return narrow
+
+    def _uniform_request_narrow(
+        self, requests: Sequence[RecommendRequest], trie: IndexTrie
+    ) -> IndexTrie | None:
+        keys = {request.narrow_items for request in requests}
+        if len(keys) != 1:
+            raise ValueError("co-batched requests must share one narrow candidate set")
+        return self._request_narrow(keys.pop(), trie)
+
     # -- decode contract -----------------------------------------------
     def prefill(self, requests: Sequence[RecommendRequest]) -> EngineState:
         requests = list(requests)
         _require_uniform_beams(self, requests)
+        # One trie read pins this decode's catalog version: the state
+        # carries the object through every step, join and retirement.
+        trie = self.trie
+        narrow = self._uniform_request_narrow(requests, trie)
+        if self.prefix_cache is not None and self.catalog is not None:
+            version = self.catalog.version
+            self.prefix_cache.sync_catalog(version.version, version.stale_tokens)
         return decode_prefill(
             self.lm,
             [request.prompt_ids for request in requests],
-            self.trie,
+            trie,
             beam_size=requests[0].beam_size,
             pad_id=self.pad_id,
             prefix_cache=self.prefix_cache,
             tags=requests,
             sparse=self.sparse_head,
-            narrow=self.narrow,
+            narrow=narrow,
         )
 
     def step(self, state: EngineState) -> None:
@@ -531,14 +609,28 @@ class TrieDecoderEngine(GenerativeEngine):
         return decode_finish(state)
 
     def can_join(self, state: EngineState, request: RecommendRequest) -> bool:
-        """Joined rows must share one effective beam width.
+        """Joined rows must share beam width, catalog version and narrow.
 
         Width-1 decodes never fan out (suffix tokens share the prompt
         cache region), so they cannot be joined mid-flight: such a request
-        waits for the decode to drain instead.
+        waits for the decode to drain instead.  A live state is pinned to
+        the trie it prefilled with, so after a catalog version swap new
+        requests are not admitted into it — they wait for the drain and
+        then prefill against the new catalog.  Narrowed (hybrid-lane)
+        requests join only decodes narrowed to the *same* candidate
+        subtrie.
         """
         width = self.effective_beams(request.beam_size)
-        return width == state.num_beams and width > 1
+        if width != state.num_beams or width <= 1:
+            return False
+        trie = self.trie
+        if state.trie is not trie:
+            return False  # pinned to a previous catalog version: drain first
+        try:
+            narrow = self._request_narrow(request.narrow_items, trie)
+        except (KeyError, ValueError):
+            return False
+        return state.narrow is narrow
 
 
 class LCRecEngine(TrieDecoderEngine):
@@ -759,7 +851,20 @@ class TIGEREngine(GenerativeEngine):
                 keep = np.zeros(root.num_candidates, dtype=bool)
                 keep[_narrow_positions(root.union, self.narrow.allowed_tokens(()))] = True
                 scores = np.where(keep[None, :], scores, -np.inf)
+            # Candidate-aware top-k: rank the real union columns only and
+            # pad the leftover beam slots, rather than argpartitioning
+            # over -inf filler columns (bit-identical — fillers scored
+            # -inf and mapped to ``union[width - 1]`` anyway, and -inf
+            # ties order real columns before fillers either way).
             width = root.num_candidates
+            order, top_scores = topk_desc(scores, min(num_beams, width))
+            if num_beams > width:
+                rows = scores.shape[0]
+                pad_order = np.full((rows, num_beams - width), width - 1, dtype=order.dtype)
+                pad_scores = np.full((rows, num_beams - width), -np.inf, dtype=top_scores.dtype)
+                order = np.concatenate([order, pad_order], axis=1)
+                top_scores = np.concatenate([top_scores, pad_scores], axis=1)
+            order = root.union[order]
         else:
             logits = model.head_logits(hidden)  # (B, V)
             scores = masked_log_softmax(
@@ -769,16 +874,12 @@ class TIGEREngine(GenerativeEngine):
                 scores = np.where(
                     self.narrow.root_token_mask(logits.shape[-1]), scores, -np.inf
                 )
-            width = logits.shape[-1]
-        if num_beams > scores.shape[1]:
-            # The beam can be wider than the candidate set (deep tries fan
-            # out at later levels): pad with -inf filler columns so every
-            # row still carries num_beams slots.
-            filler = np.full((scores.shape[0], num_beams - scores.shape[1]), -np.inf)
-            scores = np.concatenate([scores, filler], axis=1)
-        order, top_scores = topk_desc(scores, num_beams)
-        if self.sparse_head:
-            order = root.union[np.minimum(order, width - 1)]
+            if num_beams > scores.shape[1]:
+                # The beam can be wider than the vocabulary: pad with -inf
+                # filler columns so every row still carries num_beams slots.
+                filler = np.full((scores.shape[0], num_beams - scores.shape[1]), -np.inf)
+                scores = np.concatenate([scores, filler], axis=1)
+            order, top_scores = topk_desc(scores, num_beams)
         # Filler beams (-inf) may carry arbitrary slot indices; clamp them
         # to the pad token so later decoder forwards can embed them (their
         # candidates stay -inf: a pad prefix is never in the trie, so the

@@ -53,6 +53,13 @@ class RecommendRequest:
     history).  The decode never reads it; it exists so a configured
     retrieval fallback can serve the request at shed time — after
     encoding, the prompt ids alone cannot be mapped back to items.
+
+    ``narrow_items`` is the hybrid lane's retrieval candidate set (a
+    tuple, hashable so the service can group co-decodable requests;
+    ``None`` = full-trie decode).  The engine decodes such a request over
+    a candidate subtrie — same rankings over the candidates as a full
+    decode, less work — and only co-batches/joins requests sharing the
+    exact candidate tuple.
     """
 
     prompt_ids: list[int]
@@ -63,6 +70,7 @@ class RecommendRequest:
     request_id: int = field(default_factory=lambda: next(_request_counter))
     enqueued_at: float = field(default_factory=time.monotonic)
     history: list[int] | None = None
+    narrow_items: tuple[int, ...] | None = None
 
     @property
     def prompt_len(self) -> int:

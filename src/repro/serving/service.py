@@ -49,7 +49,12 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..llm import PrefixKVCache
-from .api import FallbackRecommender, Overloaded, RecommendationClient
+from .api import (
+    DegradedRecommendation,
+    FallbackRecommender,
+    Overloaded,
+    RecommendationClient,
+)
 from .batcher import MicroBatcher, MicroBatcherConfig, padding_fraction
 from .continuous import ContinuousScheduler
 from .engine import GenerativeEngine
@@ -158,6 +163,12 @@ class ServingStats:
     ranking and ``degraded=True``, and they are deliberately **not**
     counted as shed — served and shed are disjoint outcomes.
 
+    ``hybrid_narrowed`` / ``hybrid_retrieval`` count the hybrid lane
+    (services constructed with ``hybrid=``): history submits decoded over
+    a retrieval-narrowed candidate subtrie, and history submits the
+    retrieval tier answered outright (cold start, or no decodable
+    candidates) without costing a decode slot.
+
     ``prefill_seconds`` / ``step_seconds`` / ``finalize_seconds`` attribute
     decode-path wall time to its stages: the prompt phase (including
     prefix-cache matching and level-0 expansion), the per-level stepping
@@ -180,6 +191,8 @@ class ServingStats:
     shed_deadline: int = 0
     degraded_queue_full: int = 0
     degraded_deadline: int = 0
+    hybrid_narrowed: int = 0
+    hybrid_retrieval: int = 0
     prefill_seconds: float = 0.0
     step_seconds: float = 0.0
     finalize_seconds: float = 0.0
@@ -243,6 +256,23 @@ class RecommendationService(RecommendationClient):
         a typed :class:`repro.serving.Overloaded` (reason
         ``"queue_full"``) instead of queueing unboundedly — what keeps
         worst-case latency bounded under overload.
+    hybrid:
+        Optional :class:`repro.retrieval.HybridRecommender` — the
+        retrieval-narrowed decode lane, now reachable through plain
+        ``submit`` calls.  When set, each history submit first asks the
+        hybrid's retrieval tier for candidates: cold-start histories (no
+        profile) and histories with no decodable candidates are answered
+        from retrieval immediately (a pre-served ``degraded`` handle,
+        reason ``"cold_start"`` / ``"no_candidates"``); everything else
+        is stamped with the candidate tuple (``narrow_items``) and
+        decoded over the candidate subtrie, then backfilled exactly as
+        :meth:`HybridRecommender.recommend` would — a submitted request
+        and a library call return identical rankings.  Requires an
+        engine with ``supports_narrowing``; the hybrid's own engine is
+        not used for decoding (only its retriever and backfill rule), so
+        one hybrid object can be shared across cluster workers.
+        Intention/instruction submits bypass the lane (no history to
+        retrieve for).
     mode:
         Background-loop discipline: ``"deadline"`` (default) decodes in
         closed deadline-batched flushes; ``"continuous"`` admits queued
@@ -282,6 +312,7 @@ class RecommendationService(RecommendationClient):
         prefix_cache: PrefixKVCache | bool | None = _UNSET,
         queue_depth: int | None = None,
         fallback: FallbackRecommender | None = None,
+        hybrid=None,
     ):
         if not isinstance(engine, GenerativeEngine):
             # The pre-PR-4 constructor took a built LCRec model; the shim
@@ -302,8 +333,14 @@ class RecommendationService(RecommendationClient):
                 f"engine {engine.name!r} does not support continuous batching; "
                 "use mode='deadline'"
             )
+        if hybrid is not None and not engine.supports_narrowing:
+            raise ValueError(
+                f"engine {engine.name!r} does not support candidate narrowing; "
+                "the hybrid lane needs supports_narrowing"
+            )
         self.engine = engine
         self.fallback = fallback
+        self.hybrid = hybrid
         self.batcher = MicroBatcher(batcher)
         self.queue = RequestQueue(max_depth=queue_depth)
         self.stats = ServingStats()
@@ -476,7 +513,7 @@ class RecommendationService(RecommendationClient):
                     # take down the loop (and with it every later request).
                     tick = time.perf_counter()
                     try:
-                        ready.append((handle, self.engine.finalize([request], [hypotheses])[0]))
+                        ready.append((handle, self._finalize_rankings([request], [hypotheses])[0]))
                     except Exception as exc:
                         handle._fail(exc)
                     finally:
@@ -511,14 +548,41 @@ class RecommendationService(RecommendationClient):
         request is still queued that many milliseconds from now, it is
         dropped with a typed :class:`repro.serving.Overloaded` instead of
         decoded late.
+
+        With a ``hybrid`` configured, history submits go through the
+        hybrid lane: retrieval candidates narrow the decode (or answer it
+        outright on cold start), and the delivered ranking matches
+        :meth:`HybridRecommender.recommend` exactly.
         """
         history = list(history)
+        narrow_items: tuple[int, ...] | None = None
+        if self.hybrid is not None:
+            if self.hybrid.retriever.profile(history) is None:
+                # Cold start: the constrained decoder has no history
+                # signal either — answer from retrieval without costing
+                # a decode slot (exactly hybrid.recommend's lane).
+                return self._serve_retrieval(history, top_k, "cold_start")
+            candidates = self.hybrid.candidates(history, top_k)
+            if not candidates:
+                return self._serve_retrieval(history, top_k, "no_candidates")
+            narrow_items = tuple(int(item) for item in candidates)
+            self.stats.hybrid_narrowed += 1
         return self._submit_prompt(
             self.engine.encode_history(history, template_id),
             top_k,
             session_key=session_key,
             deadline_ms=deadline_ms,
             history=history,
+            narrow_items=narrow_items,
+        )
+
+    def _serve_retrieval(
+        self, history: list[int], top_k: int, reason: str
+    ) -> DegradedRecommendation:
+        """A pre-served handle from the hybrid's retrieval tier."""
+        self.stats.hybrid_retrieval += 1
+        return DegradedRecommendation(
+            self.hybrid.retriever.recommend(history, top_k), reason
         )
 
     def submit_intention(
@@ -560,6 +624,7 @@ class RecommendationService(RecommendationClient):
         session_key: str | None = None,
         deadline_ms: float | None = None,
         history: list[int] | None = None,
+        narrow_items: tuple[int, ...] | None = None,
     ) -> PendingRecommendation:
         if deadline_ms is not None and deadline_ms <= 0:
             raise ValueError("deadline_ms must be positive (or None for no deadline)")
@@ -573,6 +638,7 @@ class RecommendationService(RecommendationClient):
             session_key=session_key,
             deadline=None if deadline_ms is None else time.monotonic() + deadline_ms / 1000.0,
             history=history,
+            narrow_items=narrow_items,
         )
         handle = PendingRecommendation(self, request.request_id)
         # Register before push: with the background loop running, the
@@ -601,6 +667,35 @@ class RecommendationService(RecommendationClient):
                     )
                 )
         return handle
+
+    # ------------------------------------------------------------------
+    # Catalog lifecycle
+    # ------------------------------------------------------------------
+    def ingest_item(
+        self,
+        *,
+        text: str | None = None,
+        embedding=None,
+        popularity_count: int = 0,
+    ):
+        """Add one item to the live catalog the engine serves from.
+
+        Requires an engine with a :class:`repro.core.LiveCatalog`
+        attached (:meth:`TrieDecoderEngine.attach_catalog`).  Returns the
+        catalog's :class:`repro.core.IngestedItem`; the very next prefill
+        decodes over the new item while in-flight decodes finish against
+        their pinned version.  Thread-safe against concurrent submits and
+        the background loop — ingestion never touches decode state.
+        """
+        catalog = getattr(self.engine, "catalog", None)
+        if catalog is None:
+            raise RuntimeError(
+                "engine has no live catalog; build one with model.live_catalog() "
+                "and engine.attach_catalog(catalog) before ingesting"
+            )
+        return catalog.ingest(
+            text=text, embedding=embedding, popularity_count=popularity_count
+        )
 
     # ------------------------------------------------------------------
     # Decoding
@@ -669,6 +764,40 @@ class RecommendationService(RecommendationClient):
 
         return effective
 
+    def _finalize_rankings(self, batch, all_hypotheses) -> list[list[int]]:
+        """Engine finalize plus the hybrid lane's backfill rule.
+
+        A narrowed decode surfaces at most its candidate set; backfilling
+        from the candidate order and then the popularity order
+        (:meth:`HybridRecommender.backfill`) is what makes a served
+        narrowed request return the exact list ``hybrid.recommend``
+        would.
+        """
+        rankings = self.engine.finalize(batch, all_hypotheses)
+        if self.hybrid is None:
+            return rankings
+        return [
+            self.hybrid.backfill(ranking, list(request.narrow_items), request.top_k)
+            if request.narrow_items is not None
+            else ranking
+            for request, ranking in zip(batch, rankings)
+        ]
+
+    def _narrow_groups(
+        self, requests: list[RecommendRequest]
+    ) -> list[list[RecommendRequest]]:
+        """Partition a drained queue by narrow candidate set, FIFO-stable.
+
+        One engine prefill takes one narrow set (mixed sets fail
+        prefill's validation), so the closed-batch path plans each group
+        separately — the continuous path gets the same grouping from the
+        admission predicate instead.
+        """
+        groups: dict[tuple[int, ...] | None, list[RecommendRequest]] = {}
+        for request in requests:
+            groups.setdefault(request.narrow_items, []).append(request)
+        return list(groups.values())
+
     def _decode_requests(
         self,
         requests: list[RecommendRequest],
@@ -684,26 +813,30 @@ class RecommendationService(RecommendationClient):
         # batch's decode would start — not once for the whole plan — so
         # ``deadline_ms`` caps queueing delay even when a deep backlog
         # drains across many sequential batches.
+        #
+        # Requests are partitioned by narrow candidate set before the
+        # micro-batcher plans: one prefill takes one narrow set.
         first_error: Exception | None = None
         served = 0
         effective_len = self._effective_len()
         with self._decode_lock:
-            for batch in self.batcher.plan(requests, effective_len):
-                if shed:
-                    batch = self._shed_expired(batch)
-                    if not batch:
-                        continue
-                try:
-                    self._decode_batch(batch, effective_len)
-                    served += len(batch)
-                except Exception as exc:
-                    for request in batch:
-                        with self._pending_lock:
-                            handle = self._pending.pop(request.request_id, None)
-                        if handle is not None:
-                            handle._fail(exc)
-                    if first_error is None:
-                        first_error = exc
+            for group in self._narrow_groups(requests):
+                for batch in self.batcher.plan(group, effective_len):
+                    if shed:
+                        batch = self._shed_expired(batch)
+                        if not batch:
+                            continue
+                    try:
+                        self._decode_batch(batch, effective_len)
+                        served += len(batch)
+                    except Exception as exc:
+                        for request in batch:
+                            with self._pending_lock:
+                                handle = self._pending.pop(request.request_id, None)
+                            if handle is not None:
+                                handle._fail(exc)
+                        if first_error is None:
+                            first_error = exc
         if first_error is not None and raise_errors:
             raise first_error
         return served
@@ -724,7 +857,7 @@ class RecommendationService(RecommendationClient):
         all_hypotheses = self.engine.finish(state)
         self.stats.step_seconds += time.perf_counter() - tick
         tick = time.perf_counter()
-        rankings = self.engine.finalize(batch, all_hypotheses)
+        rankings = self._finalize_rankings(batch, all_hypotheses)
         self.stats.finalize_seconds += time.perf_counter() - tick
         for request, ranking in zip(batch, rankings):
             with self._pending_lock:

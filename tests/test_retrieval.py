@@ -405,7 +405,7 @@ class TestHybridRecommender:
     def test_backfill_extends_from_candidates_then_popularity(self, tiny_lcrec, retriever):
         engine = LCRecEngine(tiny_lcrec, prefix_cache=False)
         hybrid = HybridRecommender(engine, retriever)
-        ranked = hybrid._backfill([5], [5, 7, 9], top_k=6)
+        ranked = hybrid.backfill([5], [5, 7, 9], top_k=6)
         assert ranked[:3] == [5, 7, 9]
         assert len(ranked) == 6
         assert len(set(ranked)) == 6
