@@ -2,9 +2,12 @@
 
 Subcommands:
 
-* ``info``   — package, configuration and preset overview;
-* ``stats``  — Table II-style statistics for a preset;
-* ``demo``   — build a miniature LC-Rec and print one recommendation.
+* ``info``       — package, configuration and preset overview;
+* ``stats``      — Table II-style statistics for a preset;
+* ``demo``       — build a miniature LC-Rec and print one recommendation;
+* ``experiment`` — run a config-driven scenario-matrix experiment
+  (``experiment run <config.json|.yaml>``) or list the available
+  scenarios and backends (``experiment scenarios``).
 """
 
 from __future__ import annotations
@@ -64,6 +67,55 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_experiment_run(args) -> int:
+    from repro.experiments import (
+        ExperimentConfig,
+        ExperimentConfigError,
+        ExperimentError,
+        ExperimentRunner,
+    )
+
+    try:
+        config = ExperimentConfig.from_file(args.config)
+        if args.scale:
+            config = ExperimentConfig.from_dict({**config.to_dict(), "scale": args.scale})
+    except ExperimentConfigError as exc:
+        print(exc)
+        return 2
+    runner = ExperimentRunner(config, write=not args.no_write)
+    try:
+        result = runner.run()
+    except ExperimentError as exc:
+        print(exc)
+        return 1
+    for record in result["records"]:
+        if not record["supported"]:
+            print(f"{record['name']:<36} skipped: {record['reason']}")
+            continue
+        quality = record["quality"]
+        metrics = " ".join(
+            f"{key}={quality[key]:.4f}" for key in sorted(quality) if key != "evaluated"
+        )
+        print(
+            f"{record['name']:<36} served={record['served']} shed={record['shed']} "
+            f"degraded={record['degraded']} cold={record['cold_start']} {metrics}"
+        )
+    if result["path"]:
+        print(f"wrote {result['path']}")
+    return 0
+
+
+def _cmd_experiment_scenarios(_args) -> int:
+    from repro.experiments import known_backends, known_scenarios
+
+    print("scenarios (kind: default parameters):")
+    for kind, defaults in sorted(known_scenarios().items()):
+        rendered = ", ".join(f"{key}={value}" for key, value in sorted(defaults.items()))
+        print(f"  {kind:<16} {rendered}")
+    print("backends:", ", ".join(known_backends()))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description="LC-Rec reproduction command line")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -77,6 +129,17 @@ def main(argv: list[str] | None = None) -> int:
         "preset", nargs="?", default="tiny", choices=["instruments", "arts", "games", "tiny"]
     )
     demo.set_defaults(func=_cmd_demo)
+    experiment = sub.add_parser("experiment", help="config-driven experiment harness")
+    experiment_sub = experiment.add_subparsers(dest="experiment_command", required=True)
+    run = experiment_sub.add_parser("run", help="execute a scenario-matrix config")
+    run.add_argument("config", help="path to a .json (or .yaml, with PyYAML) config")
+    run.add_argument(
+        "--scale", choices=["tiny", "small", "full"], help="override the config's scale"
+    )
+    run.add_argument("--no-write", action="store_true", help="skip benchmark_results/ output")
+    run.set_defaults(func=_cmd_experiment_run)
+    scenarios = experiment_sub.add_parser("scenarios", help="list scenarios and backends")
+    scenarios.set_defaults(func=_cmd_experiment_scenarios)
     args = parser.parse_args(argv)
     return args.func(args)
 

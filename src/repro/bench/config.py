@@ -40,11 +40,22 @@ _SCALES = {
 }
 
 
-def bench_scale() -> BenchScale:
-    """The active scale (``REPRO_SCALE`` env var, default ``small``)."""
-    name = os.environ.get("REPRO_SCALE", "small").lower()
+def bench_scale(name: str | None = None) -> BenchScale:
+    """Resolve a benchmark scale by name, programmatically or from the env.
+
+    With ``name`` given (e.g. from an :class:`repro.experiments.ExperimentConfig`)
+    that scale is returned directly — no environment variable involved, no
+    monkeypatching required.  With ``name=None`` the ``REPRO_SCALE``
+    environment variable selects the scale (default ``small``), which is
+    what ad-hoc bench entry points use.
+    """
+    source = "scale name"
+    if name is None:
+        source = "REPRO_SCALE"
+        name = os.environ.get("REPRO_SCALE", "small")
+    name = name.lower()
     if name not in _SCALES:
-        raise KeyError(f"REPRO_SCALE must be one of {sorted(_SCALES)}")
+        raise KeyError(f"{source} must be one of {sorted(_SCALES)}, got {name!r}")
     return _SCALES[name]
 
 

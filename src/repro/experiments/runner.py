@@ -1,0 +1,611 @@
+"""The experiment runner: config → backends → cells → JSON records.
+
+:class:`ExperimentRunner` executes the full (scenario × backend) matrix
+of an :class:`~repro.experiments.ExperimentConfig`.  Each *cell* builds
+the scenario's serving topology (a :class:`repro.serving.RecommendationService`
+or :class:`repro.serving.ServingCluster` over the backend's engine),
+replays the scenario's deterministic event plan through the one
+:class:`repro.serving.RecommendationClient` surface, and distils the
+outcome into one schema'd record: admission counters (served / shed /
+degraded / cold-start), quality metrics over the held-out targets the
+plan carried, scenario-specific extras, expectation outcomes, and a
+``timing`` block that is the *only* place wall-clock appears.
+
+Records are written through :func:`repro.bench.report_json`, so an
+experiment run lands in ``benchmark_results/`` with exactly the payload
+shape CI already validates for the ad-hoc benches — one ``results``
+entry per cell instead of per bench table row.
+
+Reproducibility contract: two runs of the same config at the same seed
+produce identical records after dropping each record's ``timing`` block
+(:func:`strip_timing`).  Open-loop cells lean on the serving stack's
+placement/batching invariance; closed-loop cells (burst overload,
+catalog churn) submit with the background loops stopped so admission
+outcomes are a pure function of submission order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..bench import bench_scale, report_json, scaled_dataset
+from ..bench.runners import build_lcrec_model
+from ..eval.metrics import hit_ratio_at_k, ndcg_at_k
+from ..eval.popularity import item_popularity
+from ..serving import (
+    LCRecEngine,
+    MicroBatcherConfig,
+    Overloaded,
+    P5CIDEngine,
+    PrefixKVCache,
+    RecommendationService,
+    ServingCluster,
+    TIGEREngine,
+)
+from .config import (
+    ExperimentConfig,
+    ExperimentConfigError,
+    cell_name,
+    ordered_cells,
+)
+from .scenarios import (
+    BarrierEvent,
+    IngestEvent,
+    ScenarioPlan,
+    SubmitEvent,
+    build_plan,
+)
+
+__all__ = [
+    "ExperimentError",
+    "ExperimentRunner",
+    "PopularityFallback",
+    "known_backends",
+    "run_experiment",
+    "strip_timing",
+    "validate_backend",
+]
+
+_RESULT_TIMEOUT_S = 300.0
+_CACHE_ENTRIES = 32
+
+
+class ExperimentError(RuntimeError):
+    """A finished run violated its declared expectations."""
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+_BACKEND_PARAMS = {
+    "lcrec": (),
+    "tiger": ("epochs", "dim"),
+    "p5cid": ("epochs", "dim"),
+}
+
+
+def known_backends() -> tuple[str, ...]:
+    return tuple(sorted(_BACKEND_PARAMS))
+
+
+def validate_backend(name: str, params: Mapping, where: str) -> None:
+    if name not in _BACKEND_PARAMS:
+        raise ExperimentConfigError(
+            f"{where}: unknown backend {name!r}; one of {sorted(_BACKEND_PARAMS)}"
+        )
+    allowed = _BACKEND_PARAMS[name]
+    unknown = set(params) - set(allowed)
+    if unknown:
+        raise ExperimentConfigError(
+            f"{where}: unknown parameters {sorted(unknown)} for backend "
+            f"{name!r}; allowed: {sorted(allowed) or '(none)'}"
+        )
+    for key, value in params.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ExperimentConfigError(
+                f"{where}: parameter {key!r} must be an int, got {value!r}"
+            )
+
+
+class PopularityFallback:
+    """A vector-free :class:`repro.serving.FallbackRecommender`.
+
+    Backends without item embeddings (TIGER, P5-CID) cannot stand a
+    retrieval tier, but the degraded/cold-start lanes still need *some*
+    deterministic ranking — this one serves training popularity order,
+    history items excluded.
+    """
+
+    def __init__(self, dataset):
+        counts = item_popularity(dataset.split.train_sequences, dataset.num_items)
+        self.order = np.lexsort((np.arange(len(counts)), -counts))
+
+    def recommend(self, history: Sequence[int], top_k: int = 10) -> list[int]:
+        seen = {int(item) for item in history}
+        ranked: list[int] = []
+        for item in self.order:
+            if int(item) not in seen:
+                ranked.append(int(item))
+                if len(ranked) == top_k:
+                    break
+        return ranked
+
+
+@dataclass
+class _BackendRuntime:
+    """One built backend: model + engine/fallback factories."""
+
+    name: str
+    model: object
+    dataset: object
+    supports_continuous: bool
+    _fallback: object = field(default=None, repr=False)
+
+    def make_engine(self, prefix_cache: bool):
+        cache = PrefixKVCache(max_entries=_CACHE_ENTRIES) if prefix_cache else None
+        if self.name == "lcrec":
+            return LCRecEngine(self.model, prefix_cache=cache if prefix_cache else False)
+        if self.name == "p5cid":
+            return P5CIDEngine(self.model, prefix_cache=cache)
+        return TIGEREngine(self.model)
+
+    def make_fallback(self):
+        if self._fallback is None:
+            if self.name == "lcrec":
+                from ..retrieval import RetrievalRecommender
+
+                self._fallback = RetrievalRecommender.from_lcrec(self.model)
+            else:
+                self._fallback = PopularityFallback(self.dataset)
+        return self._fallback
+
+    @property
+    def has_rqvae(self) -> bool:
+        return getattr(self.model, "rqvae", None) is not None
+
+
+def _build_backend(spec, dataset, scale, seed: int, model=None) -> _BackendRuntime:
+    if model is None:
+        if spec.name == "lcrec":
+            model = build_lcrec_model(dataset, scale, tasks=("seq",), seed=seed)
+        elif spec.name == "tiger":
+            from ..baselines.tiger import TIGER, TIGERConfig
+            from ..core import build_random_index_set
+
+            index_set = build_random_index_set(
+                dataset.num_items, 3, 8, np.random.default_rng(seed)
+            )
+            model = TIGER(
+                index_set,
+                TIGERConfig(
+                    dim=spec.params.get("dim", 48),
+                    epochs=spec.params.get("epochs", scale.epochs(6, minimum=2)),
+                    seed=seed,
+                ),
+            )
+            model.fit(dataset)
+        else:  # p5cid — spec names are validated at config load
+            from ..baselines.p5cid import P5CID, P5CIDConfig
+
+            model = P5CID(
+                dataset,
+                P5CIDConfig(
+                    dim=spec.params.get("dim", 48),
+                    epochs=spec.params.get("epochs", scale.epochs(6, minimum=2)),
+                    seed=seed,
+                ),
+            )
+            model.fit(dataset)
+    return _BackendRuntime(
+        name=spec.name,
+        model=model,
+        dataset=dataset,
+        supports_continuous=spec.name != "tiger",
+    )
+
+
+# ----------------------------------------------------------------------
+# Record post-processing
+# ----------------------------------------------------------------------
+def strip_timing(record: Mapping) -> dict:
+    """A record without its wall-clock block — the determinism view."""
+    return {key: value for key, value in record.items() if key != "timing"}
+
+
+def _percentiles(latencies_ms: list[float]) -> tuple[float, float]:
+    if not latencies_ms:
+        return 0.0, 0.0
+    array = np.asarray(latencies_ms)
+    return float(np.percentile(array, 50)), float(np.percentile(array, 95))
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+class ExperimentRunner:
+    """Execute one :class:`ExperimentConfig` and emit its JSON record.
+
+    ``dataset`` and ``models`` (backend name → already-built model)
+    inject pre-built state — tests reuse session fixtures instead of
+    retraining, and the records stay honest because builders are pure
+    functions of (config, seed) anyway.  ``write=False`` skips the
+    ``benchmark_results/`` file and just returns the payload.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        dataset=None,
+        models: Mapping[str, object] | None = None,
+        write: bool = True,
+    ):
+        self.config = config
+        self.scale = bench_scale(config.scale)
+        if dataset is None:
+            dataset = scaled_dataset(config.preset, scale=self.scale)
+        self.dataset = dataset
+        self._injected = dict(models or {})
+        self.write = write
+        self._runtimes: dict[str, _BackendRuntime] = {}
+
+    # -- backends ------------------------------------------------------
+    def _runtime(self, spec) -> _BackendRuntime:
+        if spec.name not in self._runtimes:
+            self._runtimes[spec.name] = _build_backend(
+                spec,
+                self.dataset,
+                self.scale,
+                self.config.seed,
+                model=self._injected.get(spec.name),
+            )
+        return self._runtimes[spec.name]
+
+    # -- cell plumbing -------------------------------------------------
+    def _cell_mode(self, plan: ScenarioPlan, runtimes: list[_BackendRuntime]) -> str:
+        if self.config.mode == "continuous" and all(
+            runtime.supports_continuous for runtime in runtimes
+        ):
+            return "continuous"
+        return "deadline"
+
+    def _fleet_order(self, plan: ScenarioPlan, cell_runtime: _BackendRuntime):
+        """The engines behind this cell's cluster, worker 0 first."""
+        if plan.kind != "mixed_fleet":
+            return [cell_runtime]
+        others = [
+            self._runtime(spec)
+            for spec in self.config.backends
+            if spec.name != cell_runtime.name
+        ]
+        return [cell_runtime] + (others or [cell_runtime])
+
+    def _build_client(self, plan: ScenarioPlan, runtime: _BackendRuntime):
+        """The scenario's client plus per-cell context for the record."""
+        batcher = MicroBatcherConfig(max_batch_size=self.config.batch_width)
+        fallback = runtime.make_fallback() if plan.use_fallback else None
+        context: dict = {}
+        if plan.client == "service":
+            if plan.kind == "catalog_churn":
+                catalog = runtime.model.live_catalog(retrieval=True)
+                engine = runtime.make_engine(plan.prefix_cache)
+                engine.attach_catalog(catalog)
+                # Deliberately the *version-0* tier object: the ingest
+                # refresh hook must swap it, and the record's candidate
+                # rate proves it did.
+                fallback = catalog.version.retrieval
+                context["catalog"] = catalog
+            else:
+                engine = runtime.make_engine(plan.prefix_cache)
+            mode = self._cell_mode(plan, [runtime])
+            client = RecommendationService(
+                engine,
+                batcher=batcher,
+                deadline_ms=self.config.deadline_flush_ms,
+                mode=mode,
+                fallback=fallback,
+            )
+        else:
+            fleet = self._fleet_order(plan, runtime)
+            mode = self._cell_mode(plan, fleet)
+            workers = plan.num_workers
+            cursor = iter(range(10**9))
+
+            def engine_factory():
+                member = fleet[next(cursor) % len(fleet)]
+                return member.make_engine(plan.prefix_cache)
+
+            client = ServingCluster(
+                engine_factory,
+                num_workers=workers,
+                batcher=batcher,
+                deadline_ms=self.config.deadline_flush_ms,
+                mode=mode,
+                max_backlog=plan.max_backlog,
+                routing=plan.routing,
+                seed=self.config.seed,
+                fallback=fallback,
+            )
+            if plan.kind == "mixed_fleet":
+                context["fleet"] = [
+                    fleet[worker % len(fleet)].name for worker in range(workers)
+                ]
+        context["mode"] = mode
+        return client, context
+
+    # -- event replay --------------------------------------------------
+    def _replay(self, plan: ScenarioPlan, client, rng) -> dict:
+        """Run the plan's events; returns outcomes + raw latency samples."""
+        submitted: list[tuple[SubmitEvent, object]] = []
+        latencies: list[float] = []
+        resolved = 0
+
+        def ingest(event: IngestEvent):
+            dim = client_embedding_dim(client)
+            item = client.ingest_item(embedding=rng.normal(size=dim))
+            if item.item_id != event.item_id:
+                raise RuntimeError(
+                    f"planned ingest id {event.item_id} but catalog assigned "
+                    f"{item.item_id}"
+                )
+
+        start = time.perf_counter()
+        if plan.closed_loop:
+            # Loops stay stopped: admission is a pure function of
+            # submission order, and flush barriers serve synchronously.
+            segment: list[object] = []
+            for event in plan.events:
+                if isinstance(event, SubmitEvent):
+                    handle = client.submit(
+                        list(event.history),
+                        top_k=self.config.top_k,
+                        session_key=event.session,
+                    )
+                    submitted.append((event, handle))
+                    segment.append(handle)
+                elif isinstance(event, BarrierEvent):
+                    flush_start = time.perf_counter()
+                    served = client.flush()
+                    flush_ms = (time.perf_counter() - flush_start) * 1000.0
+                    if served:
+                        latencies.extend([flush_ms / served] * served)
+                    segment = []
+                elif isinstance(event, IngestEvent):
+                    ingest(event)
+        else:
+            client.start()
+            try:
+                submit_times: list[float] = []
+                for event in plan.events:
+                    if isinstance(event, SubmitEvent):
+                        submit_times.append(time.perf_counter())
+                        handle = client.submit(
+                            list(event.history),
+                            top_k=self.config.top_k,
+                            session_key=event.session,
+                        )
+                        submitted.append((event, handle))
+                    elif isinstance(event, BarrierEvent):
+                        while resolved < len(submitted):
+                            _, handle = submitted[resolved]
+                            _observe(handle)
+                            latencies.append(
+                                (time.perf_counter() - submit_times[resolved]) * 1000.0
+                            )
+                            resolved += 1
+                    elif isinstance(event, IngestEvent):
+                        ingest(event)
+                while resolved < len(submitted):
+                    _, handle = submitted[resolved]
+                    _observe(handle)
+                    latencies.append(
+                        (time.perf_counter() - submit_times[resolved]) * 1000.0
+                    )
+                    resolved += 1
+            finally:
+                client.stop(drain=True)
+        wall_s = time.perf_counter() - start
+
+        outcomes = []
+        for event, handle in submitted:
+            try:
+                ranking = handle.result(timeout=_RESULT_TIMEOUT_S)
+            except Overloaded as exc:
+                outcomes.append(
+                    {"event": event, "ranking": None, "shed": getattr(exc, "reason", "shed")}
+                )
+                continue
+            reason = None
+            if getattr(handle, "degraded", False):
+                # PendingRecommendation spells it degraded_reason; the
+                # front door's DegradedRecommendation spells it reason.
+                reason = getattr(handle, "degraded_reason", None) or getattr(
+                    handle, "reason", None
+                )
+            outcomes.append(
+                {"event": event, "ranking": ranking, "shed": None, "degraded_reason": reason}
+            )
+        return {"outcomes": outcomes, "latencies": latencies, "wall_s": wall_s}
+
+    # -- metrics -------------------------------------------------------
+    def _quality(self, outcomes: list[dict]) -> dict:
+        rankings, targets = [], []
+        for outcome in outcomes:
+            event = outcome["event"]
+            if outcome["ranking"] is not None and event.target is not None:
+                rankings.append(outcome["ranking"])
+                targets.append(event.target)
+        quality: dict = {"evaluated": len(rankings)}
+        for key in self.config.metric_keys():
+            metric, cutoff = key.split("@")
+            fn = hit_ratio_at_k if metric == "HR" else ndcg_at_k
+            quality[key] = (
+                round(fn(rankings, targets, int(cutoff)), 6) if rankings else 0.0
+            )
+        return quality
+
+    def _churn_extras(self, plan: ScenarioPlan, client, context: dict) -> dict:
+        """Post-run bookkeeping proving ingests reached every tier."""
+        ingested = plan.extra.get("ingested_ids", [])
+        catalog = context.get("catalog")
+        extras: dict = {"catalog_items": catalog.num_items if catalog else None}
+        if not ingested:
+            extras["new_item_in_tier_rate"] = None
+            return extras
+        # The tier can build a profile from the new item iff the client's
+        # fallback was refreshed past the ingest — the stale version-0
+        # tier ignores unknown ids entirely (profile None → popularity).
+        fallback = getattr(client, "fallback", None)
+        hits = sum(
+            int(
+                item_id < getattr(fallback, "num_items", 0)
+                and fallback.profile([item_id]) is not None
+            )
+            for item_id in ingested
+        )
+        extras["new_item_in_tier_rate"] = round(hits / len(ingested), 6)
+        return extras
+
+    # -- one cell ------------------------------------------------------
+    def _run_cell(self, spec, backend_spec, rng) -> dict:
+        runtime = self._runtime(backend_spec)
+        plan = build_plan(self.dataset, self.scale, self.config, spec)
+        base = {
+            "name": cell_name(spec, backend_spec),
+            "scenario": spec.label,
+            "scenario_kind": spec.kind,
+            "backend": backend_spec.name,
+            "seed": self.config.seed,
+        }
+        if "rqvae" in plan.requires and not runtime.has_rqvae:
+            return {
+                **base,
+                "supported": False,
+                "reason": f"{spec.kind} needs an RQ-VAE-indexed backend, "
+                f"{backend_spec.name} has none",
+            }
+
+        client, context = self._build_client(plan, runtime)
+        replay = self._replay(plan, client, rng)
+        outcomes = replay["outcomes"]
+
+        served = sum(1 for o in outcomes if o["ranking"] is not None)
+        shed = sum(1 for o in outcomes if o["ranking"] is None)
+        cold = sum(
+            1 for o in outcomes if o.get("degraded_reason") == "cold_start"
+        )
+        degraded = sum(
+            1
+            for o in outcomes
+            if o.get("degraded_reason") not in (None, "cold_start")
+        )
+        p50, p95 = _percentiles(replay["latencies"])
+        record = {
+            **base,
+            "supported": True,
+            "client": plan.client,
+            "mode": context["mode"],
+            "num_workers": plan.num_workers if plan.client == "cluster" else 1,
+            "closed_loop": plan.closed_loop,
+            "requests": len(outcomes),
+            "served": served,
+            "shed": shed,
+            "degraded": degraded,
+            "cold_start": cold,
+            "quality": self._quality(outcomes),
+            "extra": {
+                key: value
+                for key, value in plan.extra.items()
+                if key != "ingested_ids"
+            },
+        }
+        if plan.kind == "mixed_fleet":
+            record["extra"]["fleet"] = context.get("fleet")
+        if plan.kind == "catalog_churn":
+            record["extra"].update(self._churn_extras(plan, client, context))
+            record["extra"]["ingested"] = len(plan.extra.get("ingested_ids", []))
+        checked, failed = [], []
+        for expectation in spec.expect:
+            holds, observed = expectation.check(record)
+            checked.append(
+                {**expectation.to_dict(), "observed": observed, "holds": holds}
+            )
+            if not holds:
+                failed.append(
+                    f"{record['name']}: {expectation.metric} {expectation.op} "
+                    f"{expectation.value} (observed {observed!r})"
+                )
+        record["expectations"] = {"checked": checked, "failed": failed}
+        wall = replay["wall_s"]
+        record["timing"] = {
+            "wall_s": round(wall, 4),
+            "requests_per_second": round(len(outcomes) / wall, 2) if wall else 0.0,
+            "p50_ms": round(p50, 3),
+            "p95_ms": round(p95, 3),
+        }
+        return record
+
+    # -- the matrix ----------------------------------------------------
+    def run(self) -> dict:
+        """Execute every cell; returns ``{records, failed, path}``.
+
+        Raises :class:`ExperimentError` after writing the record file if
+        any cell's expectations failed — results land on disk either
+        way, so a red run is still inspectable.
+        """
+        records, failed = [], []
+        for scenario_index, (spec, backend_spec) in enumerate(
+            ordered_cells(self.config)
+        ):
+            rng = np.random.default_rng(
+                [max(self.config.seed, 0), scenario_index]
+            )
+            record = self._run_cell(spec, backend_spec, rng)
+            records.append(record)
+            failed.extend(record.get("expectations", {}).get("failed", []))
+        path = None
+        if self.write:
+            path = report_json(
+                f"experiment_{self.config.name}",
+                config=self.config.to_dict(),
+                results=records,
+            )
+        if failed:
+            raise ExperimentError(
+                "experiment expectations failed:\n  " + "\n  ".join(failed)
+            )
+        return {"records": records, "failed": failed, "path": path}
+
+
+def run_experiment(
+    config: ExperimentConfig | Mapping,
+    dataset=None,
+    models: Mapping[str, object] | None = None,
+    write: bool = True,
+) -> dict:
+    """One-call convenience: dict/config in, records out."""
+    if not isinstance(config, ExperimentConfig):
+        config = ExperimentConfig.from_dict(config)
+    return ExperimentRunner(config, dataset=dataset, models=models, write=write).run()
+
+
+def client_embedding_dim(client) -> int:
+    """The input dimension catalog ingests must match for this client."""
+    catalog = None
+    engine = getattr(client, "engine", None)
+    if engine is not None:
+        catalog = getattr(engine, "catalog", None)
+    if catalog is None:
+        raise RuntimeError("client has no live catalog attached; cannot ingest")
+    return int(catalog.rqvae.config.input_dim)
+
+
+def _observe(handle) -> None:
+    """Wait for a handle without consuming its outcome (shed is fine)."""
+    try:
+        handle.result(timeout=_RESULT_TIMEOUT_S)
+    except Overloaded:
+        pass

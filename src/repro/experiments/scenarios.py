@@ -1,0 +1,355 @@
+"""The scenario matrix: composable workload generators for one experiment.
+
+A *scenario* is a deterministic function from ``(dataset, scale, config,
+spec)`` to a :class:`ScenarioPlan` — an ordered event list (submits,
+flush barriers, catalog ingests) plus the serving wiring the events
+assume (service vs cluster, worker count, backlog bound, fallback lane,
+prefix cache).  The runner replays the plan against any backend; the
+plan itself never touches a model, which is why every (scenario ×
+backend) cell of a matrix serves the *same* traffic.
+
+Determinism is the design constraint.  Open-loop scenarios (steady
+state, cold start, long history, session refresh, mixed fleet) rely on
+the serving stack's guarantee that batching and placement change cost,
+never math.  Scenarios whose *counters* are the point — burst overload
+shedding, catalog churn — run closed-loop: every submit lands while the
+background loop is stopped, so admission-control outcomes are a pure
+function of submission order, and ``flush()`` barriers serve the
+backlog synchronously.  Wall-clock only ever shows up in the record's
+``timing`` block.
+
+Scenario kinds and their parameters (defaults in parentheses):
+
+``steady_state``
+    Round-robin over held-out users with full histories.  ``requests``
+    (24).
+``cold_start``
+    Histories truncated to ``prefix_len`` (2) items, every
+    ``1/empty_fraction`` (0.25) request fully emptied — the cluster's
+    cold-start lane and the fallback's popularity ranking carry those.
+    ``requests`` (24).
+``long_history``
+    The users with the longest histories, longest first — the padding /
+    bucketing stress case.  ``requests`` (16).
+``session_refresh``
+    ``sessions`` (6) users each re-requesting ``refresh`` (4) times
+    under one session key — the affinity + prefix-cache case.
+``burst_overload``
+    Closed-loop: ``requests`` (36) back-to-back submits against
+    ``max_backlog`` (2) per worker.  With ``fallback`` (true) the
+    overflow degrades to retrieval; without it, it sheds.
+``catalog_churn``
+    Closed-loop, single service, LC-Rec only (needs the RQ-VAE): one
+    :meth:`repro.core.LiveCatalog.ingest` every ``ingest_every`` (6)
+    requests, interleaved with decodes via flush barriers.  After the
+    run, the record's ``new_item_in_tier_rate`` probes the client's
+    fallback tier with each ingested id — 1.0 iff the ingestion-
+    triggered retrieval refresh repointed the tier at the new catalog
+    version (a stale tier does not know the ids).  ``requests`` (24).
+``mixed_fleet``
+    Every configured backend behind one :class:`ServingCluster` (the
+    cell's backend on worker 0, the rest cycling), affinity-routed.
+    ``requests`` (24).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from .config import ExperimentConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..bench import BenchScale
+    from ..core.chat import SequentialDataset  # noqa: F401
+    from .config import ExperimentConfig, ScenarioSpec
+
+__all__ = [
+    "BarrierEvent",
+    "IngestEvent",
+    "ScenarioPlan",
+    "SubmitEvent",
+    "build_plan",
+    "known_scenarios",
+    "validate_scenario",
+]
+
+
+@dataclass(frozen=True)
+class SubmitEvent:
+    """One recommendation request: who asks, with what history, and the
+    held-out target (``None`` when the request has no quality label)."""
+
+    session: str
+    history: tuple[int, ...]
+    target: int | None
+
+
+@dataclass(frozen=True)
+class BarrierEvent:
+    """A synchronisation point.
+
+    Closed-loop runs ``flush()`` here (serving everything queued so
+    far); open-loop runs resolve every outstanding handle.  Either way,
+    events after the barrier observe the effects of events before it.
+    """
+
+
+@dataclass(frozen=True)
+class IngestEvent:
+    """One catalog ingest.  The runner draws the embedding from the
+    cell's seeded RNG; ``item_id`` is the id the item *will* receive
+    (catalog ids are dense, so the plan can reference it in later
+    submits before the item exists)."""
+
+    item_id: int
+
+
+@dataclass(frozen=True)
+class ScenarioPlan:
+    """A scenario compiled against one dataset: events + serving wiring."""
+
+    kind: str
+    label: str
+    events: tuple
+    closed_loop: bool = False
+    client: str = "cluster"  # "service" | "cluster"
+    num_workers: int = 1
+    max_backlog: int | None = None
+    routing: str = "affinity"
+    use_fallback: bool = False
+    prefix_cache: bool = False
+    requires: tuple[str, ...] = ()
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def num_submits(self) -> int:
+        return sum(1 for event in self.events if isinstance(event, SubmitEvent))
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _eval_pairs(dataset, scale: "BenchScale") -> list[tuple[tuple[int, ...], int]]:
+    """The held-out (history, target) pool, bounded by the scale."""
+    limit = min(scale.max_eval_users, len(dataset.split.test_targets))
+    pairs = [
+        (tuple(int(i) for i in history), int(target))
+        for history, target in zip(
+            dataset.split.test_histories[:limit], dataset.split.test_targets[:limit]
+        )
+    ]
+    if not pairs:
+        raise ValueError("dataset has no held-out users to build scenarios from")
+    return pairs
+
+
+def _int_param(params: Mapping, key: str, default: int) -> int:
+    return int(params.get(key, default))
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def _plan_steady_state(dataset, scale, config, spec) -> ScenarioPlan:
+    pairs = _eval_pairs(dataset, scale)
+    requests = _int_param(spec.params, "requests", 24)
+    events = tuple(
+        SubmitEvent(f"user:{i % len(pairs)}", *pairs[i % len(pairs)])
+        for i in range(requests)
+    )
+    return ScenarioPlan(
+        kind=spec.kind,
+        label=spec.label,
+        events=events,
+        num_workers=config.num_workers,
+    )
+
+
+def _plan_cold_start(dataset, scale, config, spec) -> ScenarioPlan:
+    pairs = _eval_pairs(dataset, scale)
+    requests = _int_param(spec.params, "requests", 24)
+    prefix_len = _int_param(spec.params, "prefix_len", 2)
+    empty_fraction = float(spec.params.get("empty_fraction", 0.25))
+    if not 0.0 <= empty_fraction <= 1.0:
+        raise ValueError(f"empty_fraction must be in [0, 1], got {empty_fraction}")
+    stride = int(round(1.0 / empty_fraction)) if empty_fraction > 0 else 0
+    events = []
+    empty = 0
+    for i in range(requests):
+        history, target = pairs[i % len(pairs)]
+        if stride and i % stride == 0:
+            history, empty = (), empty + 1
+        else:
+            history = history[-prefix_len:]
+        events.append(SubmitEvent(f"user:{i % len(pairs)}", history, target))
+    return ScenarioPlan(
+        kind=spec.kind,
+        label=spec.label,
+        events=tuple(events),
+        num_workers=config.num_workers,
+        use_fallback=True,
+        extra={"empty_histories": empty, "prefix_len": prefix_len},
+    )
+
+
+def _plan_long_history(dataset, scale, config, spec) -> ScenarioPlan:
+    pairs = _eval_pairs(dataset, scale)
+    requests = _int_param(spec.params, "requests", 16)
+    # Longest histories first; ties keep dataset order (stable sort).
+    ranked = sorted(range(len(pairs)), key=lambda i: -len(pairs[i][0]))
+    picks = [ranked[i % len(ranked)] for i in range(requests)]
+    events = tuple(SubmitEvent(f"user:{i}", *pairs[i]) for i in picks)
+    lengths = [len(pairs[i][0]) for i in picks]
+    return ScenarioPlan(
+        kind=spec.kind,
+        label=spec.label,
+        events=events,
+        num_workers=config.num_workers,
+        extra={"max_history_len": max(lengths), "min_history_len": min(lengths)},
+    )
+
+
+def _plan_session_refresh(dataset, scale, config, spec) -> ScenarioPlan:
+    pairs = _eval_pairs(dataset, scale)
+    sessions = min(_int_param(spec.params, "sessions", 6), len(pairs))
+    refresh = _int_param(spec.params, "refresh", 4)
+    events = tuple(
+        SubmitEvent(f"user:{s}", *pairs[s])
+        for _ in range(refresh)
+        for s in range(sessions)
+    )
+    return ScenarioPlan(
+        kind=spec.kind,
+        label=spec.label,
+        events=events,
+        num_workers=config.num_workers,
+        prefix_cache=True,
+        extra={"sessions": sessions, "refresh": refresh},
+    )
+
+
+def _plan_burst_overload(dataset, scale, config, spec) -> ScenarioPlan:
+    pairs = _eval_pairs(dataset, scale)
+    requests = _int_param(spec.params, "requests", 36)
+    max_backlog = _int_param(spec.params, "max_backlog", 2)
+    use_fallback = bool(spec.params.get("fallback", True))
+    events = tuple(
+        SubmitEvent(f"user:{i % len(pairs)}", *pairs[i % len(pairs)])
+        for i in range(requests)
+    ) + (BarrierEvent(),)
+    capacity = config.num_workers * max_backlog
+    return ScenarioPlan(
+        kind=spec.kind,
+        label=spec.label,
+        events=events,
+        closed_loop=True,
+        num_workers=config.num_workers,
+        max_backlog=max_backlog,
+        use_fallback=use_fallback,
+        extra={"backlog_capacity": capacity},
+    )
+
+
+def _plan_catalog_churn(dataset, scale, config, spec) -> ScenarioPlan:
+    pairs = _eval_pairs(dataset, scale)
+    requests = _int_param(spec.params, "requests", 24)
+    ingest_every = max(_int_param(spec.params, "ingest_every", 6), 1)
+    events: list = []
+    ingested: list[int] = []
+    next_id = dataset.num_items  # catalog ids are dense: ingest k → num_items + k
+    for i in range(requests):
+        if i and i % ingest_every == 0:
+            events.append(BarrierEvent())
+            events.append(IngestEvent(item_id=next_id))
+            ingested.append(next_id)
+            next_id += 1
+        history, target = pairs[i % len(pairs)]
+        events.append(SubmitEvent(f"user:{i % len(pairs)}", history, target))
+    events.append(BarrierEvent())
+    return ScenarioPlan(
+        kind=spec.kind,
+        label=spec.label,
+        events=tuple(events),
+        closed_loop=True,
+        client="service",
+        use_fallback=True,
+        requires=("rqvae",),
+        extra={"ingested_ids": ingested, "ingest_every": ingest_every},
+    )
+
+
+def _plan_mixed_fleet(dataset, scale, config, spec) -> ScenarioPlan:
+    pairs = _eval_pairs(dataset, scale)
+    requests = _int_param(spec.params, "requests", 24)
+    events = tuple(
+        SubmitEvent(f"user:{i % len(pairs)}", *pairs[i % len(pairs)])
+        for i in range(requests)
+    )
+    fleet = max(len(config.backends), 2)
+    return ScenarioPlan(
+        kind=spec.kind,
+        label=spec.label,
+        events=events,
+        num_workers=fleet,
+        requires=("fleet",),
+        extra={"fleet_size": fleet},
+    )
+
+
+_SCENARIOS = {
+    "steady_state": (_plan_steady_state, {"requests": 24}),
+    "cold_start": (
+        _plan_cold_start,
+        {"requests": 24, "prefix_len": 2, "empty_fraction": 0.25},
+    ),
+    "long_history": (_plan_long_history, {"requests": 16}),
+    "session_refresh": (_plan_session_refresh, {"sessions": 6, "refresh": 4}),
+    "burst_overload": (
+        _plan_burst_overload,
+        {"requests": 36, "max_backlog": 2, "fallback": True},
+    ),
+    "catalog_churn": (_plan_catalog_churn, {"requests": 24, "ingest_every": 6}),
+    "mixed_fleet": (_plan_mixed_fleet, {"requests": 24}),
+}
+
+
+def known_scenarios() -> dict[str, dict]:
+    """Scenario kind → default parameters (the registry, read-only)."""
+    return {kind: dict(defaults) for kind, (_, defaults) in _SCENARIOS.items()}
+
+
+def validate_scenario(kind: str, params: Mapping, where: str) -> None:
+    """Reject unknown kinds and unknown/ill-typed parameters early."""
+    if kind not in _SCENARIOS:
+        raise ExperimentConfigError(
+            f"{where}: unknown scenario kind {kind!r}; one of {sorted(_SCENARIOS)}"
+        )
+    _, defaults = _SCENARIOS[kind]
+    unknown = set(params) - set(defaults)
+    if unknown:
+        raise ExperimentConfigError(
+            f"{where}: unknown parameters {sorted(unknown)} for scenario "
+            f"{kind!r}; allowed: {sorted(defaults)}"
+        )
+    for key, value in params.items():
+        if isinstance(defaults[key], bool):
+            if not isinstance(value, bool):
+                raise ExperimentConfigError(
+                    f"{where}: parameter {key!r} must be a bool, got {value!r}"
+                )
+        elif not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ExperimentConfigError(
+                f"{where}: parameter {key!r} must be a number, got {value!r}"
+            )
+
+
+def build_plan(
+    dataset,
+    scale: "BenchScale",
+    config: "ExperimentConfig",
+    spec: "ScenarioSpec",
+) -> ScenarioPlan:
+    """Compile one scenario spec into its deterministic event plan."""
+    builder, _ = _SCENARIOS[spec.kind]
+    return builder(dataset, scale, config, spec)

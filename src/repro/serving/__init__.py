@@ -64,7 +64,12 @@ from .engine import (
 )
 from .queue import RecommendRequest, RequestQueue
 from .router import AffinityRouter, rendezvous_weight
-from .service import PendingRecommendation, RecommendationService, ServingStats
+from .service import (
+    PendingRecommendation,
+    RecommendationService,
+    ServingStats,
+    refresh_retrieval_tier,
+)
 
 __all__ = [
     "RecommendRequest",
@@ -89,6 +94,7 @@ __all__ = [
     "PendingRecommendation",
     "RecommendationService",
     "ServingStats",
+    "refresh_retrieval_tier",
     "AffinityRouter",
     "rendezvous_weight",
     "ClusterStats",

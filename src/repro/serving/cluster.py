@@ -65,7 +65,7 @@ from .api import (
 from .batcher import MicroBatcherConfig
 from .engine import GenerativeEngine
 from .router import AffinityRouter
-from .service import RecommendationService, ServingStats
+from .service import RecommendationService, ServingStats, refresh_retrieval_tier
 
 __all__ = ["ClusterStats", "ServingCluster"]
 
@@ -498,7 +498,12 @@ class ServingCluster(RecommendationClient):
         attribute, not the object), so one ingestion here publishes one
         new catalog version that every worker's next prefill observes —
         there is no per-worker propagation step, and workers mid-decode
-        finish against their pinned versions.  Returns the catalog's
+        finish against their pinned versions.  Static retrieval tiers —
+        the front door's ``fallback`` and every worker's
+        ``fallback``/``hybrid`` — are refreshed to the published version
+        (:func:`repro.serving.service.refresh_retrieval_tier`), so a
+        session whose history already contains the new item sees it in
+        its retrieval candidates fleet-wide.  Returns the catalog's
         :class:`repro.core.IngestedItem`.
         """
         catalogs = {
@@ -519,6 +524,10 @@ class ServingCluster(RecommendationClient):
                 "intended catalog object directly"
             )
         (catalog,) = catalogs.values()
-        return catalog.ingest(
+        ingested = catalog.ingest(
             text=text, embedding=embedding, popularity_count=popularity_count
         )
+        refresh_retrieval_tier(self, ingested.version)
+        for worker in self._workers:
+            refresh_retrieval_tier(worker.service, ingested.version)
+        return ingested

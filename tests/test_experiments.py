@@ -1,0 +1,602 @@
+"""The experiment harness: config validation, scenario shapes, matrix
+runs, record determinism, and the ingestion-triggered retrieval refresh.
+
+The expensive piece — a 2-backend × 3-scenario matrix over the session
+fixtures — runs once (module scope) and every record-shape assertion
+reads from it.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.tiger import TIGER, TIGERConfig
+from repro.bench import bench_scale
+from repro.core import build_random_index_set
+from repro.experiments import (
+    BarrierEvent,
+    Expectation,
+    ExperimentConfig,
+    ExperimentConfigError,
+    ExperimentError,
+    ExperimentRunner,
+    IngestEvent,
+    PopularityFallback,
+    SubmitEvent,
+    build_plan,
+    known_backends,
+    known_scenarios,
+    run_experiment,
+    strip_timing,
+)
+from repro.retrieval import RetrievalRecommender
+from repro.serving import (
+    LCRecEngine,
+    RecommendationService,
+    ServingCluster,
+    refresh_retrieval_tier,
+)
+
+
+def minimal_config(**overrides):
+    raw = {
+        "name": "unit",
+        "scale": "tiny",
+        "backends": ["lcrec"],
+        "scenarios": ["steady_state"],
+        **overrides,
+    }
+    return ExperimentConfig.from_dict(raw)
+
+
+@pytest.fixture(scope="module")
+def tiny_tiger(tiny_dataset):
+    index_set = build_random_index_set(
+        tiny_dataset.num_items, 3, 8, np.random.default_rng(0)
+    )
+    model = TIGER(index_set, TIGERConfig(dim=32, epochs=2, seed=0))
+    model.fit(tiny_dataset)
+    return model
+
+
+MATRIX_RAW = {
+    "name": "matrix",
+    "scale": "tiny",
+    "seed": 7,
+    "num_workers": 2,
+    "backends": ["lcrec", "tiger"],
+    "scenarios": [
+        {"kind": "steady_state", "requests": 6},
+        {
+            "kind": "burst_overload",
+            "requests": 10,
+            "max_backlog": 1,
+            "expect": [{"metric": "degraded", "op": "eq", "value": 8}],
+        },
+        {
+            "kind": "catalog_churn",
+            "requests": 6,
+            "ingest_every": 3,
+            "expect": [
+                {"metric": "extra.new_item_in_tier_rate", "op": "eq", "value": 1.0}
+            ],
+        },
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def matrix_result(tiny_dataset, tiny_lcrec, tiny_tiger):
+    return run_experiment(
+        MATRIX_RAW,
+        dataset=tiny_dataset,
+        models={"lcrec": tiny_lcrec, "tiger": tiny_tiger},
+        write=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Config loading and validation
+# ----------------------------------------------------------------------
+class TestConfigValidation:
+    def test_minimal_roundtrip(self):
+        config = minimal_config()
+        again = ExperimentConfig.from_dict(config.to_dict())
+        assert again == config
+
+    def test_string_and_dict_scenarios_equivalent(self):
+        a = minimal_config(scenarios=["cold_start"])
+        b = minimal_config(scenarios=[{"kind": "cold_start"}])
+        assert a.scenarios == b.scenarios
+
+    @pytest.mark.parametrize(
+        "raw, fragment",
+        [
+            ({"backends": ["lcrec"]}, "missing required key"),
+            ({"name": "x", "backends": [], "scenarios": ["steady_state"]}, "at least one"),
+            ({"name": "x", "backends": ["nope"], "scenarios": ["steady_state"]}, "unknown backend"),
+            ({"name": "x", "backends": ["lcrec"], "scenarios": ["nope"]}, "unknown scenario"),
+            (
+                {
+                    "name": "x",
+                    "backends": ["lcrec"],
+                    "scenarios": [{"kind": "steady_state", "bogus": 1}],
+                },
+                "unknown parameters",
+            ),
+            (
+                {
+                    "name": "x",
+                    "backends": ["lcrec"],
+                    "scenarios": ["steady_state"],
+                    "metrics": ["mrr"],
+                },
+                "unknown metric",
+            ),
+            (
+                {"name": "x", "backends": ["lcrec"], "scenarios": ["steady_state", "steady_state"]},
+                "labels must be unique",
+            ),
+            (
+                {"name": "x", "backends": ["lcrec", "lcrec"], "scenarios": ["steady_state"]},
+                "must be unique",
+            ),
+            (
+                {"name": "x", "backends": ["lcrec"], "scenarios": ["steady_state"], "typo_key": 1},
+                "unknown config keys",
+            ),
+            (
+                {"name": "x", "backends": ["lcrec"], "scenarios": ["steady_state"], "cutoffs": [0]},
+                "positive",
+            ),
+            (
+                {"name": "x", "backends": ["lcrec"], "scenarios": ["steady_state"], "mode": "warp"},
+                "mode",
+            ),
+            (
+                {
+                    "name": "x",
+                    "backends": ["lcrec"],
+                    "scenarios": [
+                        {
+                            "kind": "steady_state",
+                            "expect": [{"metric": "shed", "op": "~", "value": 0}],
+                        }
+                    ],
+                },
+                "op",
+            ),
+            (
+                {
+                    "name": "x",
+                    "backends": ["lcrec"],
+                    "scenarios": [{"kind": "steady_state", "expect": [{"metric": "shed"}]}],
+                },
+                "missing",
+            ),
+        ],
+    )
+    def test_invalid_configs_rejected(self, raw, fragment):
+        with pytest.raises(ExperimentConfigError, match=fragment):
+            ExperimentConfig.from_dict(raw)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError, match="scale name"):
+            minimal_config(scale="huge")
+
+    def test_from_file_json(self, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(MATRIX_RAW))
+        config = ExperimentConfig.from_file(path)
+        assert config.name == "matrix"
+        assert [spec.name for spec in config.backends] == ["lcrec", "tiger"]
+
+    def test_from_file_missing_and_bad_suffix(self, tmp_path):
+        with pytest.raises(ExperimentConfigError, match="not found"):
+            ExperimentConfig.from_file(tmp_path / "nope.json")
+        bad = tmp_path / "config.txt"
+        bad.write_text("{}")
+        with pytest.raises(ExperimentConfigError, match="json or"):
+            ExperimentConfig.from_file(bad)
+
+    def test_from_file_yaml(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "config.yaml"
+        path.write_text(yaml.safe_dump(MATRIX_RAW))
+        assert ExperimentConfig.from_file(path) == ExperimentConfig.from_dict(MATRIX_RAW)
+
+    def test_example_configs_parse(self):
+        config = ExperimentConfig.from_file("examples/experiments/smoke.json")
+        assert len(config.backends) >= 2 and len(config.scenarios) >= 3
+        pytest.importorskip("yaml")
+        ported = ExperimentConfig.from_file("examples/experiments/cluster_serving.yaml")
+        # The port keeps the bench's assertions as expectations.
+        assert any(spec.expect for spec in ported.scenarios)
+        labels = [spec.label for spec in ported.scenarios]
+        assert "burst_degraded" in labels and "burst_shed" in labels
+
+    def test_metric_keys_skip_degenerate_ndcg(self):
+        config = minimal_config(metrics=["hr", "ndcg"], cutoffs=[1, 5])
+        assert config.metric_keys() == ["HR@1", "HR@5", "NDCG@5"]
+
+    def test_registries(self):
+        assert set(known_backends()) == {"lcrec", "tiger", "p5cid"}
+        assert "catalog_churn" in known_scenarios()
+        assert known_scenarios()["burst_overload"]["max_backlog"] == 2
+
+
+class TestExpectation:
+    def test_dotted_path_and_ops(self):
+        record = {"served": 5, "quality": {"HR@5": 0.25}}
+        assert Expectation("served", "ge", 5).check(record) == (True, 5)
+        assert Expectation("quality.HR@5", "gt", 0.3).check(record) == (False, 0.25)
+
+    def test_missing_path_fails(self):
+        holds, observed = Expectation("extra.nope", "eq", 1).check({"extra": {}})
+        assert not holds and observed is None
+
+
+# ----------------------------------------------------------------------
+# BenchScale programmatic selection (no more env monkeypatching)
+# ----------------------------------------------------------------------
+class TestBenchScale:
+    def test_programmatic_name_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert bench_scale("tiny").name == "tiny"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert bench_scale().name == "tiny"
+        monkeypatch.delenv("REPRO_SCALE")
+        assert bench_scale().name == "small"
+
+    def test_error_names_the_source(self, monkeypatch):
+        with pytest.raises(KeyError, match="scale name"):
+            bench_scale("galactic")
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(KeyError, match="REPRO_SCALE"):
+            bench_scale()
+
+    def test_config_scale_reaches_runner(self, tiny_dataset, tiny_lcrec):
+        config = minimal_config(scale="tiny")
+        runner = ExperimentRunner(
+            config, dataset=tiny_dataset, models={"lcrec": tiny_lcrec}, write=False
+        )
+        assert runner.scale.name == "tiny"
+
+
+# ----------------------------------------------------------------------
+# Scenario generators produce the claimed traffic shapes
+# ----------------------------------------------------------------------
+class TestScenarioShapes:
+    def plan(self, dataset, kind, **params):
+        config = ExperimentConfig.from_dict(
+            {
+                "name": "shapes",
+                "scale": "tiny",
+                "num_workers": 2,
+                "backends": ["lcrec", "tiger"],
+                "scenarios": [{"kind": kind, **params}],
+            }
+        )
+        return build_plan(dataset, bench_scale("tiny"), config, config.scenarios[0])
+
+    def test_plans_are_deterministic(self, tiny_dataset):
+        for kind in known_scenarios():
+            config = ExperimentConfig.from_dict(
+                {
+                    "name": "d",
+                    "scale": "tiny",
+                    "backends": ["lcrec"],
+                    "scenarios": [kind],
+                }
+            )
+            spec = config.scenarios[0]
+            scale = bench_scale("tiny")
+            assert (
+                build_plan(tiny_dataset, scale, config, spec).events
+                == build_plan(tiny_dataset, scale, config, spec).events
+            )
+
+    def test_steady_state(self, tiny_dataset):
+        plan = self.plan(tiny_dataset, "steady_state", requests=7)
+        assert plan.num_submits == 7 and not plan.closed_loop
+        assert all(isinstance(e, SubmitEvent) and e.target is not None for e in plan.events)
+
+    def test_cold_start_truncates_and_empties(self, tiny_dataset):
+        plan = self.plan(
+            tiny_dataset, "cold_start", requests=8, prefix_len=2, empty_fraction=0.25
+        )
+        submits = [e for e in plan.events if isinstance(e, SubmitEvent)]
+        empty = [e for e in submits if not e.history]
+        assert len(empty) == 2  # every 4th request
+        assert all(len(e.history) <= 2 for e in submits)
+        assert plan.use_fallback
+
+    def test_long_history_longest_first(self, tiny_dataset):
+        plan = self.plan(tiny_dataset, "long_history", requests=5)
+        lengths = [len(e.history) for e in plan.events]
+        assert lengths == sorted(lengths, reverse=True)
+        full = max(len(h) for h in tiny_dataset.split.test_histories)
+        assert lengths[0] == full
+
+    def test_session_refresh_repeats_sessions(self, tiny_dataset):
+        plan = self.plan(tiny_dataset, "session_refresh", sessions=3, refresh=4)
+        submits = [e for e in plan.events if isinstance(e, SubmitEvent)]
+        assert len(submits) == 12 and plan.prefix_cache
+        by_session = {}
+        for event in submits:
+            by_session.setdefault(event.session, []).append(event.history)
+        assert len(by_session) == 3
+        assert all(len(set(histories)) == 1 for histories in by_session.values())
+
+    def test_burst_overload_closed_loop(self, tiny_dataset):
+        plan = self.plan(tiny_dataset, "burst_overload", requests=9, max_backlog=1)
+        assert plan.closed_loop and plan.max_backlog == 1
+        assert isinstance(plan.events[-1], BarrierEvent)
+        assert plan.num_submits == 9
+        assert plan.extra["backlog_capacity"] == 2  # 2 workers x backlog 1
+
+    def test_catalog_churn_plans_dense_ids(self, tiny_dataset):
+        plan = self.plan(tiny_dataset, "catalog_churn", requests=9, ingest_every=3)
+        ingests = [e for e in plan.events if isinstance(e, IngestEvent)]
+        assert [e.item_id for e in ingests] == [
+            tiny_dataset.num_items,
+            tiny_dataset.num_items + 1,
+        ]
+        assert plan.closed_loop and plan.client == "service"
+        assert plan.requires == ("rqvae",)
+        # Every ingest rides between flush barriers.
+        for index, event in enumerate(plan.events):
+            if isinstance(event, IngestEvent):
+                assert isinstance(plan.events[index - 1], BarrierEvent)
+
+    def test_mixed_fleet_sizes_to_backends(self, tiny_dataset):
+        plan = self.plan(tiny_dataset, "mixed_fleet", requests=4)
+        assert plan.num_workers == 2 and plan.extra["fleet_size"] == 2
+
+
+# ----------------------------------------------------------------------
+# The matrix run: records, schema, determinism
+# ----------------------------------------------------------------------
+class TestMatrixRun:
+    def test_one_record_per_cell(self, matrix_result):
+        records = matrix_result["records"]
+        assert [r["name"] for r in records] == [
+            "steady_statexlcrec",
+            "steady_statextiger",
+            "burst_overloadxlcrec",
+            "burst_overloadxtiger",
+            "catalog_churnxlcrec",
+            "catalog_churnxtiger",
+        ]
+
+    def test_supported_record_schema(self, matrix_result):
+        for record in matrix_result["records"]:
+            if not record["supported"]:
+                continue
+            for key in (
+                "scenario",
+                "backend",
+                "seed",
+                "client",
+                "mode",
+                "requests",
+                "served",
+                "shed",
+                "degraded",
+                "cold_start",
+                "quality",
+                "extra",
+                "expectations",
+                "timing",
+            ):
+                assert key in record, f"{record['name']} missing {key}"
+            assert set(record["timing"]) == {
+                "wall_s",
+                "requests_per_second",
+                "p50_ms",
+                "p95_ms",
+            }
+            quality = record["quality"]
+            assert quality["evaluated"] == record["served"]
+            for key in ("HR@5", "HR@10", "NDCG@5", "NDCG@10"):
+                assert 0.0 <= quality[key] <= 1.0
+
+    def test_unsupported_cell_is_still_a_record(self, matrix_result):
+        record = next(
+            r for r in matrix_result["records"] if r["name"] == "catalog_churnxtiger"
+        )
+        assert record["supported"] is False
+        assert "RQ-VAE" in record["reason"]
+
+    def test_burst_admission_is_exact(self, matrix_result):
+        record = next(
+            r for r in matrix_result["records"] if r["scenario"] == "burst_overload"
+        )
+        # capacity = 2 workers x backlog 1; the other 8 degrade to retrieval.
+        assert record["served"] == 10
+        assert record["degraded"] == 8
+        assert record["shed"] == 0
+
+    def test_churn_refresh_reached_the_fallback(self, matrix_result, tiny_dataset):
+        record = next(
+            r for r in matrix_result["records"] if r["name"] == "catalog_churnxlcrec"
+        )
+        assert record["extra"]["ingested"] == 1
+        assert record["extra"]["new_item_in_tier_rate"] == 1.0
+        assert (
+            record["extra"]["catalog_items"]
+            == tiny_dataset.num_items + record["extra"]["ingested"]
+        )
+
+    def test_expectation_outcomes_recorded(self, matrix_result):
+        record = next(
+            r for r in matrix_result["records"] if r["scenario"] == "burst_overload"
+        )
+        checked = record["expectations"]["checked"]
+        assert checked and all(entry["holds"] for entry in checked)
+        assert matrix_result["failed"] == []
+
+    def test_seed_determinism_modulo_timing(
+        self, tiny_dataset, tiny_lcrec, tiny_tiger, matrix_result
+    ):
+        again = run_experiment(
+            MATRIX_RAW,
+            dataset=tiny_dataset,
+            models={"lcrec": tiny_lcrec, "tiger": tiny_tiger},
+            write=False,
+        )
+        first = [strip_timing(r) for r in matrix_result["records"]]
+        second = [strip_timing(r) for r in again["records"]]
+        assert first == second
+        # ... and the timing block really is the only varying part.
+        assert all("timing" in r for r in matrix_result["records"] if r["supported"])
+
+    def test_failed_expectation_raises_but_writes(
+        self, tiny_dataset, tiny_lcrec, monkeypatch, tmp_path
+    ):
+        from repro.bench import reporting
+
+        monkeypatch.setattr(reporting, "benchmark_results_dir", lambda: tmp_path)
+        raw = {
+            "name": "red",
+            "scale": "tiny",
+            "backends": ["lcrec"],
+            "scenarios": [
+                {
+                    "kind": "steady_state",
+                    "requests": 2,
+                    "expect": [{"metric": "served", "op": "eq", "value": -1}],
+                }
+            ],
+        }
+        with pytest.raises(ExperimentError, match="served eq -1"):
+            run_experiment(raw, dataset=tiny_dataset, models={"lcrec": tiny_lcrec})
+        payload = json.loads((tmp_path / "experiment_red.json").read_text())
+        assert payload["bench"] == "experiment_red"
+        assert not payload["results"][0]["expectations"]["checked"][0]["holds"]
+
+    def test_written_record_matches_ci_schema(
+        self, tiny_dataset, tiny_lcrec, monkeypatch, tmp_path
+    ):
+        from repro.bench import reporting
+
+        monkeypatch.setattr(reporting, "benchmark_results_dir", lambda: tmp_path)
+        result = run_experiment(
+            {
+                "name": "schema",
+                "scale": "tiny",
+                "backends": ["lcrec"],
+                "scenarios": [{"kind": "steady_state", "requests": 2}],
+            },
+            dataset=tiny_dataset,
+            models={"lcrec": tiny_lcrec},
+        )
+        payload = json.loads(result["path"].read_text())
+        # The exact keys the CI validation step asserts on every record.
+        for key in ("bench", "git_sha", "config", "results"):
+            assert key in payload
+        assert payload["results"]
+        assert payload["config"]["scenarios"][0]["kind"] == "steady_state"
+
+
+# ----------------------------------------------------------------------
+# The fallback used by embedding-free backends
+# ----------------------------------------------------------------------
+class TestPopularityFallback:
+    def test_deterministic_and_excludes_history(self, tiny_dataset):
+        fallback = PopularityFallback(tiny_dataset)
+        first = fallback.recommend([], top_k=10)
+        assert fallback.recommend([], top_k=10) == first
+        assert len(first) == 10 and len(set(first)) == 10
+        skipped = fallback.recommend(first[:3], top_k=10)
+        assert not set(skipped) & set(first[:3])
+
+
+# ----------------------------------------------------------------------
+# Ingestion-triggered retrieval refresh (service + cluster)
+# ----------------------------------------------------------------------
+class TestRetrievalRefresh:
+    def test_service_ingest_refreshes_static_fallback(self, tiny_lcrec, rng):
+        catalog = tiny_lcrec.live_catalog(retrieval=True)
+        engine = LCRecEngine(tiny_lcrec, prefix_cache=False)
+        engine.attach_catalog(catalog)
+        stale = catalog.version.retrieval
+        service = RecommendationService(engine, fallback=stale)
+        dim = tiny_lcrec.item_embeddings.shape[1]
+        ingested = service.ingest_item(embedding=rng.normal(size=dim))
+        assert service.fallback is not stale
+        assert service.fallback is ingested.version.retrieval
+        assert service.fallback.num_items == stale.num_items + 1
+        # A session that interacted with the new item now has a profile.
+        assert service.fallback.profile([ingested.item_id]) is not None
+        assert stale.profile([ingested.item_id]) is None
+
+    def test_cluster_ingest_refreshes_every_worker(self, tiny_lcrec, rng):
+        catalog = tiny_lcrec.live_catalog(retrieval=True)
+        stale = catalog.version.retrieval
+
+        def engine_factory():
+            engine = LCRecEngine(tiny_lcrec, prefix_cache=False)
+            engine.attach_catalog(catalog)
+            return engine
+
+        cluster = ServingCluster(engine_factory, num_workers=2, fallback=stale)
+        for worker in cluster._workers:
+            worker.service.fallback = stale
+        dim = tiny_lcrec.item_embeddings.shape[1]
+        ingested = cluster.ingest_item(embedding=rng.normal(size=dim))
+        assert cluster.fallback is ingested.version.retrieval
+        for worker in cluster._workers:
+            assert worker.service.fallback is ingested.version.retrieval
+
+    def test_refresh_leaves_custom_fallbacks_alone(self, tiny_lcrec, tiny_dataset, rng):
+        catalog = tiny_lcrec.live_catalog(retrieval=True)
+        engine = LCRecEngine(tiny_lcrec, prefix_cache=False)
+        engine.attach_catalog(catalog)
+        custom = PopularityFallback(tiny_dataset)
+        service = RecommendationService(engine, fallback=custom)
+        dim = tiny_lcrec.item_embeddings.shape[1]
+        service.ingest_item(embedding=rng.normal(size=dim))
+        assert service.fallback is custom
+
+    def test_refresh_helper_reports_whether_it_swapped(self, tiny_lcrec, rng):
+        catalog = tiny_lcrec.live_catalog(retrieval=True)
+        stale = catalog.version.retrieval
+
+        class Client:
+            fallback = stale
+
+        ingested = catalog.ingest(
+            embedding=rng.normal(size=tiny_lcrec.item_embeddings.shape[1])
+        )
+        client = Client()
+        assert refresh_retrieval_tier(client, ingested.version) is True
+        assert client.fallback is ingested.version.retrieval
+        # Idempotent: already current → nothing to do.
+        assert refresh_retrieval_tier(client, ingested.version) is False
+
+    def test_static_tier_is_a_retrieval_recommender(self, tiny_lcrec):
+        tier = RetrievalRecommender.from_lcrec(tiny_lcrec)
+        assert tier.recommend([], top_k=5) == tier.recommend([], top_k=5)
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+class TestCLI:
+    def test_experiment_scenarios_lists_registry(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["experiment", "scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "catalog_churn" in out and "burst_overload" in out
+        assert "lcrec" in out and "tiger" in out
+
+    def test_experiment_run_rejects_missing_config(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["experiment", "run", "does_not_exist.json"]) == 2
+        assert "not found" in capsys.readouterr().out
