@@ -1,0 +1,305 @@
+"""Two-level speculative trie decode vs the sequential sparse stepper.
+
+The sequential stepper (the PR-5 sparse baseline this benchmark is
+anchored to) pays one transformer forward per trie level.  When the
+product of allowed fan-outs across the next *two* levels fits the
+speculative budget, the stepper scores both levels in a single forward —
+one gathered-head GEMM over the pair union with the constrained
+log-softmax factored per level — so a three-level index decodes in two
+forwards instead of three and rankings are provably identical.  This
+benchmark measures what that buys on the same hardware and weights:
+
+* **forwards per request** — the architecture-independent win, counted
+  from ``DecodeState.forwards`` for every backend at B=16;
+* **LCRec, continuous serving** — req/s through
+  ``RecommendationService(mode="continuous")`` at widths B ∈ {1, 8, 16},
+  speculative vs sequential;
+* **quantized heads** — the same closed batches at fp16/int8, with the
+  top-k-overlap tolerance gate from ``docs/performance.md`` asserted.
+
+Correctness is asserted, not assumed: speculative rankings must be
+identical to sequential for every request of every backend, and every
+quantized request must keep >= 4 of its fp32 top 5.  Results are
+persisted to ``benchmark_results/speculative_decode.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench import bench_scale, report, report_json, scaled_dataset
+from repro.bench.runners import build_lcrec_model
+from repro.baselines import P5CID, P5CIDConfig, TIGER, TIGERConfig
+from repro.core.indexer import build_random_index_set
+from repro.llm import DEFAULT_SPEC_BUDGET
+from repro.serving import (
+    LCRecEngine,
+    MicroBatcherConfig,
+    P5CIDEngine,
+    RecommendRequest,
+    RecommendationService,
+    TIGEREngine,
+)
+
+LCREC_WIDTHS = (1, 8, 16)
+CLOSED_BATCH = 16
+NUM_REQUESTS = 32
+TOP_K = 10
+BEAM_SIZE = 10
+SEED = 29
+# The budget bounds the speculative GEMM's width: the gate multiplies the
+# *flat batch's* candidate count by the next level's union, so it scales
+# with B*K.  The conservative serving default (DEFAULT_SPEC_BUDGET) is
+# sized for a handful of rows; this bench drives closed batches of 16
+# requests x 10 beams, so it sizes the budget to the workload.
+SPEC_BUDGET = 4096
+# Same serving-realistic head padding as bench_sparse_decode.py: the
+# speculative step's gathered GEMM only ever touches the pair union, so
+# the padded rows change nothing but the honest cost of a forward.
+SERVING_VOCAB = 8192
+TIGER_CODEBOOK = 256
+OVERLAP_FLOOR = 4  # of top 5 — the docs/performance.md tolerance gate
+
+
+def _histories(dataset, count):
+    pool = dataset.split.test_histories
+    return [list(pool[i % len(pool)]) for i in range(count)]
+
+
+def _percentiles(latencies):
+    arr = np.asarray(latencies)
+    return float(np.percentile(arr, 50)), float(np.percentile(arr, 95))
+
+
+def run_counted_batches(engine, histories):
+    """Closed batches through the stepper, counting transformer forwards."""
+    rankings, latencies, forwards = [], [], 0
+    start = time.perf_counter()
+    for lo in range(0, len(histories), CLOSED_BATCH):
+        chunk = histories[lo : lo + CLOSED_BATCH]
+        tick = time.perf_counter()
+        requests = [
+            RecommendRequest(
+                prompt_ids=engine.encode_history(h), top_k=TOP_K, beam_size=BEAM_SIZE
+            )
+            for h in chunk
+        ]
+        state = engine.prefill(requests)
+        while not state.done:
+            engine.step(state)
+        forwards += state.forwards
+        rankings.extend(engine.finalize(requests, engine.finish(state)))
+        latencies.extend([time.perf_counter() - tick] * len(chunk))
+    elapsed = time.perf_counter() - start
+    return rankings, latencies, len(histories) / elapsed, forwards
+
+
+def run_lcrec_continuous(model, histories, width, spec_budget):
+    """Burst workload through the continuous scheduler at one width."""
+    service = RecommendationService(
+        LCRecEngine(model, prefix_cache=False, spec_budget=spec_budget),
+        batcher=MicroBatcherConfig(max_batch_size=width),
+        mode="continuous",
+    )
+    with service:
+        start = time.perf_counter()
+        pending = [(service.submit(h, top_k=TOP_K), time.perf_counter()) for h in histories]
+        rankings, latencies = [], []
+        for handle, submitted in pending:
+            rankings.append(handle.result(timeout=300.0))
+            latencies.append(time.perf_counter() - submitted)
+        elapsed = time.perf_counter() - start
+    return rankings, latencies, len(histories) / elapsed
+
+
+def run_speculative_decode_table():
+    scale = bench_scale()
+    dataset = scaled_dataset("instruments")
+    histories = _histories(dataset, NUM_REQUESTS)
+    records, rows = [], []
+    rows.append(
+        f"{'backend / config':<34} {'req/s':>8} {'p50 ms':>9} {'fwd/req':>8} {'speedup':>8}"
+    )
+
+    lcrec = build_lcrec_model(dataset, tasks=("seq",))
+    if lcrec.lm.vocab_size < SERVING_VOCAB:
+        lcrec.lm.extend_vocab(SERVING_VOCAB - lcrec.lm.vocab_size)
+    p5cid = P5CID(dataset, P5CIDConfig(epochs=scale.epochs(6), seed=SEED))
+    p5cid.fit(dataset)
+    index_set = build_random_index_set(
+        dataset.num_items, 3, TIGER_CODEBOOK, np.random.default_rng(SEED)
+    )
+    tiger = TIGER(index_set, TIGERConfig(epochs=scale.epochs(6), seed=SEED))
+    tiger.fit(dataset)
+    backends = {
+        "lcrec": lambda **kw: LCRecEngine(lcrec, prefix_cache=False, **kw),
+        "p5cid": lambda **kw: P5CIDEngine(p5cid, **kw),
+        "tiger": lambda **kw: TIGEREngine(tiger, **kw),
+    }
+
+    # Forwards accounting: speculative vs the sequential sparse baseline,
+    # counted at the stepper for every backend.  TIGER at a small catalog
+    # is the interesting null: with 256-entry codebooks nearly every
+    # level-2 prefix is unique, so the forced fast path already makes the
+    # last level free and speculation ties instead of winning — exactly
+    # the forced/speculative interaction the gate is built around.
+    forwards_saved = {}
+    for backend, make_engine in backends.items():
+        run_counted_batches(make_engine(), histories[:CLOSED_BATCH])  # warm
+        measured = {}
+        for label, budget in (("seq", 0), ("spec", SPEC_BUDGET)):
+            measured[label] = run_counted_batches(
+                make_engine(spec_budget=budget), histories
+            )
+        assert measured["spec"][0] == measured["seq"][0], (
+            f"speculation changed {backend} rankings"
+        )
+        assert measured["spec"][3] <= measured["seq"][3], (
+            f"speculation added forwards for {backend}"
+        )
+        speedup = measured["spec"][2] / measured["seq"][2]
+        forwards_saved[backend] = 1 - measured["spec"][3] / measured["seq"][3]
+        for label in ("seq", "spec"):
+            _, latencies, rps, forwards = measured[label]
+            p50, _ = _percentiles(latencies)
+            name = f"{backend}/batched B={CLOSED_BATCH} {label}"
+            rows.append(
+                f"{name:<34} {rps:>8.2f} {1000 * p50:>9.1f} "
+                f"{forwards / NUM_REQUESTS:>8.2f} "
+                f"{(speedup if label == 'spec' else 1.0):>8.2f}"
+            )
+            records.append(
+                {
+                    "name": name,
+                    "backend": backend,
+                    "width": CLOSED_BATCH,
+                    "stepper": label,
+                    "spec_budget": SPEC_BUDGET if label == "spec" else 0,
+                    "requests_per_second": rps,
+                    "p50_ms": 1000 * p50,
+                    "forwards_per_request": forwards / NUM_REQUESTS,
+                }
+            )
+
+    # LCRec through the continuous scheduler: joins, retirement and the
+    # speculative window interacting under one roof.
+    lcrec_speedups = {}
+    for width in LCREC_WIDTHS:
+        measured = {}
+        for label, budget in (("seq", 0), ("spec", SPEC_BUDGET)):
+            measured[label] = run_lcrec_continuous(lcrec, histories, width, budget)
+        assert measured["spec"][0] == measured["seq"][0], (
+            f"speculation changed LCRec rankings at B={width}"
+        )
+        speedup = measured["spec"][2] / measured["seq"][2]
+        lcrec_speedups[width] = speedup
+        for label in ("seq", "spec"):
+            _, latencies, rps = measured[label]
+            p50, p95 = _percentiles(latencies)
+            name = f"lcrec/continuous B={width} {label}"
+            rows.append(
+                f"{name:<34} {rps:>8.2f} {1000 * p50:>9.1f} {'-':>8} "
+                f"{(speedup if label == 'spec' else 1.0):>8.2f}"
+            )
+            records.append(
+                {
+                    "name": name,
+                    "backend": "lcrec",
+                    "width": width,
+                    "stepper": label,
+                    "spec_budget": SPEC_BUDGET if label == "spec" else 0,
+                    "requests_per_second": rps,
+                    "p50_ms": 1000 * p50,
+                    "p95_ms": 1000 * p95,
+                }
+            )
+
+    # Quantized heads: closed speculative batches at every precision, with
+    # the top-k-overlap tolerance gate asserted per request.
+    for backend, make_engine in backends.items():
+        base, _, _, _ = run_counted_batches(make_engine(spec_budget=SPEC_BUDGET), histories)
+        for precision in ("fp16", "int8"):
+            rankings, latencies, rps, forwards = run_counted_batches(
+                make_engine(spec_budget=SPEC_BUDGET, precision=precision), histories
+            )
+            overlaps = [
+                len(set(a[:5]) & set(b[:5])) for a, b in zip(rankings, base)
+            ]
+            assert min(overlaps) >= OVERLAP_FLOOR, (
+                f"{backend} {precision} top-5 overlap {min(overlaps)} < {OVERLAP_FLOOR}"
+            )
+            p50, _ = _percentiles(latencies)
+            name = f"{backend}/batched B={CLOSED_BATCH} {precision}"
+            rows.append(
+                f"{name:<34} {rps:>8.2f} {1000 * p50:>9.1f} "
+                f"{forwards / NUM_REQUESTS:>8.2f} {'-':>8}"
+            )
+            records.append(
+                {
+                    "name": name,
+                    "backend": backend,
+                    "width": CLOSED_BATCH,
+                    "stepper": "spec",
+                    "precision": precision,
+                    "requests_per_second": rps,
+                    "p50_ms": 1000 * p50,
+                    "forwards_per_request": forwards / NUM_REQUESTS,
+                    "min_top5_overlap": min(overlaps),
+                    "mean_top5_overlap": float(np.mean(overlaps)),
+                }
+            )
+
+    rows += [
+        "",
+        f"workload: {NUM_REQUESTS} requests, top_k={TOP_K}, beam={BEAM_SIZE}, "
+        f"scale {scale.name}; spec budget {SPEC_BUDGET} (serving default {DEFAULT_SPEC_BUDGET})",
+        "speculative rankings asserted identical to sequential for every "
+        "backend and width; quantized top-5 overlap asserted >= "
+        f"{OVERLAP_FLOOR}/5 per request",
+    ]
+    report("speculative_decode", "\n".join(rows))
+    report_json(
+        "speculative_decode",
+        config={
+            "lcrec_widths": list(LCREC_WIDTHS),
+            "closed_batch": CLOSED_BATCH,
+            "num_requests": NUM_REQUESTS,
+            "top_k": TOP_K,
+            "beam_size": BEAM_SIZE,
+            "spec_budget": SPEC_BUDGET,
+            "default_spec_budget": DEFAULT_SPEC_BUDGET,
+            "scale": scale.name,
+            "seed": SEED,
+        },
+        results=records,
+    )
+    return lcrec_speedups, forwards_saved, records
+
+
+def test_speculative_decode(benchmark):
+    lcrec_speedups, forwards_saved, records = benchmark.pedantic(
+        run_speculative_decode_table, rounds=1, iterations=1
+    )
+    # The forwards saving is deterministic arithmetic, not a timing: a
+    # 3-level index decodes in 2 forwards instead of 3 whenever a
+    # non-forced window fires.  LCRec and P5CID have real two-level
+    # fan-out and must save >= 20% of their forwards; TIGER's unique
+    # deep prefixes let the forced fast path tie (asserted <=, above).
+    assert forwards_saved["lcrec"] >= 0.2, forwards_saved
+    assert forwards_saved["p5cid"] >= 0.2, forwards_saved
+    assert all(saved >= 0.0 for saved in forwards_saved.values()), forwards_saved
+    # Headline acceptance: speculative decode delivers >= 1.15x req/s for
+    # LCRec continuous serving at B=16 over the PR-5 sparse baseline.
+    # Speculation trades extra head/attention arithmetic over candidate
+    # columns for fewer forwards, so it wins where a forward's fixed cost
+    # (layer dispatch, weight traffic) dominates — real-scale models.  At
+    # tiny scale (dim 16–64) the forward is nearly free and the extra
+    # columns make speculation a measured slowdown; the tiny CI smoke
+    # therefore gates on the deterministic forwards metric above and only
+    # bounds the wall-clock ratio loosely against gross regressions.
+    floor = 1.15 if bench_scale().name != "tiny" else 0.4
+    assert lcrec_speedups[16] >= floor, (
+        f"speculative decode speedup {lcrec_speedups[16]:.2f}x < {floor}x at B=16"
+    )

@@ -37,7 +37,13 @@ from ..tensor import (
     WeightMemo,
     causal_mask,
     clip_grad_norm,
+    fp16_activations,
+    fp16_weight,
+    int8_matmul,
     no_grad,
+    precision_token,
+    quantize_weight_int8,
+    validate_precision,
 )
 from ..tensor import functional as F
 from ..utils.logging import get_logger
@@ -169,7 +175,9 @@ class TIGER(Module):
         """Dense output head over already-computed hidden states ``(R, dim)``."""
         return np.matmul(hidden, self.token_embeddings.weight.data.T)
 
-    def head_gather(self, hidden: np.ndarray, token_ids: np.ndarray) -> np.ndarray:
+    def head_gather(
+        self, hidden: np.ndarray, token_ids: np.ndarray, precision: str = "fp32"
+    ) -> np.ndarray:
         """Logits for ``token_ids`` only: ``hidden @ W[token_ids].T``.
 
         The sparse counterpart of :meth:`head_logits` for trie-constrained
@@ -177,7 +185,11 @@ class TIGER(Module):
         the dense head performs, just restricted to the candidate union.
         The gathered rows are memoized against the candidate array's
         identity (the trie keeps one stable array per level); staleness
-        guards live in :class:`repro.tensor.WeightMemo`.
+        guards live in :class:`repro.tensor.WeightMemo`.  ``precision``
+        selects the GEMM kernel exactly as in
+        :meth:`repro.llm.TinyLlama.lm_head_gather`: quantized gathered
+        weights share the memo (keyed by the union's identity plus the
+        precision's interned sentinel) and its invalidation.
         """
         weight = self.token_embeddings.weight
         sub = self._head_gather_cache.get(
@@ -185,7 +197,16 @@ class TIGER(Module):
             (weight,),
             lambda: np.ascontiguousarray(weight.data[np.asarray(token_ids, dtype=np.int64)].T),
         )
-        return np.matmul(hidden, sub)
+        if precision == "fp32":
+            return np.matmul(hidden, sub)
+        sources = (token_ids, weight.data, precision_token(precision))
+        if validate_precision(precision) == "fp16":
+            qsub = self._head_gather_cache.get(sources, (weight,), lambda: fp16_weight(sub))
+            return np.matmul(fp16_activations(hidden), qsub)
+        qsub = self._head_gather_cache.get(
+            sources, (weight,), lambda: quantize_weight_int8(sub)
+        )
+        return int8_matmul(hidden, qsub)
 
     def forward(self, source: np.ndarray, decoder_input: np.ndarray) -> Tensor:
         memory, mask = self.encode(source)

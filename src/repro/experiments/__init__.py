@@ -39,8 +39,11 @@ from .config import (
     ExperimentConfig,
     ExperimentConfigError,
     ScenarioSpec,
+    apply_sweep,
     cell_name,
     ordered_cells,
+    sweep_combinations,
+    sweep_suffix,
 )
 from .runner import (
     ExperimentError,
@@ -72,6 +75,7 @@ __all__ = [
     "ScenarioPlan",
     "ScenarioSpec",
     "SubmitEvent",
+    "apply_sweep",
     "build_plan",
     "cell_name",
     "known_backends",
@@ -79,4 +83,6 @@ __all__ = [
     "ordered_cells",
     "run_experiment",
     "strip_timing",
+    "sweep_combinations",
+    "sweep_suffix",
 ]

@@ -46,11 +46,15 @@ from ..serving import (
     ServingCluster,
     TIGEREngine,
 )
+from ..tensor import validate_precision
 from .config import (
     ExperimentConfig,
     ExperimentConfigError,
+    apply_sweep,
     cell_name,
     ordered_cells,
+    sweep_combinations,
+    sweep_suffix,
 )
 from .scenarios import (
     BarrierEvent,
@@ -81,10 +85,14 @@ class ExperimentError(RuntimeError):
 # ----------------------------------------------------------------------
 # Backends
 # ----------------------------------------------------------------------
+# Parameter name → expected type.  ``precision``/``spec_budget`` reach
+# the engine adapter; ``epochs``/``dim`` reach the model builder (so
+# they participate in the runtime cache key — see ``_runtime``).
+_ENGINE_PARAMS = {"precision": str, "spec_budget": int}
 _BACKEND_PARAMS = {
-    "lcrec": (),
-    "tiger": ("epochs", "dim"),
-    "p5cid": ("epochs", "dim"),
+    "lcrec": dict(_ENGINE_PARAMS),
+    "tiger": {"epochs": int, "dim": int, **_ENGINE_PARAMS},
+    "p5cid": {"epochs": int, "dim": int, **_ENGINE_PARAMS},
 }
 
 
@@ -105,10 +113,24 @@ def validate_backend(name: str, params: Mapping, where: str) -> None:
             f"{name!r}; allowed: {sorted(allowed) or '(none)'}"
         )
     for key, value in params.items():
-        if not isinstance(value, int) or isinstance(value, bool):
+        expected = allowed[key]
+        if expected is int and (not isinstance(value, int) or isinstance(value, bool)):
             raise ExperimentConfigError(
                 f"{where}: parameter {key!r} must be an int, got {value!r}"
             )
+        if expected is str and not isinstance(value, str):
+            raise ExperimentConfigError(
+                f"{where}: parameter {key!r} must be a string, got {value!r}"
+            )
+    if "precision" in params:
+        try:
+            validate_precision(params["precision"])
+        except ValueError as exc:
+            raise ExperimentConfigError(f"{where}: {exc}") from None
+    if "spec_budget" in params and params["spec_budget"] < 0:
+        raise ExperimentConfigError(
+            f"{where}: spec_budget must be >= 0, got {params['spec_budget']}"
+        )
 
 
 class PopularityFallback:
@@ -143,15 +165,23 @@ class _BackendRuntime:
     model: object
     dataset: object
     supports_continuous: bool
+    supports_language: bool
     _fallback: object = field(default=None, repr=False)
 
-    def make_engine(self, prefix_cache: bool):
+    def make_engine(self, prefix_cache: bool, params: Mapping | None = None):
         cache = PrefixKVCache(max_entries=_CACHE_ENTRIES) if prefix_cache else None
+        kwargs = {
+            key: value
+            for key, value in (params or {}).items()
+            if key in _ENGINE_PARAMS
+        }
         if self.name == "lcrec":
-            return LCRecEngine(self.model, prefix_cache=cache if prefix_cache else False)
+            return LCRecEngine(
+                self.model, prefix_cache=cache if prefix_cache else False, **kwargs
+            )
         if self.name == "p5cid":
-            return P5CIDEngine(self.model, prefix_cache=cache)
-        return TIGEREngine(self.model)
+            return P5CIDEngine(self.model, prefix_cache=cache, **kwargs)
+        return TIGEREngine(self.model, **kwargs)
 
     def make_fallback(self):
         if self._fallback is None:
@@ -205,6 +235,7 @@ def _build_backend(spec, dataset, scale, seed: int, model=None) -> _BackendRunti
         model=model,
         dataset=dataset,
         supports_continuous=spec.name != "tiger",
+        supports_language=spec.name == "lcrec",
     )
 
 
@@ -250,19 +281,23 @@ class ExperimentRunner:
         self.dataset = dataset
         self._injected = dict(models or {})
         self.write = write
-        self._runtimes: dict[str, _BackendRuntime] = {}
+        self._runtimes: dict[tuple, _BackendRuntime] = {}
 
     # -- backends ------------------------------------------------------
     def _runtime(self, spec) -> _BackendRuntime:
-        if spec.name not in self._runtimes:
-            self._runtimes[spec.name] = _build_backend(
+        # Keyed by the *model-building* params only: engine params
+        # (precision, spec_budget) never force a retrain, so sweep
+        # points over them share one built model.
+        key = (spec.name, spec.params.get("epochs"), spec.params.get("dim"))
+        if key not in self._runtimes:
+            self._runtimes[key] = _build_backend(
                 spec,
                 self.dataset,
                 self.scale,
                 self.config.seed,
                 model=self._injected.get(spec.name),
             )
-        return self._runtimes[spec.name]
+        return self._runtimes[key]
 
     # -- cell plumbing -------------------------------------------------
     def _cell_mode(self, plan: ScenarioPlan, runtimes: list[_BackendRuntime]) -> str:
@@ -272,18 +307,18 @@ class ExperimentRunner:
             return "continuous"
         return "deadline"
 
-    def _fleet_order(self, plan: ScenarioPlan, cell_runtime: _BackendRuntime):
-        """The engines behind this cell's cluster, worker 0 first."""
+    def _fleet_order(self, plan: ScenarioPlan, cell_runtime, cell_spec):
+        """(runtime, spec) pairs behind this cell's cluster, worker 0 first."""
         if plan.kind != "mixed_fleet":
-            return [cell_runtime]
+            return [(cell_runtime, cell_spec)]
         others = [
-            self._runtime(spec)
+            (self._runtime(spec), spec)
             for spec in self.config.backends
             if spec.name != cell_runtime.name
         ]
-        return [cell_runtime] + (others or [cell_runtime])
+        return [(cell_runtime, cell_spec)] + (others or [(cell_runtime, cell_spec)])
 
-    def _build_client(self, plan: ScenarioPlan, runtime: _BackendRuntime):
+    def _build_client(self, plan: ScenarioPlan, runtime: _BackendRuntime, spec):
         """The scenario's client plus per-cell context for the record."""
         batcher = MicroBatcherConfig(max_batch_size=self.config.batch_width)
         fallback = runtime.make_fallback() if plan.use_fallback else None
@@ -291,7 +326,7 @@ class ExperimentRunner:
         if plan.client == "service":
             if plan.kind == "catalog_churn":
                 catalog = runtime.model.live_catalog(retrieval=True)
-                engine = runtime.make_engine(plan.prefix_cache)
+                engine = runtime.make_engine(plan.prefix_cache, spec.params)
                 engine.attach_catalog(catalog)
                 # Deliberately the *version-0* tier object: the ingest
                 # refresh hook must swap it, and the record's candidate
@@ -299,7 +334,7 @@ class ExperimentRunner:
                 fallback = catalog.version.retrieval
                 context["catalog"] = catalog
             else:
-                engine = runtime.make_engine(plan.prefix_cache)
+                engine = runtime.make_engine(plan.prefix_cache, spec.params)
             mode = self._cell_mode(plan, [runtime])
             client = RecommendationService(
                 engine,
@@ -309,14 +344,14 @@ class ExperimentRunner:
                 fallback=fallback,
             )
         else:
-            fleet = self._fleet_order(plan, runtime)
-            mode = self._cell_mode(plan, fleet)
+            fleet = self._fleet_order(plan, runtime, spec)
+            mode = self._cell_mode(plan, [member for member, _ in fleet])
             workers = plan.num_workers
             cursor = iter(range(10**9))
 
             def engine_factory():
-                member = fleet[next(cursor) % len(fleet)]
-                return member.make_engine(plan.prefix_cache)
+                member, member_spec = fleet[next(cursor) % len(fleet)]
+                return member.make_engine(plan.prefix_cache, member_spec.params)
 
             client = ServingCluster(
                 engine_factory,
@@ -331,7 +366,7 @@ class ExperimentRunner:
             )
             if plan.kind == "mixed_fleet":
                 context["fleet"] = [
-                    fleet[worker % len(fleet)].name for worker in range(workers)
+                    fleet[worker % len(fleet)][0].name for worker in range(workers)
                 ]
         context["mode"] = mode
         return client, context
@@ -342,6 +377,21 @@ class ExperimentRunner:
         submitted: list[tuple[SubmitEvent, object]] = []
         latencies: list[float] = []
         resolved = 0
+
+        def submit(event: SubmitEvent):
+            if event.kind == "intention":
+                return client.submit_intention(
+                    event.text, top_k=self.config.top_k, session_key=event.session
+                )
+            if event.kind == "instruction":
+                return client.submit_instruction(
+                    event.text, top_k=self.config.top_k, session_key=event.session
+                )
+            return client.submit(
+                list(event.history),
+                top_k=self.config.top_k,
+                session_key=event.session,
+            )
 
         def ingest(event: IngestEvent):
             dim = client_embedding_dim(client)
@@ -359,11 +409,7 @@ class ExperimentRunner:
             segment: list[object] = []
             for event in plan.events:
                 if isinstance(event, SubmitEvent):
-                    handle = client.submit(
-                        list(event.history),
-                        top_k=self.config.top_k,
-                        session_key=event.session,
-                    )
+                    handle = submit(event)
                     submitted.append((event, handle))
                     segment.append(handle)
                 elif isinstance(event, BarrierEvent):
@@ -382,11 +428,7 @@ class ExperimentRunner:
                 for event in plan.events:
                     if isinstance(event, SubmitEvent):
                         submit_times.append(time.perf_counter())
-                        handle = client.submit(
-                            list(event.history),
-                            top_k=self.config.top_k,
-                            session_key=event.session,
-                        )
+                        handle = submit(event)
                         submitted.append((event, handle))
                     elif isinstance(event, BarrierEvent):
                         while resolved < len(submitted):
@@ -470,16 +512,18 @@ class ExperimentRunner:
         return extras
 
     # -- one cell ------------------------------------------------------
-    def _run_cell(self, spec, backend_spec, rng) -> dict:
+    def _run_cell(self, spec, backend_spec, rng, sweep: Mapping | None = None) -> dict:
         runtime = self._runtime(backend_spec)
         plan = build_plan(self.dataset, self.scale, self.config, spec)
         base = {
-            "name": cell_name(spec, backend_spec),
+            "name": cell_name(spec, backend_spec) + sweep_suffix(sweep or {}),
             "scenario": spec.label,
             "scenario_kind": spec.kind,
             "backend": backend_spec.name,
             "seed": self.config.seed,
         }
+        if sweep:
+            base["sweep"] = dict(sweep)
         if "rqvae" in plan.requires and not runtime.has_rqvae:
             return {
                 **base,
@@ -487,8 +531,15 @@ class ExperimentRunner:
                 "reason": f"{spec.kind} needs an RQ-VAE-indexed backend, "
                 f"{backend_spec.name} has none",
             }
+        if "language" in plan.requires and not runtime.supports_language:
+            return {
+                **base,
+                "supported": False,
+                "reason": f"{spec.kind} needs intention/instruction encoding, "
+                f"{backend_spec.name} has none",
+            }
 
-        client, context = self._build_client(plan, runtime)
+        client, context = self._build_client(plan, runtime, backend_spec)
         replay = self._replay(plan, client, rng)
         outcomes = replay["outcomes"]
 
@@ -549,23 +600,43 @@ class ExperimentRunner:
         return record
 
     # -- the matrix ----------------------------------------------------
+    def _at_sweep_point(self, combo: Mapping) -> "ExperimentRunner":
+        """A runner for one sweep point, sharing this runner's models."""
+        if not combo:
+            return self
+        variant = ExperimentRunner(
+            apply_sweep(self.config, combo),
+            dataset=self.dataset,
+            models=self._injected,
+            write=False,
+        )
+        variant._runtimes = self._runtimes  # built models are shared
+        return variant
+
     def run(self) -> dict:
         """Execute every cell; returns ``{records, failed, path}``.
+
+        With a ``sweep``, the whole (scenario × backend) matrix runs
+        once per combination — the per-cell RNG depends only on the
+        cell's position, so every sweep point replays identical traffic
+        and the records differ only where the swept knob matters.
 
         Raises :class:`ExperimentError` after writing the record file if
         any cell's expectations failed — results land on disk either
         way, so a red run is still inspectable.
         """
         records, failed = [], []
-        for scenario_index, (spec, backend_spec) in enumerate(
-            ordered_cells(self.config)
-        ):
-            rng = np.random.default_rng(
-                [max(self.config.seed, 0), scenario_index]
-            )
-            record = self._run_cell(spec, backend_spec, rng)
-            records.append(record)
-            failed.extend(record.get("expectations", {}).get("failed", []))
+        for combo in sweep_combinations(self.config):
+            runner = self._at_sweep_point(combo)
+            for scenario_index, (spec, backend_spec) in enumerate(
+                ordered_cells(runner.config)
+            ):
+                rng = np.random.default_rng(
+                    [max(self.config.seed, 0), scenario_index]
+                )
+                record = runner._run_cell(spec, backend_spec, rng, sweep=combo)
+                records.append(record)
+                failed.extend(record.get("expectations", {}).get("failed", []))
         path = None
         if self.write:
             path = report_json(

@@ -50,6 +50,15 @@ Scenario kinds and their parameters (defaults in parentheses):
     Every configured backend behind one :class:`ServingCluster` (the
     cell's backend on worker 0, the rest cycling), affinity-routed.
     ``requests`` (24).
+``intention_traffic``
+    Sequential submits with every ``intention_every`` (2)-th request an
+    intention query (``submit_intention`` with deterministic free text
+    anchored on the user's last item).  Language engines only — other
+    backends record an unsupported cell.  ``requests`` (16).
+``instruction_traffic``
+    Every request an already-rendered instruction (``submit_instruction``)
+    paraphrasing the sequential task from the last ``history_tail`` (5)
+    items.  Language engines only.  ``requests`` (16).
 """
 
 from __future__ import annotations
@@ -78,11 +87,18 @@ __all__ = [
 @dataclass(frozen=True)
 class SubmitEvent:
     """One recommendation request: who asks, with what history, and the
-    held-out target (``None`` when the request has no quality label)."""
+    held-out target (``None`` when the request has no quality label).
+
+    ``kind`` selects the client surface: ``"seq"`` submits the history,
+    ``"intention"``/``"instruction"`` submit ``text`` through
+    ``submit_intention``/``submit_instruction`` (language engines only —
+    the plan carries ``requires=("language",)`` in that case)."""
 
     session: str
     history: tuple[int, ...]
     target: int | None
+    kind: str = "seq"
+    text: str | None = None
 
 
 @dataclass(frozen=True)
@@ -279,6 +295,75 @@ def _plan_catalog_churn(dataset, scale, config, spec) -> ScenarioPlan:
     )
 
 
+def _plan_intention_traffic(dataset, scale, config, spec) -> ScenarioPlan:
+    """Sequential submits with every ``intention_every``-th request an
+    intention query — the Fig. 3-style free-text path.  Intention events
+    carry no quality target (there is no held-out answer to a free-text
+    ask), so ``quality.evaluated`` counts only the seq submits."""
+    pairs = _eval_pairs(dataset, scale)
+    requests = _int_param(spec.params, "requests", 16)
+    intention_every = max(_int_param(spec.params, "intention_every", 2), 1)
+    events = []
+    intentions = 0
+    for i in range(requests):
+        history, target = pairs[i % len(pairs)]
+        session = f"user:{i % len(pairs)}"
+        if i % intention_every == 0:
+            anchor = history[-1] if history else target
+            events.append(
+                SubmitEvent(
+                    session,
+                    (),
+                    None,
+                    kind="intention",
+                    text=f"something that pairs well with item {anchor}",
+                )
+            )
+            intentions += 1
+        else:
+            events.append(SubmitEvent(session, history, target))
+    return ScenarioPlan(
+        kind=spec.kind,
+        label=spec.label,
+        events=tuple(events),
+        num_workers=config.num_workers,
+        requires=("language",),
+        extra={"intention_requests": intentions},
+    )
+
+
+def _plan_instruction_traffic(dataset, scale, config, spec) -> ScenarioPlan:
+    """Every request an already-rendered free-form instruction built from
+    the user's history.  Targets are kept: the instruction paraphrases
+    the sequential task, so the quality block stays meaningful (if
+    template-shifted)."""
+    pairs = _eval_pairs(dataset, scale)
+    requests = _int_param(spec.params, "requests", 16)
+    tail = max(_int_param(spec.params, "history_tail", 5), 1)
+    events = []
+    for i in range(requests):
+        history, target = pairs[i % len(pairs)]
+        recent = ", ".join(str(item) for item in history[-tail:])
+        events.append(
+            SubmitEvent(
+                f"user:{i % len(pairs)}",
+                history,
+                target,
+                kind="instruction",
+                text=f"The user recently interacted with items {recent}. "
+                "Predict the next item they will interact with.",
+            )
+        )
+    return ScenarioPlan(
+        kind=spec.kind,
+        label=spec.label,
+        events=tuple(events),
+        num_workers=config.num_workers,
+        requires=("language",),
+        extra={"history_tail": tail},
+    )
+
+
 def _plan_mixed_fleet(dataset, scale, config, spec) -> ScenarioPlan:
     pairs = _eval_pairs(dataset, scale)
     requests = _int_param(spec.params, "requests", 24)
@@ -311,6 +396,14 @@ _SCENARIOS = {
     ),
     "catalog_churn": (_plan_catalog_churn, {"requests": 24, "ingest_every": 6}),
     "mixed_fleet": (_plan_mixed_fleet, {"requests": 24}),
+    "intention_traffic": (
+        _plan_intention_traffic,
+        {"requests": 16, "intention_every": 2},
+    ),
+    "instruction_traffic": (
+        _plan_instruction_traffic,
+        {"requests": 16, "history_tail": 5},
+    ),
 }
 
 

@@ -3,6 +3,7 @@
 from .config import LMConfig
 from .embedding import encode_items, encode_texts
 from .generation import (
+    DEFAULT_SPEC_BUDGET,
     BeamHypothesis,
     DecodeState,
     backfill_items,
@@ -36,6 +37,7 @@ from .sampling import sample_generate
 from .trainer import InstructionTuner, TuningConfig
 
 __all__ = [
+    "DEFAULT_SPEC_BUDGET",
     "LMConfig",
     "TinyLlama",
     "TransformerBlock",

@@ -49,6 +49,27 @@ transformer in one combined multi-token forward when (and if) a later
 level actually needs logits.  ``sparse=False`` keeps the dense full-vocab
 head as the measurable baseline; rankings and scores agree to float
 rounding (the reduction order over candidates differs).
+
+**Two-level speculative decoding** (``spec_budget``): index tries are
+shallow and their per-level candidate unions tiny, so when every row sits
+at one level ``i`` and ``|union_i| * |union_{i+1}|`` fits the budget,
+:func:`decode_step` scores levels ``i`` and ``i+1`` from a *single*
+transformer forward.  Every beam's level-``i`` candidates are appended as
+sibling columns of one forward — tree-masked so siblings never attend
+each other and RoPE-placed at the same next position — which makes column
+``c``'s hidden state exactly what a sequential decode would compute
+*after* committing ``c``.  One gathered-head GEMM over the two levels'
+token union then yields both levels' logits, and selection runs the same
+two sequential ``select_beams`` passes a two-forward decode runs (the
+level-``i+1`` pass slices the committed candidate's logits row), so the
+chosen hypotheses and their rankings are identical — **not** a joint
+top-``K`` over pairs, which is a different (wrong) algorithm.  Afterwards
+each beam keeps only its committed candidate's K/V column
+(:meth:`~repro.tensor.KVCache.gather_columns`), leaving caches
+bit-identical to the sequential path's.  The budget bounds the extra
+sibling columns; a level whose fan-out product exceeds it simply steps
+sequentially, and windows where every child set is a singleton are
+skipped (the forced fast path already makes level ``i+1`` free).
 """
 
 from __future__ import annotations
@@ -59,11 +80,12 @@ from typing import Sequence
 import numpy as np
 
 from ..quantization.trie import IndexTrie, SparseCandidates
-from ..tensor import BeamKVCache, StepWorkspace, no_grad
+from ..tensor import BeamKVCache, StepWorkspace, no_grad, validate_precision
 from .model import TinyLlama
 from .prefix_cache import PrefixKVCache, PrefixMatch
 
 __all__ = [
+    "DEFAULT_SPEC_BUDGET",
     "BeamHypothesis",
     "DecodeState",
     "backfill_items",
@@ -87,6 +109,13 @@ __all__ = [
     "sequence_logprob",
 ]
 
+# Default fan-out-product budget for the two-level speculative decode:
+# a window over levels (i, i+1) opens when |union_i| * |union_i+1| stays
+# within it.  The engine adapters enable speculation with this budget by
+# default; the raw stepper keeps it off (spec_budget=0) so callers that
+# count levels per decode_step call see exactly one.
+DEFAULT_SPEC_BUDGET = 64
+
 
 def log_softmax_np(logits: np.ndarray) -> np.ndarray:
     """Row-wise log-softmax over the last axis (numerically stabilized)."""
@@ -105,6 +134,11 @@ def masked_log_softmax(logits: np.ndarray, mask: np.ndarray) -> np.ndarray:
     same function serves the dense (full-vocabulary) and sparse
     (candidate-union) heads — only the number of columns differs.
     """
+    if mask.all():
+        # Every column legal (the root-union prefill expansion, window
+        # rows whose prefixes share a full level): a plain log-softmax is
+        # bit-identical and skips the mask machinery entirely.
+        return log_softmax_np(logits)
     masked = np.where(mask, logits, -np.inf)
     peak = masked.max(axis=-1, keepdims=True)
     peak = np.where(np.isfinite(peak), peak, 0.0)
@@ -300,6 +334,7 @@ def _prefill_prompts(
     pad_id: int,
     prefix_cache: PrefixKVCache | None,
     workspace: StepWorkspace | None = None,
+    precision: str = "fp32",
 ) -> tuple[np.ndarray, np.ndarray]:
     """Run the prompt phase of a batched decode through ``caches``.
 
@@ -328,7 +363,7 @@ def _prefill_prompts(
     suffix_pad = np.arange(tokens.shape[1])[None, :] < suffix_pads[:, None]
     pad_columns = np.concatenate([prefix_pad, suffix_pad], axis=1)
     hidden = model.hidden_states(
-        tokens, caches=caches, pad_columns=pad_columns, workspace=workspace
+        tokens, caches=caches, pad_columns=pad_columns, workspace=workspace, precision=precision
     ).data[:, -1, :]
     if prefix_cache is not None:
         _store_prompts(prompts, caches, cached_lens, prefix_width, suffix_pads, prefix_cache)
@@ -426,6 +461,23 @@ class DecodeState:
     the candidate set is identical to a full decode filtered post hoc.
     With the sparse head, narrowing also shrinks the gathered candidate
     union to the alive rows' allowed sets — fewer output-head columns.
+
+    ``spec_budget`` enables the two-level speculative fast path (sparse
+    head only): when every row sits at one level ``i`` and the product of
+    the next two levels' candidate-union sizes is within the budget,
+    :func:`decode_step` scores both levels from a *single* forward — the
+    level-``i`` candidates ride along as tree-masked sibling columns, the
+    gathered head runs once over the two levels' union, and the
+    constrained log-softmax is factored per level, so rankings are
+    bit-identical to two sequential steps (see the module docstring).
+    ``0`` (the default) disables speculation: each ``decode_step``
+    advances exactly one level.  ``precision`` selects the decode GEMM
+    precision (gathered head + fused QKV; see
+    :mod:`repro.tensor.quantized`) — quantized runs trade bit parity for
+    smaller kernels and are gated by tolerance/top-k-overlap suites, not
+    exactness.  ``forwards`` counts the transformer forwards this state
+    has run (prefill, steps, pending flushes) — the speculative and
+    forced fast paths exist to push it below one-per-level.
     """
 
     model: TinyLlama
@@ -442,6 +494,9 @@ class DecodeState:
     sparse: bool = True
     workspace: StepWorkspace | None = None
     narrow: IndexTrie | None = None
+    spec_budget: int = 0
+    precision: str = "fp32"
+    forwards: int = 0
 
     @property
     def num_rows(self) -> int:
@@ -491,13 +546,16 @@ def decode_prefill(
     tags: Sequence[object] | None = None,
     sparse: bool = True,
     narrow: IndexTrie | None = None,
+    spec_budget: int = 0,
+    precision: str = "fp32",
 ) -> DecodeState:
     """Run the prompt phase and level-0 beam expansion for ``prompts``.
 
     Returns a :class:`DecodeState` with every row holding its top-``K``
     legal first index tokens; :func:`decode_step` advances it one trie
-    level per call.  ``prefix_cache`` enables cross-request prompt K/V
-    reuse exactly as in :func:`beam_search_items_batched`.  ``tags``
+    level per call (or two, with a ``spec_budget`` — see
+    :class:`DecodeState`).  ``prefix_cache`` enables cross-request prompt
+    K/V reuse exactly as in :func:`beam_search_items_batched`.  ``tags``
     optionally attaches one opaque object per prompt (defaults to the
     prompt's position).  ``sparse`` (default) computes logits for the
     trie's candidate union only — see the module docstring; ``False``
@@ -505,10 +563,12 @@ def decode_prefill(
     (rankings identical, scores to float rounding).  ``narrow``
     optionally restricts beam selection to a candidate subtrie of
     ``trie`` (see :class:`DecodeState`): ranking over the candidate set
-    matches a full decode filtered post hoc.
+    matches a full decode filtered post hoc.  ``precision`` selects the
+    decode GEMM precision (``"fp32"``/``"fp16"``/``"int8"``).
     """
     if beam_size < 1:
         raise ValueError("beam_size must be positive")
+    validate_precision(precision)
     if narrow is not None and narrow.num_levels != trie.num_levels:
         raise ValueError(
             f"narrow trie depth {narrow.num_levels} does not match "
@@ -532,30 +592,36 @@ def decode_prefill(
         # whole decode; only per-beam suffix tokens live on the B*K axis.
         caches = model.new_beam_caches()
         hidden, pad_columns = _prefill_prompts(
-            model, prompts, caches, pad_id, prefix_cache, workspace
+            model, prompts, caches, pad_id, prefix_cache, workspace, precision=precision
         )
 
         # Level 0: expand every prompt to its top-K legal first tokens
         # under the constrained (renormalised-over-legal) distribution.
         if sparse:
             root = trie.allowed_token_ids([()])
-            logits = model.lm_head_gather(hidden, root.union, workspace=workspace)
+            logits = model.lm_head_gather(
+                hidden, root.union, workspace=workspace, precision=precision
+            )
             scores = masked_log_softmax(logits, root.mask)  # (B, U)
-            if narrow is not None:
-                # Selection restricted to the narrow trie's first tokens;
-                # the renormalisation above stays over the full root union,
-                # so narrowing filters candidates without re-scoring them.
-                keep = np.zeros(root.num_candidates, dtype=bool)
-                keep[_narrow_positions(root.union, narrow.allowed_tokens(()))] = True
-                scores = np.where(keep[None, :], scores, -np.inf)
             # Candidate-aware top-k: rank only the real union columns and
             # pad the remaining beam slots afterwards, instead of
             # argpartitioning over -inf filler columns.  Equivalent to the
             # old filler-concat path bit for bit: the fillers scored -inf
             # and mapped to ``union[width - 1]``, exactly what the pad
             # slots carry, and -inf ties order real columns before fillers
-            # in both formulations.
-            width = root.num_candidates
+            # in both formulations.  A narrowed prefill extends the same
+            # idea to the selection mask: renormalisation stays over the
+            # full root union (the gather above cannot shrink — every
+            # candidate's logit enters the softmax), but ranking runs over
+            # the narrow trie's root candidates alone instead of
+            # -inf-scanning the columns narrowing excluded.
+            if narrow is None:
+                selectable = None
+                width = root.num_candidates
+            else:
+                selectable = _narrow_positions(root.union, narrow.allowed_tokens(()))
+                scores = scores[:, selectable]
+                width = int(selectable.size)
             order, top_scores = topk_desc(scores, min(num_beams, width))
             if num_beams > width:
                 # Fewer legal first tokens than beams: -inf pad slots keep
@@ -565,6 +631,8 @@ def decode_prefill(
                 pad_scores = np.full((rows, num_beams - width), -np.inf, dtype=top_scores.dtype)
                 order = np.concatenate([order, pad_order], axis=1)
                 top_scores = np.concatenate([top_scores, pad_scores], axis=1)
+            if selectable is not None:
+                order = selectable[order]
         else:
             logits = np.matmul(hidden, model.lm_head.weight.data)  # (B, V)
             scores = masked_log_softmax(logits, trie.root_token_mask(vocab_size))
@@ -596,17 +664,23 @@ def decode_prefill(
         sparse=sparse,
         workspace=workspace,
         narrow=narrow,
+        spec_budget=spec_budget,
+        precision=precision,
+        forwards=1,  # the prompt-phase forward in _prefill_prompts
     )
 
 
 def decode_step(state: DecodeState) -> DecodeState:
-    """Advance every in-flight row by one trie level.
+    """Advance every in-flight row by one trie level (two, speculatively).
 
     Rows at different levels step together: the vectorized trie constraint
     is built from each hypothesis's own prefix, so depth never has to be
     uniform across the batch.  Rows already at the final level must be
     retired (:func:`decode_retire`) before stepping.  Returns ``state``
-    (mutated in place) for chaining.
+    (mutated in place) for chaining.  With a positive ``spec_budget`` a
+    step may advance *two* levels from one forward when the speculative
+    window opens (see :class:`DecodeState`); drive the stepper with
+    ``while not state.done`` rather than a fixed level count.
 
     Two fast paths apply when ``state.sparse`` (the default):
 
@@ -647,25 +721,35 @@ def decode_step(state: DecodeState) -> DecodeState:
             ]
             state.pending = np.concatenate([state.pending, forced[:, None]], axis=1)
             return state
+        if state.spec_budget > 1 and _speculative_window_open(
+            trie, state.spec_budget, state.levels, candidates_info, alive, prefixes
+        ):
+            return _speculative_step(state, candidates_info, alive, prefixes)
     with no_grad():
         hidden = model.hidden_states(
             state.pending,
             caches=state.caches,
             pad_columns=state.flat_pad_columns(),
             workspace=state.workspace,
+            precision=state.precision,
         ).data[:, -1, :]
+        state.forwards += 1
         if state.sparse:
             if state.narrow is None:
                 union = candidates_info.union
                 width = candidates_info.num_candidates
-                logits = model.lm_head_gather(hidden, union, workspace=state.workspace)
+                logits = model.lm_head_gather(
+                    hidden, union, workspace=state.workspace, precision=state.precision
+                )
                 step_logp = masked_log_softmax(logits, candidates_info.mask)  # (B*K, U)
             else:
                 union, norm_mask, keep = _narrowed_step_candidates(
                     candidates_info, state.narrow, prefixes, alive
                 )
                 width = int(union.shape[0])
-                logits = model.lm_head_gather(hidden, union, workspace=state.workspace)
+                logits = model.lm_head_gather(
+                    hidden, union, workspace=state.workspace, precision=state.precision
+                )
                 step_logp = np.where(keep, masked_log_softmax(logits, norm_mask), -np.inf)
         else:
             union = None
@@ -686,6 +770,193 @@ def decode_step(state: DecodeState) -> DecodeState:
         flat_origin = (np.arange(num_requests)[:, None] * num_beams + origin).reshape(-1)
         model.reorder_caches(state.caches, flat_origin)
         state.pending = token.reshape(-1, 1).astype(np.int64, copy=False)
+    return state
+
+
+def _speculative_window_open(
+    trie: IndexTrie,
+    spec_budget: int,
+    levels: np.ndarray,
+    candidates_info: SparseCandidates,
+    alive: np.ndarray,
+    prefixes: list[tuple[int, ...]],
+) -> bool:
+    """Whether this step may score two trie levels in one forward.
+
+    Requires every row to sit at the same level ``i`` with at least two
+    levels left, the fan-out product ``|union_i| * |union_{i+1}|`` within
+    ``spec_budget``, and at least one live (beam, candidate) child set
+    with a real choice — when every child is a singleton, the forced fast
+    path makes level ``i+1`` free and speculation would only widen the
+    forward without saving one.  Shared by the :class:`DecodeState`
+    stepper and the TIGER engine's speculative step.
+    """
+    level = int(levels[0])
+    if not np.all(levels == level):
+        return False
+    if level + 2 > trie.num_levels:
+        return False
+    fan_out = candidates_info.num_candidates * int(trie.level_union(level + 1).shape[0])
+    if fan_out > spec_budget:
+        return False
+    per_row = candidates_info.per_row
+    for row, prefix in enumerate(prefixes):
+        if not alive[row]:
+            continue
+        for token in per_row[row]:
+            if trie.allowed_tokens(prefix + (int(token),)).size > 1:
+                return True
+    return False
+
+
+def _speculative_step(
+    state: DecodeState,
+    candidates_info: SparseCandidates,
+    alive: np.ndarray,
+    prefixes: list[tuple[int, ...]],
+) -> DecodeState:
+    """Advance two trie levels with a single transformer forward.
+
+    See the module docstring for the algorithm.  Mechanics, in order:
+
+    1. Forward ``pending + candidate window``: each beam row runs its
+       pending tokens plus its level-``i`` candidates (padded to the batch
+       max ``n_max``) as sibling columns — tree-masked via ``extra_mask``,
+       all at RoPE position ``m`` via ``position_deltas``.
+    2. One gathered-head GEMM over the two levels' token union; slice
+       per-level columns out of it for each of the two selection passes.
+    3. Level-``i`` ``select_beams`` from the last pending column's hidden
+       state — identical inputs to a sequential step's.
+    4. Commit: reorder caches to the chosen origins, then keep exactly one
+       candidate K/V column per beam (the committed token's), leaving the
+       caches as a sequential step + flush would.
+    5. Level-``i+1`` ``select_beams`` from each committed candidate's
+       sibling-column hidden state — identical to what a second forward
+       over the committed token would produce, because that column already
+       attended prefix + pending + itself at the right position.
+
+    Dead (``-inf``) rows may carry tokens outside their origin's candidate
+    list; their ``chosen`` index clamps into range, which is harmless —
+    attention is row-independent and dead rows never revive, so the
+    gathered filler column is never read by a live hypothesis.
+    """
+    model, trie = state.model, state.trie
+    num_requests, num_beams = state.num_rows, state.num_beams
+    beam_tokens = state.beam_tokens
+    level = len(prefixes[0])
+    per_row = candidates_info.per_row
+    flat_rows = len(prefixes)
+    n_max = max(ids.size for ids in per_row)
+    m = state.pending.shape[1]
+    seq_len = m + n_max
+
+    cand_tokens = np.full((flat_rows, n_max), state.pad_id, dtype=np.int64)
+    for row, ids in enumerate(per_row):
+        if ids.size:
+            cand_tokens[row, : ids.size] = ids
+    tokens = np.concatenate([state.pending, cand_tokens], axis=1)
+
+    with no_grad():
+        key_len = state.caches[0].length + seq_len
+        offset = key_len - seq_len
+        # Tree mask: candidate columns must not attend their siblings —
+        # only the shared prefix, the pending tokens and themselves.
+        extra = np.zeros((seq_len, key_len), dtype=bool)
+        extra[m:, offset + m :] = True
+        diag = np.arange(n_max)
+        extra[m + diag, offset + m + diag] = False
+        # All candidates sit at the *same* next position: the one the
+        # committed token will occupy.
+        deltas = np.concatenate(
+            [np.arange(m, dtype=np.int64), np.full(n_max, m, dtype=np.int64)]
+        )
+        hidden_full = model.hidden_states(
+            tokens,
+            caches=state.caches,
+            pad_columns=state.flat_pad_columns(),
+            workspace=state.workspace,
+            extra_mask=extra,
+            position_deltas=deltas,
+            precision=state.precision,
+        ).data
+        state.forwards += 1
+
+        # One gathered-head GEMM over both levels' union: row layout is
+        # (flat_rows, 1 + n_max) — the last pending column (level-i head
+        # input) followed by the n_max candidate columns (level-i+1).
+        pair_union = trie.union_for_levels((level, level + 1))
+        head_in = hidden_full[:, m - 1 :, :].reshape(-1, hidden_full.shape[-1])
+        logits_all = model.lm_head_gather(
+            head_in, pair_union, workspace=state.workspace, precision=state.precision
+        ).reshape(flat_rows, 1 + n_max, pair_union.shape[0])
+
+        # --- Level-i selection (identical to a sequential step's) ---
+        if state.narrow is None:
+            union0 = candidates_info.union
+            width0 = candidates_info.num_candidates
+            logits0 = logits_all[:, 0, np.searchsorted(pair_union, union0)]
+            step_logp0 = masked_log_softmax(logits0, candidates_info.mask)
+        else:
+            union0, norm_mask0, keep0 = _narrowed_step_candidates(
+                candidates_info, state.narrow, prefixes, alive
+            )
+            width0 = int(union0.shape[0])
+            logits0 = logits_all[:, 0, np.searchsorted(pair_union, union0)]
+            step_logp0 = np.where(keep0, masked_log_softmax(logits0, norm_mask0), -np.inf)
+        origin1, token1, mid_scores = select_beams(
+            step_logp0, state.beam_scores, num_beams, width0, union0
+        )
+        mid_tokens = [
+            [beam_tokens[b][int(origin1[b, k])] + (int(token1[b, k]),) for k in range(num_beams)]
+            for b in range(num_requests)
+        ]
+        flat_origin1 = (np.arange(num_requests)[:, None] * num_beams + origin1).reshape(-1)
+        model.reorder_caches(state.caches, flat_origin1)
+
+        # Which sibling column each new beam committed (window-local).
+        token1_flat = token1.reshape(-1)
+        chosen = np.zeros(flat_rows, dtype=np.int64)
+        for i, src in enumerate(flat_origin1):
+            ids = per_row[int(src)]
+            if ids.size:
+                chosen[i] = min(int(np.searchsorted(ids, token1_flat[i])), ids.size - 1)
+        # Keep every pre-window column plus the committed candidate's: the
+        # caches end up exactly as a sequential step + flush leaves them.
+        cache0 = state.caches[0]
+        region = cache0.suffix if cache0.fanned else cache0.prompt
+        base = region.length - n_max
+        keep_cols = np.empty((flat_rows, base + 1), dtype=np.int64)
+        keep_cols[:, :base] = np.arange(base)[None, :]
+        keep_cols[:, base] = base + chosen
+        model.gather_cache_columns(state.caches, keep_cols)
+
+        # --- Level-i+1 selection from the committed columns' hidden ---
+        new_prefixes = [prefix for row in mid_tokens for prefix in row]
+        mid_alive = np.isfinite(mid_scores).reshape(-1)
+        candidates_next = trie.allowed_token_ids(new_prefixes)
+        row_logits = logits_all[flat_origin1, 1 + chosen]  # (flat_rows, |pair|)
+        if state.narrow is None:
+            union1 = candidates_next.union
+            width1 = candidates_next.num_candidates
+            logits1 = row_logits[:, np.searchsorted(pair_union, union1)]
+            step_logp1 = masked_log_softmax(logits1, candidates_next.mask)
+        else:
+            union1, norm_mask1, keep1 = _narrowed_step_candidates(
+                candidates_next, state.narrow, new_prefixes, mid_alive
+            )
+            width1 = int(union1.shape[0])
+            logits1 = row_logits[:, np.searchsorted(pair_union, union1)]
+            step_logp1 = np.where(keep1, masked_log_softmax(logits1, norm_mask1), -np.inf)
+        origin2, token2, state.beam_scores = select_beams(
+            step_logp1, mid_scores, num_beams, width1, union1
+        )
+        state.beam_tokens = [
+            [mid_tokens[b][int(origin2[b, k])] + (int(token2[b, k]),) for k in range(num_beams)]
+            for b in range(num_requests)
+        ]
+        flat_origin2 = (np.arange(num_requests)[:, None] * num_beams + origin2).reshape(-1)
+        model.reorder_caches(state.caches, flat_origin2)
+        state.pending = token2.reshape(-1, 1).astype(np.int64, copy=False)
     return state
 
 
@@ -713,7 +984,9 @@ def _flush_pending(state: DecodeState) -> None:
             caches=state.caches,
             pad_columns=state.flat_pad_columns(),
             workspace=state.workspace,
+            precision=state.precision,
         )
+    state.forwards += 1
     state.pending = state.pending[:, -1:]
 
 
@@ -747,6 +1020,11 @@ def decode_join(state: DecodeState, incoming: DecodeState) -> DecodeState:
         raise ValueError("joined decodes must share the sparse-head setting")
     if incoming.narrow is not state.narrow:
         raise ValueError("joined decodes must share one narrowing trie")
+    if incoming.precision != state.precision:
+        raise ValueError(
+            f"joined decodes must share one precision: "
+            f"{incoming.precision!r} != {state.precision!r}"
+        )
     if incoming.num_rows == 0:
         raise ValueError("incoming state has no rows")
     if incoming.caches[0].suffix.length or incoming.pending.shape[1] != 1:
@@ -772,6 +1050,7 @@ def decode_join(state: DecodeState, incoming: DecodeState) -> DecodeState:
     state.beam_scores = np.concatenate([state.beam_scores, incoming.beam_scores], axis=0)
     state.tags.extend(incoming.tags)
     state.pending = np.concatenate([state.pending, incoming.pending], axis=0)
+    state.forwards += incoming.forwards
     if state.workspace is not None:
         state.workspace.clear()  # row count changed: step scratch resizes
     # Consume the incoming state so a stray step/retire on it cannot
@@ -871,6 +1150,8 @@ def beam_search_items_batched(
     prefix_cache: PrefixKVCache | None = None,
     sparse: bool = True,
     narrow: IndexTrie | None = None,
+    spec_budget: int = 0,
+    precision: str = "fp32",
 ) -> list[list[BeamHypothesis]]:
     """Batched trie-constrained beam search (the serving engine).
 
@@ -897,6 +1178,8 @@ def beam_search_items_batched(
     (:func:`decode_prefill` → :func:`decode_step` × levels →
     :func:`decode_finish`); the continuous-batching scheduler drives the
     same stepper with admissions and retirements between levels.
+    ``spec_budget``/``precision`` configure the two-level speculative fast
+    path and the decode GEMM precision — see :class:`DecodeState`.
     """
     if beam_size < 1:
         raise ValueError("beam_size must be positive")
@@ -911,8 +1194,10 @@ def beam_search_items_batched(
         prefix_cache=prefix_cache,
         sparse=sparse,
         narrow=narrow,
+        spec_budget=spec_budget,
+        precision=precision,
     )
-    for _ in range(1, trie.num_levels):
+    while not state.done:
         decode_step(state)
     return decode_finish(state)
 

@@ -28,6 +28,12 @@ from ..tensor import (
     Tensor,
     WeightMemo,
     causal_mask,
+    fp16_activations,
+    fp16_weight,
+    int8_matmul,
+    precision_token,
+    quantize_weight_int8,
+    validate_precision,
 )
 from .config import LMConfig
 
@@ -71,6 +77,7 @@ class TransformerBlock(Module):
         cache: KVCache | None = None,
         rope_offset: int | np.ndarray | None = None,
         workspace: StepWorkspace | None = None,
+        precision: str = "fp32",
     ) -> Tensor:
         x = x + self.dropout(
             self.attention(
@@ -79,6 +86,7 @@ class TransformerBlock(Module):
                 cache=cache,
                 rope_offset=rope_offset,
                 workspace=workspace,
+                precision=precision,
             )
         )
         x = x + self.dropout(self.feed_forward(self.ffn_norm(x)))
@@ -152,6 +160,9 @@ class TinyLlama(Module):
         pad_lengths: np.ndarray | None = None,
         pad_columns: np.ndarray | None = None,
         workspace: StepWorkspace | None = None,
+        extra_mask: np.ndarray | None = None,
+        position_deltas: np.ndarray | None = None,
+        precision: str = "fp32",
     ) -> Tensor:
         """Final-norm hidden states ``(B, T, dim)`` for ``tokens``.
 
@@ -171,12 +182,28 @@ class TinyLlama(Module):
         the new tokens is offset by the cache length minus its total pad
         count.  At most one of ``pad_lengths`` / ``pad_columns`` may be
         given.
+
+        ``extra_mask`` is an optional boolean ``(T, key_len)`` map OR-ed
+        into the causal mask (True disallows), shared by every row.
+        Speculative decoding uses it as a *tree mask*: sibling candidate
+        tokens appended in one forward must not attend to each other.
+        ``position_deltas`` (``(T,)`` ints) places new token ``t`` at RoPE
+        position ``row_offset + position_deltas[t]`` instead of
+        ``row_offset + t`` — sibling candidates all sit at the same next
+        position.  ``precision`` selects the fused-QKV GEMM precision on
+        the cached decode path (see :mod:`repro.tensor.quantized`).
         """
         tokens = np.asarray(tokens)
         seq_len = tokens.shape[1]
         offset = caches[0].length if caches else 0
         key_len = offset + seq_len
         mask = causal_mask(seq_len, key_len, offset=offset)
+        if extra_mask is not None:
+            if extra_mask.shape != mask.shape:
+                raise ValueError(
+                    f"extra_mask shape {extra_mask.shape} != causal shape {mask.shape}"
+                )
+            mask = mask | extra_mask
         rope_offset: int | np.ndarray = offset
         if pad_lengths is not None and pad_columns is not None:
             raise ValueError("pass pad_lengths or pad_columns, not both")
@@ -191,10 +218,25 @@ class TinyLlama(Module):
             pad_keys[:, : pad_columns.shape[1]] = pad_columns
             mask = mask[None, None, :, :] | pad_keys[:, None, None, :]
             rope_offset = offset - pad_columns.sum(axis=1)
+        if position_deltas is not None:
+            deltas = np.asarray(position_deltas, dtype=np.int64)
+            if deltas.shape != (seq_len,):
+                raise ValueError(f"position_deltas must be ({seq_len},), got {deltas.shape}")
+            # Absolute (B, T) positions: per-row base offset + per-column
+            # delta (RotaryEmbedding treats a 2-D offset as absolute).
+            base = np.atleast_1d(np.asarray(rope_offset, dtype=np.int64))
+            rope_offset = base[:, None] + deltas[None, :]
         x = self.tok_embeddings(tokens)
         for layer_index, block in enumerate(self.blocks):
             cache = caches[layer_index] if caches else None
-            x = block(x, attn_mask=mask, cache=cache, rope_offset=rope_offset, workspace=workspace)
+            x = block(
+                x,
+                attn_mask=mask,
+                cache=cache,
+                rope_offset=rope_offset,
+                workspace=workspace,
+                precision=precision,
+            )
         return self.final_norm(x)
 
     def forward(
@@ -232,6 +274,7 @@ class TinyLlama(Module):
         hidden: np.ndarray,
         token_ids: np.ndarray,
         workspace: StepWorkspace | None = None,
+        precision: str = "fp32",
     ) -> np.ndarray:
         """Logits for ``token_ids`` only: ``hidden @ W[:, token_ids]``.
 
@@ -244,16 +287,26 @@ class TinyLlama(Module):
         computed column is the same dot product the dense head performs,
         so candidate logits match the dense head's columns exactly.
 
+        ``precision`` selects the GEMM kernel: ``"fp16"``/``"int8"`` run
+        the gathered head through :mod:`repro.tensor.quantized` with the
+        quantized gathered weight memoized alongside the fp32 slice (same
+        union-identity key, same invalidation).  Quantized logits match
+        fp32 to a grid-rounding tolerance, not bit-for-bit.
+
         ``hidden`` is ``(rows, dim)`` float32; returns ``(rows,
         len(token_ids))``.
         """
-        sub = self._gathered_head_weight(token_ids)
         out = (
-            workspace.take("sparse_logits", (hidden.shape[0], sub.shape[1]))
+            workspace.take("sparse_logits", (hidden.shape[0], len(token_ids)))
             if workspace is not None
             else None
         )
-        return np.matmul(hidden, sub, out=out)
+        if precision == "fp32":
+            return np.matmul(hidden, self._gathered_head_weight(token_ids), out=out)
+        if validate_precision(precision) == "fp16":
+            sub = self._quantized_head_weight(token_ids, "fp16")
+            return np.matmul(fp16_activations(hidden), sub, out=out)
+        return int8_matmul(hidden, self._quantized_head_weight(token_ids, "int8"), out=out)
 
     def _gathered_head_weight(self, token_ids: np.ndarray) -> np.ndarray:
         """Memoized contiguous column gather ``W[:, token_ids]``.
@@ -267,6 +320,28 @@ class TinyLlama(Module):
             (token_ids, weight),
             (self.lm_head.weight,),
             lambda: np.ascontiguousarray(weight[:, np.asarray(token_ids, dtype=np.int64)]),
+        )
+
+    def _quantized_head_weight(self, token_ids: np.ndarray, precision: str):
+        """The gathered head slice quantized to ``precision`` (memoized).
+
+        Lives in the same :class:`~repro.tensor.WeightMemo` as the fp32
+        slice, keyed by the union's identity plus the precision's interned
+        sentinel — so catalog swaps (new union arrays), optimizer steps
+        (grad gate) and train()/eval() transitions invalidate every
+        precision at once.
+        """
+        weight = self.lm_head.weight.data
+        sources = (token_ids, weight, precision_token(precision))
+        params = (self.lm_head.weight,)
+        if precision == "fp16":
+            return self._head_gather_cache.get(
+                sources, params, lambda: fp16_weight(self._gathered_head_weight(token_ids))
+            )
+        return self._head_gather_cache.get(
+            sources,
+            params,
+            lambda: quantize_weight_int8(self._gathered_head_weight(token_ids)),
         )
 
     def new_caches(self) -> list[KVCache]:
@@ -286,6 +361,17 @@ class TinyLlama(Module):
         """Reindex every layer cache; supports a flattened ``B*K`` beam axis."""
         for cache in caches:
             cache.reorder(beam_indices)
+
+    def gather_cache_columns(self, caches: list[BeamKVCache], columns: np.ndarray) -> None:
+        """Per-row column gather on every layer cache's append-target region.
+
+        Speculative decoding appends a window of sibling candidate K/V
+        columns in one forward and then keeps, per beam, only the column
+        of the token that beam committed (see
+        :meth:`repro.tensor.KVCache.gather_columns`).
+        """
+        for cache in caches:
+            cache.gather_columns(columns)
 
     def join_caches(
         self, caches: list[BeamKVCache], incoming: list[BeamKVCache]

@@ -331,6 +331,26 @@ class IndexTrie:
             raise ValueError(f"level {level} out of range for depth {self.num_levels}")
         return self._union_for_levels((level,))
 
+    def union_for_levels(self, levels: Sequence[int]) -> np.ndarray:
+        """Sorted union of the token ids appearing at any depth in ``levels``.
+
+        The multi-level generalisation of :meth:`level_union`, memoized
+        under the same normalised key :meth:`allowed_token_ids` uses for
+        its union — so a speculative two-level decode step and a mixed
+        -depth batched step stepping the same levels share one stable,
+        read-only array (and therefore one gathered output-head memo
+        entry).  Invalidated on :meth:`add_item`.
+        """
+        normalized = tuple(sorted({int(level) for level in levels}))
+        if not normalized:
+            raise ValueError("levels must be non-empty")
+        for level in normalized:
+            if not 0 <= level < self.num_levels:
+                raise ValueError(
+                    f"level {level} out of range for depth {self.num_levels}"
+                )
+        return self._union_for_levels(normalized)
+
     def _union_for_levels(self, levels: tuple[int, ...]) -> np.ndarray:
         union = self._level_unions.get(levels)
         if union is None:

@@ -70,14 +70,16 @@ from ..llm import (
 )
 from ..data.batching import pad_sequences
 from ..llm.generation import (
+    DEFAULT_SPEC_BUDGET,
     _narrow_positions,
     _narrowed_step_candidates,
+    _speculative_window_open,
     masked_log_softmax,
     select_beams,
     topk_desc,
 )
 from ..quantization.trie import IndexTrie
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, no_grad, validate_precision
 from .queue import RecommendRequest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids cycles at runtime
@@ -422,6 +424,8 @@ class TrieDecoderEngine(GenerativeEngine):
         prefix_cache: PrefixKVCache | bool | None = None,
         default_beam_size: int = 20,
         sparse_head: bool = True,
+        spec_budget: int = DEFAULT_SPEC_BUDGET,
+        precision: str = "fp32",
     ):
         self.lm = lm
         self.catalog = None
@@ -430,6 +434,12 @@ class TrieDecoderEngine(GenerativeEngine):
         self.pad_id = pad_id
         self.default_beam_size = default_beam_size
         self.sparse_head = sparse_head
+        # Two-level speculative decode fan-out budget (0 disables) and
+        # decode GEMM precision; see repro.llm.DecodeState.  Speculation
+        # needs the sparse head's gathered logits, so the dense baseline
+        # steps sequentially regardless of the budget.
+        self.spec_budget = int(spec_budget) if sparse_head else 0
+        self.precision = validate_precision(precision)
         self.narrow = None
         self.set_prefix_cache(prefix_cache)
 
@@ -594,6 +604,8 @@ class TrieDecoderEngine(GenerativeEngine):
             tags=requests,
             sparse=self.sparse_head,
             narrow=narrow,
+            spec_budget=self.spec_budget,
+            precision=self.precision,
         )
 
     def step(self, state: EngineState) -> None:
@@ -648,6 +660,8 @@ class LCRecEngine(TrieDecoderEngine):
         model: "LCRec",
         prefix_cache: PrefixKVCache | bool | None = True,
         sparse_head: bool = True,
+        spec_budget: int = DEFAULT_SPEC_BUDGET,
+        precision: str = "fp32",
     ):
         model._require_built()
         super().__init__(
@@ -657,6 +671,8 @@ class LCRecEngine(TrieDecoderEngine):
             prefix_cache=prefix_cache,
             default_beam_size=model.config.beam_size,
             sparse_head=sparse_head,
+            spec_budget=spec_budget,
+            precision=precision,
         )
         self.model = model
 
@@ -686,6 +702,8 @@ class P5CIDEngine(TrieDecoderEngine):
         model: "P5CID",
         prefix_cache: PrefixKVCache | bool | None = None,
         sparse_head: bool = True,
+        spec_budget: int = DEFAULT_SPEC_BUDGET,
+        precision: str = "fp32",
     ):
         # Lazy import: repro.baselines must stay importable without pulling
         # the serving package in (and vice versa).
@@ -698,6 +716,8 @@ class P5CIDEngine(TrieDecoderEngine):
             prefix_cache=prefix_cache,
             default_beam_size=model.config.beam_size,
             sparse_head=sparse_head,
+            spec_budget=spec_budget,
+            precision=precision,
         )
         self.model = model
 
@@ -737,6 +757,9 @@ class TIGERDecodeState:
     # retirement, which invalidates them).
     memory_flat: Tensor | None = None
     memory_mask_flat: np.ndarray | None = None
+    # Model forwards run so far (encoder + decoder passes): the forced and
+    # speculative fast paths exist to push this below one per trie level.
+    forwards: int = 0
 
     @property
     def num_rows(self) -> int:
@@ -774,7 +797,13 @@ class TIGEREngine(GenerativeEngine):
     supports_replication = True
     supports_narrowing = True
 
-    def __init__(self, model: "TIGER", sparse_head: bool = True):
+    def __init__(
+        self,
+        model: "TIGER",
+        sparse_head: bool = True,
+        spec_budget: int = DEFAULT_SPEC_BUDGET,
+        precision: str = "fp32",
+    ):
         # Lazy import keeps repro.serving importable without the baselines
         # package (and avoids an import cycle with baselines.tiger).
         from ..baselines.generative import BOS_ID, PAD_ID
@@ -785,6 +814,12 @@ class TIGEREngine(GenerativeEngine):
         self.bos_id = BOS_ID
         self.default_beam_size = model.config.beam_size
         self.sparse_head = sparse_head
+        # As in TrieDecoderEngine: speculation rides the sparse gathered
+        # head, so the dense baseline always steps one level at a time.
+        # TIGER has no KV cache or fused QKV, so ``precision`` governs the
+        # gathered output-head GEMM only.
+        self.spec_budget = int(spec_budget) if sparse_head else 0
+        self.precision = validate_precision(precision)
         self.narrow = None
 
     @property
@@ -843,20 +878,22 @@ class TIGEREngine(GenerativeEngine):
             hidden = model.decode_hidden(memory, memory_mask, bos).data[:, -1, :]
         if self.sparse_head:
             root = self.trie.allowed_token_ids([()])
-            logits = model.head_gather(hidden, root.union)  # (B, U)
+            logits = model.head_gather(hidden, root.union, precision=self.precision)  # (B, U)
             scores = masked_log_softmax(logits, root.mask)
-            if self.narrow is not None:
-                # Selection restricted to the narrow trie's first tokens;
-                # renormalisation stays over the full root union.
-                keep = np.zeros(root.num_candidates, dtype=bool)
-                keep[_narrow_positions(root.union, self.narrow.allowed_tokens(()))] = True
-                scores = np.where(keep[None, :], scores, -np.inf)
             # Candidate-aware top-k: rank the real union columns only and
             # pad the leftover beam slots, rather than argpartitioning
             # over -inf filler columns (bit-identical — fillers scored
             # -inf and mapped to ``union[width - 1]`` anyway, and -inf
-            # ties order real columns before fillers either way).
-            width = root.num_candidates
+            # ties order real columns before fillers either way).  A
+            # narrowed prefill ranks only the narrow trie's root
+            # candidates (renormalisation stays over the full root union).
+            if self.narrow is None:
+                selectable = None
+                width = root.num_candidates
+            else:
+                selectable = _narrow_positions(root.union, self.narrow.allowed_tokens(()))
+                scores = scores[:, selectable]
+                width = int(selectable.size)
             order, top_scores = topk_desc(scores, min(num_beams, width))
             if num_beams > width:
                 rows = scores.shape[0]
@@ -864,6 +901,8 @@ class TIGEREngine(GenerativeEngine):
                 pad_scores = np.full((rows, num_beams - width), -np.inf, dtype=top_scores.dtype)
                 order = np.concatenate([order, pad_order], axis=1)
                 top_scores = np.concatenate([top_scores, pad_scores], axis=1)
+            if selectable is not None:
+                order = selectable[order]
             order = root.union[order]
         else:
             logits = model.head_logits(hidden)  # (B, V)
@@ -893,6 +932,7 @@ class TIGEREngine(GenerativeEngine):
             num_beams=num_beams,
             num_levels=self.num_levels,
             tags=requests,
+            forwards=2,  # the encoder pass + the BOS decoder pass
         )
 
     def step(self, state: TIGERDecodeState) -> None:
@@ -920,6 +960,12 @@ class TIGEREngine(GenerativeEngine):
                     for b, row in enumerate(state.beam_tokens)
                 ]
                 return
+            levels = np.array([len(p) for p in prefixes], dtype=np.int64)
+            if self.spec_budget > 1 and _speculative_window_open(
+                self.trie, self.spec_budget, levels, candidates_info, alive, prefixes
+            ):
+                self._speculative_step(state, candidates_info, alive, prefixes)
+                return
         decoder_input = np.array(
             [(self.bos_id,) + prefix for prefix in prefixes], dtype=np.int64
         )  # (B*K, level+1)
@@ -930,18 +976,19 @@ class TIGEREngine(GenerativeEngine):
             hidden = model.decode_hidden(
                 state.memory_flat, state.memory_mask_flat, decoder_input
             ).data[:, -1, :]
+            state.forwards += 1
         if self.sparse_head:
             if self.narrow is None:
                 union = candidates_info.union
                 width = candidates_info.num_candidates
-                logits = model.head_gather(hidden, union)  # (B*K, U)
+                logits = model.head_gather(hidden, union, precision=self.precision)
                 step_logp = masked_log_softmax(logits, candidates_info.mask)
             else:
                 union, norm_mask, keep = _narrowed_step_candidates(
                     candidates_info, self.narrow, prefixes, alive
                 )
                 width = int(union.shape[0])
-                logits = model.head_gather(hidden, union)  # (B*K, U')
+                logits = model.head_gather(hidden, union, precision=self.precision)
                 step_logp = np.where(keep, masked_log_softmax(logits, norm_mask), -np.inf)
         else:
             union = None
@@ -958,6 +1005,133 @@ class TIGEREngine(GenerativeEngine):
         state.beam_tokens = [
             [
                 state.beam_tokens[b][int(origin[b, k])] + (int(token[b, k]),)
+                for k in range(num_beams)
+            ]
+            for b in range(num_requests)
+        ]
+
+    def _speculative_step(
+        self,
+        state: TIGERDecodeState,
+        candidates_info,
+        alive: np.ndarray,
+        prefixes: list[tuple[int, ...]],
+    ) -> None:
+        """Advance two trie levels with a single decoder forward.
+
+        The encoder-decoder shape of the :class:`DecodeState` stepper's
+        speculative step (see ``repro.llm.generation``): TIGER re-decodes
+        every hypothesis's full prefix each level and keeps no KV cache,
+        so instead of sibling columns inside one sequence, each beam's
+        level-``i`` candidates become ``n_max`` *rows* — uniform-length
+        sequences ``(BOS,) + prefix + (candidate,)`` against ``n_max``
+        repeats of the beam's encoder memory.  Causality makes position
+        ``-2`` of every sibling row identical (it never sees the
+        candidate), so the first sibling's ``-2`` hidden state is the
+        level-``i`` head input and each row's ``-1`` hidden state is its
+        candidate's level-``i+1`` input.  One gathered-head GEMM over the
+        two levels' union scores both selection passes; rankings match
+        two sequential steps exactly (same hidden states, same
+        constrained log-softmax, same ``select_beams``).
+        """
+        model = self.model
+        trie = self.trie
+        num_requests, num_beams = state.num_rows, state.num_beams
+        level = len(prefixes[0])
+        per_row = candidates_info.per_row
+        flat_rows = len(prefixes)
+        n_max = max(ids.size for ids in per_row)
+
+        cand_tokens = np.full((flat_rows, n_max), self.pad_id, dtype=np.int64)
+        for row, ids in enumerate(per_row):
+            if ids.size:
+                cand_tokens[row, : ids.size] = ids
+        # (flat_rows * n_max, level + 2): every sibling row is the beam's
+        # BOS-prefixed prefix plus one candidate.
+        base_input = np.array(
+            [(self.bos_id,) + prefix for prefix in prefixes], dtype=np.int64
+        )
+        decoder_input = np.concatenate(
+            [
+                np.repeat(base_input, n_max, axis=0),
+                cand_tokens.reshape(-1, 1),
+            ],
+            axis=1,
+        )
+        with no_grad():
+            if state.memory_flat is None:
+                state.memory_flat = Tensor(np.repeat(state.memory.data, num_beams, axis=0))
+                state.memory_mask_flat = np.repeat(state.memory_mask, num_beams, axis=0)
+            memory_spec = Tensor(np.repeat(state.memory_flat.data, n_max, axis=0))
+            memory_mask_spec = np.repeat(state.memory_mask_flat, n_max, axis=0)
+            hidden = model.decode_hidden(memory_spec, memory_mask_spec, decoder_input).data
+            state.forwards += 1
+        dim = hidden.shape[-1]
+        hidden = hidden.reshape(flat_rows, n_max, level + 2, dim)
+        # Level-i head input (position -2, identical across siblings) then
+        # each sibling's level-i+1 input (position -1): (flat, 1+n_max, dim).
+        head_in = np.concatenate([hidden[:, :1, -2, :], hidden[:, :, -1, :]], axis=1)
+        pair_union = trie.union_for_levels((level, level + 1))
+        logits_all = model.head_gather(
+            head_in.reshape(-1, dim), pair_union, precision=self.precision
+        ).reshape(flat_rows, 1 + n_max, pair_union.shape[0])
+
+        # --- Level-i selection (identical to a sequential step's) ---
+        if self.narrow is None:
+            union0 = candidates_info.union
+            width0 = candidates_info.num_candidates
+            logits0 = logits_all[:, 0, np.searchsorted(pair_union, union0)]
+            step_logp0 = masked_log_softmax(logits0, candidates_info.mask)
+        else:
+            union0, norm_mask0, keep0 = _narrowed_step_candidates(
+                candidates_info, self.narrow, prefixes, alive
+            )
+            width0 = int(union0.shape[0])
+            logits0 = logits_all[:, 0, np.searchsorted(pair_union, union0)]
+            step_logp0 = np.where(keep0, masked_log_softmax(logits0, norm_mask0), -np.inf)
+        origin1, token1, mid_scores = select_beams(
+            step_logp0, state.beam_scores, num_beams, width0, union0
+        )
+        mid_tokens = [
+            [
+                state.beam_tokens[b][int(origin1[b, k])] + (int(token1[b, k]),)
+                for k in range(num_beams)
+            ]
+            for b in range(num_requests)
+        ]
+        flat_origin1 = (np.arange(num_requests)[:, None] * num_beams + origin1).reshape(-1)
+        # Which sibling row each committed beam corresponds to; dead
+        # (-inf) beams clamp into range, harmlessly (never revived).
+        token1_flat = token1.reshape(-1)
+        chosen = np.zeros(flat_rows, dtype=np.int64)
+        for i, src in enumerate(flat_origin1):
+            ids = per_row[int(src)]
+            if ids.size:
+                chosen[i] = min(int(np.searchsorted(ids, token1_flat[i])), ids.size - 1)
+
+        # --- Level-i+1 selection from the committed siblings' logits ---
+        new_prefixes = [prefix for row in mid_tokens for prefix in row]
+        mid_alive = np.isfinite(mid_scores).reshape(-1)
+        candidates_next = trie.allowed_token_ids(new_prefixes)
+        row_logits = logits_all[flat_origin1, 1 + chosen]  # (flat_rows, |pair|)
+        if self.narrow is None:
+            union1 = candidates_next.union
+            width1 = candidates_next.num_candidates
+            logits1 = row_logits[:, np.searchsorted(pair_union, union1)]
+            step_logp1 = masked_log_softmax(logits1, candidates_next.mask)
+        else:
+            union1, norm_mask1, keep1 = _narrowed_step_candidates(
+                candidates_next, self.narrow, new_prefixes, mid_alive
+            )
+            width1 = int(union1.shape[0])
+            logits1 = row_logits[:, np.searchsorted(pair_union, union1)]
+            step_logp1 = np.where(keep1, masked_log_softmax(logits1, norm_mask1), -np.inf)
+        origin2, token2, state.beam_scores = select_beams(
+            step_logp1, mid_scores, num_beams, width1, union1
+        )
+        state.beam_tokens = [
+            [
+                mid_tokens[b][int(origin2[b, k])] + (int(token2[b, k]),)
                 for k in range(num_beams)
             ]
             for b in range(num_requests)

@@ -13,6 +13,14 @@ import numpy as np
 
 from . import functional as F
 from .nn import Dropout, Linear, Module
+from .quantized import (
+    fp16_activations,
+    fp16_weight,
+    int8_matmul,
+    precision_token,
+    quantize_weight_int8,
+    validate_precision,
+)
 from .tensor import Tensor, concat, is_grad_enabled
 from .workspace import StepWorkspace, WeightMemo
 
@@ -55,14 +63,21 @@ class RotaryEmbedding:
         ``offset`` may be a per-row array of shape ``(B,)``, which batched
         decoding uses to keep left-padded rows at their *unpadded* positions
         (a padded row's offset is negative by its pad count; pad positions
-        clamp to 0 — they are always masked out of attention anyway).
+        clamp to 0 — they are always masked out of attention anyway).  A
+        2-D ``(B, T)`` array gives every token its *absolute* position
+        directly: speculative decoding places all of a step's candidate
+        tokens at the same next position, which no offset-plus-arange
+        progression can express.
         """
         seq_len = x.shape[2]
         half = self.head_dim // 2
         if isinstance(offset, np.ndarray):
-            positions = np.maximum(
-                offset.astype(np.int64)[:, None] + np.arange(seq_len), 0
-            )  # (B, T)
+            if offset.ndim == 2:
+                positions = np.maximum(offset.astype(np.int64), 0)  # (B, T)
+            else:
+                positions = np.maximum(
+                    offset.astype(np.int64)[:, None] + np.arange(seq_len), 0
+                )  # (B, T)
             cos = self.cos[positions][:, None, :, :]
             sin = self.sin[positions][:, None, :, :]
             x1 = x[..., :half]
@@ -193,6 +208,34 @@ class KVCache:
         self.keys = self._buf_keys
         self.values = self._buf_values
 
+    def gather_columns(self, columns: np.ndarray) -> None:
+        """Keep ``columns[i]`` (in order) for row ``i``, drop the rest.
+
+        The per-row generalisation of :meth:`take_columns`: ``columns`` is
+        ``(batch, n_keep)`` and each row keeps its own column subset.
+        Speculative decoding uses this to discard the candidate K/V
+        columns a beam did *not* select — every row scored the same
+        speculative window but commits a different member of it.  The
+        gathered buffers keep no spare capacity; the next ``append``
+        reallocates (one realloc per speculative step, amortised by the
+        forward it saves).
+        """
+        if self.keys is None:
+            return
+        columns = np.asarray(columns, dtype=np.int64)
+        if columns.ndim != 2 or columns.shape[0] != self.batch_size:
+            raise ValueError(
+                f"columns must be (batch, n_keep) = ({self.batch_size}, *), "
+                f"got shape {columns.shape}"
+            )
+        index = columns[:, None, :, None]
+        self._buf_keys = np.ascontiguousarray(np.take_along_axis(self.keys, index, axis=2))
+        self._buf_values = np.ascontiguousarray(
+            np.take_along_axis(self.values, index, axis=2)
+        )
+        self.keys = self._buf_keys
+        self.values = self._buf_values
+
     def join(
         self, other: "KVCache", pad_self: int = 0, pad_other: int = 0, other_rows: int = 0
     ) -> None:
@@ -301,6 +344,20 @@ class BeamKVCache:
         else:
             self.suffix.reorder(beam_indices)
 
+    def gather_columns(self, columns: np.ndarray) -> None:
+        """Per-row column gather on the *append-target* region.
+
+        ``columns`` indexes the suffix region once the cache is fanned
+        out, else the prompt region (a width-1 decode appends its suffix
+        tokens to the prompt cache) — mirroring :meth:`append`, because
+        the columns being discarded are always ones a forward just
+        appended (see :meth:`KVCache.gather_columns`).
+        """
+        if not self.fanned:
+            self.prompt.gather_columns(columns)
+        else:
+            self.suffix.gather_columns(columns)
+
     def join(self, other: "BeamKVCache") -> tuple[int, int]:
         """Merge ``other``'s requests onto this cache's batch axis.
 
@@ -384,8 +441,9 @@ class MultiHeadAttention(Module):
         self.v_proj = Linear(dim, dim, bias=False, rng=rng)
         self.out_proj = Linear(dim, dim, bias=False, rng=rng)
         self.attn_dropout = Dropout(dropout, rng=rng)
-        # Cleared on every train()/eval() transition by Module.train.
-        self._fused_qkv = WeightMemo(max_entries=1)
+        # Cleared on every train()/eval() transition by Module.train.  One
+        # entry per precision (fp32 base + derived fp16/int8 variants).
+        self._fused_qkv = WeightMemo(max_entries=4)
 
     def _fused_qkv_weight(self) -> np.ndarray:
         """Concatenated ``(dim, 3*dim)`` weight for a single QKV GEMM.
@@ -398,6 +456,24 @@ class MultiHeadAttention(Module):
         sources = tuple(param.data for param in params)
         return self._fused_qkv.get(
             sources, params, lambda: np.concatenate(sources, axis=1)
+        )
+
+    def _fused_qkv_quantized(self, precision: str):
+        """The fused QKV weight quantized to ``precision`` (memoized).
+
+        Keyed into the same memo as the fp32 fusion via the precision's
+        interned sentinel (see :func:`repro.tensor.precision_token`), so
+        invalidation — grad presence, train()/eval(), in-place optimizer
+        steps — is identical for every precision.
+        """
+        params = (self.q_proj.weight, self.k_proj.weight, self.v_proj.weight)
+        sources = tuple(param.data for param in params) + (precision_token(precision),)
+        if precision == "fp16":
+            return self._fused_qkv.get(
+                sources, params, lambda: fp16_weight(self._fused_qkv_weight())
+            )
+        return self._fused_qkv.get(
+            sources, params, lambda: quantize_weight_int8(self._fused_qkv_weight())
         )
 
     def _split_heads(self, x: Tensor) -> Tensor:
@@ -416,6 +492,7 @@ class MultiHeadAttention(Module):
         cache: KVCache | None = None,
         rope_offset: int | np.ndarray | None = None,
         workspace: StepWorkspace | None = None,
+        precision: str = "fp32",
     ) -> Tensor:
         """Attend from ``x`` to ``context`` (defaults to self-attention).
 
@@ -426,7 +503,10 @@ class MultiHeadAttention(Module):
         the RoPE position offset (default: the cache length); batched
         left-padded decoding passes a per-row ``(B,)`` array.  ``workspace``
         optionally provides reusable scratch buffers for the cached decode
-        path (see :class:`repro.tensor.StepWorkspace`).
+        path (see :class:`repro.tensor.StepWorkspace`).  ``precision``
+        selects the fused-QKV GEMM precision on the cached decode path
+        (``"fp16"``/``"int8"`` quantize that projection only — see
+        :mod:`repro.tensor.quantized`); the training path ignores it.
         """
         source = context if context is not None else x
         if cache is not None and context is None and not is_grad_enabled():
@@ -442,9 +522,15 @@ class MultiHeadAttention(Module):
             # call regardless of batch shape (matches Tensor.__matmul__).
             flat_x = x_data.reshape(-1, x_data.shape[-1])
             flat_out = None if out_buf is None else out_buf.reshape(-1, 3 * self.dim)
-            qkv = np.matmul(flat_x, self._fused_qkv_weight(), out=flat_out).reshape(
-                x_data.shape[:-1] + (3 * self.dim,)
-            )
+            if precision == "fp32":
+                qkv = np.matmul(flat_x, self._fused_qkv_weight(), out=flat_out)
+            elif validate_precision(precision) == "fp16":
+                qkv = np.matmul(
+                    fp16_activations(flat_x), self._fused_qkv_quantized("fp16"), out=flat_out
+                )
+            else:
+                qkv = int8_matmul(flat_x, self._fused_qkv_quantized("int8"), out=flat_out)
+            qkv = qkv.reshape(x_data.shape[:-1] + (3 * self.dim,))
             q = self._split_heads(Tensor(qkv[..., : self.dim]))
             k = self._split_heads(Tensor(qkv[..., self.dim : 2 * self.dim]))
             v = self._split_heads(Tensor(qkv[..., 2 * self.dim :]))

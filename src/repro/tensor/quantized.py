@@ -1,0 +1,150 @@
+"""Emulated low-precision GEMM kernels for the serving decode hot path.
+
+The decode-time GEMMs this repo cares about — the gathered output-head
+matmul and the fused QKV projection — are weight-stationary: one weight
+matrix multiplies a small, ever-changing activation batch.  That is the
+textbook quantization target, and because we own the tensor backend the
+whole scheme fits in two kernels:
+
+* **fp16** — weights and activations are rounded through IEEE half
+  precision, then the GEMM accumulates in float32.  The rounded weight is
+  *stored* as float32 (``fp16_weight``) so the matmul stays on the fast
+  BLAS path; only the value grid is half precision.
+* **int8** — symmetric per-output-channel absmax weight scales
+  (``quantize_weight_int8``) and per-row dynamic absmax activation
+  scales.  The integer GEMM is emulated in float arithmetic: every
+  product is an integer in ``[-127^2, 127^2]`` and float32 adds integers
+  exactly while the accumulator stays below ``2^24``, so for reduction
+  depths up to :data:`INT8_EXACT_DEPTH` the emulation is bit-for-bit the
+  integer result; deeper reductions fall back to float64 accumulation
+  (still exact: ``2^53`` headroom).
+
+Both paths change *values* (that is the point — smaller grids), so the
+contract is tolerance + top-k overlap gates, never bit parity; see
+``docs/performance.md``.  Quantized weights are derived arrays and must be
+memoized behind :class:`repro.tensor.WeightMemo` exactly like the fp32
+gathered head — callers key entries with :func:`precision_token` so one
+memo serves every precision and staleness rules stay identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PRECISIONS",
+    "INT8_EXACT_DEPTH",
+    "Int8Weight",
+    "fp16_activations",
+    "fp16_weight",
+    "int8_matmul",
+    "precision_token",
+    "quantize_weight_int8",
+    "validate_precision",
+]
+
+PRECISIONS = ("fp32", "fp16", "int8")
+
+_LEVELS = 127.0  # symmetric int8: values in [-127, 127], -128 unused
+
+# Largest reduction depth whose emulated int8 accumulator stays exact in
+# float32: every partial sum is an integer < 2^24 = 16777216, and float32
+# represents all integers up to 2^24 exactly.
+INT8_EXACT_DEPTH = int(2**24 // (_LEVELS * _LEVELS))
+
+# Interned sentinel arrays, one per precision: WeightMemo keys entries by
+# source-array identity, so including the precision's sentinel in the
+# sources gives each precision its own slot in an existing memo (same
+# grad-gating, same train()/eval() invalidation) without new attributes.
+_PRECISION_TOKENS = {precision: np.empty(0, dtype=np.int8) for precision in PRECISIONS}
+
+
+def validate_precision(precision: str) -> str:
+    """``precision`` if it names a supported GEMM precision, else raise."""
+    if precision not in PRECISIONS:
+        raise ValueError(f"unknown precision {precision!r}: expected one of {PRECISIONS}")
+    return precision
+
+
+def precision_token(precision: str) -> np.ndarray:
+    """The interned identity-key sentinel for ``precision`` (see module doc)."""
+    return _PRECISION_TOKENS[validate_precision(precision)]
+
+
+def fp16_weight(weight: np.ndarray) -> np.ndarray:
+    """``weight`` rounded through float16, stored float32 for BLAS speed."""
+    return weight.astype(np.float16).astype(np.float32)
+
+
+def fp16_activations(x: np.ndarray) -> np.ndarray:
+    """Activations rounded through float16, stored float32."""
+    return x.astype(np.float16).astype(np.float32)
+
+
+@dataclass(frozen=True)
+class Int8Weight:
+    """A weight matrix quantized to symmetric per-output-channel int8.
+
+    ``qweight`` holds the integer code points (float32-stored so the
+    emulated GEMM runs on the BLAS path) and ``scales`` the per-output
+    -channel dequantization factors: ``qweight * scales ≈ weight``.
+    """
+
+    qweight: np.ndarray  # (in_features, out_features) float32-stored integers
+    scales: np.ndarray  # (out_features,) float32
+
+    @property
+    def out_features(self) -> int:
+        return int(self.qweight.shape[1])
+
+
+def quantize_weight_int8(weight: np.ndarray) -> Int8Weight:
+    """Symmetric absmax int8 quantization, one scale per output channel.
+
+    ``weight`` is ``(in_features, out_features)`` with output channels on
+    the *columns* (the layout of ``Linear.weight`` and of gathered head
+    slices).  All-zero channels get scale 1.0 so dequantization never
+    divides by zero.
+    """
+    weight = np.asarray(weight, dtype=np.float32)
+    if weight.ndim != 2:
+        raise ValueError(f"expected a 2-D weight, got shape {weight.shape}")
+    scales = np.abs(weight).max(axis=0) / _LEVELS
+    scales = np.where(scales > 0, scales, 1.0).astype(np.float32)
+    qweight = np.rint(weight / scales[None, :])
+    np.clip(qweight, -_LEVELS, _LEVELS, out=qweight)
+    return Int8Weight(qweight=np.ascontiguousarray(qweight, dtype=np.float32), scales=scales)
+
+
+def int8_matmul(
+    x: np.ndarray, weight: Int8Weight, out: np.ndarray | None = None
+) -> np.ndarray:
+    """``dequant(quant(x) @ weight.qweight)`` with dynamic activation scales.
+
+    ``x`` is ``(rows, in_features)`` float32; each row gets its own absmax
+    scale (all-zero rows scale 1.0).  Returns ``(rows, out_features)``
+    float32, written into ``out`` when given.  The integer GEMM is exact
+    (see module docstring), so two calls with identical inputs are
+    bit-identical regardless of batch shape — a stronger guarantee than
+    the fp32 path itself offers.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    row_scales = np.abs(x).max(axis=-1, keepdims=True) / _LEVELS
+    row_scales = np.where(row_scales > 0, row_scales, 1.0)
+    xq = np.rint(x / row_scales)
+    np.clip(xq, -_LEVELS, _LEVELS, out=xq)
+    if x.shape[-1] > INT8_EXACT_DEPTH:
+        # float32 could round the integer accumulator; float64 cannot.
+        acc = np.matmul(xq.astype(np.float64), weight.qweight.astype(np.float64))
+        result = np.multiply(acc, row_scales, out=acc)
+        result *= weight.scales[None, :]
+        if out is not None:
+            np.copyto(out, result.astype(np.float32))
+            return out
+        return result.astype(np.float32)
+    result = np.matmul(xq, weight.qweight, out=out)
+    result *= row_scales
+    result *= weight.scales[None, :]
+    return result

@@ -24,11 +24,14 @@ from repro.experiments import (
     IngestEvent,
     PopularityFallback,
     SubmitEvent,
+    apply_sweep,
     build_plan,
     known_backends,
     known_scenarios,
     run_experiment,
     strip_timing,
+    sweep_combinations,
+    sweep_suffix,
 )
 from repro.retrieval import RetrievalRecommender
 from repro.serving import (
@@ -356,6 +359,123 @@ class TestScenarioShapes:
         plan = self.plan(tiny_dataset, "mixed_fleet", requests=4)
         assert plan.num_workers == 2 and plan.extra["fleet_size"] == 2
 
+    def test_intention_traffic_interleaves_language_requests(self, tiny_dataset):
+        plan = self.plan(tiny_dataset, "intention_traffic", requests=8, intention_every=2)
+        assert plan.requires == ("language",)
+        submits = [e for e in plan.events if isinstance(e, SubmitEvent)]
+        intentions = [e for e in submits if e.kind == "intention"]
+        assert len(submits) == 8
+        assert len(intentions) == plan.extra["intention_requests"] == 4
+        for event in intentions:
+            assert event.text and "pairs well with" in event.text
+            assert event.history == () and event.target is None
+        for event in submits:
+            if event.kind == "seq":
+                assert event.text is None and event.target is not None
+
+    def test_instruction_traffic_paraphrases_histories(self, tiny_dataset):
+        plan = self.plan(tiny_dataset, "instruction_traffic", requests=6, history_tail=3)
+        assert plan.requires == ("language",)
+        submits = [e for e in plan.events if isinstance(e, SubmitEvent)]
+        assert len(submits) == 6 and plan.extra["history_tail"] == 3
+        for event in submits:
+            assert event.kind == "instruction"
+            assert event.target is not None  # quality stays measurable
+            assert "Predict the next item" in event.text
+            # The prompt names exactly the items the plan keeps.
+            recent = event.history[-3:]
+            assert all(str(item) in event.text for item in recent)
+
+    def test_submit_events_default_to_sequential_kind(self, tiny_dataset):
+        plan = self.plan(tiny_dataset, "steady_state", requests=3)
+        assert all(e.kind == "seq" and e.text is None for e in plan.events)
+
+
+# ----------------------------------------------------------------------
+# Sweep axes: validation, expansion, and swept runs
+# ----------------------------------------------------------------------
+class TestSweep:
+    def test_sweep_roundtrip(self):
+        config = minimal_config(sweep={"precision": ["fp32", "int8"], "batch_width": [4, 8]})
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_combinations_row_major(self):
+        config = minimal_config(sweep={"precision": ["fp32", "int8"], "batch_width": [4, 8]})
+        assert sweep_combinations(config) == [
+            {"precision": "fp32", "batch_width": 4},
+            {"precision": "fp32", "batch_width": 8},
+            {"precision": "int8", "batch_width": 4},
+            {"precision": "int8", "batch_width": 8},
+        ]
+        assert sweep_combinations(minimal_config()) == [{}]
+
+    def test_suffix_format(self):
+        assert sweep_suffix({}) == ""
+        assert sweep_suffix({"precision": "int8", "batch_width": 4}) == (
+            "@precision=int8,batch_width=4"
+        )
+
+    def test_apply_sweep_routes_keys(self):
+        config = minimal_config(sweep={"batch_width": [4], "spec_budget": [0]})
+        combo = sweep_combinations(config)[0]
+        concrete = apply_sweep(config, combo)
+        assert concrete.sweep == ()
+        assert concrete.batch_width == 4  # top-level field
+        assert all(spec.params["spec_budget"] == 0 for spec in concrete.backends)
+
+    @pytest.mark.parametrize(
+        "sweep, fragment",
+        [
+            ({"precision": []}, "at least one value"),
+            ({"precision": ["int8", "int8"]}, "duplicate"),
+            ({"mode": ["warp"]}, "mode"),
+            ({"batch_width": [0]}, "positive"),
+            ({"bogus_knob": [1]}, "unknown parameters"),
+            ({"precision": ["fp8"]}, "unknown precision"),
+            ({"spec_budget": [-1]}, "spec_budget"),
+        ],
+    )
+    def test_invalid_sweeps_rejected(self, sweep, fragment):
+        with pytest.raises(ExperimentConfigError, match=fragment):
+            minimal_config(sweep=sweep)
+
+    def test_backend_param_sweep_checked_against_every_backend(self):
+        # epochs is a tiger knob the lcrec backend does not accept, so a
+        # config listing both backends cannot sweep it.
+        with pytest.raises(ExperimentConfigError, match="epochs"):
+            minimal_config(backends=["lcrec", "tiger"], sweep={"epochs": [1, 2]})
+
+    def test_swept_run_suffixes_cells_and_keeps_parity(
+        self, tiny_dataset, tiny_lcrec
+    ):
+        result = run_experiment(
+            {
+                "name": "sweep",
+                "scale": "tiny",
+                "backends": ["lcrec"],
+                "scenarios": [{"kind": "steady_state", "requests": 4}],
+                "sweep": {"spec_budget": [64, 0]},
+            },
+            dataset=tiny_dataset,
+            models={"lcrec": tiny_lcrec},
+            write=False,
+        )
+        records = result["records"]
+        assert [r["name"] for r in records] == [
+            "steady_statexlcrec@spec_budget=64",
+            "steady_statexlcrec@spec_budget=0",
+        ]
+        assert [r["sweep"] for r in records] == [
+            {"spec_budget": 64},
+            {"spec_budget": 0},
+        ]
+        # Traffic is combo-independent and speculative decode is exact,
+        # so the sweep points differ only in name/sweep/timing.
+        stripped = [strip_timing(r) for r in records]
+        for record in stripped:
+            record.pop("name"), record.pop("sweep")
+        assert stripped[0] == stripped[1]
+
 
 # ----------------------------------------------------------------------
 # The matrix run: records, schema, determinism
@@ -500,6 +620,60 @@ class TestMatrixRun:
             assert key in payload
         assert payload["results"]
         assert payload["config"]["scenarios"][0]["kind"] == "steady_state"
+
+
+# ----------------------------------------------------------------------
+# Language traffic end to end: lcrec serves, token-only backends gate
+# ----------------------------------------------------------------------
+class TestLanguageTraffic:
+    @pytest.fixture(scope="class")
+    def language_result(self, tiny_dataset, tiny_lcrec, tiny_tiger):
+        return run_experiment(
+            {
+                "name": "language",
+                "scale": "tiny",
+                "backends": ["lcrec", "tiger"],
+                "scenarios": [
+                    {"kind": "intention_traffic", "requests": 6},
+                    {"kind": "instruction_traffic", "requests": 4},
+                ],
+            },
+            dataset=tiny_dataset,
+            models={"lcrec": tiny_lcrec, "tiger": tiny_tiger},
+            write=False,
+        )
+
+    def test_lcrec_serves_language_cells(self, language_result):
+        for record in language_result["records"]:
+            if record["backend"] != "lcrec":
+                continue
+            assert record["supported"] and record["served"] == record["requests"]
+
+    def test_intention_requests_skip_quality(self, language_result):
+        record = next(
+            r
+            for r in language_result["records"]
+            if r["name"] == "intention_trafficxlcrec"
+        )
+        # Intention submits carry no target, so only the sequential half
+        # of the traffic is evaluated for quality.
+        assert record["quality"]["evaluated"] == record["served"] - 3
+        assert record["extra"]["intention_requests"] == 3
+
+    def test_instruction_requests_keep_quality(self, language_result):
+        record = next(
+            r
+            for r in language_result["records"]
+            if r["name"] == "instruction_trafficxlcrec"
+        )
+        assert record["quality"]["evaluated"] == record["served"] == 4
+
+    def test_token_only_backends_record_unsupported(self, language_result):
+        for record in language_result["records"]:
+            if record["backend"] != "tiger":
+                continue
+            assert record["supported"] is False
+            assert "intention/instruction" in record["reason"]
 
 
 # ----------------------------------------------------------------------

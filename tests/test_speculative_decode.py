@@ -1,0 +1,598 @@
+"""Two-level speculative trie decode and the quantized GEMM paths.
+
+Contracts pinned here:
+
+* **Parity** — with a ``spec_budget``, rankings and scores are identical
+  to the sequential one-level-per-forward stepper, across batch sizes,
+  beam widths, the prefix cache, narrowing, joins and mid-decode
+  retirement, for the raw stepper and every engine adapter.
+* **Forwards accounting** — ``DecodeState.forwards`` counts transformer
+  forwards; speculation never increases it, and strictly lowers it
+  whenever a two-level window fires on a non-forced path.
+* **Budget gate edges** — a window fires iff the two-level candidate
+  fan-out product is ``<= spec_budget``, never across non-uniform levels,
+  and never when every (beam, candidate) child set is a singleton (the
+  forced fast path already makes the next level free).
+* **Quantized kernels** — fp16/int8 emulation matches its arithmetic
+  definition exactly (including the float64 fallback past
+  ``INT8_EXACT_DEPTH``), is memoized without serving stale weights
+  across training, and passes the top-k-overlap tolerance gates on every
+  engine (quantization changes values, so the gate is overlap, not bit
+  parity — see docs/performance.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import P5CID, P5CIDConfig, TIGER, TIGERConfig
+from repro.core.indexer import build_random_index_set
+from repro.llm import (
+    DEFAULT_SPEC_BUDGET,
+    LMConfig,
+    PrefixKVCache,
+    TinyLlama,
+    beam_search_items_batched,
+    decode_finish,
+    decode_join,
+    decode_prefill,
+    decode_retire,
+    decode_step,
+)
+from repro.quantization import IndexTrie
+from repro.serving import (
+    ContinuousScheduler,
+    LCRecEngine,
+    P5CIDEngine,
+    RecommendRequest,
+    TIGEREngine,
+    TrieDecoderEngine,
+)
+from repro.tensor import (
+    INT8_EXACT_DEPTH,
+    Int8Weight,
+    fp16_activations,
+    fp16_weight,
+    int8_matmul,
+    precision_token,
+    quantize_weight_int8,
+    validate_precision,
+)
+
+
+def make_model(vocab=60, seed=7, num_layers=1):
+    model = TinyLlama(LMConfig(vocab_size=vocab, dim=16, num_layers=num_layers,
+                               num_heads=2, ffn_hidden=24, max_seq_len=64,
+                               seed=seed))
+    model.eval()
+    return model
+
+
+def make_trie():
+    """3 levels; level-2 child sets mix singletons and pairs."""
+    return IndexTrie({
+        0: (10, 12, 14),
+        1: (10, 12, 15),
+        2: (10, 13, 14),
+        3: (11, 12, 14),
+        4: (11, 13, 15),
+    })
+
+
+def make_deep_trie():
+    """5 levels, full binary: every prefix has exactly two children."""
+    return IndexTrie({
+        i: (10 + (i & 1), 20 + (i >> 1 & 1), 30 + (i >> 2 & 1),
+            40 + (i >> 3 & 1), 50 + (i >> 4 & 1))
+        for i in range(32)
+    })
+
+
+def make_forced_child_trie():
+    """4 levels where level 2 is forced: one child per (L0, L1) prefix."""
+    items = {}
+    for a in (10, 11):
+        for b in (20, 21):
+            for d in (40, 41):
+                items[len(items)] = (a, b, 30 + (b - 20), d)
+    return IndexTrie(items)
+
+
+MIXED_PROMPTS = [[1, 2, 3], [4, 5], [1], [2, 2, 6, 7], [3, 3, 3]]
+
+
+def prompts_of(batch):
+    return [MIXED_PROMPTS[i % len(MIXED_PROMPTS)] + [i % 7] for i in range(batch)]
+
+
+def assert_same_hypotheses(got, expected, rtol=1e-5, atol=1e-6):
+    assert [h.item_id for h in got] == [h.item_id for h in expected]
+    assert [h.token_ids for h in got] == [h.token_ids for h in expected]
+    np.testing.assert_allclose([h.score for h in got],
+                               [h.score for h in expected],
+                               rtol=rtol, atol=atol)
+
+
+def run_stepper(model, prompts, trie, beam_size, **kwargs):
+    state = decode_prefill(model, prompts, trie, beam_size=beam_size, **kwargs)
+    while not state.done:
+        decode_step(state)
+    return decode_finish(state), state.forwards
+
+
+# ----------------------------------------------------------------------
+# Parity: speculative == sequential, everywhere
+# ----------------------------------------------------------------------
+class TestSpeculativeParity:
+    @pytest.mark.parametrize("batch", [1, 4, 16])
+    @pytest.mark.parametrize("beam", [1, 4, 16])
+    def test_matches_sequential(self, batch, beam):
+        model, trie = make_model(), make_trie()
+        prompts = prompts_of(batch)
+        spec, _ = run_stepper(model, prompts, trie, beam, spec_budget=64)
+        seq, _ = run_stepper(model, prompts, trie, beam, spec_budget=0)
+        for a, b in zip(spec, seq):
+            assert_same_hypotheses(a, b)
+
+    @pytest.mark.parametrize("beam", [1, 4])
+    def test_deep_trie_matches_sequential(self, beam):
+        model, trie = make_model(), make_deep_trie()
+        prompts = prompts_of(4)
+        spec, f_spec = run_stepper(model, prompts, trie, beam, spec_budget=64)
+        seq, f_seq = run_stepper(model, prompts, trie, beam, spec_budget=0)
+        for a, b in zip(spec, seq):
+            assert_same_hypotheses(a, b)
+        # Full binary: no forced levels, so every window is a real saving.
+        # prefill + 2 speculative steps vs prefill + 4 sequential steps.
+        assert (f_spec, f_seq) == (3, 5)
+
+    def test_prefix_cache_parity(self):
+        model, trie = make_model(), make_trie()
+        prompts = prompts_of(4)
+        expected, _ = run_stepper(model, prompts, trie, 4, spec_budget=0)
+        cache = PrefixKVCache(max_entries=8)
+        cold, _ = run_stepper(model, prompts, trie, 4,
+                              spec_budget=64, prefix_cache=cache)
+        warm, _ = run_stepper(model, prompts, trie, 4,
+                              spec_budget=64, prefix_cache=cache)
+        for got in (cold, warm):
+            for a, b in zip(got, expected):
+                assert_same_hypotheses(a, b)
+
+    @pytest.mark.parametrize("trie_factory", [make_trie, make_deep_trie])
+    def test_narrowed_speculative_steps(self, trie_factory):
+        model, trie = make_model(), trie_factory()
+        narrow = trie.subtrie([0, 2, 4])
+        prompts = prompts_of(3)
+        spec, _ = run_stepper(model, prompts, trie, 4,
+                              spec_budget=64, narrow=narrow)
+        seq, _ = run_stepper(model, prompts, trie, 4,
+                             spec_budget=0, narrow=narrow)
+        for a, b in zip(spec, seq):
+            assert_same_hypotheses(a, b)
+        # Narrowing selects, never rescores: any item the narrowed and
+        # full decodes both surface carries the same path and score.
+        full, _ = run_stepper(model, prompts, trie, 20, spec_budget=64)
+        allowed = {0, 2, 4}
+        for narrowed, unrestricted in zip(spec, full):
+            assert {h.item_id for h in narrowed} <= allowed
+            by_item = {h.item_id: h for h in unrestricted}
+            for hyp in narrowed:
+                if hyp.item_id in by_item:
+                    assert hyp.token_ids == by_item[hyp.item_id].token_ids
+                    np.testing.assert_allclose(
+                        hyp.score, by_item[hyp.item_id].score,
+                        rtol=1e-5, atol=1e-6,
+                    )
+
+    def test_one_shot_wrapper_parity(self):
+        model, trie = make_model(), make_deep_trie()
+        spec = beam_search_items_batched(model, MIXED_PROMPTS, trie,
+                                         beam_size=5, spec_budget=64)
+        seq = beam_search_items_batched(model, MIXED_PROMPTS, trie,
+                                        beam_size=5, spec_budget=0)
+        for a, b in zip(spec, seq):
+            assert_same_hypotheses(a, b)
+
+
+# ----------------------------------------------------------------------
+# Forwards accounting
+# ----------------------------------------------------------------------
+class TestForwardsAccounting:
+    def test_strictly_fewer_forwards_when_window_fires(self):
+        model, trie = make_model(), make_trie()
+        _, f_spec = run_stepper(model, prompts_of(2), trie, 5, spec_budget=64)
+        _, f_seq = run_stepper(model, prompts_of(2), trie, 5, spec_budget=0)
+        # 3 levels: prefill + 1 speculative step vs prefill + 2 steps.
+        assert (f_spec, f_seq) == (2, 3)
+
+    @pytest.mark.parametrize("beam", [1, 4, 16])
+    @pytest.mark.parametrize("trie_factory",
+                             [make_trie, make_deep_trie, make_forced_child_trie])
+    def test_never_more_forwards(self, beam, trie_factory):
+        model, trie = make_model(), trie_factory()
+        _, f_spec = run_stepper(model, prompts_of(3), trie, beam, spec_budget=64)
+        _, f_seq = run_stepper(model, prompts_of(3), trie, beam, spec_budget=0)
+        assert f_spec <= f_seq
+
+    def test_join_accumulates_incoming_forwards(self):
+        model, trie = make_model(), make_deep_trie()
+        state = decode_prefill(model, prompts_of(2), trie, beam_size=4,
+                               spec_budget=64)
+        decode_step(state)
+        before = state.forwards
+        incoming = decode_prefill(model, [[8, 8]], trie, beam_size=4,
+                                  spec_budget=64)
+        decode_join(state, incoming)
+        assert state.forwards == before + incoming.forwards == before + 1
+
+
+# ----------------------------------------------------------------------
+# Budget gate edges
+# ----------------------------------------------------------------------
+class TestSpeculativeGate:
+    def test_budget_exactly_at_product_fires(self):
+        # make_trie at the first step: candidate union {12, 13} x level-2
+        # union {14, 15} -> fan-out product exactly 4.
+        model, trie = make_model(), make_trie()
+        results, forwards = {}, {}
+        for budget in (4, 3, 0):
+            results[budget], forwards[budget] = run_stepper(
+                model, prompts_of(2), trie, 5, spec_budget=budget
+            )
+        assert forwards[4] == 2  # fired: prefill + one two-level step
+        assert forwards[3] == forwards[0] == 3  # one over budget: sequential
+        for budget in (4, 3):
+            for a, b in zip(results[budget], results[0]):
+                assert_same_hypotheses(a, b)
+
+    def test_all_singleton_children_close_the_window(self):
+        # Level 2 is forced everywhere: speculation could only "save" a
+        # forward the forced fast path already skips, so the gate must
+        # stay closed and the costs must come out identical.
+        model, trie = make_model(), make_forced_child_trie()
+        spec, f_spec = run_stepper(model, prompts_of(2), trie, 4, spec_budget=64)
+        seq, f_seq = run_stepper(model, prompts_of(2), trie, 4, spec_budget=0)
+        for a, b in zip(spec, seq):
+            assert_same_hypotheses(a, b)
+        # 4 levels: prefill + level-1 forward + forced level 2 (free) +
+        # combined flush-and-score forward at level 3 == sequential.
+        # The level-1 window is closed (forced children); the level-2
+        # window then fires for levels (2, 3) on the speculative path.
+        assert f_spec <= f_seq == 3
+
+    def test_non_uniform_levels_step_sequentially(self):
+        model, trie = make_model(), make_deep_trie()
+        state = decode_prefill(model, prompts_of(2), trie, beam_size=4,
+                               spec_budget=64)
+        decode_step(state)  # speculative: both rows at level 3
+        assert state.levels.tolist() == [3, 3]
+        incoming = decode_prefill(model, [[8, 8]], trie, beam_size=4,
+                                  spec_budget=64)
+        decode_join(state, incoming)
+        assert state.levels.tolist() == [3, 3, 1]
+        decode_step(state)  # mixed levels: the window must not open
+        assert state.levels.tolist() == [4, 4, 2]
+
+    def test_mid_window_retire_between_speculative_steps(self):
+        model, trie = make_model(), make_deep_trie()
+        reference = {
+            tuple(p): beam_search_items_batched(model, [p], trie, beam_size=4,
+                                                spec_budget=0)[0]
+            for p in prompts_of(2) + [[8, 8]]
+        }
+        state = decode_prefill(model, prompts_of(2), trie, beam_size=4,
+                               tags=["a", "b"], spec_budget=64)
+        decode_step(state)  # speculative window #1: levels 1 -> 3
+        incoming = decode_prefill(model, [[8, 8]], trie, beam_size=4,
+                                  tags=["c"], spec_budget=64)
+        decode_join(state, incoming)
+        while not state.finished_rows():
+            decode_step(state)
+        assert state.levels.tolist() == [5, 5, 3]
+        retired = decode_retire(state, state.finished_rows())
+        assert_same_hypotheses(retired[0], reference[tuple(prompts_of(2)[0])])
+        assert_same_hypotheses(retired[1], reference[tuple(prompts_of(2)[1])])
+        # The surviving row is uniform again: the next step is a window.
+        before = state.forwards
+        decode_step(state)
+        assert state.levels.tolist() == [5]
+        assert state.forwards == before + 1
+        assert_same_hypotheses(decode_finish(state)[0], reference[(8, 8)])
+
+    def test_raw_stepper_defaults_to_no_speculation(self):
+        model, trie = make_model(), make_trie()
+        state = decode_prefill(model, prompts_of(1), trie, beam_size=4)
+        assert state.spec_budget == 0
+        decode_step(state)
+        assert state.levels.tolist() == [2]
+
+
+# ----------------------------------------------------------------------
+# Speculation under the continuous-batching scheduler
+# ----------------------------------------------------------------------
+class TestSpeculativeContinuous:
+    def test_scheduler_joins_and_parity_with_speculation(self):
+        model, trie = make_model(), make_deep_trie()
+        reference = {
+            tuple(p): beam_search_items_batched(model, [p], trie, beam_size=5,
+                                                spec_budget=0)[0]
+            for p in MIXED_PROMPTS
+        }
+        engine = TrieDecoderEngine(model, trie)  # speculation on by default
+        assert engine.spec_budget == DEFAULT_SPEC_BUDGET
+        scheduler = ContinuousScheduler(engine, max_width=8)
+        requests = [RecommendRequest(prompt_ids=list(p), top_k=3, beam_size=5)
+                    for p in MIXED_PROMPTS]
+        scheduler.admit(requests[:2])
+        delivered = scheduler.step()
+        scheduler.admit(requests[2:])
+        while not scheduler.idle:
+            delivered.extend(scheduler.step())
+        assert scheduler.joins >= 1
+        assert len(delivered) == len(requests)
+        for req, hyps in delivered:
+            assert_same_hypotheses(hyps, reference[tuple(req.prompt_ids)])
+
+    def test_dense_head_engine_disables_speculation(self):
+        model, trie = make_model(), make_trie()
+        engine = TrieDecoderEngine(model, trie, sparse_head=False)
+        assert engine.spec_budget == 0
+
+
+# ----------------------------------------------------------------------
+# Quantized kernels
+# ----------------------------------------------------------------------
+class TestQuantizedKernels:
+    def test_validate_precision(self):
+        for precision in ("fp32", "fp16", "int8"):
+            assert validate_precision(precision) == precision
+        with pytest.raises(ValueError, match="unknown precision"):
+            validate_precision("fp8")
+
+    def test_precision_tokens_are_interned_and_distinct(self):
+        assert precision_token("int8") is precision_token("int8")
+        assert precision_token("fp16") is not precision_token("int8")
+
+    def test_fp16_rounds_through_half_precision(self):
+        x = np.array([[1.0, 1e-9, 65519.0]], dtype=np.float32)
+        for fn in (fp16_weight, fp16_activations):
+            got = fn(x)
+            assert got.dtype == np.float32
+            np.testing.assert_array_equal(
+                got, x.astype(np.float16).astype(np.float32)
+            )
+
+    def test_quantize_weight_int8_definition(self, rng):
+        weight = rng.normal(size=(16, 8)).astype(np.float32)
+        weight[:, 3] = 0.0  # an all-zero output channel
+        q = quantize_weight_int8(weight)
+        assert isinstance(q, Int8Weight) and q.out_features == 8
+        expected_scales = np.abs(weight).max(axis=0) / 127.0
+        expected_scales[3] = 1.0
+        np.testing.assert_allclose(q.scales, expected_scales, rtol=1e-6)
+        assert np.abs(q.qweight).max() <= 127
+        assert np.all(q.qweight == np.rint(q.qweight))  # true code points
+        # Dequantization error is bounded by half a quantization step.
+        np.testing.assert_allclose(q.qweight * q.scales[None, :], weight,
+                                   atol=float(expected_scales.max()) / 2 + 1e-7)
+        with pytest.raises(ValueError, match="2-D"):
+            quantize_weight_int8(np.zeros(4, dtype=np.float32))
+
+    def test_int8_matmul_matches_arithmetic_definition(self, rng):
+        x = rng.normal(size=(5, 32)).astype(np.float32)
+        x[2] = 0.0  # an all-zero row must not divide by zero
+        weight = quantize_weight_int8(rng.normal(size=(32, 6)).astype(np.float32))
+        got = int8_matmul(x, weight)
+        row_scales = np.abs(x).max(axis=-1, keepdims=True) / 127.0
+        row_scales = np.where(row_scales > 0, row_scales, 1.0)
+        codes = np.clip(np.rint(x / row_scales), -127, 127)
+        expected = (codes @ weight.qweight) * row_scales * weight.scales[None, :]
+        np.testing.assert_array_equal(got, expected.astype(np.float32))
+        # ... and is close to the fp32 product it emulates.
+        dense = x @ (weight.qweight * weight.scales[None, :])
+        np.testing.assert_allclose(got, dense, atol=np.abs(dense).max() * 0.02)
+
+    def test_int8_matmul_batch_shape_invariance(self, rng):
+        x = rng.normal(size=(6, 16)).astype(np.float32)
+        weight = quantize_weight_int8(rng.normal(size=(16, 4)).astype(np.float32))
+        whole = int8_matmul(x, weight)
+        rows = np.concatenate([int8_matmul(x[i:i + 1], weight) for i in range(6)])
+        np.testing.assert_array_equal(whole, rows)  # bit-identical, not close
+
+    def test_int8_matmul_out_buffer(self, rng):
+        x = rng.normal(size=(3, 8)).astype(np.float32)
+        weight = quantize_weight_int8(rng.normal(size=(8, 4)).astype(np.float32))
+        out = np.empty((3, 4), dtype=np.float32)
+        got = int8_matmul(x, weight, out=out)
+        assert got is out
+        np.testing.assert_array_equal(out, int8_matmul(x, weight))
+
+    def test_deep_reduction_uses_float64_fallback(self, rng):
+        depth = INT8_EXACT_DEPTH + 1
+        x = rng.normal(size=(2, depth)).astype(np.float32)
+        weight = quantize_weight_int8(rng.normal(size=(depth, 3)).astype(np.float32))
+        got = int8_matmul(x, weight)
+        row_scales = np.abs(x).max(axis=-1, keepdims=True) / 127.0
+        codes = np.clip(np.rint(x / row_scales), -127, 127)
+        acc = codes.astype(np.float64) @ weight.qweight.astype(np.float64)
+        expected = (acc * row_scales * weight.scales[None, :]).astype(np.float32)
+        np.testing.assert_array_equal(got, expected)
+
+
+# ----------------------------------------------------------------------
+# Quantized decode paths: tolerance gates, staleness, config plumbing
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_p5cid(tiny_dataset):
+    model = P5CID(tiny_dataset, P5CIDConfig(epochs=2, seed=3))
+    model.fit(tiny_dataset)
+    return model
+
+
+@pytest.fixture(scope="module")
+def tiny_tiger(tiny_dataset):
+    index_set = build_random_index_set(tiny_dataset.num_items, 3, 8,
+                                       np.random.default_rng(3))
+    model = TIGER(index_set, TIGERConfig(epochs=2, seed=3))
+    model.fit(tiny_dataset)
+    return model
+
+
+class TestQuantizedDecode:
+    @pytest.mark.parametrize("precision", ["fp16", "int8"])
+    def test_stepper_speculative_and_sequential_agree(self, precision):
+        # Quantization changes values vs fp32, but the speculative path
+        # must still rank identically to the sequential path *at the same
+        # precision* — both run the same quantized GEMMs.
+        model, trie = make_model(), make_deep_trie()
+        spec, _ = run_stepper(model, prompts_of(3), trie, 4,
+                              spec_budget=64, precision=precision)
+        seq, _ = run_stepper(model, prompts_of(3), trie, 4,
+                             spec_budget=0, precision=precision)
+        for a, b in zip(spec, seq):
+            assert_same_hypotheses(a, b)
+
+    @pytest.mark.parametrize("precision", ["fp16", "int8"])
+    def test_stepper_topk_overlap_gate(self, precision):
+        model, trie = make_model(), make_trie()
+        base, _ = run_stepper(model, prompts_of(4), trie, 3, precision="fp32")
+        quant, _ = run_stepper(model, prompts_of(4), trie, 3,
+                               precision=precision)
+        for a, b in zip(quant, base):
+            got = {h.item_id for h in a}
+            expected = {h.item_id for h in b}
+            assert len(got & expected) >= 2  # top-3 overlap gate
+
+    def test_join_rejects_mixed_precisions(self):
+        model, trie = make_model(), make_trie()
+        state = decode_prefill(model, prompts_of(2), trie, beam_size=4,
+                               precision="fp32")
+        incoming = decode_prefill(model, [[8, 8]], trie, beam_size=4,
+                                  precision="int8")
+        with pytest.raises(ValueError, match="precision"):
+            decode_join(state, incoming)
+
+    def test_quantized_head_sees_weight_updates_across_training(self):
+        from repro.tensor import Adam
+        from repro.tensor import functional as F
+
+        model, trie = make_model(seed=21), make_trie()
+        before = beam_search_items_batched(model, [[1, 2]], trie, beam_size=5,
+                                           precision="int8")
+        optimizer = Adam(model.parameters(), lr=0.05)
+        sequence = np.array([[1, 10, 12, 14]])
+        model.train()
+        for _ in range(30):
+            optimizer.zero_grad()
+            loss = F.cross_entropy(model(sequence[:, :-1]), sequence[:, 1:])
+            loss.backward()
+            optimizer.step()
+        model.eval()
+        after = beam_search_items_batched(model, [[1, 2]], trie, beam_size=5,
+                                          precision="int8")
+        fresh = TinyLlama(model.config)
+        fresh.load_state_dict(model.state_dict())
+        fresh.eval()
+        expected = beam_search_items_batched(fresh, [[1, 2]], trie, beam_size=5,
+                                             precision="int8")
+        # Same weights quantized fresh must reproduce the memoized path
+        # bit for bit — a stale quantized memo would fail this.
+        assert_same_hypotheses(after[0], expected[0])
+        assert [h.score for h in after[0]] != [h.score for h in before[0]]
+
+    @pytest.mark.parametrize("precision", ["fp16", "int8"])
+    def test_lcrec_engine_overlap_gate(self, tiny_lcrec, tiny_dataset, precision):
+        self._engine_overlap_gate(LCRecEngine, tiny_lcrec, tiny_dataset, precision)
+
+    @pytest.mark.parametrize("precision", ["fp16", "int8"])
+    def test_p5cid_engine_overlap_gate(self, tiny_p5cid, tiny_dataset, precision):
+        self._engine_overlap_gate(P5CIDEngine, tiny_p5cid, tiny_dataset, precision)
+
+    @pytest.mark.parametrize("precision", ["fp16", "int8"])
+    def test_tiger_engine_overlap_gate(self, tiny_tiger, tiny_dataset, precision):
+        self._engine_overlap_gate(TIGEREngine, tiny_tiger, tiny_dataset, precision)
+
+    @staticmethod
+    def _engine_overlap_gate(engine_cls, model, dataset, precision):
+        pool = dataset.split.test_histories
+        histories = [list(pool[i % len(pool)]) for i in range(8)]
+        base = engine_cls(model, precision="fp32").recommend_many(histories, top_k=5)
+        quant = engine_cls(model, precision=precision).recommend_many(
+            histories, top_k=5
+        )
+        overlaps = [len(set(a) & set(b)) for a, b in zip(base, quant)]
+        assert min(overlaps) >= 4  # every request keeps >= 4 of its top 5
+        assert float(np.mean(overlaps)) >= 4.5
+
+    def test_engine_rejects_unknown_precision(self, tiny_tiger):
+        with pytest.raises(ValueError, match="unknown precision"):
+            TIGEREngine(tiny_tiger, precision="bf16")
+
+
+# ----------------------------------------------------------------------
+# Engine adapters: speculative parity across backends
+# ----------------------------------------------------------------------
+class TestEngineSpeculativeParity:
+    @pytest.mark.parametrize("batch", [1, 4, 16])
+    def test_lcrec_engine_parity(self, tiny_lcrec, tiny_dataset, batch):
+        pool = tiny_dataset.split.test_histories
+        histories = [list(pool[i % len(pool)]) for i in range(batch)]
+        spec = LCRecEngine(tiny_lcrec, prefix_cache=False)
+        seq = LCRecEngine(tiny_lcrec, prefix_cache=False, spec_budget=0)
+        assert spec.spec_budget == DEFAULT_SPEC_BUDGET
+        assert spec.recommend_many(histories, top_k=5) == \
+            seq.recommend_many(histories, top_k=5)
+
+    def test_lcrec_engine_parity_with_prefix_cache(self, tiny_lcrec, tiny_dataset):
+        pool = tiny_dataset.split.test_histories
+        histories = [list(pool[i % len(pool)]) for i in range(4)]
+        spec = LCRecEngine(tiny_lcrec, prefix_cache=True)
+        seq = LCRecEngine(tiny_lcrec, prefix_cache=False, spec_budget=0)
+        expected = seq.recommend_many(histories, top_k=5)
+        assert spec.recommend_many(histories, top_k=5) == expected  # cold
+        assert spec.recommend_many(histories, top_k=5) == expected  # warm
+
+    def test_lcrec_narrowed_engine_parity(self, tiny_lcrec, tiny_dataset):
+        pool = tiny_dataset.split.test_histories
+        histories = [list(pool[i % len(pool)]) for i in range(3)]
+        candidates = list(range(0, tiny_dataset.num_items, 2))
+        spec = LCRecEngine(tiny_lcrec, prefix_cache=False).narrowed(candidates)
+        seq = LCRecEngine(tiny_lcrec, prefix_cache=False,
+                          spec_budget=0).narrowed(candidates)
+        assert spec.recommend_many(histories, top_k=5) == \
+            seq.recommend_many(histories, top_k=5)
+
+    @pytest.mark.parametrize("batch", [1, 4, 16])
+    def test_p5cid_engine_parity(self, tiny_p5cid, tiny_dataset, batch):
+        pool = tiny_dataset.split.test_histories
+        histories = [list(pool[i % len(pool)]) for i in range(batch)]
+        spec = P5CIDEngine(tiny_p5cid)
+        seq = P5CIDEngine(tiny_p5cid, spec_budget=0)
+        assert spec.recommend_many(histories, top_k=5) == \
+            seq.recommend_many(histories, top_k=5)
+
+    @pytest.mark.parametrize("batch", [1, 4, 16])
+    def test_tiger_engine_parity(self, tiny_tiger, tiny_dataset, batch):
+        pool = tiny_dataset.split.test_histories
+        histories = [list(pool[i % len(pool)]) for i in range(batch)]
+        spec = TIGEREngine(tiny_tiger)
+        seq = TIGEREngine(tiny_tiger, spec_budget=0)
+        ranked = spec.recommend_many(histories, top_k=5)
+        assert ranked == seq.recommend_many(histories, top_k=5)
+        assert ranked == [tiny_tiger.recommend(h, top_k=5) for h in histories]
+
+    def test_tiger_engine_saves_forwards(self, tiny_tiger, tiny_dataset):
+        pool = tiny_dataset.split.test_histories
+        histories = [list(pool[i % len(pool)]) for i in range(4)]
+        forwards = {}
+        for label, budget in (("spec", DEFAULT_SPEC_BUDGET), ("seq", 0)):
+            engine = TIGEREngine(tiny_tiger, spec_budget=budget)
+            requests = [RecommendRequest(prompt_ids=engine.encode_history(h),
+                                         top_k=5, beam_size=5)
+                        for h in histories]
+            state = engine.prefill(requests)
+            while not state.done:
+                engine.step(state)
+            engine.finish(state)
+            forwards[label] = state.forwards
+        assert forwards["spec"] <= forwards["seq"]
